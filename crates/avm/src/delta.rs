@@ -1,0 +1,90 @@
+//! Per-transaction delta sets: the `A_net` (appended) and `D_net`
+//! (deleted) tuple sets of \[BLT86\].
+//!
+//! An in-place modification is represented as a delete of the old tuple
+//! value plus an insert of the new one — the paper's "modifications are
+//! treated as deletes followed by inserts", and the source of the `2l`
+//! tuple values per update transaction.
+
+use procdb_query::Tuple;
+
+/// Net changes one update transaction made to a base relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Tuples inserted (`A_net`).
+    pub inserted: Vec<Tuple>,
+    /// Tuples deleted (`D_net`).
+    pub deleted: Vec<Tuple>,
+}
+
+impl Delta {
+    /// Empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Delta for a batch of in-place modifications: each `(old, new)` pair
+    /// becomes a delete of `old` plus an insert of `new`.
+    pub fn from_modifications(mods: impl IntoIterator<Item = (Tuple, Tuple)>) -> Delta {
+        let mut d = Delta::new();
+        for (old, new) in mods {
+            d.deleted.push(old);
+            d.inserted.push(new);
+        }
+        d
+    }
+
+    /// Total tuple values carried (`|A_net| + |D_net|` — the paper's `2l`
+    /// for an `l`-tuple update).
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// Whether the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Keep only the tuples satisfying `keep` (used to pre-filter a
+    /// transaction's delta down to the tuples that broke one procedure's
+    /// i-locks).
+    pub fn filtered(&self, mut keep: impl FnMut(&Tuple) -> bool) -> Delta {
+        Delta {
+            inserted: self.inserted.iter().filter(|t| keep(t)).cloned().collect(),
+            deleted: self.deleted.iter().filter(|t| keep(t)).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_query::Value;
+
+    fn t(k: i64) -> Tuple {
+        vec![Value::Int(k)]
+    }
+
+    #[test]
+    fn from_modifications_splits_old_new() {
+        let d = Delta::from_modifications([(t(1), t(2)), (t(3), t(4))]);
+        assert_eq!(d.deleted, vec![t(1), t(3)]);
+        assert_eq!(d.inserted, vec![t(2), t(4)]);
+        assert_eq!(d.len(), 4); // 2l with l = 2
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn filtered_applies_to_both_sides() {
+        let d = Delta::from_modifications([(t(1), t(10)), (t(2), t(20))]);
+        let f = d.filtered(|tp| tp[0].as_int() >= 10);
+        assert_eq!(f.deleted, Vec::<Tuple>::new());
+        assert_eq!(f.inserted, vec![t(10), t(20)]);
+    }
+
+    #[test]
+    fn empty_delta() {
+        assert!(Delta::new().is_empty());
+        assert_eq!(Delta::new().len(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of full engine round-trips, one group per
+//! strategy: a warm procedure access and an update transaction's
+//! maintenance, on a small Model-1 database.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use procdb_core::{Engine, EngineOptions, StrategyKind};
+use procdb_storage::{AccountingMode, Pager, PagerConfig};
+use procdb_workload::{build_database, generate_procedures, SimConfig};
+
+fn small_config() -> SimConfig {
+    let mut c = SimConfig::default().scaled_down(50); // N = 2000
+    c.n1 = 10;
+    c.n2 = 10;
+    c.f = 0.01; // 20-tuple objects
+    c.l = 5;
+    c.seed = 31;
+    c
+}
+
+fn build_engine(kind: StrategyKind) -> Engine {
+    let c = small_config();
+    let pager = Pager::new(PagerConfig {
+        page_size: c.page_size,
+        buffer_capacity: 1 << 15,
+        mode: AccountingMode::Physical,
+    });
+    let catalog = build_database(pager.clone(), &c).unwrap();
+    let pop = generate_procedures(&c);
+    let mut e = Engine::new(
+        pager,
+        catalog,
+        pop.procs,
+        kind,
+        EngineOptions {
+            r1: "R1".into(),
+            r1_key_field: 0,
+            rvm_base_probe_field: 1,
+            rvm_update_frequencies: None,
+            clear_buffer_between_ops: true,
+        },
+    )
+    .unwrap();
+    e.warm_up().unwrap();
+    e
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    for kind in StrategyKind::ALL {
+        let mut g = c.benchmark_group(kind.label());
+        let mut engine = build_engine(kind);
+        g.bench_function("access_warm", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % 20;
+                black_box(engine.access(i).unwrap().len())
+            })
+        });
+        g.bench_function("update_l5", |b| {
+            let mut k = 0i64;
+            b.iter(|| {
+                k = (k + 101) % 2000;
+                let mods: Vec<(i64, i64)> =
+                    (0..5).map(|j| ((k + j * 13) % 2000, (k + j * 29) % 2000)).collect();
+                black_box(engine.apply_update(&mods).unwrap())
+            })
+        });
+        g.bench_function("access_after_update", |b| {
+            let mut k = 0i64;
+            b.iter(|| {
+                k = (k + 7) % 2000;
+                engine.apply_update(&[(k, (k + 500) % 2000)]).unwrap();
+                black_box(engine.access((k % 20) as usize).unwrap().len())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

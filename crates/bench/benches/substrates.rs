@@ -1,0 +1,232 @@
+//! Criterion micro-benchmarks for the substrate crates: B-tree, hash
+//! file, slotted pages, Rete propagation, AVM delta maintenance, and the
+//! Yao estimators. These time the *real* wall-clock of the structures the
+//! cost model abstracts as `C1`/`C2` units.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use procdb_avm::{Delta, JoinStep, MaterializedView, ViewDef};
+use procdb_costmodel::{cardenas, yao_exact, yao_paper};
+use procdb_index::{BTreeFile, HashFile};
+use procdb_query::{
+    Catalog, CompOp, FieldType, Organization, Predicate, Schema, Table, Term, Value,
+};
+use procdb_rete::{Rete, ReteSpec, Token};
+use procdb_storage::{AccountingMode, Pager, PagerConfig};
+
+fn quiet_pager() -> Arc<Pager> {
+    // Large buffer, physical accounting: benchmarks time CPU work, not
+    // simulated charges.
+    Pager::new(PagerConfig {
+        page_size: 4000,
+        buffer_capacity: 1 << 16,
+        mode: AccountingMode::Physical,
+    })
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_10k_sequential", |b| {
+        b.iter(|| {
+            let mut t = BTreeFile::create(quiet_pager(), "t").unwrap();
+            for i in 0..10_000i64 {
+                t.insert(i, &[0u8; 80]).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    let mut t = BTreeFile::create(quiet_pager(), "t").unwrap();
+    for i in 0..100_000i64 {
+        t.insert((i * 7919) % 100_000, &[0u8; 80]).unwrap();
+    }
+    g.bench_function("point_lookup_100k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 37) % 100_000;
+            black_box(t.get_all(k).unwrap().len())
+        })
+    });
+    g.bench_function("range_scan_100_of_100k", |b| {
+        let mut lo = 0i64;
+        b.iter(|| {
+            lo = (lo + 997) % 99_900;
+            let mut n = 0;
+            t.scan_range(lo, lo + 99, |_, _, _| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let mut h = HashFile::create_sized(quiet_pager(), "h", 100_000, 80).unwrap();
+    for i in 0..100_000i64 {
+        h.insert(i, &[0u8; 80]).unwrap();
+    }
+    g.bench_function("probe_100k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 41) % 100_000;
+            let mut n = 0;
+            h.probe(k, |_| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+    g.bench_function("insert_delete_cycle", |b| {
+        b.iter(|| {
+            h.insert(123_456, &[1u8; 80]).unwrap();
+            black_box(h.delete_where(123_456, |_| true).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn r1_schema() -> Schema {
+    Schema::new(vec![("skey", FieldType::Int), ("a", FieldType::Int)])
+}
+
+fn r2_schema() -> Schema {
+    Schema::new(vec![("b", FieldType::Int), ("tag", FieldType::Int)])
+}
+
+fn join_catalog(pager: &Arc<Pager>) -> Catalog {
+    let mut r1 = Table::create(
+        pager.clone(),
+        "R1",
+        r1_schema(),
+        Organization::BTree { key_field: 0 },
+        0,
+    )
+    .unwrap();
+    let mut r2 = Table::create(
+        pager.clone(),
+        "R2",
+        r2_schema(),
+        Organization::Hash { key_field: 0 },
+        1000,
+    )
+    .unwrap();
+    for i in 0..10_000i64 {
+        r1.insert(&vec![Value::Int(i), Value::Int(i % 1000)]).unwrap();
+    }
+    for j in 0..1000i64 {
+        r2.insert(&vec![Value::Int(j), Value::Int(j % 2)]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add(r1);
+    cat.add(r2);
+    cat
+}
+
+fn bench_rete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rete");
+    let pager = quiet_pager();
+    let cat = join_catalog(&pager);
+    let mut rete = Rete::new(pager);
+    let spec = ReteSpec::Join {
+        left: Box::new(ReteSpec::Select {
+            relation: "R1".into(),
+            schema: r1_schema(),
+            predicate: Predicate::int_range(0, 0, 999),
+            probe_field: 1,
+            dispatch_field: Some(0),
+        }),
+        right: Box::new(ReteSpec::Select {
+            relation: "R2".into(),
+            schema: r2_schema(),
+            predicate: Predicate::single(1, CompOp::Eq, 0i64),
+            probe_field: 0,
+            dispatch_field: None,
+        }),
+        left_field: 1,
+        right_field: 0,
+        probe_field: 0,
+    };
+    let _v = rete.add_view(&spec);
+    rete.initialize(&cat).unwrap();
+    g.bench_function("token_roundtrip_through_join", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 13) % 1000;
+            let t = vec![Value::Int(k), Value::Int(k % 1000)];
+            rete.submit("R1", Token::plus(t.clone())).unwrap();
+            rete.submit("R1", Token::minus(t)).unwrap();
+        })
+    });
+    g.bench_function("discriminated_miss", |b| {
+        b.iter(|| {
+            // Outside every dispatch interval: pure root work.
+            rete.submit(
+                "R1",
+                Token::plus(vec![Value::Int(1_000_000), Value::Int(0)]),
+            )
+            .unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_avm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avm");
+    let pager = quiet_pager();
+    let cat = join_catalog(&pager);
+    let def = ViewDef {
+        base: "R1".into(),
+        selection: Predicate::int_range(0, 0, 999),
+        joins: vec![JoinStep {
+            inner: "R2".into(),
+            outer_key_field: 1,
+            residual: Predicate {
+                terms: vec![Term::new(3, CompOp::Eq, 0i64)],
+            },
+        }],
+    };
+    let mut view = MaterializedView::new(pager, "v", def, &cat);
+    view.recompute_full(&cat).unwrap();
+    g.bench_function("apply_delta_one_modification", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7) % 1000;
+            let old = vec![Value::Int(k), Value::Int(k % 1000)];
+            let mut new = old.clone();
+            new[0] = Value::Int((k + 1) % 1000);
+            let d = Delta::from_modifications([(old, new)]);
+            black_box(view.apply_delta(&d, &cat).unwrap());
+        })
+    });
+    g.bench_function("recompute_full", |b| {
+        b.iter(|| {
+            view.recompute_full(&cat).unwrap();
+            black_box(view.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_yao(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yao");
+    g.bench_function("paper_clamp", |b| {
+        let mut k = 0.0;
+        b.iter(|| {
+            k = (k + 1.5) % 5000.0;
+            black_box(yao_paper(100_000.0, 2_500.0, k))
+        })
+    });
+    g.bench_function("exact_vs_cardenas_k100", |b| {
+        b.iter(|| {
+            black_box(yao_exact(10_000.0, 250.0, 100.0));
+            black_box(cardenas(250.0, 100.0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_btree, bench_hash, bench_rete, bench_avm, bench_yao
+}
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Regenerate every table and figure of the paper from the analytical
+//! cost model.
+//!
+//! ```text
+//! figures                  # everything
+//! figures f5 f12 headline  # selected experiments
+//! ```
+//!
+//! Experiment ids follow the in-text numbering (DESIGN.md §4):
+//! `params`, `f4`–`f15` (Model 1), `f17`–`f19` (Model 2), `headline`
+//! (§8 factors), `a1` (C_inval ablation), `a2` (Yao-estimator ablation).
+
+use procdb_bench::render_figure_sparse;
+use procdb_costmodel::{
+    cardenas, cost, headline_speedups, model2, paper_figures, region_grid, yao_exact, yao_paper,
+    Model, Params, Strategy,
+};
+
+fn params_table() {
+    let p = Params::default();
+    println!("== T-params — Figure 2 parameter defaults ==");
+    let rows: [(&str, String); 18] = [
+        ("N (tuples in R1)", format!("{}", p.n)),
+        ("S (bytes/tuple)", format!("{}", p.s)),
+        ("B (bytes/block)", format!("{}", p.b_bytes)),
+        ("b = N*S/B (blocks)", format!("{}", p.b())),
+        ("d (index record bytes)", format!("{}", p.d)),
+        ("k (updates)", format!("{}", p.k)),
+        ("l (tuples/update)", format!("{}", p.l)),
+        ("q (queries)", format!("{}", p.q)),
+        ("f", format!("{}", p.f)),
+        ("f2", format!("{}", p.f2)),
+        ("f_R2", format!("{}", p.f_r2)),
+        ("f_R3", format!("{}", p.f_r3)),
+        ("C1 (ms/screen)", format!("{}", p.c1)),
+        ("C2 (ms/page IO)", format!("{}", p.c2)),
+        ("C3 (ms/delta tuple)", format!("{}", p.c3)),
+        ("C_inval (ms)", format!("{}", p.c_inval)),
+        ("SF", format!("{}", p.sf)),
+        ("Z (locality; §4.2 example value)", format!("{}", p.z)),
+    ];
+    for (name, v) in rows {
+        println!("  {name:<34} {v}");
+    }
+    println!(
+        "  P1 size: {} tuples / {} pages; P2 size: {} tuples / {} pages\n",
+        p.p1_tuples(),
+        p.p1_pages(),
+        p.p2_tuples(),
+        p.p2_pages()
+    );
+}
+
+fn line_figures(ids: &[&str]) {
+    for fig in paper_figures() {
+        if ids.is_empty() || ids.contains(&fig.id.to_lowercase().as_str()) {
+            println!("{}", render_figure_sparse(&fig, 5));
+        }
+    }
+}
+
+fn regions(id: &str) {
+    match id {
+        "f12" => {
+            println!("== F12 — winner regions, P x f (Model 1) ==");
+            print!("{}", region_grid(Model::One, &Params::default()).ascii_map());
+        }
+        "f13" => {
+            println!("== F13 — winner regions, high locality (Z = 0.05) ==");
+            print!(
+                "{}",
+                region_grid(Model::One, &Params::default().with_z(0.05)).ascii_map()
+            );
+        }
+        "f14" => {
+            println!("== F14 — Cache&Inval within 2x of Update Cache ==");
+            print!(
+                "{}",
+                region_grid(Model::One, &Params::default()).closeness_map(2.0)
+            );
+        }
+        "f15" => {
+            println!("== F15 — same, f2 = 1 (no false invalidation) ==");
+            print!(
+                "{}",
+                region_grid(Model::One, &Params::default().with_f2(1.0)).closeness_map(2.0)
+            );
+        }
+        "f19" => {
+            println!("== F19 — winner regions, P x f (Model 2) ==");
+            let g = region_grid(Model::Two, &Params::default());
+            print!("{}", g.ascii_map());
+            let rvm_cells = g
+                .cells
+                .iter()
+                .filter(|c| {
+                    c.winner == procdb_costmodel::Family::UpdateCache
+                        && c.best_uc_variant == Strategy::UpdateCacheRvm
+                })
+                .count();
+            let uc_cells = g
+                .cells
+                .iter()
+                .filter(|c| c.winner == procdb_costmodel::Family::UpdateCache)
+                .count();
+            println!(
+                "  best Update Cache variant in winning cells: RVM in {rvm_cells}/{uc_cells} (paper: RVM everywhere at SF = 0.5)"
+            );
+        }
+        _ => unreachable!(),
+    }
+    println!();
+}
+
+fn headline() {
+    let (ci, uc) = headline_speedups();
+    println!("== S8 — §8 headline factors (f = 0.0001, P = 0.1) ==");
+    println!("  AlwaysRecompute / Cache&Invalidate = {ci:.2}x   (paper: ~5x)");
+    println!("  AlwaysRecompute / UpdateCache      = {uc:.2}x   (paper: ~7x)");
+    let crossover =
+        model2::avm_rvm_crossover_sf(&Params::default().with_update_probability(0.5));
+    println!(
+        "  Model 2 AVM/RVM crossover SF        = {}   (paper: ~0.47)\n",
+        crossover.map_or("none".into(), |v| format!("{v:.3}"))
+    );
+}
+
+fn ablation_c_inval() {
+    println!("== A1 — ablation: invalidation-recording cost C_inval ==");
+    println!("{:>10}{:>14}{:>14}{:>14}", "C_inval", "CI @ P=0.3", "CI @ P=0.6", "CI @ P=0.9");
+    for c_inval in [0.0, 5.0, 15.0, 30.0, 60.0] {
+        let cost_at = |prob: f64| {
+            cost(
+                Model::One,
+                Strategy::CacheInvalidate,
+                &Params::default()
+                    .with_c_inval(c_inval)
+                    .with_update_probability(prob),
+            )
+        };
+        println!(
+            "{:>10}{:>14.1}{:>14.1}{:>14.1}",
+            c_inval,
+            cost_at(0.3),
+            cost_at(0.6),
+            cost_at(0.9)
+        );
+    }
+    println!("  (battery-backed RAM ~ 0 ms; flag-page read+write = 60 ms; paper §3, Figures 4/5)\n");
+}
+
+fn ablation_yao() {
+    println!("== A2 — ablation: page-estimate functions (n=10000, m=250) ==");
+    println!("{:>8}{:>14}{:>14}{:>14}", "k", "Yao exact", "Cardenas", "paper clamp");
+    for k in [0.05, 0.5, 1.0, 2.0, 10.0, 50.0, 100.0, 500.0, 2000.0] {
+        println!(
+            "{:>8}{:>14.2}{:>14.2}{:>14.2}",
+            k,
+            yao_exact(10_000.0, 250.0, k),
+            cardenas(250.0, k),
+            yao_paper(10_000.0, 250.0, k)
+        );
+    }
+    println!("  (the clamp fixes Cardenas for k <= 1 and tiny files; Appendix A)\n");
+}
+
+/// Write every line figure and region grid as CSV files under `dir`
+/// (one file per experiment), for external plotting.
+fn export_csv(dir: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    for fig in paper_figures() {
+        let mut f = std::fs::File::create(format!("{dir}/{}.csv", fig.id.to_lowercase()))?;
+        write!(f, "{}", fig.x_label)?;
+        for s in &fig.series {
+            write!(f, ",{}", s.strategy.label())?;
+        }
+        writeln!(f)?;
+        for i in 0..fig.series[0].points.len() {
+            write!(f, "{}", fig.series[0].points[i].0)?;
+            for s in &fig.series {
+                write!(f, ",{}", s.points[i].1)?;
+            }
+            writeln!(f)?;
+        }
+    }
+    for (id, model, params) in [
+        ("f12", Model::One, Params::default()),
+        ("f13", Model::One, Params::default().with_z(0.05)),
+        ("f19", Model::Two, Params::default()),
+    ] {
+        let g = region_grid(model, &params);
+        let mut f = std::fs::File::create(format!("{dir}/{id}_regions.csv"))?;
+        writeln!(f, "P,f,winner,best_uc_variant,ci_over_uc")?;
+        for cell in &g.cells {
+            writeln!(
+                f,
+                "{},{},{},{},{}",
+                cell.p,
+                cell.f,
+                cell.winner.glyph(),
+                cell.best_uc_variant.label(),
+                cell.ci_over_uc
+            )?;
+        }
+    }
+    eprintln!("CSV written to {dir}/");
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = args
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "figures-csv".to_string());
+        export_csv(&dir).expect("CSV export");
+        args.drain(pos..=(pos + 1).min(args.len() - 1));
+        if args.is_empty() {
+            return;
+        }
+    }
+    let args = args;
+    const KNOWN: [&str; 19] = [
+        "params", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14",
+        "f15", "f17", "f18", "f19", "headline", "a1", "a2",
+    ];
+    for a in &args {
+        if !KNOWN.contains(&a.as_str()) {
+            eprintln!(
+                "unknown experiment {a:?}; known ids: {}",
+                KNOWN.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("params") {
+        params_table();
+    }
+    let line_ids: Vec<&str> = ["f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f17", "f18"]
+        .into_iter()
+        .filter(|id| want(id))
+        .collect();
+    if !line_ids.is_empty() {
+        line_figures(&line_ids);
+    }
+    for id in ["f12", "f13", "f14", "f15", "f19"] {
+        if want(id) {
+            regions(id);
+        }
+    }
+    if want("headline") {
+        headline();
+    }
+    if want("a1") {
+        ablation_c_inval();
+    }
+    if want("a2") {
+        ablation_yao();
+    }
+}

@@ -1,0 +1,18 @@
+//! # procdb-cli
+//!
+//! An interactive shell over the `procdb` database-procedure engine:
+//! declare relations, load rows, define procedures in the paper's own
+//! `define view` syntax, flip between the four processing strategies, and
+//! watch the model-priced cost of every access and update on the ledger.
+//!
+//! Library surface ([`Session`], [`parse`]) so the shell is scriptable
+//! and testable; the `procdb-cli` binary is a thin REPL around it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod session;
+
+pub use command::{parse, Command, HELP};
+pub use session::{Session, SessionError, TableSpec};

@@ -1,0 +1,108 @@
+//! `procdb-cli`: an interactive shell over the database-procedure engine.
+//!
+//! ```text
+//! cargo run --release -p procdb-cli
+//! # or script it:
+//! cargo run --release -p procdb-cli < script.pdb
+//! ```
+//!
+//! Type `help` at the prompt for the command language.
+
+use std::io::{BufRead, Write};
+
+use procdb_cli::{parse, Command, Session, HELP};
+
+fn run_command(session: &mut Session, cmd: Command) -> Result<bool, String> {
+    match cmd {
+        Command::Quit => return Ok(false),
+        Command::Help => println!("{HELP}"),
+        Command::CreateTable { name, schema, org } => {
+            session.create_table(&name, schema, org)?;
+            println!("table {name} created");
+        }
+        Command::Insert { table, row } => {
+            session.insert(&table, row)?;
+        }
+        Command::DefineView(stmt) => {
+            let name = session.define_view(&stmt)?;
+            println!("view {name} defined");
+        }
+        Command::Strategy(kind) => {
+            session.set_strategy(kind);
+            println!("strategy set to {kind} (engine rebuilds on next access)");
+        }
+        Command::Access(view) => {
+            let (rows, ms) = session.access(&view)?;
+            println!("{} rows in {ms:.1} model-ms:", rows.len());
+            print!("{}", session.render_rows(&rows, 20));
+        }
+        Command::Update(victim, new_key) => {
+            let (n, ms) = session.update(victim, new_key)?;
+            println!("{n} tuple(s) re-keyed {victim} -> {new_key}; maintenance {ms:.1} model-ms");
+        }
+        Command::Explain(view) => {
+            print!("{}", session.explain(&view)?);
+        }
+        Command::Show => {
+            println!("strategy: {}", session.strategy());
+            for t in session.tables() {
+                println!("  {}", session.table_summary(&t.name).expect("known table"));
+            }
+            let views: Vec<&str> = session.views().collect();
+            println!(
+                "  views: {}",
+                if views.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    views.join(", ")
+                }
+            );
+        }
+        Command::Costs => {
+            println!("total charged: {:.1} model-ms", session.total_cost_ms());
+        }
+    }
+    Ok(true)
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    let mut session = Session::new();
+    println!("procdb-cli — database procedures, four strategies (type 'help')");
+    loop {
+        if interactive {
+            print!("procdb> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        if !interactive && !line.trim().is_empty() && !line.trim_start().starts_with('#') {
+            println!("procdb> {}", line.trim_end());
+        }
+        match parse(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match run_command(&mut session, cmd) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(msg) => println!("error: {msg}"),
+            },
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+}
+
+/// Crude interactivity probe without extra dependencies: scripts piped on
+/// stdin echo their commands; terminals get a prompt. (We treat the
+/// presence of the `PROCDB_FORCE_PROMPT` env var as "interactive" and
+/// default to echo mode, which is right for tests and CI.)
+fn atty_stdin() -> bool {
+    std::env::var_os("PROCDB_FORCE_PROMPT").is_some()
+}

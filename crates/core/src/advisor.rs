@@ -1,0 +1,87 @@
+//! Strategy advisor: pick a processing strategy from workload statistics.
+//!
+//! The paper closes by noting that *whether* to cache or maintain a given
+//! object is itself a decision problem (\[Sel86, Sel87\] study it for
+//! caching). This module gives the engine the obvious analytical answer:
+//! evaluate the paper's cost model at the observed workload parameters
+//! and recommend the cheapest strategy.
+
+use procdb_costmodel::{cost_all, Model, Params, Strategy};
+
+use crate::procedure::StrategyKind;
+
+/// A recommendation with its predicted costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Cheapest strategy.
+    pub strategy: StrategyKind,
+    /// Predicted cost per access (ms) for every strategy, in
+    /// [`StrategyKind::ALL`] order.
+    pub predicted_ms: [f64; 4],
+    /// How much more the runner-up costs (ratio ≥ 1).
+    pub margin: f64,
+}
+
+fn to_kind(s: Strategy) -> StrategyKind {
+    match s {
+        Strategy::AlwaysRecompute => StrategyKind::AlwaysRecompute,
+        Strategy::CacheInvalidate => StrategyKind::CacheInvalidate,
+        Strategy::UpdateCacheAvm => StrategyKind::UpdateCacheAvm,
+        Strategy::UpdateCacheRvm => StrategyKind::UpdateCacheRvm,
+    }
+}
+
+/// Recommend a strategy for a workload described by the paper's
+/// parameters. `model` selects the procedure shape (two- or three-way
+/// joins for `P2`).
+pub fn recommend(model: Model, params: &Params) -> Recommendation {
+    let costs = cost_all(model, params);
+    let mut sorted = costs;
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    let (best, best_cost) = sorted[0];
+    let (_, second) = sorted[1];
+    Recommendation {
+        strategy: to_kind(best),
+        predicted_ms: [costs[0].1, costs[1].1, costs[2].1, costs[3].1],
+        margin: if best_cost > 0.0 {
+            second / best_cost
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_update_rate_recommends_update_cache() {
+        let p = Params::default().with_update_probability(0.05);
+        let r = recommend(Model::One, &p);
+        assert!(matches!(
+            r.strategy,
+            StrategyKind::UpdateCacheAvm | StrategyKind::UpdateCacheRvm
+        ));
+        assert!(r.margin >= 1.0);
+    }
+
+    #[test]
+    fn high_update_rate_recommends_recompute() {
+        let p = Params::default().with_update_probability(0.98);
+        let r = recommend(Model::One, &p);
+        assert_eq!(r.strategy, StrategyKind::AlwaysRecompute);
+    }
+
+    #[test]
+    fn predicted_costs_are_ordered_consistently() {
+        let p = Params::default().with_update_probability(0.3);
+        let r = recommend(Model::Two, &p);
+        let best = r.predicted_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let idx = StrategyKind::ALL
+            .iter()
+            .position(|k| *k == r.strategy)
+            .unwrap();
+        assert_eq!(r.predicted_ms[idx], best);
+    }
+}

@@ -1,0 +1,693 @@
+//! A parser for the paper's `define view` / `retrieve` syntax (§2), so
+//! procedures can be registered from the text form the paper writes them
+//! in:
+//!
+//! ```text
+//! define view PROGS1 (EMP.all, DEPT.all)
+//! where EMP.dept = DEPT.dname
+//! and EMP.job = "Programmer"
+//! and DEPT.floor = 1
+//! ```
+//!
+//! The statement is resolved against a [`Catalog`] into a [`ViewDef`]:
+//!
+//! * the **first** relation in the target list is the base (the updatable
+//!   relation scanned by the precompiled plan);
+//! * every later relation is joined in target-list order through an
+//!   equality term that links it to an earlier relation, and must be
+//!   hash-organized on its side of that term (the paper's probe-join
+//!   access paths);
+//! * remaining `Rel.attr op constant` terms become the base selection or
+//!   a join step's residual.
+//!
+//! String constants compare against fixed-width `Bytes` fields
+//! (zero-padded, as the schema stores them); integers against `Int`.
+
+use procdb_avm::{JoinStep, ViewDef};
+use procdb_query::{Catalog, CompOp, FieldType, Organization, Predicate, Term, Value};
+
+/// Errors produced while parsing or resolving a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdlError {
+    /// Lexical or structural problem, with a human-readable message.
+    Syntax(String),
+    /// A relation that is not in the catalog.
+    UnknownRelation(String),
+    /// An attribute that is not in its relation's schema.
+    UnknownAttribute(String, String),
+    /// A later relation has no equality link to the earlier frame.
+    NoJoinPath(String),
+    /// A joined relation is not hash-organized on its join attribute.
+    NotProbeable(String, String),
+    /// A constant whose type does not match the attribute.
+    TypeMismatch(String),
+}
+
+impl std::fmt::Display for DdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdlError::Syntax(m) => write!(f, "syntax error: {m}"),
+            DdlError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            DdlError::UnknownAttribute(r, a) => write!(f, "unknown attribute {r}.{a}"),
+            DdlError::NoJoinPath(r) => {
+                write!(f, "no join term links {r} to the preceding relations")
+            }
+            DdlError::NotProbeable(r, a) => {
+                write!(f, "{r} is not hash-organized on {a}; cannot probe-join")
+            }
+            DdlError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+/// A parsed statement: name (empty for `retrieve`) plus the resolved view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefineView {
+    /// View/procedure name (`""` for anonymous `retrieve`).
+    pub name: String,
+    /// The resolved, executable view definition.
+    pub view: ViewDef,
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    Op(CompOp),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, DdlError> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op(CompOp::Eq));
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Op(CompOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CompOp::Le));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Op(CompOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CompOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CompOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CompOp::Gt));
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(DdlError::Syntax("unterminated string literal".into()));
+                }
+                out.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| DdlError::Syntax(format!("bad integer {text}")))?;
+                out.push(Tok::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(input[start..i].to_string()));
+            }
+            other => return Err(DdlError::Syntax(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Attr(String, String),
+    Const(ConstVal),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ConstVal {
+    Int(i64),
+    Str(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Clause {
+    left: Operand,
+    op: CompOp,
+    right: Operand,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, DdlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(DdlError::Syntax(format!("expected {what}, got {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DdlError> {
+        let got = self.expect_ident(&format!("keyword '{kw}'"))?;
+        if got.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(DdlError::Syntax(format!("expected '{kw}', got '{got}'")))
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), DdlError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(DdlError::Syntax(format!("expected {tok:?}, got {other:?}"))),
+        }
+    }
+
+    /// `(REL.all, REL.all, ...)` → target relation order.
+    fn target_list(&mut self) -> Result<Vec<String>, DdlError> {
+        self.expect(Tok::LParen)?;
+        let mut rels = Vec::new();
+        loop {
+            let rel = self.expect_ident("relation name")?;
+            self.expect(Tok::Dot)?;
+            let field = self.expect_ident("'all' or attribute")?;
+            if !field.eq_ignore_ascii_case("all") {
+                return Err(DdlError::Syntax(format!(
+                    "only Rel.all target entries are supported, got {rel}.{field}"
+                )));
+            }
+            if !rels.contains(&rel) {
+                rels.push(rel);
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(DdlError::Syntax(format!(
+                        "expected ',' or ')', got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(rels)
+    }
+
+    fn operand(&mut self) -> Result<Operand, DdlError> {
+        match self.next() {
+            Some(Tok::Ident(rel)) => {
+                self.expect(Tok::Dot)?;
+                let attr = self.expect_ident("attribute")?;
+                Ok(Operand::Attr(rel, attr))
+            }
+            Some(Tok::Int(v)) => Ok(Operand::Const(ConstVal::Int(v))),
+            Some(Tok::Str(s)) => Ok(Operand::Const(ConstVal::Str(s))),
+            other => Err(DdlError::Syntax(format!("expected operand, got {other:?}"))),
+        }
+    }
+
+    /// `where clause (and clause)*`
+    fn clauses(&mut self) -> Result<Vec<Clause>, DdlError> {
+        if self.peek().is_none() {
+            return Ok(Vec::new()); // no where clause: unconditional view
+        }
+        self.expect_keyword("where")?;
+        let mut out = Vec::new();
+        loop {
+            let left = self.operand()?;
+            let op = match self.next() {
+                Some(Tok::Op(op)) => op,
+                other => {
+                    return Err(DdlError::Syntax(format!(
+                        "expected comparison operator, got {other:?}"
+                    )))
+                }
+            };
+            let right = self.operand()?;
+            out.push(Clause { left, op, right });
+            match self.peek() {
+                Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("and") => {
+                    self.next();
+                }
+                None => break,
+                other => {
+                    return Err(DdlError::Syntax(format!(
+                        "expected 'and' or end of statement, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ------------------------------------------------------------- resolver --
+
+fn field_index(catalog: &Catalog, rel: &str, attr: &str) -> Result<usize, DdlError> {
+    let table = catalog
+        .get(rel)
+        .ok_or_else(|| DdlError::UnknownRelation(rel.to_string()))?;
+    table
+        .schema()
+        .field_index(attr)
+        .ok_or_else(|| DdlError::UnknownAttribute(rel.to_string(), attr.to_string()))
+}
+
+fn const_value(
+    catalog: &Catalog,
+    rel: &str,
+    attr: &str,
+    c: &ConstVal,
+) -> Result<Value, DdlError> {
+    let table = catalog
+        .get(rel)
+        .ok_or_else(|| DdlError::UnknownRelation(rel.to_string()))?;
+    let idx = field_index(catalog, rel, attr)?;
+    let ty = table.schema().fields()[idx].ty;
+    match (c, ty) {
+        (ConstVal::Int(v), FieldType::Int) => Ok(Value::Int(*v)),
+        (ConstVal::Str(s), FieldType::Bytes(width)) => {
+            if s.len() > width {
+                return Err(DdlError::TypeMismatch(format!(
+                    "string {s:?} longer than {rel}.{attr}'s width {width}"
+                )));
+            }
+            // Zero-pad to the stored width so equality matches the fixed
+            // encoding.
+            let mut bytes = s.as_bytes().to_vec();
+            bytes.resize(width, 0);
+            Ok(Value::Bytes(bytes))
+        }
+        (ConstVal::Int(_), FieldType::Bytes(_)) => Err(DdlError::TypeMismatch(format!(
+            "{rel}.{attr} is a byte field; integer constant given"
+        ))),
+        (ConstVal::Str(_), FieldType::Int) => Err(DdlError::TypeMismatch(format!(
+            "{rel}.{attr} is an integer field; string constant given"
+        ))),
+    }
+}
+
+/// Parse one statement (`define view NAME (targets) where …` or
+/// `retrieve (targets) where …`) and resolve it against `catalog`.
+pub fn parse_define_view(input: &str, catalog: &Catalog) -> Result<DefineView, DdlError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    // Header.
+    let name = match p.peek() {
+        Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("define") => {
+            p.next();
+            p.expect_keyword("view")?;
+            p.expect_ident("view name")?
+        }
+        Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("retrieve") => {
+            p.next();
+            String::new()
+        }
+        other => {
+            return Err(DdlError::Syntax(format!(
+                "expected 'define view' or 'retrieve', got {other:?}"
+            )))
+        }
+    };
+    let rels = p.target_list()?;
+    if rels.is_empty() {
+        return Err(DdlError::Syntax("empty target list".into()));
+    }
+    let clauses = p.clauses()?;
+
+    // Resolve: split clauses into restrictions (per relation) and joins.
+    let mut restrictions: Vec<(String, String, CompOp, ConstVal)> = Vec::new();
+    let mut joins: Vec<(String, String, String, String)> = Vec::new(); // (relA, attrA, relB, attrB)
+    for c in &clauses {
+        match (&c.left, &c.right) {
+            (Operand::Attr(r1, a1), Operand::Attr(r2, a2)) => {
+                if c.op != CompOp::Eq {
+                    return Err(DdlError::Syntax(
+                        "only equality joins are supported".into(),
+                    ));
+                }
+                joins.push((r1.clone(), a1.clone(), r2.clone(), a2.clone()));
+            }
+            (Operand::Attr(r, a), Operand::Const(v)) => {
+                restrictions.push((r.clone(), a.clone(), c.op, v.clone()));
+            }
+            (Operand::Const(v), Operand::Attr(r, a)) => {
+                // Flip `const op attr` to `attr op' const`.
+                let flipped = match c.op {
+                    CompOp::Lt => CompOp::Gt,
+                    CompOp::Le => CompOp::Ge,
+                    CompOp::Gt => CompOp::Lt,
+                    CompOp::Ge => CompOp::Le,
+                    other => other,
+                };
+                restrictions.push((r.clone(), a.clone(), flipped, v.clone()));
+            }
+            _ => {
+                return Err(DdlError::Syntax(
+                    "constant-to-constant comparison is meaningless".into(),
+                ));
+            }
+        }
+    }
+
+    // Base relation + frame bookkeeping.
+    let base = rels[0].clone();
+    let base_table = catalog
+        .get(&base)
+        .ok_or_else(|| DdlError::UnknownRelation(base.clone()))?;
+    let mut frame: Vec<(String, usize)> = vec![(base.clone(), 0)]; // (rel, frame offset)
+    let mut width = base_table.schema().arity();
+
+    let mut selection = Predicate::always();
+    for (r, a, op, v) in restrictions.iter().filter(|(r, ..)| *r == base) {
+        let idx = field_index(catalog, r, a)?;
+        selection = selection.and(Term::new(idx, *op, const_value(catalog, r, a, v)?));
+    }
+
+    let mut steps: Vec<JoinStep> = Vec::new();
+    let mut consumed = vec![false; joins.len()];
+    for rel in &rels[1..] {
+        let table = catalog
+            .get(rel)
+            .ok_or_else(|| DdlError::UnknownRelation(rel.clone()))?;
+        // Find the equality term linking `rel` to the existing frame.
+        let mut link: Option<(usize /*outer frame field*/, usize /*inner field*/)> = None;
+        for (ji, (r1, a1, r2, a2)) in joins.iter().enumerate() {
+            let (outer, oattr, iattr) = if r2 == rel && frame.iter().any(|(fr, _)| fr == r1) {
+                (r1, a1, a2)
+            } else if r1 == rel && frame.iter().any(|(fr, _)| fr == r2) {
+                (r2, a2, a1)
+            } else {
+                continue;
+            };
+            let offset = frame
+                .iter()
+                .find(|(fr, _)| fr == outer)
+                .map(|(_, off)| *off)
+                .expect("frame member");
+            let outer_field = offset + field_index(catalog, outer, oattr)?;
+            let inner_field = field_index(catalog, rel, iattr)?;
+            link = Some((outer_field, inner_field));
+            consumed[ji] = true;
+            // Probe-joinability: the inner must be hash-organized on its
+            // side of the join.
+            match table.organization() {
+                Organization::Hash { key_field } if key_field == inner_field => {}
+                _ => return Err(DdlError::NotProbeable(rel.clone(), iattr.clone())),
+            }
+            break;
+        }
+        let Some((outer_field, _)) = link else {
+            return Err(DdlError::NoJoinPath(rel.clone()));
+        };
+        // Residual: this relation's restrictions, offset into the frame.
+        let mut residual = Predicate::always();
+        for (r, a, op, v) in restrictions.iter().filter(|(r, ..)| r == rel) {
+            let idx = width + field_index(catalog, r, a)?;
+            residual = residual.and(Term::new(idx, *op, const_value(catalog, r, a, v)?));
+        }
+        frame.push((rel.clone(), width));
+        width += table.schema().arity();
+        steps.push(JoinStep {
+            inner: rel.clone(),
+            outer_key_field: outer_field,
+            residual,
+        });
+    }
+
+    // Every join clause must have been used to link a relation in —
+    // silently dropping one (e.g. a same-relation attribute comparison, or
+    // a redundant second link) would change the view's meaning.
+    if let Some(i) = consumed.iter().position(|c| !c) {
+        let (r1, a1, r2, a2) = &joins[i];
+        return Err(DdlError::Syntax(format!(
+            "join term {r1}.{a1} = {r2}.{a2} was not used to link a new relation (same-relation and redundant join terms are not supported)"
+        )));
+    }
+
+    Ok(DefineView {
+        name,
+        view: ViewDef {
+            base,
+            selection,
+            joins: steps,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_query::{execute, Schema, Table};
+    use procdb_storage::Pager;
+
+    /// The paper's §2 schema: EMP(name, age, dept, salary, job),
+    /// DEPT(dname, floor) — names/jobs/depts as fixed-width byte fields.
+    fn catalog() -> Catalog {
+        let pager = Pager::new_default();
+        pager.set_charging(false);
+        let emp_schema = Schema::new(vec![
+            ("eid", FieldType::Int), // clustering key (the paper keys by name; ints here)
+            ("age", FieldType::Int),
+            ("dept", FieldType::Int),
+            ("salary", FieldType::Int),
+            ("job", FieldType::Bytes(12)),
+        ]);
+        let dept_schema = Schema::new(vec![
+            ("dname", FieldType::Int),
+            ("floor", FieldType::Int),
+        ]);
+        let mut emp = Table::create(
+            pager.clone(),
+            "EMP",
+            emp_schema,
+            Organization::BTree { key_field: 0 },
+            0,
+        )
+        .unwrap();
+        let mut dept = Table::create(
+            pager.clone(),
+            "DEPT",
+            dept_schema,
+            Organization::Hash { key_field: 0 },
+            8,
+        )
+        .unwrap();
+        let job = |s: &str| {
+            let mut b = s.as_bytes().to_vec();
+            b.resize(12, 0);
+            Value::Bytes(b)
+        };
+        for i in 0..40i64 {
+            emp.insert(&vec![
+                Value::Int(i),
+                Value::Int(20 + i % 30),
+                Value::Int(i % 4),
+                Value::Int(30_000 + i * 100),
+                job(if i % 2 == 0 { "Programmer" } else { "Clerk" }),
+            ])
+            .unwrap();
+        }
+        for d in 0..4i64 {
+            // Depts 0,1 on floor 1; depts 2,3 on floor 2.
+            let floor = if d < 2 { 1 } else { 2 };
+            dept.insert(&vec![Value::Int(d), Value::Int(floor)]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.add(emp);
+        cat.add(dept);
+        cat
+    }
+
+    #[test]
+    fn parses_the_papers_progs1_view() {
+        let cat = catalog();
+        let stmt = r#"
+            define view PROGS1 (EMP.all, DEPT.all)
+            where EMP.dept = DEPT.dname
+            and EMP.job = "Programmer"
+            and DEPT.floor = 1
+        "#;
+        let dv = parse_define_view(stmt, &cat).unwrap();
+        assert_eq!(dv.name, "PROGS1");
+        assert_eq!(dv.view.base, "EMP");
+        assert_eq!(dv.view.joins.len(), 1);
+        assert_eq!(dv.view.joins[0].inner, "DEPT");
+        assert_eq!(dv.view.joins[0].outer_key_field, 2); // EMP.dept
+        // Execute it: programmers (even eids) in floor-1 depts (0, 2).
+        let rows = execute(&dv.view.to_plan(), &cat).unwrap();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert_eq!(r[2], r[5], "join");
+            assert_eq!(r[6].as_int(), 1, "floor");
+        }
+    }
+
+    #[test]
+    fn retrieve_statement_is_anonymous() {
+        let cat = catalog();
+        let dv = parse_define_view("retrieve (EMP.all) where EMP.age >= 40", &cat).unwrap();
+        assert_eq!(dv.name, "");
+        assert!(dv.view.joins.is_empty());
+        let rows = execute(&dv.view.to_plan(), &cat).unwrap();
+        assert!(rows.iter().all(|r| r[1].as_int() >= 40));
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn flipped_constant_comparison() {
+        let cat = catalog();
+        let a = parse_define_view("retrieve (EMP.all) where 25 <= EMP.age", &cat).unwrap();
+        let b = parse_define_view("retrieve (EMP.all) where EMP.age >= 25", &cat).unwrap();
+        assert_eq!(a.view, b.view);
+    }
+
+    #[test]
+    fn selection_bounds_extracted_for_clustering_key() {
+        let cat = catalog();
+        let dv = parse_define_view(
+            "retrieve (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(dv.view.selection.int_bounds(0), Some((10, 19)));
+    }
+
+    #[test]
+    fn error_cases() {
+        let cat = catalog();
+        assert!(matches!(
+            parse_define_view("retrieve (NOPE.all)", &cat),
+            Err(DdlError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_define_view("retrieve (EMP.all) where EMP.shoe = 9", &cat),
+            Err(DdlError::UnknownAttribute(..))
+        ));
+        assert!(matches!(
+            parse_define_view("retrieve (EMP.all, DEPT.all) where EMP.job = \"x\"", &cat),
+            Err(DdlError::NoJoinPath(_))
+        ));
+        assert!(matches!(
+            // Joining DEPT on floor (not its hash key) is not probeable.
+            parse_define_view(
+                "retrieve (EMP.all, DEPT.all) where EMP.dept = DEPT.floor",
+                &cat
+            ),
+            Err(DdlError::NotProbeable(..))
+        ));
+        assert!(matches!(
+            parse_define_view("retrieve (EMP.all) where EMP.age = \"old\"", &cat),
+            Err(DdlError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            parse_define_view("define view X (EMP.name)", &cat),
+            Err(DdlError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_define_view("retrieve (EMP.all) where EMP.job < EMP.age", &cat),
+            Err(DdlError::Syntax(_)) | Err(DdlError::NoJoinPath(_))
+        ));
+    }
+
+    #[test]
+    fn unused_join_terms_are_rejected_not_dropped() {
+        let cat = catalog();
+        // Same-relation attribute comparison: must error, not vanish.
+        assert!(matches!(
+            parse_define_view("retrieve (EMP.all) where EMP.age = EMP.salary", &cat),
+            Err(DdlError::Syntax(_))
+        ));
+        // A redundant second join term between the same pair also errors.
+        assert!(matches!(
+            parse_define_view(
+                "retrieve (EMP.all, DEPT.all) where EMP.dept = DEPT.dname                  and EMP.age = DEPT.floor",
+                &cat
+            ),
+            Err(DdlError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn string_constants_are_width_padded() {
+        let cat = catalog();
+        let dv = parse_define_view(
+            "retrieve (EMP.all) where EMP.job = \"Clerk\"",
+            &cat,
+        )
+        .unwrap();
+        let rows = execute(&dv.view.to_plan(), &cat).unwrap();
+        assert_eq!(rows.len(), 20, "all odd eids are clerks");
+    }
+}

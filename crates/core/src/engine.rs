@@ -1,0 +1,1019 @@
+//! The database-procedure engine: one API, four interchangeable
+//! query-processing strategies.
+//!
+//! The engine owns the base catalog (`R1` B-tree clustered, `R2`/`R3`
+//! hash files) and a set of registered procedures. Two operations drive
+//! it, mirroring the paper's workload model:
+//!
+//! * [`Engine::access`] — read the full current value of one procedure
+//!   (the paper's `q` operations);
+//! * [`Engine::apply_update`] — modify `l` tuples of `R1` in place (the
+//!   paper's `k` operations). The base-table mutation itself is
+//!   *uncharged* (the paper's model prices only procedure-maintenance
+//!   overhead, not the update transaction's own work); everything the
+//!   chosen strategy does about it is charged.
+//!
+//! Between operations the engine clears the buffer pool (when the pager
+//! uses physical accounting), reproducing the model's
+//! distinct-pages-per-operation cost semantics.
+
+use std::sync::Arc;
+
+use procdb_avm::{Delta, MaterializedView, ViewDef};
+use procdb_ilock::{ILockManager, ProcId, TableRef, ValidityTable};
+use procdb_query::{execute, Catalog, Organization, Schema, Tuple};
+use procdb_rete::{NodeId, Rete, Token};
+use procdb_storage::{AccountingMode, CostLedger, HeapFile, Pager, Result};
+
+use crate::procedure::{ProcedureDef, StrategyKind};
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Name of the updatable base relation (the paper's `R1`).
+    pub r1: String,
+    /// Index of `R1`'s clustering/selection key field.
+    pub r1_key_field: usize,
+    /// Field of `R1` that `P2` procedures join on (`a`). `P1` α-memories
+    /// are organized on this field so they can be shared as `P2` left
+    /// inputs.
+    pub rvm_base_probe_field: usize,
+    /// Per-relation update-frequency statistics for the static Rete
+    /// optimizer (§8: frequencies drive the network shape). `None` means
+    /// the paper's default — only `R1` is updated — which always selects
+    /// the right-deep (precomputed-β) shape.
+    pub rvm_update_frequencies: Option<Vec<(String, f64)>>,
+    /// Under physical accounting, drop all buffer frames between
+    /// operations (default `true` — the analytical model's
+    /// distinct-pages-per-operation semantics). Set `false` to study how
+    /// a warm cross-operation buffer pool shifts the tradeoff (ablation
+    /// `A3`).
+    pub clear_buffer_between_ops: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            r1: "R1".to_string(),
+            r1_key_field: 0,
+            rvm_base_probe_field: 1,
+            rvm_update_frequencies: None,
+            clear_buffer_between_ops: true,
+        }
+    }
+}
+
+struct CacheEntry {
+    heap: HeapFile,
+    schema: Schema,
+    /// Static selection bounds on `R1` (re-locked on every recompute).
+    bounds: (i64, i64),
+}
+
+enum StrategyState {
+    Recompute,
+    CacheInval {
+        caches: Vec<CacheEntry>,
+        validity: ValidityTable,
+        locks: ILockManager,
+    },
+    Avm {
+        views: Vec<MaterializedView>,
+        /// Per-procedure selection bounds on `R1` (the i-lock intervals).
+        bounds: Vec<(i64, i64)>,
+    },
+    Rvm {
+        rete: Rete,
+        outputs: Vec<NodeId>,
+    },
+}
+
+/// The database-procedure engine.
+pub struct Engine {
+    pager: Arc<Pager>,
+    catalog: Catalog,
+    procs: Vec<ProcedureDef>,
+    opts: EngineOptions,
+    kind: StrategyKind,
+    state: StrategyState,
+}
+
+/// `R1`'s i-lock table reference.
+const R1_TABLE: TableRef = TableRef(0);
+
+impl Engine {
+    /// Build an engine over a loaded catalog. Strategy-specific structures
+    /// (caches, materialized views, the Rete network) are created and
+    /// initialized **uncharged** — they are setup, not steady-state work.
+    pub fn new(
+        pager: Arc<Pager>,
+        catalog: Catalog,
+        procs: Vec<ProcedureDef>,
+        kind: StrategyKind,
+        opts: EngineOptions,
+    ) -> Result<Engine> {
+        let mut engine = Engine {
+            pager,
+            catalog,
+            procs,
+            opts,
+            kind,
+            state: StrategyState::Recompute,
+        };
+        let was_charging = engine.pager.is_charging();
+        engine.pager.set_charging(false);
+        engine.state = engine.build_state(kind)?;
+        // Flush setup writes while still uncharged.
+        engine.pager.clear_buffer()?;
+        engine.pager.set_charging(was_charging);
+        Ok(engine)
+    }
+
+    fn selection_bounds(&self, def: &ViewDef) -> (i64, i64) {
+        def.selection
+            .int_bounds(self.opts.r1_key_field)
+            .unwrap_or((i64::MIN, i64::MAX))
+    }
+
+    fn build_state(&mut self, kind: StrategyKind) -> Result<StrategyState> {
+        match kind {
+            StrategyKind::AlwaysRecompute => Ok(StrategyState::Recompute),
+            StrategyKind::CacheInvalidate => {
+                let mut caches = Vec::with_capacity(self.procs.len());
+                for p in &self.procs {
+                    caches.push(CacheEntry {
+                        heap: HeapFile::create(
+                            self.pager.clone(),
+                            &format!("cache-{}", p.name),
+                        ),
+                        schema: p.view.output_schema(&self.catalog),
+                        bounds: self.selection_bounds(&p.view),
+                    });
+                }
+                Ok(StrategyState::CacheInval {
+                    caches,
+                    validity: ValidityTable::new(
+                        self.procs.len(),
+                        self.pager.ledger().clone(),
+                    ),
+                    locks: ILockManager::new(),
+                })
+            }
+            StrategyKind::UpdateCacheAvm => {
+                let mut views = Vec::with_capacity(self.procs.len());
+                let mut bounds = Vec::with_capacity(self.procs.len());
+                for p in &self.procs {
+                    let mut v = MaterializedView::new(
+                        self.pager.clone(),
+                        &format!("avm-{}", p.name),
+                        p.view.clone(),
+                        &self.catalog,
+                    );
+                    v.recompute_full(&self.catalog)?;
+                    bounds.push(self.selection_bounds(&p.view));
+                    views.push(v);
+                }
+                Ok(StrategyState::Avm { views, bounds })
+            }
+            StrategyKind::UpdateCacheRvm => {
+                // Statically optimize each view's network shape for the
+                // expected update frequencies (crate::rete_planner).
+                let freqs: crate::rete_planner::UpdateFrequencies = match &self
+                    .opts
+                    .rvm_update_frequencies
+                {
+                    Some(pairs) => pairs.iter().cloned().collect(),
+                    None => std::iter::once((self.opts.r1.clone(), 1.0)).collect(),
+                };
+                let mut rete = Rete::new(self.pager.clone());
+                let mut outputs = Vec::with_capacity(self.procs.len());
+                for p in &self.procs {
+                    let (spec, _) = crate::rete_planner::choose_spec(
+                        &p.view,
+                        &self.catalog,
+                        &freqs,
+                        self.opts.rvm_base_probe_field,
+                        self.opts.r1_key_field,
+                    );
+                    outputs.push(rete.add_view(&spec));
+                }
+                rete.initialize(&self.catalog)?;
+                Ok(StrategyState::Rvm { rete, outputs })
+            }
+        }
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The registered procedures.
+    pub fn procedures(&self) -> &[ProcedureDef] {
+        &self.procs
+    }
+
+    /// The base catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared cost ledger.
+    pub fn ledger(&self) -> &Arc<CostLedger> {
+        self.pager.ledger()
+    }
+
+    /// The shared pager.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    fn end_operation(&self) -> Result<()> {
+        if self.pager.mode() == AccountingMode::Physical && self.opts.clear_buffer_between_ops {
+            // Flush + drop frames so the *next* operation pays for its own
+            // distinct pages, as the model assumes.
+            self.pager.clear_buffer()?;
+        }
+        Ok(())
+    }
+
+    /// Warm every cache so the first measured accesses are steady-state
+    /// (uncharged; Cache-and-Invalidate caches start valid, with i-locks
+    /// set). No-op for the other strategies, whose setup already warms.
+    pub fn warm_up(&mut self) -> Result<()> {
+        let was = self.pager.is_charging();
+        self.pager.set_charging(false);
+        if let StrategyState::CacheInval { .. } = self.state {
+            for i in 0..self.procs.len() {
+                self.refill_cache(i)?;
+            }
+        }
+        // Flush warm-up writes while still uncharged.
+        self.pager.clear_buffer()?;
+        self.pager.set_charging(was);
+        Ok(())
+    }
+
+    /// Recompute procedure `i`'s value, rewrite its cache, reset its
+    /// i-locks, and mark it valid. Returns the fresh rows.
+    fn refill_cache(&mut self, i: usize) -> Result<Vec<Tuple>> {
+        let plan = self.procs[i].plan();
+        let rows = execute(&plan, &self.catalog)?;
+        let StrategyState::CacheInval {
+            caches,
+            validity,
+            locks,
+        } = &mut self.state
+        else {
+            panic!("refill_cache outside CacheInval");
+        };
+        let entry = &mut caches[i];
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| entry.schema.encode(r)).collect();
+        entry.heap.rewrite(&encoded)?;
+        let pid = ProcId(i as u32);
+        locks.drop_locks(pid);
+        locks.set_range_lock(R1_TABLE, entry.bounds.0, entry.bounds.1, pid);
+        validity.mark_valid(pid);
+        Ok(rows)
+    }
+
+    /// Read the full current value of procedure `i` (one of the paper's
+    /// `q` operations). All work is charged to the ledger.
+    pub fn access(&mut self, i: usize) -> Result<Vec<Tuple>> {
+        assert!(i < self.procs.len(), "procedure index out of range");
+        let rows = match &mut self.state {
+            StrategyState::Recompute => execute(&self.procs[i].plan(), &self.catalog)?,
+            StrategyState::CacheInval {
+                caches, validity, ..
+            } => {
+                if validity.is_valid(ProcId(i as u32)) {
+                    let entry = &caches[i];
+                    let mut rows = Vec::with_capacity(entry.heap.len() as usize);
+                    entry
+                        .heap
+                        .scan(|_, bytes| rows.push(entry.schema.decode(bytes)))?;
+                    rows
+                } else {
+                    self.refill_cache(i)?
+                }
+            }
+            StrategyState::Avm { views, .. } => views[i].read_all()?,
+            StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
+        };
+        self.end_operation()?;
+        Ok(rows)
+    }
+
+    /// Apply one update transaction: modify tuples of `R1` in place. Each
+    /// `(victim_key, new_key)` pair rewrites the selection key of one
+    /// tuple currently holding `victim_key` (skipped if none exists).
+    /// Returns the number of tuples actually modified.
+    ///
+    /// The base mutation is uncharged; strategy maintenance is charged.
+    pub fn apply_update(&mut self, modifications: &[(i64, i64)]) -> Result<usize> {
+        let key_field = self.opts.r1_key_field;
+        self.mutate_r1(|r1, delta| {
+            for &(victim, new_key) in modifications {
+                let Some(old) = r1.delete_where(victim, |_| true)? else {
+                    continue;
+                };
+                let mut new = old.clone();
+                new[key_field] = procdb_query::Value::Int(new_key);
+                r1.insert(&new)?;
+                delta.deleted.push(old);
+                delta.inserted.push(new);
+            }
+            Ok(())
+        })
+    }
+
+    /// Apply one insert transaction: add new tuples to `R1` (the paper's
+    /// §2 example — Susan joining EMP — is exactly this). Maintenance is
+    /// charged like any update; tokens carry only `+` tags.
+    pub fn apply_insert(&mut self, rows: &[Tuple]) -> Result<usize> {
+        self.mutate_r1(|r1, delta| {
+            for row in rows {
+                // Canonicalize (pad byte fields) so the maintenance delta
+                // matches the stored tuple form exactly.
+                let row = r1.schema().normalize(row);
+                r1.insert(&row)?;
+                delta.inserted.push(row);
+            }
+            Ok(())
+        })
+    }
+
+    /// Apply one delete transaction: remove (up to) one `R1` tuple per
+    /// listed key. Tokens carry only `−` tags.
+    pub fn apply_delete(&mut self, keys: &[i64]) -> Result<usize> {
+        self.mutate_r1(|r1, delta| {
+            for &k in keys {
+                if let Some(old) = r1.delete_where(k, |_| true)? {
+                    delta.deleted.push(old);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Shared transaction skeleton: run `mutate` against `R1` uncharged,
+    /// then perform the strategy's (charged) maintenance for the delta it
+    /// produced. Returns the number of tuple versions the delta carries
+    /// on its larger side.
+    fn mutate_r1(
+        &mut self,
+        mutate: impl FnOnce(&mut procdb_query::Table, &mut Delta) -> Result<()>,
+    ) -> Result<usize> {
+        // 1. Mutate the base relation (uncharged).
+        let was = self.pager.is_charging();
+        self.pager.set_charging(false);
+        let key_field = self.opts.r1_key_field;
+        let mut delta = Delta::new();
+        {
+            let r1 = self
+                .catalog
+                .get_mut(&self.opts.r1)
+                .unwrap_or_else(|| panic!("unknown base relation"));
+            mutate(r1, &mut delta)?;
+        }
+        // Flush the base mutation's dirty pages while still uncharged: the
+        // model prices only the strategy's maintenance work, not the update
+        // transaction's own I/O. (Flush, don't drop, when a warm buffer is
+        // being studied.)
+        if self.pager.mode() == AccountingMode::Physical {
+            if self.opts.clear_buffer_between_ops {
+                self.pager.clear_buffer()?;
+            } else {
+                self.pager.flush()?;
+            }
+        }
+        self.pager.set_charging(was);
+        let modified = delta.inserted.len().max(delta.deleted.len());
+
+        // 2. Strategy maintenance (charged).
+        match &mut self.state {
+            StrategyState::Recompute => {}
+            StrategyState::CacheInval {
+                validity, locks, ..
+            } => {
+                let writes = delta
+                    .deleted
+                    .iter()
+                    .chain(&delta.inserted)
+                    .map(|t| (R1_TABLE, t[key_field].as_int()));
+                for pid in locks.conflicting_any(writes) {
+                    validity.invalidate(pid);
+                }
+            }
+            StrategyState::Avm { views, bounds } => {
+                for (v, &(lo, hi)) in views.iter_mut().zip(bounds.iter()) {
+                    let filtered = delta.filtered(|t| {
+                        let k = t[key_field].as_int();
+                        k >= lo && k <= hi
+                    });
+                    if !filtered.is_empty() {
+                        v.apply_delta(&filtered, &self.catalog)?;
+                    }
+                }
+            }
+            StrategyState::Rvm { rete, .. } => {
+                for old in &delta.deleted {
+                    rete.submit(&self.opts.r1, Token::minus(old.clone()))?;
+                }
+                for new in &delta.inserted {
+                    rete.submit(&self.opts.r1, Token::plus(new.clone()))?;
+                }
+            }
+        }
+        self.end_operation()?;
+        Ok(modified)
+    }
+
+    /// Apply one update transaction to an **inner** relation (`R2`/`R3`):
+    /// each `(victim_key, new_key)` rewrites the hash key of one tuple.
+    ///
+    /// The paper's models only update `R1` (§8 flags multi-relation update
+    /// frequencies as future work); this generalization exercises the
+    /// machinery anyway: Rete handles it via right-side activation, AVM
+    /// via [`MaterializedView::apply_inner_delta`], and Cache&Invalidate
+    /// falls back to conservative invalidation of every procedure that
+    /// joins the relation (its i-locks on probe keys are not tracked, so
+    /// any write may conflict).
+    pub fn apply_update_to(&mut self, relation: &str, modifications: &[(i64, i64)]) -> Result<usize> {
+        if relation == self.opts.r1 {
+            return self.apply_update(modifications);
+        }
+        // 1. Base mutation, uncharged.
+        let was = self.pager.is_charging();
+        self.pager.set_charging(false);
+        let mut delta = Delta::new();
+        {
+            let table = self
+                .catalog
+                .get_mut(relation)
+                .unwrap_or_else(|| panic!("unknown relation {relation}"));
+            let Organization::Hash { key_field } = table.organization() else {
+                panic!("apply_update_to expects a hash-organized inner relation");
+            };
+            for &(victim, new_key) in modifications {
+                let Some(old) = table.delete_where(victim, |_| true)? else {
+                    continue;
+                };
+                let mut new = old.clone();
+                new[key_field] = procdb_query::Value::Int(new_key);
+                table.insert(&new)?;
+                delta.deleted.push(old);
+                delta.inserted.push(new);
+            }
+        }
+        if self.pager.mode() == AccountingMode::Physical {
+            if self.opts.clear_buffer_between_ops {
+                self.pager.clear_buffer()?;
+            } else {
+                self.pager.flush()?;
+            }
+        }
+        self.pager.set_charging(was);
+        let modified = delta.inserted.len();
+
+        // 2. Strategy maintenance, charged.
+        match &mut self.state {
+            StrategyState::Recompute => {}
+            StrategyState::CacheInval { validity, .. } => {
+                for (i, p) in self.procs.iter().enumerate() {
+                    if p.view.joins.iter().any(|j| j.inner == relation) && modified > 0 {
+                        validity.invalidate(ProcId(i as u32));
+                    }
+                }
+            }
+            StrategyState::Avm { views, .. } => {
+                for v in views.iter_mut() {
+                    let steps = v.steps_on(relation);
+                    assert!(
+                        steps.len() <= 1,
+                        "inner-delta maintenance supports one occurrence of {relation} per view"
+                    );
+                    if let Some(&step) = steps.first() {
+                        v.apply_inner_delta(step, &delta, &self.catalog)?;
+                    }
+                }
+            }
+            StrategyState::Rvm { rete, .. } => {
+                for old in &delta.deleted {
+                    rete.submit(relation, Token::minus(old.clone()))?;
+                }
+                for new in &delta.inserted {
+                    rete.submit(relation, Token::plus(new.clone()))?;
+                }
+            }
+        }
+        self.end_operation()?;
+        Ok(modified)
+    }
+
+    /// Reference answer for procedure `i`, recomputed fresh and uncharged
+    /// (test/verification support).
+    pub fn expected_rows(&self, i: usize) -> Result<Vec<Tuple>> {
+        let was = self.pager.is_charging();
+        self.pager.set_charging(false);
+        let rows = execute(&self.procs[i].plan(), &self.catalog);
+        self.pager.set_charging(was);
+        rows
+    }
+
+    /// Normalize rows for multiset comparison (encode + sort).
+    pub fn normalize(&self, i: usize, rows: &[Tuple]) -> Vec<Vec<u8>> {
+        let schema = self.procs[i].view.output_schema(&self.catalog);
+        let mut out: Vec<Vec<u8>> = rows.iter().map(|r| schema.encode(r)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rete network statistics (RVM engines only).
+    pub fn rete_stats(&self) -> Option<procdb_rete::ReteStats> {
+        match &self.state {
+            StrategyState::Rvm { rete, .. } => Some(rete.stats()),
+            _ => None,
+        }
+    }
+
+    /// Predicted cost (ms) of recomputing procedure `i` from base
+    /// relations, from live table statistics: B-tree descent + leaf pages
+    /// under the selection window + one hash probe and one screen per
+    /// qualifying tuple per join step. This is the paper's `C_queryP1` /
+    /// `C_queryP2` instantiated per procedure instead of in expectation.
+    pub fn estimate_recompute_ms(&self, i: usize, c: &procdb_storage::CostConstants) -> f64 {
+        let def = &self.procs[i].view;
+        let Some(base) = self.catalog.get(&def.base) else {
+            return 0.0;
+        };
+        let n = base.len().max(1) as f64;
+        let window = def
+            .selection
+            .int_bounds(self.opts.r1_key_field)
+            .map(|(lo, hi)| (hi.saturating_sub(lo).saturating_add(1)) as f64)
+            .unwrap_or(n);
+        // Dense integer keys (the workload's construction): qualifying
+        // tuples ≈ window width, capped at the relation size.
+        let qualifying = window.min(n);
+        let frac = qualifying / n;
+        let h1 = base.btree_height().unwrap_or(1) as f64;
+        let leaf_pages = (frac * base.page_count() as f64).ceil().max(1.0);
+        let mut ms = h1 * c.c2 + leaf_pages * c.c2 + qualifying * c.c1;
+        for _step in &def.joins {
+            // 1:1 joins through primary hash files: one bucket-page read
+            // and one result screen per surviving tuple. (Residual
+            // selectivities are not tracked; this upper-bounds later
+            // steps.)
+            ms += qualifying * c.c2 + qualifying * c.c1;
+        }
+        ms
+    }
+
+    /// Predicted cost (ms) of a warm cached access to procedure `i` under
+    /// the current strategy: one page read per stored page. `None` for
+    /// Always Recompute (no cache exists).
+    pub fn estimate_cached_read_ms(
+        &self,
+        i: usize,
+        c: &procdb_storage::CostConstants,
+    ) -> Option<f64> {
+        let pages = match &self.state {
+            StrategyState::Recompute => return None,
+            StrategyState::CacheInval { caches, .. } => caches[i].heap.page_count(),
+            StrategyState::Avm { views, .. } => views[i].page_count(),
+            StrategyState::Rvm { rete, outputs } => rete.memory(outputs[i]).page_count(),
+        };
+        Some(pages.max(1) as f64 * c.c2)
+    }
+
+    /// Fraction of Cache-and-Invalidate caches currently valid (CI only).
+    pub fn valid_fraction(&self) -> Option<f64> {
+        match &self.state {
+            StrategyState::CacheInval { validity, .. } => {
+                Some(validity.valid_count() as f64 / validity.len().max(1) as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_avm::JoinStep;
+    use procdb_query::{CompOp, FieldType, Predicate, Table, Term, Value};
+    use procdb_storage::PagerConfig;
+
+    use crate::procedure::ProcedureDef;
+
+    fn pager() -> Arc<Pager> {
+        Pager::new(PagerConfig {
+            page_size: 512,
+            buffer_capacity: 4096,
+            mode: AccountingMode::Logical,
+        })
+    }
+
+    /// R1(skey, a, pad) 200 rows, R2(b, f2sel, pad) 20 rows,
+    /// R3(d, pad) 10 rows. Built uncharged.
+    fn catalog(pager: &Arc<Pager>) -> Catalog {
+        pager.set_charging(false);
+        let r1s = Schema::new(vec![
+            ("skey", FieldType::Int),
+            ("a", FieldType::Int),
+            ("pad", FieldType::Bytes(4)),
+        ]);
+        let r2s = Schema::new(vec![
+            ("b", FieldType::Int),
+            ("c", FieldType::Int),
+            ("f2sel", FieldType::Int),
+        ]);
+        let r3s = Schema::new(vec![("d", FieldType::Int), ("tag", FieldType::Int)]);
+        let mut r1 = Table::create(
+            pager.clone(),
+            "R1",
+            r1s,
+            Organization::BTree { key_field: 0 },
+            0,
+        )
+        .unwrap();
+        let mut r2 = Table::create(
+            pager.clone(),
+            "R2",
+            r2s,
+            Organization::Hash { key_field: 0 },
+            20,
+        )
+        .unwrap();
+        let mut r3 = Table::create(
+            pager.clone(),
+            "R3",
+            r3s,
+            Organization::Hash { key_field: 0 },
+            10,
+        )
+        .unwrap();
+        for i in 0..200i64 {
+            r1.insert(&vec![
+                Value::Int(i),
+                Value::Int(i % 20),
+                Value::Bytes(vec![0; 4]),
+            ])
+            .unwrap();
+        }
+        for j in 0..20i64 {
+            r2.insert(&vec![Value::Int(j), Value::Int(j % 10), Value::Int(j % 3)])
+                .unwrap();
+        }
+        for k in 0..10i64 {
+            r3.insert(&vec![Value::Int(k), Value::Int(k * 100)]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.add(r1);
+        cat.add(r2);
+        cat.add(r3);
+        pager.ledger().reset();
+        pager.set_charging(true);
+        cat
+    }
+
+    fn p1(id: u32, lo: i64, hi: i64) -> ProcedureDef {
+        ProcedureDef::new(
+            id,
+            format!("p1-{id}"),
+            ViewDef {
+                base: "R1".into(),
+                selection: Predicate::int_range(0, lo, hi),
+                joins: vec![],
+            },
+        )
+    }
+
+    /// Model-1 shaped P2: join R2, keep f2sel = 0 (field 5 of combined).
+    fn p2(id: u32, lo: i64, hi: i64) -> ProcedureDef {
+        ProcedureDef::new(
+            id,
+            format!("p2-{id}"),
+            ViewDef {
+                base: "R1".into(),
+                selection: Predicate::int_range(0, lo, hi),
+                joins: vec![JoinStep {
+                    inner: "R2".into(),
+                    outer_key_field: 1,
+                    residual: Predicate {
+                        terms: vec![Term::new(5, CompOp::Eq, 0i64)],
+                    },
+                }],
+            },
+        )
+    }
+
+    /// Model-2 shaped P2: additionally join R3 on R2.c (field 4).
+    fn p2_threeway(id: u32, lo: i64, hi: i64) -> ProcedureDef {
+        let mut p = p2(id, lo, hi);
+        p.view.joins.push(JoinStep {
+            inner: "R3".into(),
+            outer_key_field: 4,
+            residual: Predicate::always(),
+        });
+        p
+    }
+
+    fn engine_with(kind: StrategyKind, procs: Vec<ProcedureDef>) -> Engine {
+        let pg = pager();
+        let cat = catalog(&pg);
+        Engine::new(pg, cat, procs, kind, EngineOptions::default()).unwrap()
+    }
+
+    fn assert_matches_expected(e: &mut Engine, i: usize) {
+        let got = e.access(i).unwrap();
+        let expect = e.expected_rows(i).unwrap();
+        assert_eq!(
+            e.normalize(i, &got),
+            e.normalize(i, &expect),
+            "{} proc {i} diverged",
+            e.strategy()
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_on_static_data() {
+        for kind in StrategyKind::ALL {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            for i in 0..3 {
+                assert_matches_expected(&mut e, i);
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_after_updates() {
+        for kind in StrategyKind::ALL {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            e.warm_up().unwrap();
+            // Interleave updates and accesses.
+            for round in 0..6 {
+                let base = round * 17;
+                e.apply_update(&[(base % 200, (base * 7 + 3) % 200), ((base + 5) % 200, 11)])
+                    .unwrap();
+                for i in 0..3 {
+                    assert_matches_expected(&mut e, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn setup_is_uncharged() {
+        for kind in StrategyKind::ALL {
+            let e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+            assert_eq!(
+                e.ledger().snapshot().page_ios(),
+                0,
+                "{kind} setup leaked charges"
+            );
+        }
+    }
+
+    #[test]
+    fn recompute_pays_nothing_on_update() {
+        let mut e = engine_with(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29)]);
+        e.apply_update(&[(15, 100)]).unwrap();
+        assert_eq!(e.ledger().snapshot().page_ios(), 0);
+        assert_eq!(e.ledger().snapshot().screens, 0);
+    }
+
+    #[test]
+    fn cache_invalidate_hit_vs_miss_costs() {
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        assert_eq!(e.valid_fraction(), Some(1.0));
+        // Warm hit: read the cache only (cheap).
+        let s0 = e.ledger().snapshot();
+        e.access(0).unwrap();
+        let hit = e.ledger().snapshot().since(&s0);
+        assert!(hit.page_reads >= 1);
+        assert_eq!(hit.page_writes, 0);
+        // Invalidate by moving a tuple into the window.
+        e.apply_update(&[(100, 15)]).unwrap();
+        assert_eq!(e.valid_fraction(), Some(0.0));
+        let s1 = e.ledger().snapshot();
+        e.access(0).unwrap();
+        let miss = e.ledger().snapshot().since(&s1);
+        assert!(
+            miss.page_ios() > hit.page_ios(),
+            "miss {miss:?} should cost more than hit {hit:?}"
+        );
+        assert!(miss.page_writes >= 1, "cache rewrite writes pages");
+        assert_eq!(e.valid_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn irrelevant_update_does_not_invalidate() {
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        // Keys far outside [10, 29].
+        e.apply_update(&[(150, 180)]).unwrap();
+        assert_eq!(e.valid_fraction(), Some(1.0));
+        assert_eq!(e.ledger().snapshot().invalidations, 0);
+    }
+
+    #[test]
+    fn false_invalidation_on_p2() {
+        // A tuple moves into the window but its join partner fails the
+        // f2sel residual: the object does not change, yet CI invalidates
+        // (the paper's "false invalidation").
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p2(0, 10, 29)]);
+        e.warm_up().unwrap();
+        let before = e.expected_rows(0).unwrap();
+        // a = skey % 20; choose new skey 21 → a = 1 → b = 1 → f2sel = 1 ≠ 0.
+        // (Key 21's a-value is 1 only if the moved tuple keeps its 'a'
+        // field — updates only rewrite skey, so pick a victim whose a
+        // fails the residual: victim 61 has a = 1.)
+        e.apply_update(&[(61, 15)]).unwrap();
+        let after = e.expected_rows(0).unwrap();
+        assert_eq!(
+            e.normalize(0, &before),
+            e.normalize(0, &after),
+            "object value must be unchanged"
+        );
+        assert_eq!(e.valid_fraction(), Some(0.0), "yet the cache was invalidated");
+        assert_eq!(e.ledger().snapshot().invalidations, 1);
+    }
+
+    #[test]
+    fn update_cache_strategies_pay_on_update_not_on_read() {
+        for kind in [StrategyKind::UpdateCacheAvm, StrategyKind::UpdateCacheRvm] {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+            let s0 = e.ledger().snapshot();
+            e.apply_update(&[(15, 40)]).unwrap();
+            let upd = e.ledger().snapshot().since(&s0);
+            assert!(upd.screens > 0, "{kind}: maintenance screens");
+            assert!(upd.page_writes > 0, "{kind}: refresh writes");
+            let s1 = e.ledger().snapshot();
+            let rows = e.access(0).unwrap();
+            let rd = e.ledger().snapshot().since(&s1);
+            assert_eq!(rd.page_writes, 0, "{kind}: reads don't write");
+            assert!(!rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn rvm_shares_alpha_memories() {
+        // Two P2s with the same selection as the P1 → one shared α-memory.
+        let e = engine_with(
+            StrategyKind::UpdateCacheRvm,
+            vec![p1(0, 10, 29), p2(1, 10, 29), p2(2, 10, 29)],
+        );
+        let stats = e.rete_stats().unwrap();
+        // Memories: shared α(R1), α(R2) (same residual → shared), and the
+        // one shared β (both P2 specs are structurally identical).
+        assert_eq!(stats.memory_nodes, 3, "{stats:?}");
+        assert_eq!(stats.and_nodes, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn rvm_unshared_builds_separate_alphas() {
+        let e = engine_with(
+            StrategyKind::UpdateCacheRvm,
+            vec![p1(0, 10, 29), p2(1, 50, 69)],
+        );
+        let stats = e.rete_stats().unwrap();
+        // α(R1@10-29), α(R1@50-69), α(R2), β — 4 memories, 1 and-node.
+        assert_eq!(stats.memory_nodes, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn inserts_and_deletes_maintained_by_all_strategies() {
+        for kind in StrategyKind::ALL {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+            e.warm_up().unwrap();
+            // Insert two new tuples, one inside each window.
+            e.apply_insert(&[
+                vec![Value::Int(15), Value::Int(3), Value::Bytes(vec![0; 4])],
+                vec![Value::Int(45), Value::Int(7), Value::Bytes(vec![0; 4])],
+            ])
+            .unwrap();
+            for i in 0..2 {
+                assert_matches_expected(&mut e, i);
+            }
+            // Delete one of them again.
+            assert_eq!(e.apply_delete(&[15]).unwrap(), 1);
+            assert_eq!(e.apply_delete(&[9999]).unwrap(), 0, "missing key is a no-op");
+            for i in 0..2 {
+                assert_matches_expected(&mut e, i);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_relation_updates_maintained_by_all_strategies() {
+        for kind in StrategyKind::ALL {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            e.warm_up().unwrap();
+            // Move R2 keys around; P1 must be unaffected, P2s must track.
+            for round in 0..4i64 {
+                e.apply_update_to("R2", &[(round % 20, (round * 7 + 3) % 20)])
+                    .unwrap();
+                for i in 0..3 {
+                    assert_matches_expected(&mut e, i);
+                }
+            }
+            // And R3 for the three-way procedure.
+            e.apply_update_to("R3", &[(2, 7)]).unwrap();
+            for i in 0..3 {
+                assert_matches_expected(&mut e, i);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_update_to_r1_delegates() {
+        let mut e = engine_with(StrategyKind::UpdateCacheAvm, vec![p1(0, 10, 29)]);
+        e.apply_update_to("R1", &[(15, 99)]).unwrap();
+        assert_matches_expected(&mut e, 0);
+    }
+
+    #[test]
+    fn ci_conservatively_invalidates_joining_procs_only() {
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+        e.warm_up().unwrap();
+        e.apply_update_to("R2", &[(3, 11)]).unwrap();
+        // P2 invalidated, P1 untouched → half the caches valid.
+        assert_eq!(e.valid_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn recompute_estimate_tracks_measured_cost() {
+        let c = procdb_storage::CostConstants::default();
+        let mut e = engine_with(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+        for i in 0..2 {
+            let predicted = e.estimate_recompute_ms(i, &c);
+            let s0 = e.ledger().snapshot();
+            e.access(i).unwrap();
+            let measured = e.ledger().snapshot().since(&s0).priced(&c);
+            let ratio = predicted / measured;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "proc {i}: predicted {predicted}, measured {measured}"
+            );
+            assert!(e.estimate_cached_read_ms(i, &c).is_none());
+        }
+    }
+
+    #[test]
+    fn cached_read_estimate_is_exact_for_warm_ci() {
+        let c = procdb_storage::CostConstants::default();
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        let predicted = e.estimate_cached_read_ms(0, &c).unwrap();
+        let s0 = e.ledger().snapshot();
+        e.access(0).unwrap();
+        let measured = e.ledger().snapshot().since(&s0).priced(&c);
+        assert_eq!(predicted, measured, "warm hit cost is exactly the page count");
+    }
+
+    #[test]
+    fn frequency_optimized_rete_stays_correct() {
+        // Force the left-deep shape (R3-dominated updates) and verify the
+        // engine still serves exact answers under mixed-relation updates.
+        let pg = pager();
+        let cat = catalog(&pg);
+        let mut e = Engine::new(
+            pg,
+            cat,
+            vec![p1(0, 10, 29), p2_threeway(1, 0, 79)],
+            StrategyKind::UpdateCacheRvm,
+            EngineOptions {
+                rvm_update_frequencies: Some(vec![
+                    ("R1".to_string(), 0.1),
+                    ("R3".to_string(), 1.0),
+                ]),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        for round in 0..4i64 {
+            e.apply_update(&[(round * 31 % 200, round * 17 % 200)]).unwrap();
+            e.apply_update_to("R3", &[(round % 10, (round * 3 + 1) % 10)])
+                .unwrap();
+            for i in 0..2 {
+                assert_matches_expected(&mut e, i);
+            }
+        }
+    }
+
+    #[test]
+    fn advisor_integration() {
+        use procdb_costmodel::{Model, Params};
+        let rec = crate::advisor::recommend(
+            Model::One,
+            &Params::default().with_update_probability(0.05),
+        );
+        assert!(matches!(
+            rec.strategy,
+            StrategyKind::UpdateCacheAvm | StrategyKind::UpdateCacheRvm
+        ));
+    }
+}

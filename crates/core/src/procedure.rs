@@ -1,0 +1,117 @@
+//! Database procedure definitions.
+//!
+//! A *database procedure* is a collection of query-language statements
+//! stored in the database \[SAH85\]. As in the paper's models, each
+//! procedure here consists of a single retrieve query, captured as a
+//! [`ViewDef`] (a selection on `R1` plus zero or more hash-join steps),
+//! with its precompiled execution [`Plan`] derivable at registration time.
+
+use procdb_avm::ViewDef;
+use procdb_query::Plan;
+
+pub use procdb_ilock::ProcId;
+
+/// A stored database procedure: a named, precompiled retrieve query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcedureDef {
+    /// Engine-assigned id (index into the engine's procedure vector).
+    pub id: ProcId,
+    /// Human-readable name.
+    pub name: String,
+    /// The procedure body as a maintainable view definition.
+    pub view: ViewDef,
+}
+
+impl ProcedureDef {
+    /// Construct a procedure.
+    pub fn new(id: u32, name: impl Into<String>, view: ViewDef) -> ProcedureDef {
+        ProcedureDef {
+            id: ProcId(id),
+            name: name.into(),
+            view,
+        }
+    }
+
+    /// The precompiled execution plan stored with the procedure.
+    pub fn plan(&self) -> Plan {
+        self.view.to_plan()
+    }
+
+    /// Number of joins in the procedure body (0 = the paper's `P1` type,
+    /// 1 = Model-1 `P2`, 2 = Model-2 `P2`).
+    pub fn join_count(&self) -> usize {
+        self.view.joins.len()
+    }
+
+    /// Whether this is a selection-only (`P1`) procedure.
+    pub fn is_selection(&self) -> bool {
+        self.view.joins.is_empty()
+    }
+}
+
+/// The four query-processing strategies for procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Execute the stored plan on every access.
+    AlwaysRecompute,
+    /// Cache the last result; i-locks invalidate; recompute on miss.
+    CacheInvalidate,
+    /// Keep caches current with algebraic view maintenance (non-shared).
+    UpdateCacheAvm,
+    /// Keep caches current with a shared Rete network.
+    UpdateCacheRvm,
+}
+
+impl StrategyKind {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::AlwaysRecompute,
+        StrategyKind::CacheInvalidate,
+        StrategyKind::UpdateCacheAvm,
+        StrategyKind::UpdateCacheRvm,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::AlwaysRecompute => "AlwaysRecompute",
+            StrategyKind::CacheInvalidate => "CacheInvalidate",
+            StrategyKind::UpdateCacheAvm => "UpdateCache-AVM",
+            StrategyKind::UpdateCacheRvm => "UpdateCache-RVM",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_query::Predicate;
+
+    #[test]
+    fn procedure_shapes() {
+        let p1 = ProcedureDef::new(
+            0,
+            "p1",
+            ViewDef {
+                base: "R1".into(),
+                selection: Predicate::int_range(0, 0, 9),
+                joins: vec![],
+            },
+        );
+        assert!(p1.is_selection());
+        assert_eq!(p1.join_count(), 0);
+        assert!(p1.plan().explain().contains("BTreeSelect"));
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(StrategyKind::AlwaysRecompute.to_string(), "AlwaysRecompute");
+        assert_eq!(StrategyKind::ALL.len(), 4);
+    }
+}

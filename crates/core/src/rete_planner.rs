@@ -1,0 +1,446 @@
+//! Static Rete-network optimization from update-frequency statistics.
+//!
+//! §8 of the paper: *"The relative frequency of updates to different
+//! relations is an important factor that was not analyzed in this paper.
+//! Static optimization methods will use statistics on relative update
+//! frequency when designing an optimal plan for maintaining procedures
+//! (e.g. an optimized Rete network)."*
+//!
+//! This module is that optimizer for the engine's view shapes. A
+//! three-way join has two materialization shapes:
+//!
+//! ```text
+//!  shape A (right-deep)            shape B (left-deep)
+//!  α(R1) ⋈ β( σ(R2) ⋈ R3 )         β( σ(R1) ⋈ σ(R2) ) ⋈ α(R3)
+//! ```
+//!
+//! A delta entering at a leaf pays one memory refresh per memory node on
+//! its path to the root and one probe per and-node on the path. With
+//! R1-only updates (the paper's models) shape A wins — R1 deltas do a
+//! single join against the precomputed β (why RVM beats AVM in Model 2).
+//! If R3 were the hot relation, shape B wins by symmetry. The planner
+//! enumerates the shapes, prices each against the supplied frequencies,
+//! and picks the cheapest.
+
+use std::collections::HashMap;
+
+use procdb_avm::ViewDef;
+use procdb_query::{Catalog, Organization, Predicate, Term};
+use procdb_rete::ReteSpec;
+
+/// Per-relation update frequencies (relative weights; absolute scale is
+/// irrelevant). Relations absent from the map are treated as never
+/// updated.
+pub type UpdateFrequencies = HashMap<String, f64>;
+
+/// Per-leaf maintenance profile: `(relation, probes, refreshes)` — the
+/// and-nodes and memory nodes on the leaf's path to the root.
+pub fn leaf_costs(spec: &ReteSpec) -> Vec<(String, usize, usize)> {
+    fn go(spec: &ReteSpec, ands_above: usize, mems_above: usize, out: &mut Vec<(String, usize, usize)>) {
+        match spec {
+            ReteSpec::Select { relation, .. } => {
+                // The leaf's own α-memory plus everything above it.
+                out.push((relation.clone(), ands_above, mems_above + 1));
+            }
+            ReteSpec::Join { left, right, .. } => {
+                // This join adds one and-node and one output memory to
+                // every leaf's path.
+                go(left, ands_above + 1, mems_above + 1, out);
+                go(right, ands_above + 1, mems_above + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(spec, 0, 0, &mut out);
+    out
+}
+
+/// Expected maintenance cost per unit time of a network shape, with unit
+/// costs of 1 per probe and 1 per memory refresh (the `C2`-dominated
+/// terms; constants cancel when comparing shapes).
+pub fn maintenance_cost(spec: &ReteSpec, freqs: &UpdateFrequencies) -> f64 {
+    leaf_costs(spec)
+        .into_iter()
+        .map(|(rel, probes, refreshes)| {
+            freqs.get(&rel).copied().unwrap_or(0.0) * (probes + refreshes) as f64
+        })
+        .sum()
+}
+
+fn localized_residual(residual: &Predicate, frame_offset: usize) -> Predicate {
+    Predicate {
+        terms: residual
+            .terms
+            .iter()
+            .map(|t| {
+                assert!(
+                    t.field >= frame_offset,
+                    "residual term on field {} references a non-inner column \
+                     (frame starts at {frame_offset})",
+                    t.field
+                );
+                Term {
+                    field: t.field - frame_offset,
+                    op: t.op,
+                    constant: t.constant.clone(),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn inner_select(
+    def: &ViewDef,
+    catalog: &Catalog,
+    step_idx: usize,
+    frame_offset: usize,
+) -> (ReteSpec, usize, usize) {
+    let step = &def.joins[step_idx];
+    let table = catalog
+        .get(&step.inner)
+        .unwrap_or_else(|| panic!("unknown table {}", step.inner));
+    let key_field = match table.organization() {
+        Organization::Hash { key_field } => key_field,
+        _ => 0,
+    };
+    (
+        ReteSpec::Select {
+            relation: step.inner.clone(),
+            schema: table.schema().clone(),
+            predicate: localized_residual(&step.residual, frame_offset),
+            probe_field: key_field,
+            dispatch_field: None,
+        },
+        key_field,
+        table.schema().arity(),
+    )
+}
+
+fn base_select(def: &ViewDef, catalog: &Catalog, probe_fallback: usize, dispatch_field: usize) -> (ReteSpec, usize) {
+    let base_table = catalog
+        .get(&def.base)
+        .unwrap_or_else(|| panic!("unknown base {}", def.base));
+    let base_probe = if def.joins.is_empty() {
+        probe_fallback
+    } else {
+        def.joins[0].outer_key_field
+    };
+    (
+        ReteSpec::Select {
+            relation: def.base.clone(),
+            schema: base_table.schema().clone(),
+            predicate: def.selection.clone(),
+            probe_field: base_probe.min(base_table.schema().arity() - 1),
+            dispatch_field: Some(dispatch_field),
+        },
+        base_table.schema().arity(),
+    )
+}
+
+/// Shape A: right-deep — the base α joins one precomputed β holding the
+/// folded inner relations (`α(R1) ⋈ (σ(R2) ⋈ R3 ⋈ …)`). This is the
+/// shape the paper's Model 2 analysis assumes.
+pub fn right_deep_spec(
+    def: &ViewDef,
+    catalog: &Catalog,
+    probe_fallback: usize,
+    dispatch_field: usize,
+) -> ReteSpec {
+    let (base, base_arity) = base_select(def, catalog, probe_fallback, dispatch_field);
+    if def.joins.is_empty() {
+        return base;
+    }
+    let mut frame = base_arity;
+    let mut selects: Vec<(ReteSpec, usize, usize)> = Vec::new();
+    for i in 0..def.joins.len() {
+        let s = inner_select(def, catalog, i, frame);
+        frame += s.2;
+        selects.push(s);
+    }
+    // Fold the inner selects right-deep-under-left: ((R2 ⋈ R3) ⋈ …).
+    let (mut right, right_probe, mut right_arity) = selects[0].clone();
+    let right_probe_field = right_probe;
+    for (i, (next, next_key, next_arity)) in selects.iter().enumerate().skip(1) {
+        let step = &def.joins[i];
+        let lf = step
+            .outer_key_field
+            .checked_sub(base_arity)
+            .expect("later join keys must come from joined relations");
+        assert!(lf < right_arity, "join key outside right subtree frame");
+        right = ReteSpec::Join {
+            left: Box::new(right),
+            right: Box::new(next.clone()),
+            left_field: lf,
+            right_field: *next_key,
+            probe_field: right_probe_field,
+        };
+        right_arity += next_arity;
+    }
+    let first = &def.joins[0];
+    // The β subtree is organized on the first inner relation's join key,
+    // which is what the top and-node probes it by.
+    ReteSpec::Join {
+        left: Box::new(base),
+        right: Box::new(right),
+        left_field: first.outer_key_field,
+        right_field: right_probe_field,
+        probe_field: 0,
+    }
+}
+
+/// Shape B: left-deep — fold the base through the joins in pipeline
+/// order, materializing each intermediate (`(σ(R1) ⋈ σ(R2)) ⋈ R3`).
+/// Cheap for deltas arriving at the *last* relation, expensive for base
+/// deltas.
+pub fn left_deep_spec(
+    def: &ViewDef,
+    catalog: &Catalog,
+    probe_fallback: usize,
+    dispatch_field: usize,
+) -> ReteSpec {
+    let (base, base_arity) = base_select(def, catalog, probe_fallback, dispatch_field);
+    let mut spec = base;
+    let mut frame = base_arity;
+    for i in 0..def.joins.len() {
+        let step = &def.joins[i];
+        let (inner, inner_key, inner_arity) = inner_select(def, catalog, i, frame);
+        // The intermediate β is probed from the right by the *next* step's
+        // key (if any); organize it on that field.
+        let next_probe = def
+            .joins
+            .get(i + 1)
+            .map(|next| next.outer_key_field)
+            .unwrap_or(0);
+        spec = ReteSpec::Join {
+            left: Box::new(spec),
+            right: Box::new(inner),
+            left_field: step.outer_key_field,
+            right_field: inner_key,
+            probe_field: next_probe,
+        };
+        frame += inner_arity;
+    }
+    spec
+}
+
+/// Enumerate the candidate shapes for a view (they differ only for views
+/// with two or more joins).
+pub fn candidate_specs(
+    def: &ViewDef,
+    catalog: &Catalog,
+    probe_fallback: usize,
+    dispatch_field: usize,
+) -> Vec<ReteSpec> {
+    let mut out = vec![right_deep_spec(def, catalog, probe_fallback, dispatch_field)];
+    if def.joins.len() >= 2 {
+        out.push(left_deep_spec(def, catalog, probe_fallback, dispatch_field));
+    }
+    out
+}
+
+/// Pick the cheapest shape for the given update frequencies. Ties go to
+/// the earlier candidate (shape A — the paper's default).
+pub fn choose_spec(
+    def: &ViewDef,
+    catalog: &Catalog,
+    freqs: &UpdateFrequencies,
+    probe_fallback: usize,
+    dispatch_field: usize,
+) -> (ReteSpec, f64) {
+    candidate_specs(def, catalog, probe_fallback, dispatch_field)
+        .into_iter()
+        .map(|s| {
+            let c = maintenance_cost(&s, freqs);
+            (s, c)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .expect("at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_avm::JoinStep;
+    use procdb_query::{CompOp, FieldType, Schema, Table, Value};
+    use procdb_storage::Pager;
+
+    /// R1(skey, a, pad) ⋈ R2(b, c, f2) ⋈ R3(d, w) — a Model-2 shape.
+    fn setup() -> (Catalog, ViewDef) {
+        let pager = Pager::new_default();
+        pager.set_charging(false);
+        let r1s = Schema::new(vec![
+            ("skey", FieldType::Int),
+            ("a", FieldType::Int),
+            ("pad", FieldType::Bytes(4)),
+        ]);
+        let r2s = Schema::new(vec![
+            ("b", FieldType::Int),
+            ("c", FieldType::Int),
+            ("f2", FieldType::Int),
+        ]);
+        let r3s = Schema::new(vec![("d", FieldType::Int), ("w", FieldType::Int)]);
+        let mut r1 = Table::create(
+            pager.clone(),
+            "R1",
+            r1s,
+            procdb_query::Organization::BTree { key_field: 0 },
+            0,
+        )
+        .unwrap();
+        let mut r2 = Table::create(
+            pager.clone(),
+            "R2",
+            r2s,
+            procdb_query::Organization::Hash { key_field: 0 },
+            16,
+        )
+        .unwrap();
+        let mut r3 = Table::create(
+            pager.clone(),
+            "R3",
+            r3s,
+            procdb_query::Organization::Hash { key_field: 0 },
+            8,
+        )
+        .unwrap();
+        for i in 0..60i64 {
+            r1.insert(&vec![
+                Value::Int(i),
+                Value::Int(i % 8),
+                Value::Bytes(vec![0; 4]),
+            ])
+            .unwrap();
+        }
+        for j in 0..8i64 {
+            r2.insert(&vec![Value::Int(j), Value::Int(j % 4), Value::Int(j % 2)])
+                .unwrap();
+        }
+        for k in 0..4i64 {
+            r3.insert(&vec![Value::Int(k), Value::Int(k * 10)]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.add(r1);
+        cat.add(r2);
+        cat.add(r3);
+        let def = ViewDef {
+            base: "R1".into(),
+            selection: Predicate::int_range(0, 10, 39),
+            joins: vec![
+                JoinStep {
+                    inner: "R2".into(),
+                    outer_key_field: 1, // R1.a
+                    residual: Predicate {
+                        terms: vec![Term::new(5, CompOp::Eq, 0i64)], // R2.f2 = 0
+                    },
+                },
+                JoinStep {
+                    inner: "R3".into(),
+                    outer_key_field: 4, // R2.c in the pipeline frame
+                    residual: Predicate::always(),
+                },
+            ],
+        };
+        (cat, def)
+    }
+
+    fn freq(pairs: &[(&str, f64)]) -> UpdateFrequencies {
+        pairs.iter().map(|(r, f)| (r.to_string(), *f)).collect()
+    }
+
+    #[test]
+    fn leaf_costs_match_hand_counts() {
+        let (cat, def) = setup();
+        let a = right_deep_spec(&def, &cat, 1, 0);
+        let costs_a: HashMap<String, (usize, usize)> = leaf_costs(&a)
+            .into_iter()
+            .map(|(r, p, m)| (r, (p, m)))
+            .collect();
+        // Shape A: R1 leaf sees 1 and + 2 memories; R2/R3 see 2 ands + 3.
+        assert_eq!(costs_a["R1"], (1, 2));
+        assert_eq!(costs_a["R2"], (2, 3));
+        assert_eq!(costs_a["R3"], (2, 3));
+
+        let b = left_deep_spec(&def, &cat, 1, 0);
+        let costs_b: HashMap<String, (usize, usize)> = leaf_costs(&b)
+            .into_iter()
+            .map(|(r, p, m)| (r, (p, m)))
+            .collect();
+        // Shape B: R3 is shallow, R1/R2 deep.
+        assert_eq!(costs_b["R3"], (1, 2));
+        assert_eq!(costs_b["R1"], (2, 3));
+        assert_eq!(costs_b["R2"], (2, 3));
+    }
+
+    #[test]
+    fn planner_picks_shape_by_frequency() {
+        let (cat, def) = setup();
+        // R1-only updates (the paper's models): right-deep shape A.
+        let (spec_a, _) = choose_spec(&def, &cat, &freq(&[("R1", 1.0)]), 1, 0);
+        assert_eq!(spec_a, right_deep_spec(&def, &cat, 1, 0));
+        // R3-dominated updates: left-deep shape B.
+        let (spec_b, _) = choose_spec(&def, &cat, &freq(&[("R1", 0.1), ("R3", 1.0)]), 1, 0);
+        assert_eq!(spec_b, left_deep_spec(&def, &cat, 1, 0));
+    }
+
+    #[test]
+    fn both_shapes_materialize_identical_contents() {
+        use procdb_rete::Rete;
+        let (cat, def) = setup();
+        let mut results = Vec::new();
+        for spec in candidate_specs(&def, &cat, 1, 0) {
+            let mut rete = Rete::new(cat.get("R1").unwrap().pager().clone());
+            let view = rete.add_view(&spec);
+            rete.initialize(&cat).unwrap();
+            results.push(rete.memory(view).contents_normalized().unwrap());
+        }
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], results[1], "shapes disagree on contents");
+        assert!(!results[0].is_empty());
+    }
+
+    #[test]
+    fn both_shapes_track_updates_identically() {
+        use procdb_rete::{Rete, Token};
+        let (mut cat, def) = setup();
+        let mut retes: Vec<(Rete, procdb_rete::NodeId)> = candidate_specs(&def, &cat, 1, 0)
+            .into_iter()
+            .map(|spec| {
+                let mut rete = Rete::new(cat.get("R1").unwrap().pager().clone());
+                let view = rete.add_view(&spec);
+                rete.initialize(&cat).unwrap();
+                (rete, view)
+            })
+            .collect();
+        // A mixed stream touching all three relations.
+        let script: Vec<(&str, i64, i64)> = vec![
+            ("R1", 12, 45), // R1 re-keys
+            ("R1", 45, 20),
+            ("R3", 1, 9), // R3 re-keys
+            ("R3", 9, 1),
+            ("R2", 2, 11), // R2 re-keys
+        ];
+        for (rel, victim, new_key) in script {
+            let table = cat.get_mut(rel).unwrap();
+            let Some(old) = table.delete_where(victim, |_| true).unwrap() else {
+                continue;
+            };
+            let mut new = old.clone();
+            new[0] = Value::Int(new_key);
+            table.insert(&new).unwrap();
+            for (rete, _) in retes.iter_mut() {
+                rete.submit(rel, Token::minus(old.clone())).unwrap();
+                rete.submit(rel, Token::plus(new.clone())).unwrap();
+            }
+        }
+        let a = retes[0].0.memory(retes[0].1).contents_normalized().unwrap();
+        let b = retes[1].0.memory(retes[1].1).contents_normalized().unwrap();
+        assert_eq!(a, b, "shapes diverged under mixed updates");
+    }
+
+    #[test]
+    fn single_join_views_have_one_shape() {
+        let (cat, mut def) = setup();
+        def.joins.truncate(1);
+        assert_eq!(candidate_specs(&def, &cat, 1, 0).len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # procdb-costmodel
+//!
+//! The analytical cost model from Eric N. Hanson, *Processing Queries
+//! Against Database Procedures: A Performance Analysis* (UCB/ERL M87/68,
+//! SIGMOD 1988) — every closed-form formula from §§3–7 and Appendix A.
+//!
+//! A *database procedure* is a stored query; the paper compares four ways
+//! to answer "what is this procedure's current value?":
+//!
+//! | Strategy | Idea |
+//! |----------|------|
+//! | [`Strategy::AlwaysRecompute`] | rerun the stored plan each access |
+//! | [`Strategy::CacheInvalidate`] | cache the result; i-locks invalidate it |
+//! | [`Strategy::UpdateCacheAvm`] | keep the cache current with algebraic deltas |
+//! | [`Strategy::UpdateCacheRvm`] | keep it current with a shared Rete network |
+//!
+//! ```
+//! use procdb_costmodel::{cost, Model, Params, Strategy};
+//!
+//! // Paper defaults, 10% update probability, small objects (f = 1e-4):
+//! let p = Params::default().with_f(0.0001).with_update_probability(0.1);
+//! let ar = cost(Model::One, Strategy::AlwaysRecompute, &p);
+//! let ci = cost(Model::One, Strategy::CacheInvalidate, &p);
+//! assert!(ar / ci > 3.0); // §8: caching wins by ~5x here
+//! ```
+//!
+//! Formula-level OCR reconstructions are documented in DESIGN.md §3 and at
+//! each implementation site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model1;
+pub mod model2;
+pub mod params;
+pub mod regions;
+pub mod series;
+pub mod strategy;
+pub mod yao;
+
+pub use params::Params;
+pub use regions::{region_grid, update_cache_break_even_p, Family, RegionGrid};
+pub use series::{headline_speedups, paper_figures, Figure, Series};
+pub use strategy::{best_update_cache, cost, cost_all, winner, Model, Strategy};
+pub use yao::{cardenas, yao_exact, yao_paper};

@@ -1,0 +1,440 @@
+//! Closed-form costs for **Model 1** procedures (paper §4): `P1` is a
+//! selection on `R1`, `P2` is a **two-way** join `σ_Cf(R1) ⋈ σ_Cf2(R2)`.
+//!
+//! Every public function returns the expected cost **per procedure access**
+//! in milliseconds, matching the quantity the paper plots on its y-axes.
+//! Breakdown structs expose each named component so tests and the bench
+//! harness can inspect where cost goes.
+
+use crate::params::Params;
+use crate::yao::yao_paper;
+
+/// Cost to evaluate a `P1` procedure from its base relation:
+/// `C_queryP1 = C1·fN + C2·⌈f·b⌉ + C2·H1` — screen the `fN` qualifying
+/// tuples, read the `⌈f·b⌉` data pages, descend the B-tree (`H1` pages).
+pub fn c_query_p1(p: &Params) -> f64 {
+    p.c1 * p.f * p.n + p.c2 * (p.f * p.b()).ceil().max(1.0) + p.c2 * p.h1()
+}
+
+/// Expected pages of `R2` read while joining the `fN` qualifying `R1`
+/// tuples through the hash index on `R2`:
+/// `Y1 = y(f_R2·N, f_R2·b, f·N)`.
+pub fn y1(p: &Params) -> f64 {
+    yao_paper(p.f_r2 * p.n, p.f_r2 * p.b(), p.f * p.n)
+}
+
+/// Cost to evaluate a Model-1 `P2` procedure (two-way join):
+/// `C_queryP2 = C_queryP1 + C1·fN + C2·Y1`.
+pub fn c_query_p2(p: &Params) -> f64 {
+    c_query_p1(p) + p.c1 * p.f * p.n + p.c2 * y1(p)
+}
+
+/// `C_ProcessQuery`: expected cost to compute one procedure value, averaged
+/// over the `P1`/`P2` population mix.
+pub fn c_process_query(p: &Params) -> f64 {
+    let n = p.n_procs();
+    if n == 0.0 {
+        return 0.0;
+    }
+    (p.n1 / n) * c_query_p1(p) + (p.n2 / n) * c_query_p2(p)
+}
+
+/// Always Recompute, with the per-type query costs broken out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecomputeCost {
+    /// Cost to compute a `P1` value from scratch.
+    pub c_query_p1: f64,
+    /// Cost to compute a `P2` value from scratch.
+    pub c_query_p2: f64,
+    /// `TOT_Recompute`: expected cost per procedure access.
+    pub total: f64,
+}
+
+/// §4.1 — cost per access under **Always Recompute**.
+pub fn recompute(p: &Params) -> RecomputeCost {
+    RecomputeCost {
+        c_query_p1: c_query_p1(p),
+        c_query_p2: c_query_p2(p),
+        total: c_process_query(p),
+    }
+}
+
+/// Cache and Invalidate, with the paper's named components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheInvalCost {
+    /// `IP`: probability the cached value is invalid when accessed.
+    pub ip: f64,
+    /// `T1`: cost to recompute the value and rewrite the cache.
+    pub t1: f64,
+    /// `T2`: cost to read a valid cached value.
+    pub t2: f64,
+    /// `T3`: amortized cost of recording invalidations.
+    pub t3: f64,
+    /// `TOT_CacheInval = IP·T1 + (1−IP)·T2 + T3`.
+    pub total: f64,
+}
+
+/// Invalidation probability `IP` (§4.2), accounting for the `Z`-skewed
+/// locality of reference.
+///
+/// `X`/`Y` are the expected update-transaction counts between accesses to a
+/// hot/cold procedure; each update exposes `2l` tuple values, each of which
+/// breaks a given procedure's i-lock with probability `f`.
+pub fn invalidation_probability(p: &Params) -> f64 {
+    let n = p.n_procs();
+    if n == 0.0 {
+        return 0.0;
+    }
+    let kq = p.updates_per_query();
+    let x = n * (p.z / (1.0 - p.z)) * kq;
+    let y = n * ((1.0 - p.z) / p.z) * kq;
+    let z1 = 1.0 - (1.0 - p.f).powf(x * 2.0 * p.l);
+    let z2 = 1.0 - (1.0 - p.f).powf(y * 2.0 * p.l);
+    (1.0 - p.z) * z1 + p.z * z2
+}
+
+/// Per-update probability that a given procedure is invalidated:
+/// `P_inval = 1 − (1 − f)^{2l}` (each of the `2l` old/new tuple values
+/// breaks an i-lock with probability `f`; the paper's `(1−f)^2` is an OCR
+/// truncation of this exponent — see DESIGN.md §3).
+pub fn p_inval(p: &Params) -> f64 {
+    1.0 - (1.0 - p.f).powf(2.0 * p.l)
+}
+
+/// Shared CI skeleton: §4.2's formula with the recompute cost supplied by
+/// the caller, so Model 2 can reuse it with its three-way-join cost.
+pub(crate) fn cache_invalidate_from(p: &Params, process_query: f64) -> CacheInvalCost {
+    let proc_size = p.proc_size();
+    let c_write_cache = 2.0 * p.c2 * proc_size;
+    let t1 = process_query + c_write_cache;
+    let t2 = p.c2 * proc_size;
+    let t3 = p.updates_per_query() * p.n_procs() * p_inval(p) * p.c_inval;
+    let ip = invalidation_probability(p);
+    CacheInvalCost {
+        ip,
+        t1,
+        t2,
+        t3,
+        total: ip * t1 + (1.0 - ip) * t2 + t3,
+    }
+}
+
+/// §4.2 — cost per access under **Cache and Invalidate**.
+pub fn cache_invalidate(p: &Params) -> CacheInvalCost {
+    cache_invalidate_from(p, c_process_query(p))
+}
+
+/// Update Cache via AVM (non-shared), with the paper's cost components.
+///
+/// All per-update components are stored **per update transaction**; `total`
+/// amortizes them by `k/q` and adds the per-access read cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvmCost {
+    /// Screen changed `R1` tuples against `P1` predicates: `N1·C1·2fl`.
+    pub c_screen_p1: f64,
+    /// Screen changed `R1` tuples against `P2` predicates: `N2·C1·2fl`.
+    pub c_screen_p2: f64,
+    /// Refresh stored `P1` values: `N1·2C2·Y3`.
+    pub c_refresh_p1: f64,
+    /// Refresh stored `P2` values: `N2·2C2·Y4`.
+    pub c_refresh_p2: f64,
+    /// Maintain the `A_net`/`D_net` delta sets: `C3·2fl·(N1+N2)`.
+    pub c_overhead: f64,
+    /// Join delta tuples to `R2`: `N2·C2·Y2` (Model 2 extends this).
+    pub c_join: f64,
+    /// Read the stored value at access time: `C2·ProcSize`.
+    pub c_read: f64,
+    /// `TOT_non-shared`: expected cost per procedure access.
+    pub total: f64,
+}
+
+/// `Y2 = y(f_R2·N, f_R2·b, 2fl)`: pages of `R2` probed to join the expected
+/// `2fl` delta tuples.
+pub fn y2(p: &Params) -> f64 {
+    yao_paper(p.f_r2 * p.n, p.f_r2 * p.b(), 2.0 * p.f * p.l)
+}
+
+/// `Y3 = y(fN, f·b, 2fl)`: pages of one stored `P1` value touched by a
+/// refresh.
+pub fn y3(p: &Params) -> f64 {
+    yao_paper(p.f * p.n, p.f * p.b(), 2.0 * p.f * p.l)
+}
+
+/// `Y4 = y(f*N, f*·b, 2f*l)`: pages of one stored `P2` value touched by a
+/// refresh.
+pub fn y4(p: &Params) -> f64 {
+    let fs = p.f_star();
+    yao_paper(fs * p.n, fs * p.b(), 2.0 * fs * p.l)
+}
+
+/// Per-access read cost `C_read = C2·ProcSize`.
+pub fn c_read(p: &Params) -> f64 {
+    p.c2 * p.proc_size()
+}
+
+/// Shared AVM skeleton with the join term supplied (Model 2 passes
+/// `N2·C2·(Y2+Y7)`).
+pub(crate) fn avm_with_join(p: &Params, c_join: f64) -> AvmCost {
+    let delta = 2.0 * p.f * p.l; // expected screened tuples per procedure per update
+    let c_screen_p1 = p.n1 * p.c1 * delta;
+    let c_screen_p2 = p.n2 * p.c1 * delta;
+    let c_refresh_p1 = p.n1 * 2.0 * p.c2 * y3(p);
+    let c_refresh_p2 = p.n2 * 2.0 * p.c2 * y4(p);
+    let c_overhead = p.c3 * delta * p.n_procs();
+    let c_read = c_read(p);
+    let per_update =
+        c_screen_p1 + c_screen_p2 + c_refresh_p1 + c_refresh_p2 + c_overhead + c_join;
+    AvmCost {
+        c_screen_p1,
+        c_screen_p2,
+        c_refresh_p1,
+        c_refresh_p2,
+        c_overhead,
+        c_join,
+        c_read,
+        total: c_read + p.updates_per_query() * per_update,
+    }
+}
+
+/// §4.3 — cost per access under **Update Cache (AVM, non-shared)**.
+pub fn update_cache_avm(p: &Params) -> AvmCost {
+    avm_with_join(p, p.n2 * p.c2 * y2(p))
+}
+
+/// Update Cache via RVM (shared Rete network), with the paper's components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RvmCost {
+    /// Screen changed tuples for `P1` procedures (same as AVM).
+    pub c_screen_p1: f64,
+    /// Screen for the non-shared fraction of `P2`: `N2(1−SF)·C1·2fl`.
+    pub c_screen_p2_rete: f64,
+    /// Refresh stored `P1` values (same as AVM).
+    pub c_refresh_p1: f64,
+    /// Refresh left α-memories of non-shared `P2`s: `N2(1−SF)·2C2·Y3`.
+    pub c_refresh_alpha: f64,
+    /// Refresh stored `P2` values (same as AVM).
+    pub c_refresh_p2: f64,
+    /// Probe the right memory (α in Model 1, β in Model 2) for joins.
+    pub c_join_memory: f64,
+    /// Read the stored value at access time.
+    pub c_read: f64,
+    /// `TOT_shared`: expected cost per procedure access.
+    pub total: f64,
+}
+
+/// `f** = f2·f_R2`: selectivity of the right α-memory contents relative to
+/// `N` (Model 1).
+pub fn f_star_star(p: &Params) -> f64 {
+    p.f2 * p.f_r2
+}
+
+/// `Y5 = y(f**N, f**·b, 2fl)`: pages of one right α-memory probed per
+/// update.
+pub fn y5(p: &Params) -> f64 {
+    let fss = f_star_star(p);
+    yao_paper(fss * p.n, fss * p.b(), 2.0 * p.f * p.l)
+}
+
+/// Shared RVM skeleton with the right-memory join term supplied (Model 2
+/// passes `N2·C2·Y8` against the β-memory).
+pub(crate) fn rvm_with_join(p: &Params, c_join_memory: f64) -> RvmCost {
+    let delta = 2.0 * p.f * p.l;
+    let c_screen_p1 = p.n1 * p.c1 * delta;
+    let c_screen_p2_rete = p.n2 * (1.0 - p.sf) * p.c1 * delta;
+    let c_refresh_p1 = p.n1 * 2.0 * p.c2 * y3(p);
+    let c_refresh_alpha = p.n2 * (1.0 - p.sf) * 2.0 * p.c2 * y3(p);
+    let c_refresh_p2 = p.n2 * 2.0 * p.c2 * y4(p);
+    let c_read = c_read(p);
+    let per_update =
+        c_screen_p1 + c_screen_p2_rete + c_refresh_p1 + c_refresh_alpha + c_refresh_p2
+            + c_join_memory;
+    RvmCost {
+        c_screen_p1,
+        c_screen_p2_rete,
+        c_refresh_p1,
+        c_refresh_alpha,
+        c_refresh_p2,
+        c_join_memory,
+        c_read,
+        total: c_read + p.updates_per_query() * per_update,
+    }
+}
+
+/// §4.4 — cost per access under **Update Cache (RVM, shared)**.
+pub fn update_cache_rvm(p: &Params) -> RvmCost {
+    rvm_with_join(p, p.n2 * p.c2 * y5(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> Params {
+        Params::default()
+    }
+
+    #[test]
+    fn query_p1_hand_computed() {
+        // C1·fN + C2·⌈f·b⌉ + C2·H1 = 100 + 30·3 + 30·1 = 220 ms.
+        assert_eq!(c_query_p1(&defaults()), 220.0);
+    }
+
+    #[test]
+    fn query_p2_hand_computed() {
+        let p = defaults();
+        // Y1 = y(10000, 250, 100) ≈ 82.45; C_queryP2 = 220 + 100 + 30·Y1.
+        let expected = 220.0 + 100.0 + 30.0 * y1(&p);
+        assert_eq!(c_query_p2(&p), expected);
+        assert!((c_query_p2(&p) - 2793.5).abs() < 5.0, "{}", c_query_p2(&p));
+    }
+
+    #[test]
+    fn process_query_is_population_average() {
+        let p = defaults();
+        let avg = (c_query_p1(&p) + c_query_p2(&p)) / 2.0;
+        assert!((c_process_query(&p) - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recompute_independent_of_update_rate() {
+        let lo = recompute(&defaults().with_update_probability(0.01)).total;
+        let hi = recompute(&defaults().with_update_probability(0.95)).total;
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn cache_invalidate_zero_updates_reads_cache_only() {
+        // With P = 0 there are no updates, so every access is a cache read:
+        // cost = T2 = C2·ProcSize = 30·2 = 60 ms.
+        let p = defaults().with_update_probability(0.0);
+        let ci = cache_invalidate(&p);
+        assert_eq!(ci.ip, 0.0);
+        assert_eq!(ci.t3, 0.0);
+        assert_eq!(ci.total, 60.0);
+    }
+
+    #[test]
+    fn update_cache_zero_updates_reads_cache_only() {
+        let p = defaults().with_update_probability(0.0);
+        assert_eq!(update_cache_avm(&p).total, 60.0);
+        assert_eq!(update_cache_rvm(&p).total, 60.0);
+        // §5: "the cost of Cache and Invalidate and both versions of Update
+        // Cache are equal when the update probability P is zero".
+        assert_eq!(update_cache_avm(&p).total, cache_invalidate(&p).total);
+    }
+
+    #[test]
+    fn invalidation_probability_monotone_in_update_rate() {
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let prob = i as f64 / 21.0;
+            let ip = invalidation_probability(&defaults().with_update_probability(prob));
+            assert!((0.0..=1.0).contains(&ip));
+            assert!(ip >= last - 1e-12);
+            last = ip;
+        }
+    }
+
+    #[test]
+    fn ci_plateau_slightly_above_recompute_at_high_p() {
+        // §5 (Figure 5 discussion): for large P the CI cost levels off at a
+        // plateau slightly above Always Recompute — the gap is the wasted
+        // cache write-back.
+        let p = defaults().with_update_probability(0.9);
+        let ci = cache_invalidate(&p);
+        let ar = recompute(&p);
+        assert!(ci.total > ar.total);
+        assert!(ci.total < ar.total + 2.0 * p.c2 * p.proc_size() + 1.0);
+    }
+
+    #[test]
+    fn update_cache_degrades_at_high_p() {
+        // §5: "The cost of both Update Cache strategies rises dramatically
+        // for large values of P".
+        let lo = update_cache_avm(&defaults().with_update_probability(0.1)).total;
+        let hi = update_cache_avm(&defaults().with_update_probability(0.9)).total;
+        assert!(hi > 5.0 * lo, "lo={lo} hi={hi}");
+        let ar = recompute(&defaults().with_update_probability(0.9)).total;
+        assert!(hi > ar);
+    }
+
+    #[test]
+    fn update_cache_beats_recompute_at_low_p() {
+        let p = defaults().with_update_probability(0.1);
+        assert!(update_cache_avm(&p).total < recompute(&p).total);
+        assert!(update_cache_rvm(&p).total < recompute(&p).total);
+        assert!(cache_invalidate(&p).total < recompute(&p).total);
+    }
+
+    #[test]
+    fn rvm_full_sharing_cheaper_than_no_sharing() {
+        let none = update_cache_rvm(&defaults().with_sf(0.0)).total;
+        let full = update_cache_rvm(&defaults().with_sf(1.0)).total;
+        assert!(full < none);
+    }
+
+    #[test]
+    fn avm_insensitive_to_sharing_factor() {
+        let a = update_cache_avm(&defaults().with_sf(0.0)).total;
+        let b = update_cache_avm(&defaults().with_sf(1.0)).total;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model1_rvm_never_much_better_than_avm() {
+        // §8: "when procedures contain only two-way joins (as in model 1)
+        // AVM is never significantly better than RVM... the cost saved by
+        // RVM through sharing is canceled by the α-memory overhead" — and
+        // conversely RVM only approaches AVM at very high SF (§5, Fig. 11).
+        for i in 0..=10 {
+            let sf = i as f64 / 10.0;
+            let p = defaults().with_sf(sf).with_update_probability(0.5);
+            let avm = update_cache_avm(&p).total;
+            let rvm = update_cache_rvm(&p).total;
+            if sf < 0.9 {
+                assert!(rvm >= avm, "sf={sf}: rvm={rvm} avm={avm}");
+            }
+        }
+    }
+
+    #[test]
+    fn t3_scales_with_c_inval() {
+        let base = defaults().with_update_probability(0.5);
+        let cheap = cache_invalidate(&base.clone().with_c_inval(0.0));
+        let dear = cache_invalidate(&base.with_c_inval(60.0));
+        assert_eq!(cheap.t3, 0.0);
+        assert!(dear.t3 > 0.0);
+        assert!(dear.total > cheap.total);
+    }
+
+    #[test]
+    fn p_inval_hand_computed() {
+        // 1 − (1 − 0.001)^50 ≈ 0.04879.
+        assert!((p_inval(&defaults()) - 0.04879).abs() < 1e-4);
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let p = defaults().with_update_probability(0.5);
+        let a = update_cache_avm(&p);
+        let sum = a.c_read
+            + p.updates_per_query()
+                * (a.c_screen_p1
+                    + a.c_screen_p2
+                    + a.c_refresh_p1
+                    + a.c_refresh_p2
+                    + a.c_overhead
+                    + a.c_join);
+        assert!((a.total - sum).abs() < 1e-9);
+        let r = update_cache_rvm(&p);
+        let sum = r.c_read
+            + p.updates_per_query()
+                * (r.c_screen_p1
+                    + r.c_screen_p2_rete
+                    + r.c_refresh_p1
+                    + r.c_refresh_alpha
+                    + r.c_refresh_p2
+                    + r.c_join_memory);
+        assert!((r.total - sum).abs() < 1e-9);
+    }
+}

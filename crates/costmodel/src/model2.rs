@@ -1,0 +1,214 @@
+//! Closed-form costs for **Model 2** procedures (paper §6): identical to
+//! Model 1 except that `P2` procedures are **three-way** joins
+//! `σ_Cf(R1) ⋈ σ_Cf2(R2) ⋈ R3`.
+//!
+//! Only the terms that differ from Model 1 are redefined here; everything
+//! else delegates to [`crate::model1`].
+
+use crate::model1::{
+    avm_with_join, c_query_p1, c_query_p2, cache_invalidate_from, rvm_with_join, y2,
+    AvmCost, CacheInvalCost, RecomputeCost, RvmCost,
+};
+use crate::params::Params;
+use crate::yao::yao_paper;
+
+/// `Y6 = y(f_R3·N, f_R3·b, f·N)`: pages of `R3` read while joining the
+/// `fN` intermediate tuples through the hash index on `R3` during a full
+/// recompute.
+pub fn y6(p: &Params) -> f64 {
+    yao_paper(p.f_r3 * p.n, p.f_r3 * p.b(), p.f * p.n)
+}
+
+/// Cost to evaluate a Model-2 `P2` procedure (three-way join):
+/// `C_queryP2' = C_queryP2 + C2·Y6 + C1·fN` — steps (1)+(2) are Model 1's
+/// two-way join, step (3) probes `R3` and screens the results.
+pub fn c_query_p2_prime(p: &Params) -> f64 {
+    c_query_p2(p) + p.c2 * y6(p) + p.c1 * p.f * p.n
+}
+
+/// `C_ProcessQuery` for Model 2.
+pub fn c_process_query(p: &Params) -> f64 {
+    let n = p.n_procs();
+    if n == 0.0 {
+        return 0.0;
+    }
+    (p.n1 / n) * c_query_p1(p) + (p.n2 / n) * c_query_p2_prime(p)
+}
+
+/// §6.1 — **Always Recompute** for Model 2.
+pub fn recompute(p: &Params) -> RecomputeCost {
+    RecomputeCost {
+        c_query_p1: c_query_p1(p),
+        c_query_p2: c_query_p2_prime(p),
+        total: c_process_query(p),
+    }
+}
+
+/// §6.2 — **Cache and Invalidate** for Model 2 (`C_queryP2` replaced by
+/// `C_queryP2'`; everything else identical to §4.2).
+pub fn cache_invalidate(p: &Params) -> CacheInvalCost {
+    cache_invalidate_from(p, c_process_query(p))
+}
+
+/// `Y7 = y(f_R3·N, f_R3·b, 2fl)`: pages of `R3` probed to extend the delta
+/// join per update.
+pub fn y7(p: &Params) -> f64 {
+    yao_paper(p.f_r3 * p.n, p.f_r3 * p.b(), 2.0 * p.f * p.l)
+}
+
+/// §6.3 — **Update Cache (AVM)** for Model 2: the delta must be joined to
+/// both `R2` and `R3`, so `C_join' = N2·C2·(Y2 + Y7)`.
+pub fn update_cache_avm(p: &Params) -> AvmCost {
+    avm_with_join(p, p.n2 * p.c2 * (y2(p) + y7(p)))
+}
+
+/// `f*_β = f2·f_R3`: size (relative to `N`) of the β-memory holding the
+/// precomputed `σ_Cf2(R2) ⋈ R3` subexpression (paper §6.4).
+pub fn f_star_beta(p: &Params) -> f64 {
+    p.f2 * p.f_r3
+}
+
+/// `Y8 = y(f*_β·N, f*_β·b, 2fl)`: pages of one β-memory probed per update.
+pub fn y8(p: &Params) -> f64 {
+    let fb = f_star_beta(p);
+    yao_paper(fb * p.n, fb * p.b(), 2.0 * p.f * p.l)
+}
+
+/// §6.4 — **Update Cache (RVM)** for Model 2: delta tuples join directly
+/// against the precomputed β-memory, `C_join-β = N2·C2·Y8`; RVM never pays
+/// the second join that AVM does.
+pub fn update_cache_rvm(p: &Params) -> RvmCost {
+    rvm_with_join(p, p.n2 * p.c2 * y8(p))
+}
+
+/// The sharing factor at which RVM and AVM cost the same in Model 2
+/// (the paper reports ≈ 0.47 for default parameters; §7, Figure 18).
+/// Solved by bisection on `SF ∈ [0, 1]`; returns `None` if no crossover.
+pub fn avm_rvm_crossover_sf(p: &Params) -> Option<f64> {
+    let gap = |sf: f64| {
+        let q = p.clone().with_sf(sf);
+        update_cache_rvm(&q).total - update_cache_avm(&q).total
+    };
+    let (mut lo, mut hi) = (0.0, 1.0);
+    let (glo, ghi) = (gap(lo), gap(hi));
+    if glo == 0.0 {
+        return Some(lo);
+    }
+    if ghi == 0.0 {
+        return Some(hi);
+    }
+    if glo.signum() == ghi.signum() {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        let g = gap(mid);
+        if g == 0.0 {
+            return Some(mid);
+        }
+        if g.signum() == glo.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model1;
+
+    fn defaults() -> Params {
+        Params::default()
+    }
+
+    #[test]
+    fn three_way_join_costs_more_than_two_way() {
+        let p = defaults();
+        assert!(c_query_p2_prime(&p) > c_query_p2(&p));
+        assert!(recompute(&p).total > model1::recompute(&p).total);
+    }
+
+    #[test]
+    fn query_p2_prime_hand_computed() {
+        let p = defaults();
+        // Y6 = y(10000, 250, 100) ≈ 82.45 (same file shape as Y1).
+        let expected = c_query_p2(&p) + 30.0 * y6(&p) + 100.0;
+        assert_eq!(c_query_p2_prime(&p), expected);
+    }
+
+    #[test]
+    fn ci_uses_model2_recompute_cost() {
+        let p = defaults().with_update_probability(0.5);
+        let ci1 = model1::cache_invalidate(&p);
+        let ci2 = cache_invalidate(&p);
+        assert!(ci2.t1 > ci1.t1);
+        assert_eq!(ci2.t2, ci1.t2); // stored sizes unchanged (§6.4)
+        assert_eq!(ci2.ip, ci1.ip);
+    }
+
+    #[test]
+    fn avm_pays_extra_join_rvm_does_not() {
+        let p = defaults().with_update_probability(0.5);
+        let avm1 = model1::update_cache_avm(&p);
+        let avm2 = update_cache_avm(&p);
+        assert!(avm2.c_join > avm1.c_join);
+        // RVM's β-memory join replaces (not extends) the α-memory join and
+        // all other components are unchanged from Model 1 (§6.4).
+        let rvm1 = model1::update_cache_rvm(&p);
+        let rvm2 = update_cache_rvm(&p);
+        assert_eq!(rvm1.c_refresh_alpha, rvm2.c_refresh_alpha);
+        assert_eq!(rvm1.c_refresh_p2, rvm2.c_refresh_p2);
+        assert_eq!(rvm1.c_read, rvm2.c_read);
+    }
+
+    #[test]
+    fn crossover_near_half_for_defaults() {
+        // §7 / Figure 18: "For a sharing factor of approximately 0.47, the
+        // two algorithms are equivalent in cost."
+        let sf = avm_rvm_crossover_sf(&defaults().with_update_probability(0.5))
+            .expect("crossover exists");
+        assert!(
+            (0.3..=0.6).contains(&sf),
+            "crossover SF = {sf}, expected near 0.47"
+        );
+    }
+
+    #[test]
+    fn rvm_beats_avm_above_crossover() {
+        let base = defaults().with_update_probability(0.5);
+        let sf = avm_rvm_crossover_sf(&base).unwrap();
+        let hi = base.clone().with_sf((sf + 0.2).min(1.0));
+        assert!(update_cache_rvm(&hi).total < update_cache_avm(&hi).total);
+        let lo = base.with_sf((sf - 0.2).max(0.0));
+        assert!(update_cache_rvm(&lo).total > update_cache_avm(&lo).total);
+    }
+
+    #[test]
+    fn crossover_absent_in_model1() {
+        // Model 1: RVM ≥ AVM for all but extreme SF, so the Model-2-style
+        // mid-range crossover should not appear (Fig. 11 vs Fig. 18).
+        let base = defaults().with_update_probability(0.5);
+        let gap_mid = {
+            let q = base.clone().with_sf(0.47);
+            model1::update_cache_rvm(&q).total - model1::update_cache_avm(&q).total
+        };
+        assert!(gap_mid > 0.0, "model 1 RVM should still lose at SF=0.47");
+    }
+
+    #[test]
+    fn zero_p2_population_degenerates_to_model1() {
+        let p = defaults().with_populations(100.0, 0.0).with_update_probability(0.4);
+        assert_eq!(recompute(&p).total, model1::recompute(&p).total);
+        assert_eq!(
+            update_cache_avm(&p).total,
+            model1::update_cache_avm(&p).total
+        );
+        assert_eq!(
+            update_cache_rvm(&p).total,
+            model1::update_cache_rvm(&p).total
+        );
+    }
+}

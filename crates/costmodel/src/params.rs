@@ -1,0 +1,381 @@
+//! Model parameters (the paper's Figure 2) and derived quantities.
+//!
+//! Every symbol from the paper's parameter table is represented, with the
+//! paper's default value. Two parameters the paper uses but omits from the
+//! table are included with documented defaults: the locality skew `Z`
+//! (default 0.2, the example value in §4.2) and the population sizes
+//! `N1`/`N2` (default 100 each; see DESIGN.md §3).
+
+/// Complete parameter set for the analytical cost model.
+///
+/// All costs are in **milliseconds**, sizes in bytes/tuples/pages as noted.
+/// Construct with [`Params::default`] to get the paper's Figure 2 defaults,
+/// then adjust fields or use the `with_*` builder helpers:
+///
+/// ```
+/// use procdb_costmodel::Params;
+/// let p = Params::default().with_update_probability(0.25).with_f(0.01);
+/// assert!((p.update_probability() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// `N`: number of tuples in relation `R1`.
+    pub n: f64,
+    /// `S`: bytes per tuple.
+    pub s: f64,
+    /// `B`: bytes per block (disk page).
+    pub b_bytes: f64,
+    /// `d`: bytes per B+-tree index record.
+    pub d: f64,
+    /// `k`: number of update transactions on the base relation.
+    pub k: f64,
+    /// `l`: tuples modified in place by each update transaction.
+    pub l: f64,
+    /// `q`: number of procedure accesses (queries).
+    pub q: f64,
+    /// `f`: selectivity of the restriction term `C_f(R1)`.
+    pub f: f64,
+    /// `f2`: selectivity of the restriction term `C_f2(R2)`.
+    pub f2: f64,
+    /// `f_R2`: size of `R2` as a fraction of `N`.
+    pub f_r2: f64,
+    /// `f_R3`: size of `R3` as a fraction of `N`.
+    pub f_r3: f64,
+    /// `C1`: CPU cost (ms) to screen one record against a predicate.
+    pub c1: f64,
+    /// `C2`: cost (ms) of one disk page read or write.
+    pub c2: f64,
+    /// `C3`: cost (ms) per tuple per transaction to maintain the `A`/`D`
+    /// delta sets in AVM.
+    pub c3: f64,
+    /// `C_inval`: cost (ms) to record the invalidation of one cached
+    /// procedure value (0 = battery-backed RAM; 60 = read+write a flag page).
+    pub c_inval: f64,
+    /// `N1`: number of type-`P1` (selection) procedures.
+    pub n1: f64,
+    /// `N2`: number of type-`P2` (join) procedures.
+    pub n2: f64,
+    /// `SF`: sharing factor — fraction of `P2` procedures whose `C_f(R1)`
+    /// selection is shared with a `P1` procedure in the Rete network.
+    pub sf: f64,
+    /// `Z`: locality skew — a fraction `Z` of procedures receives a fraction
+    /// `1 − Z` of all accesses (Z = 0.2 ⇒ "20% of procedures get 80% of
+    /// references"). Not in the paper's table; see module docs.
+    pub z: f64,
+}
+
+impl Default for Params {
+    /// The paper's Figure 2 defaults.
+    fn default() -> Self {
+        Params {
+            n: 100_000.0,
+            s: 100.0,
+            b_bytes: 4_000.0,
+            d: 20.0,
+            k: 100.0,
+            l: 25.0,
+            q: 100.0,
+            f: 0.001,
+            f2: 0.1,
+            f_r2: 0.1,
+            f_r3: 0.1,
+            c1: 1.0,
+            c2: 30.0,
+            c3: 1.0,
+            c_inval: 0.0,
+            n1: 100.0,
+            n2: 100.0,
+            sf: 0.5,
+            z: 0.2,
+        }
+    }
+}
+
+impl Params {
+    /// `b`: total blocks of `R1`.
+    ///
+    /// The paper's table prints `b = N/S`, which is dimensionally wrong; the
+    /// intended value is `N·S/B` (100,000 tuples × 100 B / 4,000 B = 2,500
+    /// blocks), which is what every formula in the paper needs.
+    pub fn b(&self) -> f64 {
+        self.n * self.s / self.b_bytes
+    }
+
+    /// `f*` = `f · f2`: combined selectivity of a type-`P2` procedure.
+    pub fn f_star(&self) -> f64 {
+        self.f * self.f2
+    }
+
+    /// `u` = `k·l/q`: tuples updated between queries.
+    pub fn u(&self) -> f64 {
+        self.k * self.l / self.q
+    }
+
+    /// `P` = `k/(k+q)`: probability that a given operation is an update.
+    pub fn update_probability(&self) -> f64 {
+        if self.k + self.q == 0.0 {
+            0.0
+        } else {
+            self.k / (self.k + self.q)
+        }
+    }
+
+    /// Updates-per-query ratio `k/q`, the factor that converts per-update
+    /// maintenance costs into per-query amortized costs.
+    pub fn updates_per_query(&self) -> f64 {
+        self.k / self.q
+    }
+
+    /// Total procedure population `n = N1 + N2`.
+    pub fn n_procs(&self) -> f64 {
+        self.n1 + self.n2
+    }
+
+    /// Set `k` so that the update probability becomes `p`, holding `q`
+    /// fixed. Panics if `p` is outside `[0, 1)`.
+    pub fn with_update_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "update probability must be in [0, 1), got {p}"
+        );
+        self.k = self.q * p / (1.0 - p);
+        self
+    }
+
+    /// Builder: set the object-size selectivity `f`.
+    pub fn with_f(mut self, f: f64) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Builder: set the second restriction selectivity `f2`.
+    pub fn with_f2(mut self, f2: f64) -> Self {
+        self.f2 = f2;
+        self
+    }
+
+    /// Builder: set the sharing factor `SF`.
+    pub fn with_sf(mut self, sf: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sf), "SF must be in [0,1], got {sf}");
+        self.sf = sf;
+        self
+    }
+
+    /// Builder: set the locality skew `Z`.
+    pub fn with_z(mut self, z: f64) -> Self {
+        assert!(z > 0.0 && z < 1.0, "Z must be in (0,1), got {z}");
+        self.z = z;
+        self
+    }
+
+    /// Builder: set the populations `N1`, `N2`.
+    pub fn with_populations(mut self, n1: f64, n2: f64) -> Self {
+        self.n1 = n1;
+        self.n2 = n2;
+        self
+    }
+
+    /// Builder: set the invalidation-recording cost `C_inval`.
+    pub fn with_c_inval(mut self, c_inval: f64) -> Self {
+        self.c_inval = c_inval;
+        self
+    }
+
+    /// Expected tuples in a `P1` result (`f·N`).
+    pub fn p1_tuples(&self) -> f64 {
+        self.f * self.n
+    }
+
+    /// Expected tuples in a `P2` result (`f*·N`, both models — see §3).
+    pub fn p2_tuples(&self) -> f64 {
+        self.f_star() * self.n
+    }
+
+    /// Pages occupied by a stored `P1` result: `⌈f·b⌉` (an object occupies at
+    /// least one page).
+    pub fn p1_pages(&self) -> f64 {
+        (self.f * self.b()).ceil().max(1.0)
+    }
+
+    /// Pages occupied by a stored `P2` result: `⌈f*·b⌉`.
+    pub fn p2_pages(&self) -> f64 {
+        (self.f_star() * self.b()).ceil().max(1.0)
+    }
+
+    /// `ProcSize`: expected pages of a stored procedure value, averaged over
+    /// the `P1`/`P2` population mix (§4.2).
+    pub fn proc_size(&self) -> f64 {
+        let n = self.n_procs();
+        if n == 0.0 {
+            return 0.0;
+        }
+        (self.n1 / n) * self.p1_pages() + (self.n2 / n) * self.p2_pages()
+    }
+
+    /// Height `H1` of the B+-tree index on `R1` traversed to locate the
+    /// `f·N` qualifying tuples: `⌈log_{B/d}(f·N)⌉`, clamped to ≥ 1 (a root
+    /// page always exists).
+    pub fn h1(&self) -> f64 {
+        let fanout = self.b_bytes / self.d;
+        let leaves = (self.f * self.n).max(1.0);
+        (leaves.ln() / fanout.ln()).ceil().max(1.0)
+    }
+
+    /// Validate that the parameter set is physically meaningful. Returns a
+    /// list of human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let positive = [
+            ("N", self.n),
+            ("S", self.s),
+            ("B", self.b_bytes),
+            ("d", self.d),
+            ("q", self.q),
+            ("C2", self.c2),
+        ];
+        for (name, v) in positive {
+            if v <= 0.0 {
+                problems.push(format!("{name} must be positive, got {v}"));
+            }
+        }
+        let nonneg = [
+            ("k", self.k),
+            ("l", self.l),
+            ("C1", self.c1),
+            ("C3", self.c3),
+            ("C_inval", self.c_inval),
+            ("N1", self.n1),
+            ("N2", self.n2),
+        ];
+        for (name, v) in nonneg {
+            if v < 0.0 {
+                problems.push(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        let fractions = [
+            ("f", self.f),
+            ("f2", self.f2),
+            ("f_R2", self.f_r2),
+            ("f_R3", self.f_r3),
+            ("SF", self.sf),
+        ];
+        for (name, v) in fractions {
+            if !(0.0..=1.0).contains(&v) {
+                problems.push(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if !(self.z > 0.0 && self.z < 1.0) {
+            problems.push(format!("Z must be in (0,1), got {}", self.z));
+        }
+        if self.n1 + self.n2 <= 0.0 {
+            problems.push("N1 + N2 must be positive".to_string());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure_2() {
+        let p = Params::default();
+        assert_eq!(p.n, 100_000.0);
+        assert_eq!(p.s, 100.0);
+        assert_eq!(p.b_bytes, 4_000.0);
+        assert_eq!(p.k, 100.0);
+        assert_eq!(p.l, 25.0);
+        assert_eq!(p.q, 100.0);
+        assert_eq!(p.d, 20.0);
+        assert_eq!(p.sf, 0.5);
+        assert_eq!(p.f, 0.001);
+        assert_eq!(p.f2, 0.1);
+        assert_eq!(p.f_r2, 0.1);
+        assert_eq!(p.f_r3, 0.1);
+        assert_eq!(p.c1, 1.0);
+        assert_eq!(p.c2, 30.0);
+        assert_eq!(p.c3, 1.0);
+        assert_eq!(p.c_inval, 0.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = Params::default();
+        assert_eq!(p.b(), 2_500.0); // N·S/B
+        assert_eq!(p.f_star(), 0.0001);
+        assert_eq!(p.u(), 25.0); // k·l/q
+        assert_eq!(p.update_probability(), 0.5);
+        // §3: "type P1 procedures contain fN = 100 tuples" and
+        // "type P2 procedures contain f*N = 10 tuples".
+        assert_eq!(p.p1_tuples(), 100.0);
+        assert_eq!(p.p2_tuples(), 10.0);
+    }
+
+    #[test]
+    fn page_sizes() {
+        let p = Params::default();
+        // f·b = 2.5 → 3 pages; f*·b = 0.25 → 1 page (min one page).
+        assert_eq!(p.p1_pages(), 3.0);
+        assert_eq!(p.p2_pages(), 1.0);
+        assert_eq!(p.proc_size(), 2.0); // (3 + 1) / 2 with N1 = N2
+    }
+
+    #[test]
+    fn btree_height() {
+        let p = Params::default();
+        // fanout B/d = 200; f·N = 100 leaves → height 1.
+        assert_eq!(p.h1(), 1.0);
+        let big = Params::default().with_f(0.5);
+        // 50,000 leaves, log_200(50000) ≈ 2.04 → 3.
+        assert_eq!(big.h1(), 3.0);
+    }
+
+    #[test]
+    fn update_probability_roundtrip() {
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.99] {
+            let params = Params::default().with_update_probability(p);
+            assert!((params.update_probability() - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_probability_one_rejected() {
+        let _ = Params::default().with_update_probability(1.0);
+    }
+
+    #[test]
+    fn validate_default_is_clean() {
+        assert!(Params::default().validate().is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validate_flags_bad_values() {
+        let mut p = Params::default();
+        p.f = 2.0;
+        p.n = -1.0;
+        p.z = 0.0;
+        let problems = p.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn zero_population_proc_size() {
+        let p = Params::default().with_populations(0.0, 0.0);
+        assert_eq!(p.proc_size(), 0.0);
+        assert!(!p.validate().is_empty());
+    }
+
+    #[test]
+    fn single_tuple_objects_figure8() {
+        // Figure 8 setting: N1 = 100, N2 = 0, f = 1/N.
+        let p = Params::default()
+            .with_populations(100.0, 0.0)
+            .with_f(1.0 / 100_000.0);
+        assert_eq!(p.p1_tuples(), 1.0);
+        assert_eq!(p.p1_pages(), 1.0);
+        assert_eq!(p.proc_size(), 1.0);
+    }
+}

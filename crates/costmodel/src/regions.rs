@@ -1,0 +1,340 @@
+//! Winner-region figures: for a grid of (update probability `P`, object
+//! size `f`) cells, which strategy is cheapest? Reproduces the paper's
+//! region plots (F12, F13, F19) and the CI-closeness plots (F14, F15).
+
+use crate::params::Params;
+use crate::strategy::{best_update_cache, cost, Model, Strategy};
+
+/// Which of the three *families* wins a grid cell (the paper's region plots
+/// group AVM/RVM into a single "Update Cache" region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Always Recompute.
+    Recompute,
+    /// Cache and Invalidate.
+    CacheInvalidate,
+    /// Update Cache (best of AVM/RVM; `variant` records which).
+    UpdateCache,
+}
+
+impl Family {
+    /// One-character glyph for ASCII region maps.
+    pub fn glyph(&self) -> char {
+        match self {
+            Family::Recompute => 'R',
+            Family::CacheInvalidate => 'C',
+            Family::UpdateCache => 'U',
+        }
+    }
+}
+
+/// One cell of a winner-region grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Update probability for this cell.
+    pub p: f64,
+    /// Object-size selectivity for this cell.
+    pub f: f64,
+    /// Winning family.
+    pub winner: Family,
+    /// Which Update Cache variant was the cheaper one in this cell.
+    pub best_uc_variant: Strategy,
+    /// Cost ratio CI / best-UC (used by the closeness figures).
+    pub ci_over_uc: f64,
+}
+
+/// A full region grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGrid {
+    /// Grid of P values (x axis).
+    pub p_values: Vec<f64>,
+    /// Grid of f values (y axis).
+    pub f_values: Vec<f64>,
+    /// Row-major cells: `cells[fi * p_values.len() + pi]`.
+    pub cells: Vec<Cell>,
+}
+
+/// Default `P` grid for region plots.
+pub fn default_region_p_grid() -> Vec<f64> {
+    (1..=19).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Default `f` grid (log-spaced, 1e-5 … 2e-2, the range of the paper's
+/// region plots).
+pub fn default_region_f_grid() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut f = 1e-5;
+    while f <= 2.001e-2 {
+        out.push(f);
+        f *= 10f64.powf(0.25);
+    }
+    out
+}
+
+/// Compute the winner for one parameter point.
+pub fn winner_cell(model: Model, base: &Params, p_val: f64, f_val: f64) -> Cell {
+    let params = base.clone().with_update_probability(p_val).with_f(f_val);
+    let ar = cost(model, Strategy::AlwaysRecompute, &params);
+    let ci = cost(model, Strategy::CacheInvalidate, &params);
+    let (best_uc_variant, uc) = best_update_cache(model, &params);
+    let winner = if uc <= ar && uc <= ci {
+        Family::UpdateCache
+    } else if ci <= ar {
+        Family::CacheInvalidate
+    } else {
+        Family::Recompute
+    };
+    Cell {
+        p: p_val,
+        f: f_val,
+        winner,
+        best_uc_variant,
+        ci_over_uc: ci / uc,
+    }
+}
+
+/// Build a winner-region grid over `P × f`.
+pub fn region_grid(model: Model, base: &Params) -> RegionGrid {
+    let p_values = default_region_p_grid();
+    let f_values = default_region_f_grid();
+    let mut cells = Vec::with_capacity(p_values.len() * f_values.len());
+    for &f_val in &f_values {
+        for &p_val in &p_values {
+            cells.push(winner_cell(model, base, p_val, f_val));
+        }
+    }
+    RegionGrid {
+        p_values,
+        f_values,
+        cells,
+    }
+}
+
+impl RegionGrid {
+    /// Render the grid as an ASCII map (rows = `f` descending, cols = `P`
+    /// ascending), matching how the paper draws its region figures.
+    pub fn ascii_map(&self) -> String {
+        let mut out = String::new();
+        out.push_str("        f \\ P ");
+        for p in &self.p_values {
+            out.push_str(&format!("{:>4.2}", p));
+        }
+        out.push('\n');
+        for (fi, f) in self.f_values.iter().enumerate().rev() {
+            out.push_str(&format!("{f:>12.6}  "));
+            for pi in 0..self.p_values.len() {
+                let cell = &self.cells[fi * self.p_values.len() + pi];
+                out.push_str(&format!("{:>4}", cell.winner.glyph()));
+            }
+            out.push('\n');
+        }
+        out.push_str("  (R = Always Recompute, C = Cache & Invalidate, U = Update Cache)\n");
+        out
+    }
+
+    /// Render a closeness map: `#` where CI ≤ `threshold` × best-UC (the
+    /// paper's "within a factor of two" figures F14/F15), `.` elsewhere.
+    pub fn closeness_map(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str("        f \\ P ");
+        for p in &self.p_values {
+            out.push_str(&format!("{:>4.2}", p));
+        }
+        out.push('\n');
+        for (fi, f) in self.f_values.iter().enumerate().rev() {
+            out.push_str(&format!("{f:>12.6}  "));
+            for pi in 0..self.p_values.len() {
+                let cell = &self.cells[fi * self.p_values.len() + pi];
+                let ch = if cell.ci_over_uc <= threshold { '#' } else { '.' };
+                out.push_str(&format!("{ch:>4}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  (# = Cache & Invalidate within {threshold}x of Update Cache)\n"
+        ));
+        out
+    }
+
+    /// Fraction of cells won by each family: `(recompute, ci, uc)`.
+    pub fn family_shares(&self) -> (f64, f64, f64) {
+        let n = self.cells.len() as f64;
+        let count = |fam: Family| {
+            self.cells.iter().filter(|c| c.winner == fam).count() as f64 / n
+        };
+        (
+            count(Family::Recompute),
+            count(Family::CacheInvalidate),
+            count(Family::UpdateCache),
+        )
+    }
+}
+
+/// The update probability at which Update Cache stops being the cheapest
+/// family for object size `f` — the boundary curve of the winner-region
+/// figures. `None` if UC never wins (or never loses) on `[0, 0.99]`.
+///
+/// Well-defined because UC cost is monotone increasing in `P` while AR is
+/// flat and CI is bounded by its plateau.
+pub fn update_cache_break_even_p(model: Model, base: &Params, f_val: f64) -> Option<f64> {
+    let uc_wins = |p_val: f64| {
+        let params = base.clone().with_update_probability(p_val).with_f(f_val);
+        let (_, uc) = best_update_cache(model, &params);
+        let ar = cost(model, Strategy::AlwaysRecompute, &params);
+        let ci = cost(model, Strategy::CacheInvalidate, &params);
+        uc <= ar && uc <= ci
+    };
+    let (mut lo, mut hi) = (0.0f64, 0.99f64);
+    if !uc_wins(lo) || uc_wins(hi) {
+        return None;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if uc_wins(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = region_grid(Model::One, &Params::default());
+        assert_eq!(g.cells.len(), g.p_values.len() * g.f_values.len());
+    }
+
+    #[test]
+    fn high_p_cells_go_to_recompute() {
+        // Figure 12: AR wins at high P for every object size.
+        let g = region_grid(Model::One, &Params::default());
+        let last_p = g.p_values.len() - 1;
+        for (fi, _) in g.f_values.iter().enumerate() {
+            let cell = &g.cells[fi * g.p_values.len() + last_p];
+            assert_eq!(
+                cell.winner,
+                Family::Recompute,
+                "f = {}, P = {}",
+                cell.f,
+                cell.p
+            );
+        }
+    }
+
+    #[test]
+    fn low_p_cells_go_to_a_caching_family() {
+        let g = region_grid(Model::One, &Params::default());
+        for (fi, _) in g.f_values.iter().enumerate() {
+            let cell = &g.cells[fi * g.p_values.len()];
+            assert_ne!(cell.winner, Family::Recompute, "f = {}", cell.f);
+        }
+    }
+
+    #[test]
+    fn update_cache_wins_narrower_p_range_for_large_objects() {
+        // §5 (Figure 12 discussion): "Update Cache wins for a smaller range
+        // of values for P when objects are large than when they are small."
+        let g = region_grid(Model::One, &Params::default());
+        let np = g.p_values.len();
+        let range_for = |fi: usize| {
+            (0..np)
+                .filter(|&pi| g.cells[fi * np + pi].winner == Family::UpdateCache)
+                .count()
+        };
+        let small_fi = 0; // f = 1e-5
+        let large_fi = g.f_values.len() - 1; // f ≈ 2e-2
+        assert!(
+            range_for(small_fi) >= range_for(large_fi),
+            "small: {}, large: {}",
+            range_for(small_fi),
+            range_for(large_fi)
+        );
+    }
+
+    #[test]
+    fn high_locality_helps_cache_invalidate() {
+        // Figure 13: with Z = 0.05, CI wins cells (for small objects) that
+        // it does not win at Z = 0.2.
+        let base = region_grid(Model::One, &Params::default());
+        let local = region_grid(Model::One, &Params::default().with_z(0.05));
+        let (_, ci_base, _) = base.family_shares();
+        let (_, ci_local, _) = local.family_shares();
+        assert!(
+            ci_local >= ci_base,
+            "CI share should not shrink with locality: {ci_base} -> {ci_local}"
+        );
+        assert!(ci_local > 0.0, "CI should win some cells at Z = 0.05");
+    }
+
+    #[test]
+    fn model2_best_uc_is_rvm_at_default_sf() {
+        // Figure 19 vs Figure 12: in Model 2 the winning UC variant is RVM.
+        let g = region_grid(Model::Two, &Params::default());
+        let uc_cells: Vec<_> = g
+            .cells
+            .iter()
+            .filter(|c| c.winner == Family::UpdateCache)
+            .collect();
+        assert!(!uc_cells.is_empty());
+        assert!(uc_cells
+            .iter()
+            .all(|c| c.best_uc_variant == Strategy::UpdateCacheRvm));
+    }
+
+    #[test]
+    fn closeness_region_grows_when_false_invalidation_removed() {
+        // F15: with f2 = 1 the probability of false invalidation is zero and
+        // CI gets closer to UC for small objects.
+        let base = region_grid(Model::One, &Params::default());
+        let nofalse = region_grid(Model::One, &Params::default().with_f2(1.0));
+        let close = |g: &RegionGrid| {
+            g.cells.iter().filter(|c| c.ci_over_uc <= 2.0).count()
+        };
+        assert!(close(&nofalse) >= close(&base));
+    }
+
+    #[test]
+    fn break_even_p_decreases_with_object_size() {
+        // The boundary curve of Figure 12: larger objects lose the UC
+        // advantage at lower update probabilities.
+        let base = Params::default();
+        let small = update_cache_break_even_p(Model::One, &base, 1e-4).expect("exists");
+        let large = update_cache_break_even_p(Model::One, &base, 1e-2).expect("exists");
+        assert!(
+            large < small,
+            "break-even should shrink with f: f=1e-4 -> {small}, f=1e-2 -> {large}"
+        );
+        assert!((0.05..0.95).contains(&small));
+        assert!((0.05..0.95).contains(&large));
+    }
+
+    #[test]
+    fn break_even_consistent_with_region_grid() {
+        let base = Params::default();
+        let g = region_grid(Model::One, &base);
+        for &f_val in &[1e-4, 1e-3] {
+            let p_star = update_cache_break_even_p(Model::One, &base, f_val).unwrap();
+            // Cells clearly below the boundary are UC, clearly above not.
+            let below = winner_cell(Model::One, &base, (p_star - 0.1).max(0.01), f_val);
+            let above = winner_cell(Model::One, &base, (p_star + 0.1).min(0.98), f_val);
+            assert_eq!(below.winner, Family::UpdateCache, "f={f_val}");
+            assert_ne!(above.winner, Family::UpdateCache, "f={f_val}");
+        }
+        let _ = g;
+    }
+
+    #[test]
+    fn ascii_maps_render() {
+        let g = region_grid(Model::One, &Params::default());
+        let map = g.ascii_map();
+        assert!(map.contains('R'));
+        assert!(map.lines().count() > g.f_values.len());
+        let cm = g.closeness_map(2.0);
+        assert!(cm.contains('#') || cm.contains('.'));
+    }
+}

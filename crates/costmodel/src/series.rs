@@ -1,0 +1,251 @@
+//! Figure-series generation: sweeps of cost vs update probability `P` and
+//! cost vs sharing factor `SF`, matching the curves the paper plots.
+
+use crate::params::Params;
+use crate::strategy::{cost, cost_all, Model, Strategy};
+
+/// One plotted curve: `(x, cost-ms)` pairs for a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Which strategy this curve belongs to.
+    pub strategy: Strategy,
+    /// `(x, y)` points; `x` is `P` or `SF` depending on the sweep.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete figure: an id/title plus one curve per strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Experiment id, e.g. `"F5"`.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Name of the x-axis variable (`"P"` or `"SF"`).
+    pub x_label: &'static str,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// Default grid of update probabilities used for the `cost vs P` figures.
+/// Stops short of 1.0 because per-query cost diverges as `q → 0`.
+pub fn default_p_grid() -> Vec<f64> {
+    (0..=49).map(|i| i as f64 * 0.02).collect()
+}
+
+/// Default grid of sharing factors for the `cost vs SF` figures.
+pub fn default_sf_grid() -> Vec<f64> {
+    (0..=50).map(|i| i as f64 * 0.02).collect()
+}
+
+/// Sweep cost vs update probability for all four strategies.
+pub fn sweep_update_probability(
+    model: Model,
+    base: &Params,
+    grid: &[f64],
+) -> Vec<Series> {
+    Strategy::ALL
+        .iter()
+        .map(|&s| Series {
+            strategy: s,
+            points: grid
+                .iter()
+                .map(|&prob| {
+                    let p = base.clone().with_update_probability(prob);
+                    (prob, cost(model, s, &p))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Sweep cost vs sharing factor for the two Update Cache variants (the
+/// paper's Figures 11 and 18).
+pub fn sweep_sharing_factor(model: Model, base: &Params, grid: &[f64]) -> Vec<Series> {
+    [Strategy::UpdateCacheAvm, Strategy::UpdateCacheRvm]
+        .iter()
+        .map(|&s| Series {
+            strategy: s,
+            points: grid
+                .iter()
+                .map(|&sf| {
+                    let p = base.clone().with_sf(sf);
+                    (sf, cost(model, s, &p))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Build the full set of line-plot figures from the paper (the winner-region
+/// figures live in [`crate::regions`]). IDs follow the in-text numbering of
+/// §5/§7 — see DESIGN.md §4 for the mapping.
+pub fn paper_figures() -> Vec<Figure> {
+    let d = Params::default;
+    let p_grid = default_p_grid();
+    let sf_grid = default_sf_grid();
+    let mut figs = Vec::new();
+    let p_fig = |id: &str, title: &str, model: Model, base: Params| Figure {
+        id: id.to_string(),
+        title: title.to_string(),
+        x_label: "P",
+        series: sweep_update_probability(model, &base, &p_grid),
+    };
+
+    figs.push(p_fig(
+        "F4",
+        "Query cost vs update probability, high invalidation cost (C_inval = 60 ms)",
+        Model::One,
+        d().with_c_inval(60.0),
+    ));
+    figs.push(p_fig(
+        "F5",
+        "Query cost vs update probability, low invalidation cost (C_inval = 0)",
+        Model::One,
+        d(),
+    ));
+    figs.push(p_fig(
+        "F6",
+        "Query cost vs update probability, large objects (f = 0.01)",
+        Model::One,
+        d().with_f(0.01),
+    ));
+    figs.push(p_fig(
+        "F7",
+        "Query cost vs update probability, small objects (f = 0.0001)",
+        Model::One,
+        d().with_f(0.0001),
+    ));
+    figs.push(p_fig(
+        "F8",
+        "Query cost vs update probability, single-tuple objects (N1=100, N2=0, f=1/N)",
+        Model::One,
+        d().with_populations(100.0, 0.0).with_f(1.0 / 100_000.0),
+    ));
+    figs.push(p_fig(
+        "F9",
+        "Query cost vs update probability, high locality (Z = 0.05)",
+        Model::One,
+        d().with_z(0.05),
+    ));
+    figs.push(p_fig(
+        "F10",
+        "Query cost vs update probability, many objects (N1 = N2 = 1000)",
+        Model::One,
+        d().with_populations(1000.0, 1000.0),
+    ));
+    figs.push(Figure {
+        id: "F11".to_string(),
+        title: "Model 1: Update Cache cost vs sharing factor (AVM vs RVM)".to_string(),
+        x_label: "SF",
+        series: sweep_sharing_factor(Model::One, &d().with_update_probability(0.5), &sf_grid),
+    });
+    figs.push(p_fig(
+        "F17",
+        "Model 2: query cost vs update probability (defaults)",
+        Model::Two,
+        d(),
+    ));
+    figs.push(Figure {
+        id: "F18".to_string(),
+        title: "Model 2: Update Cache cost vs sharing factor (crossover ≈ 0.47)".to_string(),
+        x_label: "SF",
+        series: sweep_sharing_factor(Model::Two, &d().with_update_probability(0.5), &sf_grid),
+    });
+    figs
+}
+
+/// §8 headline check: at `f = 0.0001`, `P = 0.1`, Cache-and-Invalidate and
+/// Update Cache outperform Always Recompute "by factors of approximately 5
+/// and 7, respectively". Returns `(ci_speedup, uc_speedup)`.
+pub fn headline_speedups() -> (f64, f64) {
+    let p = Params::default().with_f(0.0001).with_update_probability(0.1);
+    let all = cost_all(Model::One, &p);
+    let ar = all[0].1;
+    let ci = all[1].1;
+    let uc = all[2].1.min(all[3].1);
+    (ar / ci, ar / uc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_are_complete() {
+        let figs = paper_figures();
+        let ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F17", "F18"]
+        );
+        for f in &figs {
+            let n = if f.x_label == "SF" { 2 } else { 4 };
+            assert_eq!(f.series.len(), n, "{}", f.id);
+            for s in &f.series {
+                assert!(!s.points.is_empty());
+                assert!(s.points.iter().all(|(_, y)| y.is_finite() && *y >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn headline_factors_roughly_match_section_8() {
+        let (ci, uc) = headline_speedups();
+        // "factors of approximately 5 and 7"
+        assert!((3.5..=7.0).contains(&ci), "CI speedup = {ci}");
+        assert!((5.0..=9.5).contains(&uc), "UC speedup = {uc}");
+        assert!(uc > ci, "Update Cache should beat CI at f=1e-4, P=0.1");
+    }
+
+    #[test]
+    fn f4_ci_much_worse_than_f5_ci() {
+        // §5: CI cost is highly sensitive to C_inval.
+        let figs = paper_figures();
+        let get = |id: &str| {
+            figs.iter()
+                .find(|f| f.id == id)
+                .unwrap()
+                .series
+                .iter()
+                .find(|s| s.strategy == Strategy::CacheInvalidate)
+                .unwrap()
+                .clone()
+        };
+        let f4 = get("F4");
+        let f5 = get("F5");
+        // Compare at P = 0.9 (grid point 45), where the amortized T3 term
+        // k/q · n · P_inval · C_inval dominates.
+        let (x, y4) = f4.points[45];
+        let (_, y5) = f5.points[45];
+        assert!((x - 0.9).abs() < 1e-9);
+        assert!(y4 > 2.0 * y5, "F4 CI = {y4}, F5 CI = {y5}");
+    }
+
+    #[test]
+    fn update_cache_curves_increase_with_p() {
+        let figs = paper_figures();
+        let f5 = figs.iter().find(|f| f.id == "F5").unwrap();
+        for s in &f5.series {
+            if matches!(
+                s.strategy,
+                Strategy::UpdateCacheAvm | Strategy::UpdateCacheRvm
+            ) {
+                for w in s.points.windows(2) {
+                    assert!(w[1].1 >= w[0].1, "{:?} not monotone", s.strategy);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f18_curves_cross() {
+        let figs = paper_figures();
+        let f18 = figs.iter().find(|f| f.id == "F18").unwrap();
+        let avm = &f18.series[0].points;
+        let rvm = &f18.series[1].points;
+        let first = (rvm[0].1 - avm[0].1).signum();
+        let last = (rvm.last().unwrap().1 - avm.last().unwrap().1).signum();
+        assert_eq!(first, 1.0, "RVM should lose at SF = 0");
+        assert_eq!(last, -1.0, "RVM should win at SF = 1");
+    }
+}

@@ -1,0 +1,146 @@
+//! Strategy and model enums plus a uniform evaluation entry point.
+
+use crate::params::Params;
+use crate::{model1, model2};
+
+/// The four query-processing strategies the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Run the stored plan on every access.
+    AlwaysRecompute,
+    /// Cache the last result; i-locks invalidate it; recompute on miss.
+    CacheInvalidate,
+    /// Keep the cache current with algebraic (non-shared) view maintenance.
+    UpdateCacheAvm,
+    /// Keep the cache current with a shared Rete network.
+    UpdateCacheRvm,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::AlwaysRecompute,
+        Strategy::CacheInvalidate,
+        Strategy::UpdateCacheAvm,
+        Strategy::UpdateCacheRvm,
+    ];
+
+    /// Short label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::AlwaysRecompute => "AlwaysRecompute",
+            Strategy::CacheInvalidate => "CacheInvalidate",
+            Strategy::UpdateCacheAvm => "UpdateCache-AVM",
+            Strategy::UpdateCacheRvm => "UpdateCache-RVM",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The two procedure-population models (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// `P2` = two-way join.
+    One,
+    /// `P2` = three-way join.
+    Two,
+}
+
+/// Expected cost (ms) per procedure access for `strategy` under `model`.
+pub fn cost(model: Model, strategy: Strategy, p: &Params) -> f64 {
+    match (model, strategy) {
+        (Model::One, Strategy::AlwaysRecompute) => model1::recompute(p).total,
+        (Model::One, Strategy::CacheInvalidate) => model1::cache_invalidate(p).total,
+        (Model::One, Strategy::UpdateCacheAvm) => model1::update_cache_avm(p).total,
+        (Model::One, Strategy::UpdateCacheRvm) => model1::update_cache_rvm(p).total,
+        (Model::Two, Strategy::AlwaysRecompute) => model2::recompute(p).total,
+        (Model::Two, Strategy::CacheInvalidate) => model2::cache_invalidate(p).total,
+        (Model::Two, Strategy::UpdateCacheAvm) => model2::update_cache_avm(p).total,
+        (Model::Two, Strategy::UpdateCacheRvm) => model2::update_cache_rvm(p).total,
+    }
+}
+
+/// Costs for all four strategies, in [`Strategy::ALL`] order.
+pub fn cost_all(model: Model, p: &Params) -> [(Strategy, f64); 4] {
+    Strategy::ALL.map(|s| (s, cost(model, s, p)))
+}
+
+/// The cheapest strategy (ties broken in `ALL` order).
+pub fn winner(model: Model, p: &Params) -> (Strategy, f64) {
+    cost_all(model, p)
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("non-empty")
+}
+
+/// The cheapest of the two Update Cache variants (used by the winner-region
+/// figures, which lump AVM/RVM together as "Update Cache").
+pub fn best_update_cache(model: Model, p: &Params) -> (Strategy, f64) {
+    let avm = cost(model, Strategy::UpdateCacheAvm, p);
+    let rvm = cost(model, Strategy::UpdateCacheRvm, p);
+    if rvm < avm {
+        (Strategy::UpdateCacheRvm, rvm)
+    } else {
+        (Strategy::UpdateCacheAvm, avm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_costs_finite_and_positive_over_grid() {
+        for model in [Model::One, Model::Two] {
+            for pi in 0..10 {
+                let prob = pi as f64 / 10.0;
+                for &f in &[1e-5, 1e-4, 1e-3, 1e-2] {
+                    let p = Params::default().with_update_probability(prob).with_f(f);
+                    for (s, c) in cost_all(model, &p) {
+                        assert!(c.is_finite() && c >= 0.0, "{model:?} {s} P={prob} f={f}: {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn winner_low_p_is_update_cache_default_f() {
+        let p = Params::default().with_update_probability(0.05);
+        let (w, _) = winner(Model::One, &p);
+        assert!(
+            matches!(w, Strategy::UpdateCacheAvm | Strategy::UpdateCacheRvm),
+            "got {w}"
+        );
+    }
+
+    #[test]
+    fn winner_high_p_is_always_recompute() {
+        // §5: methods with per-update overhead lose to AR when P is large.
+        let p = Params::default().with_update_probability(0.98);
+        let (w, _) = winner(Model::One, &p);
+        assert_eq!(w, Strategy::AlwaysRecompute);
+    }
+
+    #[test]
+    fn model2_winner_region_prefers_rvm() {
+        // §7 / Figure 19: in Model 2 the best Update Cache variant is RVM
+        // (for the default SF = 0.5, just above the ≈0.47 crossover).
+        let p = Params::default().with_update_probability(0.3);
+        let (best, _) = best_update_cache(Model::Two, &p);
+        assert_eq!(best, Strategy::UpdateCacheRvm);
+        let (best1, _) = best_update_cache(Model::One, &p);
+        assert_eq!(best1, Strategy::UpdateCacheAvm);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Strategy::AlwaysRecompute.to_string(), "AlwaysRecompute");
+        assert_eq!(Strategy::UpdateCacheRvm.to_string(), "UpdateCache-RVM");
+    }
+}

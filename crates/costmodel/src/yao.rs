@@ -1,0 +1,174 @@
+//! Expected-pages-touched estimators (the paper's Appendix A).
+//!
+//! Given `n` records stored on `m` blocks, how many distinct blocks does an
+//! access to `k` random records touch?
+//!
+//! * [`yao_exact`] — Yao's exact hypergeometric formula \[Yao77\].
+//! * [`cardenas`] — Cardenas' approximation `m(1 − (1 − 1/m)^k)` \[Car75\].
+//! * [`yao_paper`] — the clamped approximation the paper actually uses
+//!   (Appendix A), which patches Cardenas' misbehavior for tiny `m`/`k`.
+//!
+//! All three accept fractional `n`, `m`, `k` because the paper plugs in
+//! expectations (e.g. `k = 2fl = 0.05` tuples).
+
+/// Upper bound `U` below which the paper's approximation returns
+/// `min(k, m)` instead of Cardenas (Appendix A uses `U = 2`).
+pub const SMALL_FILE_BOUND: f64 = 2.0;
+
+/// Cardenas' approximation: `m · (1 − (1 − 1/m)^k)`.
+///
+/// Very accurate when the blocking factor `n/m` is large (> 10) and `m` is
+/// not close to 1. Monotone in `k`, bounded above by `m`.
+pub fn cardenas(m: f64, k: f64) -> f64 {
+    if m <= 0.0 {
+        return 0.0;
+    }
+    m * (1.0 - (1.0 - 1.0 / m).powf(k))
+}
+
+/// Yao's exact expected number of blocks touched:
+/// `m · (1 − C(n−p, k) / C(n, k))` with blocking factor `p = n/m`.
+///
+/// Evaluated in product form `Π_{i=0}^{k−1} (n−p−i)/(n−i)` to stay in
+/// floating point without overflow. `k` is truncated to an integer count of
+/// records (the exact formula is only defined for integral `k`); callers
+/// with fractional expectations should prefer [`yao_paper`].
+pub fn yao_exact(n: f64, m: f64, k: f64) -> f64 {
+    if m <= 0.0 || n <= 0.0 {
+        return 0.0;
+    }
+    let k = k.floor();
+    if k <= 0.0 {
+        return 0.0;
+    }
+    if k >= n {
+        return m;
+    }
+    let p = n / m; // records per block
+    let mut ratio = 1.0f64;
+    let mut i = 0.0f64;
+    while i < k {
+        let num = n - p - i;
+        if num <= 0.0 {
+            ratio = 0.0;
+            break;
+        }
+        ratio *= num / (n - i);
+        i += 1.0;
+    }
+    m * (1.0 - ratio)
+}
+
+/// The paper's clamped approximation (Appendix A):
+///
+/// ```
+/// use procdb_costmodel::yao_paper;
+/// // 100 records accessed in a 10,000-record, 250-page file (the paper's
+/// // Y1 term): ≈ 82.6 distinct pages.
+/// assert!((yao_paper(10_000.0, 250.0, 100.0) - 82.55).abs() < 0.01);
+/// // Fractional expectations below one record map to fractional pages.
+/// assert_eq!(yao_paper(100_000.0, 2_500.0, 0.05), 0.05);
+/// ```
+///
+/// 1. if `k ≤ 1`, the expected pages touched is `k` (a stored object
+///    occupies at least one page, and a fractional expected record count
+///    touches a fractional expected page count);
+/// 2. else if `m < 1`, return 1;
+/// 3. else if `m < U` (`U = 2`), return `min(k, m)`;
+/// 4. otherwise, Cardenas' approximation.
+pub fn yao_paper(n: f64, m: f64, k: f64) -> f64 {
+    let _ = n; // the clamped form only needs m and k; kept for signature parity
+    if k <= 1.0 {
+        k.max(0.0)
+    } else if m < 1.0 {
+        1.0
+    } else if m < SMALL_FILE_BOUND {
+        k.min(m)
+    } else {
+        cardenas(m, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardenas_basics() {
+        // One record touches exactly ~1 page.
+        assert!((cardenas(100.0, 1.0) - 1.0).abs() < 0.01);
+        // Touching far more records than pages saturates at m.
+        assert!((cardenas(10.0, 10_000.0) - 10.0).abs() < 1e-9);
+        // Zero records → zero pages.
+        assert_eq!(cardenas(10.0, 0.0), 0.0);
+        // Degenerate file.
+        assert_eq!(cardenas(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn yao_exact_basics() {
+        // All records → all pages.
+        assert_eq!(yao_exact(1000.0, 10.0, 1000.0), 10.0);
+        // One record → exactly one page.
+        assert!((yao_exact(1000.0, 10.0, 1.0) - 1.0).abs() < 1e-9);
+        // Zero records → zero pages.
+        assert_eq!(yao_exact(1000.0, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn yao_exact_vs_cardenas_close_for_large_blocking() {
+        // Appendix A: Cardenas is very close when n/m > 10.
+        let n = 10_000.0;
+        let m = 250.0; // blocking factor 40
+        for &k in &[2.0, 10.0, 50.0, 100.0, 500.0] {
+            let exact = yao_exact(n, m, k);
+            let approx = cardenas(m, k);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.02, "k={k}: exact={exact} cardenas={approx}");
+        }
+    }
+
+    #[test]
+    fn paper_clamps() {
+        // Rule 1: k ≤ 1 → k.
+        assert_eq!(yao_paper(100.0, 10.0, 0.05), 0.05);
+        assert_eq!(yao_paper(100.0, 10.0, 1.0), 1.0);
+        assert_eq!(yao_paper(100.0, 10.0, -0.5), 0.0);
+        // Rule 2: m < 1 → 1.
+        assert_eq!(yao_paper(10.0, 0.25, 5.0), 1.0);
+        // Rule 3: 1 ≤ m < 2 → min(k, m).
+        assert_eq!(yao_paper(10.0, 1.5, 5.0), 1.5);
+        assert_eq!(yao_paper(10.0, 1.5, 1.2), 1.2);
+        // Rule 4: Cardenas.
+        let got = yao_paper(10_000.0, 250.0, 100.0);
+        assert!((got - cardenas(250.0, 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_value_y1_from_section_4() {
+        // Y1 = y(f_R2·N, f_R2·b, f·N) = y(10_000, 250, 100) with defaults.
+        let y1 = yao_paper(10_000.0, 250.0, 100.0);
+        // 250(1 − (1 − 1/250)^100) ≈ 82.55
+        assert!((y1 - 82.55).abs() < 0.1, "y1 = {y1}");
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut last = 0.0;
+        for i in 0..200 {
+            let k = i as f64 * 0.5;
+            let v = yao_paper(10_000.0, 250.0, k);
+            assert!(v >= last - 1e-12, "not monotone at k={k}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn bounded_by_m_for_real_files() {
+        for &m in &[2.0, 10.0, 1000.0] {
+            for &k in &[1.5, 10.0, 1e6] {
+                assert!(yao_paper(1e7, m, k) <= m + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the analytical model: estimator bounds, limit
+//! behavior, and structural relations between the strategies that must
+//! hold at *every* parameter point, not just the paper's defaults.
+
+use proptest::prelude::*;
+
+use procdb_costmodel::{
+    cardenas, cost, cost_all, model1, yao_exact, yao_paper, Model, Params,
+    Strategy as Strat,
+};
+
+/// Random-but-sane parameter points.
+#[allow(clippy::field_reassign_with_default)]
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (
+        1e-5..0.02f64,         // f
+        0.01..1.0f64,          // f2
+        0.0..0.95f64,          // P
+        1.0..100.0f64,         // l
+        (1.0..500.0f64, 0.0..500.0f64), // N1, N2
+        0.01..0.99f64,         // Z
+        0.0..1.0f64,           // SF
+    )
+        .prop_map(|(f, f2, p, l, (n1, n2), z, sf)| {
+            let mut params = Params::default();
+            params.f = f;
+            params.f2 = f2;
+            params.l = l;
+            params.n1 = n1.round();
+            params.n2 = n2.round();
+            params.z = z;
+            params.sf = sf;
+            params.with_update_probability(p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Yao estimators: bounded by the page count, zero at zero, monotone.
+    #[test]
+    fn yao_bounds(n in 1.0..1e6f64, m in 2.0..1e4f64, k in 0.0..1e6f64) {
+        let n = n.max(m); // at least one record per page
+        for est in [yao_paper(n, m, k), cardenas(m, k), yao_exact(n, m, k)] {
+            prop_assert!(est >= 0.0);
+            prop_assert!(est <= m + 1e-9, "estimate {est} exceeds file size {m}");
+        }
+        // One more record never touches fewer pages.
+        prop_assert!(yao_paper(n, m, k + 1.0) + 1e-12 >= yao_paper(n, m, k));
+    }
+
+    /// Exact Yao and Cardenas agree within 5% for healthy blocking factors.
+    #[test]
+    fn yao_exact_near_cardenas(m in 10.0..2000f64, k in 2.0..500f64) {
+        let n = m * 40.0; // blocking factor 40 ≫ 10
+        let k = k.min(n - 1.0).floor();
+        let exact = yao_exact(n, m, k);
+        let approx = cardenas(m, k);
+        if exact > 1.0 {
+            prop_assert!(
+                ((exact - approx).abs() / exact) < 0.05,
+                "n={n} m={m} k={k}: exact {exact} vs cardenas {approx}"
+            );
+        }
+    }
+
+    /// All strategy costs are finite, non-negative, and the winner's cost
+    /// is a true minimum.
+    #[test]
+    fn costs_well_formed(p in params_strategy()) {
+        for model in [Model::One, Model::Two] {
+            let costs = cost_all(model, &p);
+            for (s, c) in costs {
+                prop_assert!(c.is_finite() && c >= 0.0, "{model:?}/{s}: {c}");
+            }
+            let (w, wc) = procdb_costmodel::winner(model, &p);
+            prop_assert!(costs.iter().all(|(_, c)| wc <= *c + 1e-9), "{w} not minimal");
+        }
+    }
+
+    /// Always Recompute never depends on the update rate.
+    #[test]
+    fn recompute_independent_of_p(p in params_strategy(), p2 in 0.0..0.95f64) {
+        let other = p.clone().with_update_probability(p2);
+        prop_assert_eq!(
+            cost(Model::One, Strat::AlwaysRecompute, &p),
+            cost(Model::One, Strat::AlwaysRecompute, &other)
+        );
+    }
+
+    /// Update Cache cost is monotone non-decreasing in the update rate.
+    #[test]
+    fn update_cache_monotone_in_p(p in params_strategy()) {
+        let mut last = -1.0f64;
+        for i in 0..10 {
+            let q = p.clone().with_update_probability(i as f64 * 0.1);
+            let c = cost(Model::One, Strat::UpdateCacheAvm, &q);
+            prop_assert!(c + 1e-9 >= last, "AVM not monotone at P = {}", i as f64 * 0.1);
+            last = c;
+        }
+    }
+
+    /// At P = 0, Cache&Invalidate and both Update Cache variants all cost
+    /// exactly one cache read (§5: the curves meet at the origin).
+    #[test]
+    fn caching_strategies_meet_at_zero_p(p in params_strategy()) {
+        let q = p.with_update_probability(0.0);
+        let read = model1::c_read(&q);
+        prop_assert_eq!(cost(Model::One, Strat::CacheInvalidate, &q), read);
+        prop_assert_eq!(cost(Model::One, Strat::UpdateCacheAvm, &q), read);
+        prop_assert_eq!(cost(Model::One, Strat::UpdateCacheRvm, &q), read);
+    }
+
+    /// The invalidation probability is a probability, monotone in P.
+    #[test]
+    fn ip_is_probability(p in params_strategy()) {
+        let ip = model1::invalidation_probability(&p);
+        prop_assert!((0.0..=1.0).contains(&ip), "IP = {ip}");
+    }
+
+    /// Model 2 recompute is never cheaper than Model 1 (a three-way join
+    /// strictly extends the two-way plan) when any P2 procedures exist.
+    #[test]
+    fn model2_recompute_at_least_model1(p in params_strategy()) {
+        let m1 = cost(Model::One, Strat::AlwaysRecompute, &p);
+        let m2 = cost(Model::Two, Strat::AlwaysRecompute, &p);
+        prop_assert!(m2 + 1e-9 >= m1, "m2 = {m2} < m1 = {m1}");
+    }
+
+    /// RVM cost is monotone non-increasing in the sharing factor; AVM is
+    /// flat (§8: "Increasing the sharing factor makes RVM perform better,
+    /// but does not affect the performance of AVM").
+    #[test]
+    fn sharing_factor_effects(p in params_strategy()) {
+        let mut last_rvm = f64::INFINITY;
+        let avm0 = cost(Model::One, Strat::UpdateCacheAvm, &p.clone().with_sf(0.0));
+        for i in 0..=10 {
+            let q = p.clone().with_sf(i as f64 / 10.0);
+            let rvm = cost(Model::One, Strat::UpdateCacheRvm, &q);
+            prop_assert!(rvm <= last_rvm + 1e-9);
+            last_rvm = rvm;
+            prop_assert_eq!(cost(Model::One, Strat::UpdateCacheAvm, &q), avm0);
+        }
+    }
+
+    /// CI sits between a pure cache read and a pure recompute-plus-write
+    /// cycle (plus its invalidation-recording term).
+    #[test]
+    fn ci_is_bounded_by_extremes(p in params_strategy()) {
+        let ci = model1::cache_invalidate(&p);
+        prop_assert!(ci.total + 1e-9 >= ci.t2, "below the always-valid floor");
+        prop_assert!(
+            ci.total <= ci.t1 + ci.t3 + 1e-9,
+            "above the always-invalid ceiling"
+        );
+    }
+}

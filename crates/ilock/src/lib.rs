@@ -1,0 +1,38 @@
+//! # procdb-ilock
+//!
+//! Invalidation locks ("rule indexing", \[SSH86\]) for the `procdb`
+//! reproduction of Hanson (SIGMOD 1988).
+//!
+//! When a procedure's value is computed, persistent **i-locks** are set on
+//! everything the computation read: the B-tree *index interval* scanned on
+//! `R1` and the hash keys probed on `R2`/`R3`. Each i-lock carries the id
+//! of the procedure it protects. When an update later writes a value whose
+//! key falls inside a conflicting i-lock, that procedure is flagged:
+//!
+//! * under **Cache and Invalidate**, the cached value is marked invalid
+//!   (at `C_inval` per recorded invalidation);
+//! * under **Update Cache**, the broken lock triggers differential
+//!   maintenance (the paper's "screen updated tuples when i-locks are
+//!   broken").
+//!
+//! ```
+//! use procdb_ilock::{ILockManager, ProcId, TableRef};
+//!
+//! let mut locks = ILockManager::new();
+//! let r1 = TableRef(0);
+//! locks.set_range_lock(r1, 100, 199, ProcId(7)); // index interval read
+//! // An update writes key 150 into R1 → procedure 7 is affected:
+//! assert_eq!(locks.conflicting(r1, 150), vec![ProcId(7)]);
+//! assert!(locks.conflicting(r1, 99).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod validity;
+pub mod wal;
+
+pub use manager::{ILockManager, LockStats, ProcId, TableRef};
+pub use validity::ValidityTable;
+pub use wal::RecoverableValidity;

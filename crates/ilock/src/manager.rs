@@ -1,0 +1,198 @@
+//! The i-lock manager: per-table interval locks owned by procedures.
+
+use std::collections::HashMap;
+
+/// Identifies a stored database procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Identifies a base table (engine-assigned number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableRef(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RangeLock {
+    lo: i64,
+    hi: i64,
+    owner: ProcId,
+}
+
+/// Aggregate lock statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStats {
+    /// Total interval locks currently set.
+    pub range_locks: usize,
+    /// Number of tables with at least one lock.
+    pub tables: usize,
+}
+
+/// Persistent invalidation locks, indexed per table.
+///
+/// Lock lookup is a scan of the table's interval list — the populations the
+/// paper models hold a few hundred locks per table, where a scan is faster
+/// than any tree. (An interval tree drops in behind the same API if a
+/// workload ever needs it.)
+#[derive(Debug, Default)]
+pub struct ILockManager {
+    by_table: HashMap<TableRef, Vec<RangeLock>>,
+}
+
+impl ILockManager {
+    /// Empty manager.
+    pub fn new() -> ILockManager {
+        ILockManager::default()
+    }
+
+    /// Set an interval i-lock `[lo, hi]` on `table` for `owner` — the index
+    /// interval inspected by a B-tree selection.
+    pub fn set_range_lock(&mut self, table: TableRef, lo: i64, hi: i64, owner: ProcId) {
+        self.by_table
+            .entry(table)
+            .or_default()
+            .push(RangeLock { lo, hi, owner });
+    }
+
+    /// Set a single-key i-lock — a hash-index probe.
+    pub fn set_key_lock(&mut self, table: TableRef, key: i64, owner: ProcId) {
+        self.set_range_lock(table, key, key, owner);
+    }
+
+    /// Drop every lock owned by `owner` (done before re-computing the
+    /// procedure, which sets a fresh lock set).
+    pub fn drop_locks(&mut self, owner: ProcId) {
+        for locks in self.by_table.values_mut() {
+            locks.retain(|l| l.owner != owner);
+        }
+    }
+
+    /// Procedures whose i-locks conflict with a write of `key` into
+    /// `table`. Each owner is reported once, in first-lock order.
+    pub fn conflicting(&self, table: TableRef, key: i64) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        if let Some(locks) = self.by_table.get(&table) {
+            for l in locks {
+                if key >= l.lo && key <= l.hi && !out.contains(&l.owner) {
+                    out.push(l.owner);
+                }
+            }
+        }
+        out
+    }
+
+    /// Procedures conflicting with *any* of the written keys. Each owner
+    /// reported once.
+    pub fn conflicting_any(
+        &self,
+        writes: impl IntoIterator<Item = (TableRef, i64)>,
+    ) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        for (table, key) in writes {
+            for owner in self.conflicting(table, key) {
+                if !out.contains(&owner) {
+                    out.push(owner);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `owner` currently holds any lock.
+    pub fn holds_locks(&self, owner: ProcId) -> bool {
+        self.by_table
+            .values()
+            .any(|locks| locks.iter().any(|l| l.owner == owner))
+    }
+
+    /// Current lock statistics.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            range_locks: self.by_table.values().map(|v| v.len()).sum(),
+            tables: self.by_table.values().filter(|v| !v.is_empty()).count(),
+        }
+    }
+
+    /// Drop every lock.
+    pub fn clear(&mut self) {
+        self.by_table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TableRef = TableRef(0);
+    const T1: TableRef = TableRef(1);
+
+    #[test]
+    fn range_conflicts() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 10, 20, ProcId(1));
+        m.set_range_lock(T0, 15, 30, ProcId(2));
+        assert_eq!(m.conflicting(T0, 12), vec![ProcId(1)]);
+        assert_eq!(m.conflicting(T0, 18), vec![ProcId(1), ProcId(2)]);
+        assert_eq!(m.conflicting(T0, 25), vec![ProcId(2)]);
+        assert!(m.conflicting(T0, 5).is_empty());
+        assert!(m.conflicting(T1, 18).is_empty(), "table isolation");
+    }
+
+    #[test]
+    fn boundaries_inclusive() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 10, 20, ProcId(1));
+        assert_eq!(m.conflicting(T0, 10).len(), 1);
+        assert_eq!(m.conflicting(T0, 20).len(), 1);
+        assert!(m.conflicting(T0, 9).is_empty());
+        assert!(m.conflicting(T0, 21).is_empty());
+    }
+
+    #[test]
+    fn key_lock_is_point_range() {
+        let mut m = ILockManager::new();
+        m.set_key_lock(T1, 7, ProcId(3));
+        assert_eq!(m.conflicting(T1, 7), vec![ProcId(3)]);
+        assert!(m.conflicting(T1, 8).is_empty());
+    }
+
+    #[test]
+    fn owner_reported_once_despite_multiple_locks() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 0, 100, ProcId(5));
+        m.set_key_lock(T0, 50, ProcId(5));
+        assert_eq!(m.conflicting(T0, 50), vec![ProcId(5)]);
+    }
+
+    #[test]
+    fn drop_locks_per_owner() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 0, 10, ProcId(1));
+        m.set_range_lock(T0, 0, 10, ProcId(2));
+        m.set_key_lock(T1, 3, ProcId(1));
+        assert!(m.holds_locks(ProcId(1)));
+        m.drop_locks(ProcId(1));
+        assert!(!m.holds_locks(ProcId(1)));
+        assert_eq!(m.conflicting(T0, 5), vec![ProcId(2)]);
+        assert!(m.conflicting(T1, 3).is_empty());
+    }
+
+    #[test]
+    fn conflicting_any_dedupes_across_writes() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 0, 100, ProcId(1));
+        m.set_range_lock(T0, 50, 60, ProcId(2));
+        let hit = m.conflicting_any([(T0, 10), (T0, 55), (T0, 99)]);
+        assert_eq!(hit, vec![ProcId(1), ProcId(2)]);
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 0, 1, ProcId(1));
+        m.set_key_lock(T1, 2, ProcId(2));
+        let s = m.stats();
+        assert_eq!(s.range_locks, 2);
+        assert_eq!(s.tables, 2);
+        m.clear();
+        assert_eq!(m.stats(), LockStats::default());
+    }
+}

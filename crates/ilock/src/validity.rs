@@ -1,0 +1,119 @@
+//! The validity table: which cached procedure values are currently valid.
+//!
+//! The paper discusses three implementations of invalidation recording and
+//! prices them with one parameter, `C_inval`:
+//!
+//! * flag on the object's first page — read + write = `2·C2` (60 ms);
+//! * battery-backed RAM data structure — effectively free;
+//! * logged + checkpointed RAM structure — cheap, recoverable.
+//!
+//! This type is the RAM structure; each recorded invalidation is charged
+//! to the ledger's invalidation counter, priced at whatever `C_inval` the
+//! experiment chose.
+
+use std::sync::Arc;
+
+use procdb_storage::CostLedger;
+
+use crate::manager::ProcId;
+
+/// Tracks per-procedure cache validity and charges invalidation recording.
+#[derive(Debug)]
+pub struct ValidityTable {
+    valid: Vec<bool>,
+    ledger: Arc<CostLedger>,
+    invalidation_events: u64,
+}
+
+impl ValidityTable {
+    /// A table for procedures `0..n`, all initially **invalid** (nothing
+    /// cached yet).
+    pub fn new(n: usize, ledger: Arc<CostLedger>) -> ValidityTable {
+        ValidityTable {
+            valid: vec![false; n],
+            ledger,
+            invalidation_events: 0,
+        }
+    }
+
+    /// Number of procedures tracked.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether no procedures are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Is this procedure's cached value valid?
+    pub fn is_valid(&self, proc: ProcId) -> bool {
+        self.valid.get(proc.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Mark the cached value valid (after recompute + cache write).
+    pub fn mark_valid(&mut self, proc: ProcId) {
+        self.valid[proc.0 as usize] = true;
+    }
+
+    /// Record an invalidation. Charged (once per call) at `C_inval` via the
+    /// ledger, *even if the entry was already invalid* — the recording
+    /// mechanism cannot know that without doing the work.
+    pub fn invalidate(&mut self, proc: ProcId) {
+        self.ledger.add_invalidations(1);
+        self.invalidation_events += 1;
+        self.valid[proc.0 as usize] = false;
+    }
+
+    /// Count of procedures currently valid.
+    pub fn valid_count(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Total invalidation events recorded over the table's lifetime.
+    pub fn invalidation_events(&self) -> u64 {
+        self.invalidation_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_invalid() {
+        let t = ValidityTable::new(3, CostLedger::new());
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_valid(ProcId(0)));
+        assert_eq!(t.valid_count(), 0);
+    }
+
+    #[test]
+    fn mark_and_invalidate() {
+        let ledger = CostLedger::new();
+        let mut t = ValidityTable::new(2, ledger.clone());
+        t.mark_valid(ProcId(0));
+        t.mark_valid(ProcId(1));
+        assert_eq!(t.valid_count(), 2);
+        t.invalidate(ProcId(0));
+        assert!(!t.is_valid(ProcId(0)));
+        assert!(t.is_valid(ProcId(1)));
+        assert_eq!(ledger.snapshot().invalidations, 1);
+        assert_eq!(t.invalidation_events(), 1);
+    }
+
+    #[test]
+    fn redundant_invalidation_still_charged() {
+        let ledger = CostLedger::new();
+        let mut t = ValidityTable::new(1, ledger.clone());
+        t.invalidate(ProcId(0));
+        t.invalidate(ProcId(0));
+        assert_eq!(ledger.snapshot().invalidations, 2);
+    }
+
+    #[test]
+    fn out_of_range_is_invalid() {
+        let t = ValidityTable::new(1, CostLedger::new());
+        assert!(!t.is_valid(ProcId(9)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Little-endian byte codec helpers for index node pages.
+
+/// Cursor for sequential reads from a page.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        v
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Read `len` raw bytes.
+    pub fn bytes(&mut self, len: usize) -> &'a [u8] {
+        let v = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        v
+    }
+}
+
+/// Cursor for sequential writes into a page.
+pub struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// Start writing at the beginning of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Writer { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    /// Write a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+
+    /// Write a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    /// Write a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    /// Write raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf[self.pos..self.pos + v.len()].copy_from_slice(v);
+        self.pos += v.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut page = vec![0u8; 64];
+        {
+            let mut w = Writer::new(&mut page);
+            w.u8(7);
+            w.u16(300);
+            w.u32(70_000);
+            w.i64(-42);
+            w.bytes(b"abc");
+            assert_eq!(w.position(), 1 + 2 + 4 + 8 + 3);
+        }
+        let mut r = Reader::new(&page);
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u16(), 300);
+        assert_eq!(r.u32(), 70_000);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.bytes(3), b"abc");
+        assert_eq!(r.position(), 18);
+    }
+}

@@ -1,0 +1,25 @@
+//! # procdb-index
+//!
+//! Access methods for the `procdb` reproduction of Hanson (SIGMOD 1988),
+//! matching the paper's §3 access-method table:
+//!
+//! | relation | organization |
+//! |----------|--------------|
+//! | `R1` | [`BTreeFile`] — clustered B+-tree on the selection attribute |
+//! | `R2` | [`HashFile`] — hash-organized on join attribute `a` |
+//! | `R3` | [`HashFile`] — hash-organized on join attribute `c` |
+//!
+//! Both organizations store tuples *in* the index (primary organization),
+//! so page-touch counts observed through the pager line up with the
+//! paper's cost terms: a B-tree selection costs an `H1`-page descent plus
+//! the qualifying leaf pages; a hash probe costs the bucket chain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod codec;
+pub mod hash;
+
+pub use btree::{BTreeFile, EntryKey};
+pub use hash::HashFile;

@@ -1,0 +1,206 @@
+//! Property test: a Rete-maintained view equals a from-scratch recompute
+//! after any random stream of base-relation modifications — the central
+//! correctness invariant of RVM.
+
+use proptest::prelude::*;
+
+use procdb_query::{
+    execute, Catalog, CompOp, FieldType, Organization, Plan, Predicate, Schema, Table, Term,
+    Value,
+};
+use procdb_rete::{Rete, ReteSpec, Token};
+use procdb_storage::{AccountingMode, Pager, PagerConfig};
+
+fn pager() -> std::sync::Arc<Pager> {
+    Pager::new(PagerConfig {
+        page_size: 512,
+        buffer_capacity: 2048,
+        mode: AccountingMode::Logical,
+    })
+}
+
+fn r1_schema() -> Schema {
+    Schema::new(vec![("skey", FieldType::Int), ("a", FieldType::Int)])
+}
+
+fn r2_schema() -> Schema {
+    Schema::new(vec![("b", FieldType::Int), ("c", FieldType::Int)])
+}
+
+fn r3_schema() -> Schema {
+    Schema::new(vec![("d", FieldType::Int), ("w", FieldType::Int)])
+}
+
+/// Three-relation catalog, sized like a miniature Model-2 database.
+fn setup(pg: &std::sync::Arc<Pager>) -> Catalog {
+    let mut r1 = Table::create(pg.clone(), "R1", r1_schema(), Organization::BTree { key_field: 0 }, 0).unwrap();
+    let mut r2 = Table::create(pg.clone(), "R2", r2_schema(), Organization::Hash { key_field: 0 }, 8).unwrap();
+    let mut r3 = Table::create(pg.clone(), "R3", r3_schema(), Organization::Hash { key_field: 0 }, 4).unwrap();
+    for i in 0..60i64 {
+        r1.insert(&vec![Value::Int(i), Value::Int(i % 8)]).unwrap();
+    }
+    for j in 0..8i64 {
+        r2.insert(&vec![Value::Int(j), Value::Int(j % 4)]).unwrap();
+    }
+    for k in 0..4i64 {
+        r3.insert(&vec![Value::Int(k), Value::Int(k * 10)]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add(r1);
+    cat.add(r2);
+    cat.add(r3);
+    cat
+}
+
+/// Model-2-shaped Rete spec: σ(R1) ⋈ (σ(R2) ⋈ R3).
+fn three_way_spec(lo: i64, hi: i64, c_cut: i64) -> ReteSpec {
+    ReteSpec::Join {
+        left: Box::new(ReteSpec::Select {
+            relation: "R1".into(),
+            schema: r1_schema(),
+            predicate: Predicate::int_range(0, lo, hi),
+            probe_field: 1,
+            dispatch_field: Some(0),
+        }),
+        right: Box::new(ReteSpec::Join {
+            left: Box::new(ReteSpec::Select {
+                relation: "R2".into(),
+                schema: r2_schema(),
+                predicate: Predicate::single(1, CompOp::Lt, c_cut), // c < cut
+                probe_field: 0,
+                dispatch_field: None,
+            }),
+            right: Box::new(ReteSpec::Select {
+                relation: "R3".into(),
+                schema: r3_schema(),
+                predicate: Predicate::always(),
+                probe_field: 0,
+                dispatch_field: None,
+            }),
+            left_field: 1,  // R2.c
+            right_field: 0, // R3.d
+            probe_field: 0, // probed on R2.b by the outer and-node
+        }),
+        left_field: 1,  // R1.a
+        right_field: 0, // R2.b (within the β frame)
+        probe_field: 0,
+    }
+}
+
+/// Matching pipeline plan for recompute.
+fn three_way_plan(lo: i64, hi: i64, c_cut: i64) -> Plan {
+    Plan::select("R1", Predicate::int_range(0, lo, hi))
+        .hash_join(
+            "R2",
+            1,
+            Predicate {
+                terms: vec![Term::new(3, CompOp::Lt, c_cut)],
+            },
+        )
+        .hash_join("R3", 3, Predicate::always())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any sequence of R1 key modifications (delivered as −/+ token
+    /// pairs), the β-memory equals a fresh three-way-join recompute.
+    #[test]
+    fn rete_view_equals_recompute(
+        window in ((0i64..60), (0i64..60)),
+        c_cut in 1i64..5,
+        moves in proptest::collection::vec(((0i64..60), (0i64..60)), 0..25),
+    ) {
+        let (x, y) = window;
+        let (lo, hi) = (x.min(y), x.max(y));
+        let pg = pager();
+        let mut cat = setup(&pg);
+        let mut rete = Rete::new(pg);
+        let view = rete.add_view(&three_way_spec(lo, hi, c_cut));
+        rete.initialize(&cat).unwrap();
+
+        for (victim, new_key) in moves {
+            let r1 = cat.get_mut("R1").unwrap();
+            let Some(old) = r1.delete_where(victim, |_| true).unwrap() else {
+                continue;
+            };
+            let mut new = old.clone();
+            new[0] = Value::Int(new_key);
+            r1.insert(&new).unwrap();
+            rete.submit("R1", Token::minus(old)).unwrap();
+            rete.submit("R1", Token::plus(new)).unwrap();
+        }
+
+        // Multiset equality against recompute.
+        let schema = rete.memory(view).schema().clone();
+        let mut expect: Vec<Vec<u8>> = execute(&three_way_plan(lo, hi, c_cut), &cat)
+            .unwrap()
+            .iter()
+            .map(|t| schema.encode(t))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(rete.memory(view).contents_normalized().unwrap(), expect);
+    }
+
+    /// Inserting then deleting the same tuple leaves every memory exactly
+    /// where it started (token inverse property).
+    #[test]
+    fn plus_minus_is_identity(
+        key in 0i64..60,
+        a in 0i64..8,
+        window in ((0i64..60), (0i64..60)),
+    ) {
+        let (x, y) = window;
+        let (lo, hi) = (x.min(y), x.max(y));
+        let pg = pager();
+        let cat = setup(&pg);
+        let mut rete = Rete::new(pg);
+        let view = rete.add_view(&three_way_spec(lo, hi, 4));
+        rete.initialize(&cat).unwrap();
+        let before = rete.memory(view).contents_normalized().unwrap();
+        let t = vec![Value::Int(key), Value::Int(a)];
+        rete.submit("R1", Token::plus(t.clone())).unwrap();
+        rete.submit("R1", Token::minus(t)).unwrap();
+        prop_assert_eq!(rete.memory(view).contents_normalized().unwrap(), before);
+    }
+
+    /// Sharing is sound: two structurally equal views are one node, and a
+    /// shared α-memory feeding two different joins keeps both correct.
+    #[test]
+    fn shared_alpha_keeps_both_views_correct(
+        window in ((0i64..60), (0i64..60)),
+        moves in proptest::collection::vec(((0i64..60), (0i64..60)), 0..15),
+    ) {
+        let (x, y) = window;
+        let (lo, hi) = (x.min(y), x.max(y));
+        let pg = pager();
+        let mut cat = setup(&pg);
+        let mut rete = Rete::new(pg);
+        let v_a = rete.add_view(&three_way_spec(lo, hi, 2));
+        let v_b = rete.add_view(&three_way_spec(lo, hi, 4)); // same α(R1), different β
+        rete.initialize(&cat).unwrap();
+        for (victim, new_key) in moves {
+            let r1 = cat.get_mut("R1").unwrap();
+            let Some(old) = r1.delete_where(victim, |_| true).unwrap() else { continue };
+            let mut new = old.clone();
+            new[0] = Value::Int(new_key);
+            r1.insert(&new).unwrap();
+            rete.submit("R1", Token::minus(old)).unwrap();
+            rete.submit("R1", Token::plus(new)).unwrap();
+        }
+        for (view, cut) in [(v_a, 2), (v_b, 4)] {
+            let schema = rete.memory(view).schema().clone();
+            let mut expect: Vec<Vec<u8>> = execute(&three_way_plan(lo, hi, cut), &cat)
+                .unwrap()
+                .iter()
+                .map(|t| schema.encode(t))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(
+                rete.memory(view).contents_normalized().unwrap(),
+                expect,
+                "view with cut {} diverged", cut
+            );
+        }
+    }
+}

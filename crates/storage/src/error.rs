@@ -1,0 +1,43 @@
+//! Storage error types.
+
+use crate::disk::{FileId, PageId};
+use crate::heap::Rid;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A file id that was never created (or was dropped).
+    UnknownFile(FileId),
+    /// A page outside the file's allocated range.
+    UnknownPage(PageId),
+    /// A record id that does not name a live record.
+    UnknownRecord(Rid),
+    /// A record too large to ever fit on one page.
+    RecordTooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Maximum usable bytes on an empty page.
+        max: usize,
+    },
+    /// A page whose bytes do not form a valid slotted page.
+    CorruptPage(PageId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownFile(id) => write!(f, "unknown file {id:?}"),
+            StorageError::UnknownPage(id) => write!(f, "unknown page {id:?}"),
+            StorageError::UnknownRecord(rid) => write!(f, "unknown record {rid:?}"),
+            StorageError::RecordTooLarge { requested, max } => {
+                write!(f, "record of {requested} bytes exceeds page capacity {max}")
+            }
+            StorageError::CorruptPage(id) => write!(f, "corrupt slotted page {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,431 @@
+//! Heap files: unordered record storage over slotted pages, with stable
+//! record ids and an in-memory free-space map.
+//!
+//! Base relations (`R1`, `R2`, `R3`), cached procedure results, and Rete
+//! α/β-memories are all heap files. A full scan charges one page read per
+//! allocated page — exactly the `⌈f·b⌉` term the paper uses for reading a
+//! stored object.
+
+use std::sync::Arc;
+
+use crate::disk::{FileId, PageId};
+use crate::error::{Result, StorageError};
+use crate::pager::Pager;
+use crate::slotted;
+
+/// Stable identifier of one record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page number within the heap file.
+    pub page_no: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a record id.
+    pub fn new(page_no: u32, slot: u16) -> Self {
+        Rid { page_no, slot }
+    }
+}
+
+/// An unordered file of variable-length records.
+pub struct HeapFile {
+    pager: Arc<Pager>,
+    file: FileId,
+    /// Per-page reclaimable free bytes (in-memory free-space map; a real
+    /// system keeps this in memory too, so maintaining it is not charged).
+    free: Vec<u16>,
+    live: u64,
+}
+
+impl HeapFile {
+    /// Create a fresh, empty heap file.
+    pub fn create(pager: Arc<Pager>, name: &str) -> HeapFile {
+        let file = pager.create_file(name);
+        HeapFile {
+            pager,
+            file,
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// Whether the file holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn pid(&self, page_no: u32) -> PageId {
+        PageId::new(self.file, page_no)
+    }
+
+    /// Insert a record, returning its stable id. First-fit over the
+    /// free-space map; allocates a new page when nothing fits.
+    pub fn insert(&mut self, record: &[u8]) -> Result<Rid> {
+        let max = slotted::max_record_len(self.pager.page_size());
+        if record.len() > max {
+            return Err(StorageError::RecordTooLarge {
+                requested: record.len(),
+                max,
+            });
+        }
+        let need = (record.len() + 4) as u16; // record + one slot entry
+        let candidate = self
+            .free
+            .iter()
+            .position(|&fr| fr >= need)
+            .map(|i| i as u32);
+        let page_no = match candidate {
+            Some(p) => p,
+            None => {
+                let pid = self.pager.allocate_page(self.file)?;
+                // Initializing a fresh page is part of the insert's write;
+                // slotted::init happens inside the charged write below.
+                self.free.push(0); // fixed up after init
+                pid.page_no
+            }
+        };
+        let fresh = candidate.is_none();
+        let slot = self.pager.write(self.pid(page_no), |data| {
+            if fresh {
+                slotted::init(data);
+            }
+            let s = slotted::insert(data, record);
+            let remaining = slotted::total_free(data) as u16;
+            (s, remaining)
+        })?;
+        let (slot, remaining) = slot;
+        let slot = slot.ok_or(StorageError::CorruptPage(self.pid(page_no)))?;
+        self.free[page_no as usize] = remaining;
+        self.live += 1;
+        Ok(Rid::new(page_no, slot))
+    }
+
+    /// Read the record at `rid`.
+    pub fn get(&self, rid: Rid) -> Result<Vec<u8>> {
+        if rid.page_no >= self.page_count() {
+            return Err(StorageError::UnknownRecord(rid));
+        }
+        self.pager
+            .read(self.pid(rid.page_no), |data| {
+                slotted::get(data, rid.slot).map(|r| r.to_vec())
+            })?
+            .ok_or(StorageError::UnknownRecord(rid))
+    }
+
+    /// Overwrite the record at `rid` in place (same length required — the
+    /// paper's updates "modify tuples in place").
+    pub fn update_in_place(&mut self, rid: Rid, record: &[u8]) -> Result<()> {
+        if rid.page_no >= self.page_count() {
+            return Err(StorageError::UnknownRecord(rid));
+        }
+        let ok = self.pager.write(self.pid(rid.page_no), |data| {
+            slotted::update_in_place(data, rid.slot, record)
+        })?;
+        if ok {
+            Ok(())
+        } else {
+            Err(StorageError::UnknownRecord(rid))
+        }
+    }
+
+    /// Delete the record at `rid`.
+    pub fn delete(&mut self, rid: Rid) -> Result<()> {
+        if rid.page_no >= self.page_count() {
+            return Err(StorageError::UnknownRecord(rid));
+        }
+        let freed = self.pager.write(self.pid(rid.page_no), |data| {
+            if slotted::delete(data, rid.slot) {
+                Some(slotted::total_free(data) as u16)
+            } else {
+                None
+            }
+        })?;
+        match freed {
+            Some(remaining) => {
+                self.free[rid.page_no as usize] = remaining;
+                self.live -= 1;
+                Ok(())
+            }
+            None => Err(StorageError::UnknownRecord(rid)),
+        }
+    }
+
+    /// Full scan: calls `f` for every live record, page at a time. Charges
+    /// one page read per allocated page.
+    pub fn scan(&self, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
+        for page_no in 0..self.page_count() {
+            self.pager.read(self.pid(page_no), |data| {
+                for (slot, rec) in slotted::iter(data) {
+                    f(Rid::new(page_no, slot), rec);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Collect all live `(rid, record)` pairs (convenience over [`scan`]).
+    ///
+    /// [`scan`]: HeapFile::scan
+    pub fn scan_all(&self) -> Result<Vec<(Rid, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(self.live as usize);
+        self.scan(|rid, rec| out.push((rid, rec.to_vec())))?;
+        Ok(out)
+    }
+
+    /// Delete every record but keep the allocated pages (used when a cached
+    /// result is rewritten: the paper charges a read+write of each page).
+    pub fn clear(&mut self) -> Result<()> {
+        for page_no in 0..self.page_count() {
+            let remaining = self.pager.write(self.pid(page_no), |data| {
+                slotted::init(data);
+                slotted::total_free(data) as u16
+            })?;
+            self.free[page_no as usize] = remaining;
+        }
+        self.live = 0;
+        Ok(())
+    }
+
+    /// Replace the file's entire contents with `records`, packing them
+    /// sequentially. Each touched page costs one read-modify-write — the
+    /// paper's `C_WriteCache = 2·C2·ProcSize` for refreshing a cached
+    /// procedure value. Previously used pages beyond the new contents are
+    /// emptied (also a charged page write); untouched empty pages are
+    /// skipped.
+    pub fn rewrite(&mut self, records: &[Vec<u8>]) -> Result<()> {
+        let page_size = self.pager.page_size();
+        let max = slotted::max_record_len(page_size);
+        for r in records {
+            if r.len() > max {
+                return Err(StorageError::RecordTooLarge {
+                    requested: r.len(),
+                    max,
+                });
+            }
+        }
+        // Greedy packing plan.
+        let mut pages: Vec<Vec<&Vec<u8>>> = Vec::new();
+        let mut current: Vec<&Vec<u8>> = Vec::new();
+        let mut used = 0usize;
+        let capacity = page_size - 4; // slotted header
+        for r in records {
+            let need = r.len() + 4;
+            if used + need > capacity && !current.is_empty() {
+                pages.push(std::mem::take(&mut current));
+                used = 0;
+            }
+            current.push(r);
+            used += need;
+        }
+        if !current.is_empty() {
+            pages.push(current);
+        }
+        // Ensure enough pages are allocated.
+        while (self.free.len() as u32) < pages.len() as u32 {
+            self.pager.allocate_page(self.file)?;
+            self.free.push(0);
+        }
+        let empty_free = slotted::max_record_len(page_size) as u16 + 4;
+        // Write the packed pages.
+        for (i, recs) in pages.iter().enumerate() {
+            let remaining = self.pager.write(self.pid(i as u32), |data| {
+                slotted::init(data);
+                for r in recs.iter() {
+                    slotted::insert(data, r).expect("packing fits by construction");
+                }
+                slotted::total_free(data) as u16
+            })?;
+            self.free[i] = remaining;
+        }
+        // Empty any leftover pages that previously held records.
+        for i in pages.len()..self.free.len() {
+            if self.free[i] != empty_free {
+                let remaining = self.pager.write(self.pid(i as u32), |data| {
+                    slotted::init(data);
+                    slotted::total_free(data) as u16
+                })?;
+                self.free[i] = remaining;
+            }
+        }
+        self.live = records.len() as u64;
+        Ok(())
+    }
+
+    /// The shared pager.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{AccountingMode, PagerConfig};
+
+    fn pager() -> Arc<Pager> {
+        Pager::new(PagerConfig {
+            page_size: 256,
+            buffer_capacity: 16,
+            mode: AccountingMode::Logical,
+        })
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = HeapFile::create(pager(), "t");
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"beta");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let mut h = HeapFile::create(pager(), "t");
+        for i in 0..50u32 {
+            h.insert(&i.to_le_bytes().repeat(8)).unwrap(); // 32-byte records
+        }
+        assert!(h.page_count() > 1);
+        assert_eq!(h.len(), 50);
+        let all = h.scan_all().unwrap();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn delete_frees_space_for_reuse() {
+        let mut h = HeapFile::create(pager(), "t");
+        let rids: Vec<Rid> = (0..6).map(|_| h.insert(&[1u8; 30]).unwrap()).collect();
+        let pages_before = h.page_count();
+        for r in &rids {
+            h.delete(*r).unwrap();
+        }
+        assert!(h.is_empty());
+        for _ in 0..6 {
+            h.insert(&[2u8; 30]).unwrap();
+        }
+        assert_eq!(h.page_count(), pages_before, "space should be reused");
+    }
+
+    #[test]
+    fn update_in_place_same_size() {
+        let mut h = HeapFile::create(pager(), "t");
+        let rid = h.insert(b"12345").unwrap();
+        h.update_in_place(rid, b"67890").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"67890");
+        assert!(h.update_in_place(rid, b"toolongnow").is_err());
+    }
+
+    #[test]
+    fn unknown_rids_error() {
+        let mut h = HeapFile::create(pager(), "t");
+        let rid = h.insert(b"x").unwrap();
+        h.delete(rid).unwrap();
+        assert!(matches!(h.get(rid), Err(StorageError::UnknownRecord(_))));
+        assert!(h.delete(rid).is_err());
+        assert!(h.get(Rid::new(99, 0)).is_err());
+    }
+
+    #[test]
+    fn scan_charges_one_read_per_page() {
+        let mut h = HeapFile::create(pager(), "t");
+        for _ in 0..20 {
+            h.insert(&[0u8; 50]).unwrap();
+        }
+        let pages = h.page_count() as u64;
+        assert!(pages >= 2);
+        let before = h.pager().ledger().snapshot();
+        h.scan(|_, _| {}).unwrap();
+        let after = h.pager().ledger().snapshot();
+        assert_eq!(after.since(&before).page_reads, pages);
+        assert_eq!(after.since(&before).page_writes, 0);
+    }
+
+    #[test]
+    fn clear_keeps_pages_resets_records() {
+        let mut h = HeapFile::create(pager(), "t");
+        for _ in 0..20 {
+            h.insert(&[0u8; 50]).unwrap();
+        }
+        let pages = h.page_count();
+        h.clear().unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.page_count(), pages);
+        assert!(h.scan_all().unwrap().is_empty());
+        // Cleared space is reusable.
+        h.insert(&[1u8; 50]).unwrap();
+        assert_eq!(h.page_count(), pages);
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_and_charges_rmw() {
+        let mut h = HeapFile::create(pager(), "t");
+        for _ in 0..20 {
+            h.insert(&[1u8; 50]).unwrap();
+        }
+        let pages = h.page_count() as u64;
+        let rows: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 50]).collect();
+        let before = h.pager().ledger().snapshot();
+        h.rewrite(&rows).unwrap();
+        let d = h.pager().ledger().snapshot().since(&before);
+        // Every page is read-modify-written exactly once: 2·C2 per page.
+        assert_eq!(d.page_reads, pages);
+        assert_eq!(d.page_writes, pages);
+        let mut got: Vec<Vec<u8>> = h.scan_all().unwrap().into_iter().map(|(_, r)| r).collect();
+        got.sort_unstable();
+        assert_eq!(got, rows);
+        // Shrinking rewrite empties the tail pages.
+        h.rewrite(&rows[..2]).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.scan_all().unwrap().len(), 2);
+        // Growing again reuses everything.
+        h.rewrite(&rows).unwrap();
+        assert_eq!(h.len(), 20);
+    }
+
+    #[test]
+    fn rewrite_empty_clears() {
+        let mut h = HeapFile::create(pager(), "t");
+        h.insert(&[9u8; 30]).unwrap();
+        h.rewrite(&[]).unwrap();
+        assert!(h.is_empty());
+        assert!(h.scan_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut h = HeapFile::create(pager(), "t");
+        assert!(matches!(
+            h.insert(&[0u8; 4096]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rid_stability_across_other_deletes() {
+        let mut h = HeapFile::create(pager(), "t");
+        let a = h.insert(b"aaaa").unwrap();
+        let b = h.insert(b"bbbb").unwrap();
+        let c = h.insert(b"cccc").unwrap();
+        h.delete(b).unwrap();
+        assert_eq!(h.get(a).unwrap(), b"aaaa");
+        assert_eq!(h.get(c).unwrap(), b"cccc");
+    }
+}

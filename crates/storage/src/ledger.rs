@@ -1,0 +1,219 @@
+//! The cost ledger: every observable unit of work the paper prices is
+//! counted here, so a simulation run can be converted into the same
+//! milliseconds the analytical model predicts.
+//!
+//! The paper charges:
+//! * `C2` per disk page read **or** write,
+//! * `C1` per predicate screen of one record,
+//! * `C3` per tuple per transaction of `A_net`/`D_net` delta bookkeeping,
+//! * `C_inval` per recorded invalidation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Prices for the ledger's counters, mirroring the model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// ms per predicate screen (`C1`).
+    pub c1: f64,
+    /// ms per page read/write (`C2`).
+    pub c2: f64,
+    /// ms per delta tuple maintained (`C3`).
+    pub c3: f64,
+    /// ms per recorded invalidation (`C_inval`).
+    pub c_inval: f64,
+}
+
+impl Default for CostConstants {
+    /// The paper's defaults: `C1 = 1`, `C2 = 30`, `C3 = 1`, `C_inval = 0`.
+    fn default() -> Self {
+        CostConstants {
+            c1: 1.0,
+            c2: 30.0,
+            c3: 1.0,
+            c_inval: 0.0,
+        }
+    }
+}
+
+/// Shared, thread-safe work counters. Cheap to clone (`Arc` inside).
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    screens: AtomicU64,
+    delta_tuples: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// An immutable snapshot of ledger counters, used to measure intervals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Disk page reads observed.
+    pub page_reads: u64,
+    /// Disk page writes observed.
+    pub page_writes: u64,
+    /// Predicate screens observed.
+    pub screens: u64,
+    /// Delta tuples maintained.
+    pub delta_tuples: u64,
+    /// Invalidations recorded.
+    pub invalidations: u64,
+}
+
+impl CostSnapshot {
+    /// Counter-wise difference `self − earlier` (saturating).
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            screens: self.screens.saturating_sub(earlier.screens),
+            delta_tuples: self.delta_tuples.saturating_sub(earlier.delta_tuples),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
+
+    /// Total page I/Os (reads + writes).
+    pub fn page_ios(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+
+    /// Price the snapshot in milliseconds with the paper's cost constants.
+    pub fn priced(&self, c: &CostConstants) -> f64 {
+        (self.page_ios() as f64) * c.c2
+            + (self.screens as f64) * c.c1
+            + (self.delta_tuples as f64) * c.c3
+            + (self.invalidations as f64) * c.c_inval
+    }
+}
+
+impl std::ops::Add for CostSnapshot {
+    type Output = CostSnapshot;
+    fn add(self, rhs: CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            page_reads: self.page_reads + rhs.page_reads,
+            page_writes: self.page_writes + rhs.page_writes,
+            screens: self.screens + rhs.screens,
+            delta_tuples: self.delta_tuples + rhs.delta_tuples,
+            invalidations: self.invalidations + rhs.invalidations,
+        }
+    }
+}
+
+impl CostLedger {
+    /// Fresh ledger with all counters at zero, wrapped for sharing.
+    pub fn new() -> Arc<CostLedger> {
+        Arc::new(CostLedger::default())
+    }
+
+    /// Record `n` page reads.
+    pub fn add_page_reads(&self, n: u64) {
+        self.page_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` page writes.
+    pub fn add_page_writes(&self, n: u64) {
+        self.page_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` predicate screens.
+    pub fn add_screens(&self, n: u64) {
+        self.screens.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` delta tuples maintained.
+    pub fn add_delta_tuples(&self, n: u64) {
+        self.delta_tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` invalidations.
+    pub fn add_invalidations(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current counter values.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            screens: self.screens.load(Ordering::Relaxed),
+            delta_tuples: self.delta_tuples.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.screens.store(0, Ordering::Relaxed);
+        self.delta_tuples.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_snapshots() {
+        let ledger = CostLedger::new();
+        ledger.add_page_reads(3);
+        ledger.add_page_writes(2);
+        ledger.add_screens(10);
+        let a = ledger.snapshot();
+        assert_eq!(a.page_ios(), 5);
+        ledger.add_page_reads(1);
+        ledger.add_delta_tuples(4);
+        ledger.add_invalidations(2);
+        let b = ledger.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.page_reads, 1);
+        assert_eq!(d.page_writes, 0);
+        assert_eq!(d.screens, 0);
+        assert_eq!(d.delta_tuples, 4);
+        assert_eq!(d.invalidations, 2);
+    }
+
+    #[test]
+    fn pricing_matches_paper_constants() {
+        let c = CostConstants::default();
+        let snap = CostSnapshot {
+            page_reads: 3,
+            page_writes: 2,
+            screens: 100,
+            delta_tuples: 7,
+            invalidations: 5,
+        };
+        // 5 I/Os × 30 + 100 screens × 1 + 7 deltas × 1 + 5 × 0 = 257 ms.
+        assert_eq!(snap.priced(&c), 257.0);
+        let dear = CostConstants {
+            c_inval: 60.0,
+            ..CostConstants::default()
+        };
+        assert_eq!(snap.priced(&dear), 257.0 + 300.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let ledger = CostLedger::new();
+        ledger.add_page_reads(5);
+        ledger.reset();
+        assert_eq!(ledger.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_addition() {
+        let a = CostSnapshot {
+            page_reads: 1,
+            page_writes: 2,
+            screens: 3,
+            delta_tuples: 4,
+            invalidations: 5,
+        };
+        let sum = a + a;
+        assert_eq!(sum.page_reads, 2);
+        assert_eq!(sum.invalidations, 10);
+    }
+}

@@ -1,0 +1,299 @@
+//! Slotted-page record layout over a raw page byte slice.
+//!
+//! ```text
+//! +-------------+-----------+----------------------+------------------+
+//! | slot_count  | free_end  | slot directory ...   |  ... record data |
+//! |  (u16 LE)   | (u16 LE)  | [offset u16][len u16]|   grows downward |
+//! +-------------+-----------+----------------------+------------------+
+//! ```
+//!
+//! Records are appended from the page end downward; the slot directory
+//! grows upward after the 4-byte header. A deleted slot keeps its directory
+//! entry (so record ids stay stable) with the tombstone offset `0xFFFF`.
+//! [`insert`] compacts the page when fragmentation alone blocks an insert.
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+fn read_u16(page: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([page[at], page[at + 1]])
+}
+
+fn write_u16(page: &mut [u8], at: usize, v: u16) {
+    page[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Number of slots (live + tombstoned) in the directory.
+pub fn slot_count(page: &[u8]) -> u16 {
+    read_u16(page, 0)
+}
+
+fn free_end(page: &[u8]) -> u16 {
+    read_u16(page, 2)
+}
+
+/// Initialize an empty slotted page. Must be called on a fresh page before
+/// any other operation.
+pub fn init(page: &mut [u8]) {
+    assert!(page.len() >= HEADER + SLOT, "page too small");
+    assert!(page.len() <= u16::MAX as usize, "page too large for u16 offsets");
+    write_u16(page, 0, 0);
+    write_u16(page, 2, page.len() as u16);
+}
+
+/// Usable bytes for one record on a completely empty page of this size.
+pub fn max_record_len(page_size: usize) -> usize {
+    page_size.saturating_sub(HEADER + SLOT)
+}
+
+/// Contiguous free bytes between the slot directory and the record heap.
+pub fn contiguous_free(page: &[u8]) -> usize {
+    let dir_end = HEADER + slot_count(page) as usize * SLOT;
+    (free_end(page) as usize).saturating_sub(dir_end)
+}
+
+/// Total reclaimable bytes: contiguous free space plus dead record bytes
+/// (what a [`compact`] would recover).
+pub fn total_free(page: &[u8]) -> usize {
+    let mut dead = 0usize;
+    for s in 0..slot_count(page) {
+        let at = HEADER + s as usize * SLOT;
+        if read_u16(page, at) == TOMBSTONE {
+            // Length of the dead record is retained in the slot for
+            // accounting; offset is the tombstone.
+            dead += read_u16(page, at + 2) as usize;
+        }
+    }
+    contiguous_free(page) + dead
+}
+
+/// Read the record stored in `slot`, if live.
+pub fn get(page: &[u8], slot: u16) -> Option<&[u8]> {
+    if slot >= slot_count(page) {
+        return None;
+    }
+    let at = HEADER + slot as usize * SLOT;
+    let off = read_u16(page, at);
+    if off == TOMBSTONE {
+        return None;
+    }
+    let len = read_u16(page, at + 2) as usize;
+    Some(&page[off as usize..off as usize + len])
+}
+
+/// Insert a record, compacting the page if needed. Returns the slot number,
+/// or `None` if the record cannot fit even after compaction. Tombstoned
+/// slots are reused before the directory grows.
+pub fn insert(page: &mut [u8], record: &[u8]) -> Option<u16> {
+    assert!(record.len() <= u16::MAX as usize);
+    // Find a reusable tombstone slot, if any.
+    let n = slot_count(page);
+    let reuse = (0..n).find(|&s| read_u16(page, HEADER + s as usize * SLOT) == TOMBSTONE);
+    let dir_growth = if reuse.is_some() { 0 } else { SLOT };
+    let needed = record.len() + dir_growth;
+    if contiguous_free(page) < needed {
+        if total_free(page) >= needed {
+            compact(page);
+        }
+        if contiguous_free(page) < needed {
+            return None;
+        }
+    }
+    let new_end = free_end(page) as usize - record.len();
+    page[new_end..new_end + record.len()].copy_from_slice(record);
+    write_u16(page, 2, new_end as u16);
+    let slot = match reuse {
+        Some(s) => s,
+        None => {
+            write_u16(page, 0, n + 1);
+            n
+        }
+    };
+    let at = HEADER + slot as usize * SLOT;
+    write_u16(page, at, new_end as u16);
+    write_u16(page, at + 2, record.len() as u16);
+    Some(slot)
+}
+
+/// Delete the record in `slot`. Returns `false` if the slot was not live.
+/// The slot directory entry is tombstoned so other slot numbers are stable.
+pub fn delete(page: &mut [u8], slot: u16) -> bool {
+    if slot >= slot_count(page) {
+        return false;
+    }
+    let at = HEADER + slot as usize * SLOT;
+    if read_u16(page, at) == TOMBSTONE {
+        return false;
+    }
+    write_u16(page, at, TOMBSTONE);
+    true
+}
+
+/// Overwrite the record in `slot` **in place**. Only same-length updates are
+/// supported (the engine's base tuples are fixed-width); returns `false` for
+/// a dead slot or a length mismatch.
+pub fn update_in_place(page: &mut [u8], slot: u16, record: &[u8]) -> bool {
+    if slot >= slot_count(page) {
+        return false;
+    }
+    let at = HEADER + slot as usize * SLOT;
+    let off = read_u16(page, at);
+    if off == TOMBSTONE {
+        return false;
+    }
+    let len = read_u16(page, at + 2) as usize;
+    if len != record.len() {
+        return false;
+    }
+    page[off as usize..off as usize + len].copy_from_slice(record);
+    true
+}
+
+/// Iterate the live `(slot, record)` pairs on the page.
+pub fn iter(page: &[u8]) -> impl Iterator<Item = (u16, &[u8])> {
+    (0..slot_count(page)).filter_map(move |s| get(page, s).map(|r| (s, r)))
+}
+
+/// Rewrite the record heap to squeeze out dead bytes. Slot numbers are
+/// preserved; only record offsets move.
+pub fn compact(page: &mut [u8]) {
+    let n = slot_count(page);
+    // Collect live records (slot, bytes) — small copies, page-local.
+    let mut live: Vec<(u16, Vec<u8>)> = Vec::with_capacity(n as usize);
+    for s in 0..n {
+        if let Some(r) = get(page, s) {
+            live.push((s, r.to_vec()));
+        }
+    }
+    let mut end = page.len();
+    // Zero the record heap region for determinism.
+    let dir_end = HEADER + n as usize * SLOT;
+    for b in &mut page[dir_end..] {
+        *b = 0;
+    }
+    // Tombstoned slots' dead bytes are reclaimed below; zero their length
+    // so total_free does not double-count them afterwards.
+    for s in 0..n {
+        let at = HEADER + s as usize * SLOT;
+        if read_u16(page, at) == TOMBSTONE {
+            write_u16(page, at + 2, 0);
+        }
+    }
+    for (s, rec) in &live {
+        end -= rec.len();
+        page[end..end + rec.len()].copy_from_slice(rec);
+        let at = HEADER + *s as usize * SLOT;
+        write_u16(page, at, end as u16);
+        write_u16(page, at + 2, rec.len() as u16);
+    }
+    write_u16(page, 2, end as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(size: usize) -> Vec<u8> {
+        let mut p = vec![0u8; size];
+        init(&mut p);
+        p
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = fresh(256);
+        let a = insert(&mut p, b"hello").unwrap();
+        let b = insert(&mut p, b"world!").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(get(&p, a).unwrap(), b"hello");
+        assert_eq!(get(&p, b).unwrap(), b"world!");
+        assert_eq!(get(&p, 99), None);
+    }
+
+    #[test]
+    fn delete_tombstones_and_reuses() {
+        let mut p = fresh(256);
+        let a = insert(&mut p, b"aaaa").unwrap();
+        let b = insert(&mut p, b"bbbb").unwrap();
+        assert!(delete(&mut p, a));
+        assert!(!delete(&mut p, a), "double delete");
+        assert_eq!(get(&p, a), None);
+        assert_eq!(get(&p, b).unwrap(), b"bbbb");
+        // Next insert reuses the tombstoned slot.
+        let c = insert(&mut p, b"cccc").unwrap();
+        assert_eq!(c, a);
+        assert_eq!(get(&p, c).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn update_in_place_same_len_only() {
+        let mut p = fresh(256);
+        let a = insert(&mut p, b"12345").unwrap();
+        assert!(update_in_place(&mut p, a, b"54321"));
+        assert_eq!(get(&p, a).unwrap(), b"54321");
+        assert!(!update_in_place(&mut p, a, b"too long here"));
+        assert!(!update_in_place(&mut p, 7, b"xxxxx"));
+    }
+
+    #[test]
+    fn fills_page_and_rejects_overflow() {
+        let mut p = fresh(128);
+        let mut slots = Vec::new();
+        while let Some(s) = insert(&mut p, &[7u8; 16]) {
+            slots.push(s);
+        }
+        // 124 usable bytes / (16 record + 4 slot) = 6 records.
+        assert_eq!(slots.len(), 6);
+        assert!(insert(&mut p, &[1u8; 16]).is_none());
+        // But after a delete there is room again.
+        assert!(delete(&mut p, slots[0]));
+        assert!(insert(&mut p, &[9u8; 16]).is_some());
+    }
+
+    #[test]
+    fn compaction_recovers_fragmented_space() {
+        let mut p = fresh(128);
+        let a = insert(&mut p, &[1u8; 30]).unwrap();
+        let b = insert(&mut p, &[2u8; 30]).unwrap();
+        let c = insert(&mut p, &[3u8; 30]).unwrap();
+        // Delete the middle record: free space is fragmented.
+        assert!(delete(&mut p, b));
+        // 34 contiguous? directory = 4+3*4 = 16, free_end = 128-90 = 38 →
+        // contiguous = 22 < 30, but total_free = 52. Insert must compact.
+        let d = insert(&mut p, &[4u8; 30]).expect("compaction should make room");
+        assert_eq!(get(&p, a).unwrap(), &[1u8; 30][..]);
+        assert_eq!(get(&p, c).unwrap(), &[3u8; 30][..]);
+        assert_eq!(get(&p, d).unwrap(), &[4u8; 30][..]);
+    }
+
+    #[test]
+    fn iter_yields_live_records_only() {
+        let mut p = fresh(256);
+        let a = insert(&mut p, b"one").unwrap();
+        let b = insert(&mut p, b"two").unwrap();
+        let _c = insert(&mut p, b"three").unwrap();
+        delete(&mut p, b);
+        let got: Vec<(u16, Vec<u8>)> = iter(&p).map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (a, b"one".to_vec()));
+        assert_eq!(got[1].1, b"three".to_vec());
+    }
+
+    #[test]
+    fn max_record_len_is_honored() {
+        let size = 256;
+        let mut p = fresh(size);
+        let max = max_record_len(size);
+        assert!(insert(&mut p, &vec![0u8; max]).is_some());
+        let mut p2 = fresh(size);
+        assert!(insert(&mut p2, &vec![0u8; max + 1]).is_none());
+    }
+
+    #[test]
+    fn zero_length_records_allowed() {
+        let mut p = fresh(128);
+        let s = insert(&mut p, b"").unwrap();
+        assert_eq!(get(&p, s).unwrap(), b"");
+    }
+}

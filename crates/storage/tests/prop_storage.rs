@@ -1,0 +1,156 @@
+//! Property tests for the storage substrate: slotted pages and heap files
+//! against reference models under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use procdb_storage::{slotted, HeapFile, Pager, PagerConfig};
+
+#[derive(Debug, Clone)]
+enum SlotOp {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+}
+
+fn slot_op() -> impl Strategy<Value = SlotOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..60).prop_map(SlotOp::Insert),
+        (0usize..32).prop_map(SlotOp::Delete),
+        ((0usize..32), proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(i, v)| SlotOp::Update(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A slotted page agrees with a `Vec<Option<Vec<u8>>>` model keyed by
+    /// slot number, under arbitrary insert/delete/update sequences.
+    #[test]
+    fn slotted_page_matches_model(ops in proptest::collection::vec(slot_op(), 1..60)) {
+        let mut page = vec![0u8; 512];
+        slotted::init(&mut page);
+        // model[slot] = live record bytes.
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for op in ops {
+            match op {
+                SlotOp::Insert(rec) => {
+                    if let Some(slot) = slotted::insert(&mut page, &rec) {
+                        let slot = slot as usize;
+                        if slot == model.len() {
+                            model.push(Some(rec));
+                        } else {
+                            prop_assert!(model[slot].is_none(), "reused a live slot");
+                            model[slot] = Some(rec);
+                        }
+                    }
+                }
+                SlotOp::Delete(i) => {
+                    let expect = model.get(i).map(|s| s.is_some()).unwrap_or(false);
+                    let got = slotted::delete(&mut page, i as u16);
+                    prop_assert_eq!(got, expect);
+                    if expect {
+                        model[i] = None;
+                    }
+                }
+                SlotOp::Update(i, rec) => {
+                    let fits = model
+                        .get(i)
+                        .and_then(|s| s.as_ref())
+                        .map(|old| old.len() == rec.len())
+                        .unwrap_or(false);
+                    let got = slotted::update_in_place(&mut page, i as u16, &rec);
+                    prop_assert_eq!(got, fits);
+                    if fits {
+                        model[i] = Some(rec);
+                    }
+                }
+            }
+            // Full-state agreement after every step.
+            for (slot, expect) in model.iter().enumerate() {
+                let got = slotted::get(&page, slot as u16).map(|r| r.to_vec());
+                prop_assert_eq!(&got, expect, "slot {} diverged", slot);
+            }
+        }
+    }
+
+    /// Heap files preserve exactly the multiset of inserted-and-not-
+    /// deleted records, with stable rids, under arbitrary interleavings.
+    #[test]
+    fn heap_matches_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 1..80).prop_map(Some),
+                Just(None), // delete a random live record
+            ],
+            1..80,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let pager = Pager::new(PagerConfig {
+            page_size: 256,
+            buffer_capacity: 64,
+            mode: procdb_storage::AccountingMode::Logical,
+        });
+        let mut heap = HeapFile::create(pager, "h");
+        let mut live: Vec<(procdb_storage::Rid, Vec<u8>)> = Vec::new();
+        let mut rng = seed;
+        for op in ops {
+            match op {
+                Some(rec) => {
+                    let rid = heap.insert(&rec).unwrap();
+                    live.push((rid, rec));
+                }
+                None if !live.is_empty() => {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let idx = (rng >> 33) as usize % live.len();
+                    let (rid, _) = live.swap_remove(idx);
+                    heap.delete(rid).unwrap();
+                }
+                None => {}
+            }
+        }
+        prop_assert_eq!(heap.len() as usize, live.len());
+        // Every live rid resolves to its record.
+        for (rid, rec) in &live {
+            prop_assert_eq!(&heap.get(*rid).unwrap(), rec);
+        }
+        // And the scan sees exactly the live multiset.
+        let mut scanned: Vec<Vec<u8>> = heap
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut expect: Vec<Vec<u8>> = live.iter().map(|(_, r)| r.clone()).collect();
+        scanned.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    /// `rewrite` always leaves the file holding exactly the given records.
+    #[test]
+    fn heap_rewrite_is_exact(
+        first in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..40),
+        second in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..40),
+    ) {
+        let pager = Pager::new(PagerConfig {
+            page_size: 256,
+            buffer_capacity: 64,
+            mode: procdb_storage::AccountingMode::Logical,
+        });
+        let mut heap = HeapFile::create(pager, "h");
+        heap.rewrite(&first).unwrap();
+        heap.rewrite(&second).unwrap();
+        let mut scanned: Vec<Vec<u8>> = heap
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut expect = second.clone();
+        scanned.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(scanned, expect);
+    }
+}

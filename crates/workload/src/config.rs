@@ -1,0 +1,158 @@
+//! Simulation configuration, derived from (and scalable against) the
+//! paper's analytical parameters.
+
+use procdb_costmodel::Params;
+
+/// Domain of the `f2sel` attribute used to realize the `C_f2` selectivity.
+pub const F2_DOMAIN: i64 = 1_000_000;
+
+/// Concrete sizes and selectivities for one simulated database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// `R1` cardinality (`N`).
+    pub n: usize,
+    /// Bytes per tuple (`S`).
+    pub s: usize,
+    /// Page size in bytes (`B`).
+    pub page_size: usize,
+    /// Selection selectivity (`f`).
+    pub f: f64,
+    /// Second restriction selectivity (`f2`).
+    pub f2: f64,
+    /// `|R2| / N`.
+    pub f_r2: f64,
+    /// `|R3| / N`.
+    pub f_r3: f64,
+    /// Number of `P1` procedures (`N1`).
+    pub n1: usize,
+    /// Number of `P2` procedures (`N2`).
+    pub n2: usize,
+    /// Sharing factor (`SF`).
+    pub sf: f64,
+    /// Locality skew (`Z`).
+    pub z: f64,
+    /// Tuples modified per update transaction (`l`).
+    pub l: usize,
+    /// Joins per `P2` procedure: 1 = Model 1, 2 = Model 2.
+    pub joins: usize,
+    /// RNG seed for data and procedure generation.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Build a simulation config from the paper's parameters. `joins`
+    /// selects Model 1 (`1`) or Model 2 (`2`).
+    pub fn from_params(p: &Params, joins: usize) -> SimConfig {
+        assert!(joins == 1 || joins == 2, "joins must be 1 or 2");
+        SimConfig {
+            n: p.n as usize,
+            s: p.s as usize,
+            page_size: p.b_bytes as usize,
+            f: p.f,
+            f2: p.f2,
+            f_r2: p.f_r2,
+            f_r3: p.f_r3,
+            n1: p.n1 as usize,
+            n2: p.n2 as usize,
+            sf: p.sf,
+            z: p.z,
+            l: p.l as usize,
+            joins,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Shrink the database by `factor` while keeping the *relative* shape
+    /// (same `f`, `f2`, page-count ratios). Lets tests and quick sims run
+    /// the paper's experiments at laptop scale; DESIGN.md records that the
+    /// analytical model is evaluated at the same scaled parameters for
+    /// apples-to-apples comparisons.
+    pub fn scaled_down(mut self, factor: usize) -> SimConfig {
+        assert!(factor >= 1);
+        self.n = (self.n / factor).max(100);
+        self
+    }
+
+    /// `R2` cardinality.
+    pub fn n_r2(&self) -> usize {
+        ((self.n as f64 * self.f_r2) as usize).max(1)
+    }
+
+    /// `R3` cardinality.
+    pub fn n_r3(&self) -> usize {
+        ((self.n as f64 * self.f_r3) as usize).max(1)
+    }
+
+    /// Width of one `P1` selection window in key-space units.
+    pub fn p1_window(&self) -> i64 {
+        ((self.n as f64 * self.f).round() as i64).max(1)
+    }
+
+    /// The `f2sel < cut` threshold realizing selectivity `f2`.
+    pub fn f2_cut(&self) -> i64 {
+        ((F2_DOMAIN as f64) * self.f2).round() as i64
+    }
+
+    /// The analytical parameters matching this (possibly scaled) config —
+    /// what the cost model should be evaluated at for comparison.
+    #[allow(clippy::field_reassign_with_default)] // Params has 19 fields; explicit is clearer
+    pub fn to_params(&self) -> Params {
+        let mut p = Params::default();
+        p.n = self.n as f64;
+        p.s = self.s as f64;
+        p.b_bytes = self.page_size as f64;
+        p.f = self.f;
+        p.f2 = self.f2;
+        p.f_r2 = self.f_r2;
+        p.f_r3 = self.f_r3;
+        p.n1 = self.n1 as f64;
+        p.n2 = self.n2 as f64;
+        p.sf = self.sf;
+        p.z = self.z;
+        p.l = self.l as f64;
+        p
+    }
+}
+
+impl Default for SimConfig {
+    /// Paper defaults (Model 1), full scale.
+    fn default() -> Self {
+        SimConfig::from_params(&Params::default(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_params_matches_paper_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.n, 100_000);
+        assert_eq!(c.s, 100);
+        assert_eq!(c.page_size, 4_000);
+        assert_eq!(c.n_r2(), 10_000);
+        assert_eq!(c.n_r3(), 10_000);
+        assert_eq!(c.p1_window(), 100);
+        assert_eq!(c.f2_cut(), 100_000);
+        assert_eq!(c.l, 25);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let c = SimConfig::default().scaled_down(10);
+        assert_eq!(c.n, 10_000);
+        assert_eq!(c.n_r2(), 1_000);
+        assert_eq!(c.p1_window(), 10);
+        assert_eq!(c.f, 0.001);
+    }
+
+    #[test]
+    fn roundtrip_to_params() {
+        let c = SimConfig::default().scaled_down(4);
+        let p = c.to_params();
+        assert_eq!(p.n, 25_000.0);
+        assert_eq!(p.f, 0.001);
+        assert_eq!(p.n1, 100.0);
+    }
+}

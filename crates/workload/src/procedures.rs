@@ -1,0 +1,168 @@
+//! Procedure population generation: `N1` type-`P1` selections and `N2`
+//! type-`P2` joins, with a fraction `SF` of the `P2` procedures reusing a
+//! `P1` procedure's selection term (the shared subexpression).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use procdb_avm::{JoinStep, ViewDef};
+use procdb_core::ProcedureDef;
+use procdb_query::{CompOp, Predicate, Term};
+
+use crate::config::SimConfig;
+use crate::database::{r1, r2};
+
+/// A generated population plus bookkeeping about sharing.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// All procedures: the `N1` `P1`s first, then the `N2` `P2`s.
+    pub procs: Vec<ProcedureDef>,
+    /// For each `P2` (by index into `procs`), the `P1` index it shares its
+    /// selection with, if any.
+    pub shared_with: Vec<(usize, Option<usize>)>,
+}
+
+impl Population {
+    /// Number of `P2` procedures that share a subexpression.
+    pub fn shared_count(&self) -> usize {
+        self.shared_with.iter().filter(|(_, s)| s.is_some()).count()
+    }
+}
+
+fn random_window(rng: &mut StdRng, c: &SimConfig) -> (i64, i64) {
+    let width = c.p1_window();
+    let max_lo = (c.n as i64 - width).max(0);
+    let lo = if max_lo == 0 { 0 } else { rng.gen_range(0..=max_lo) };
+    (lo, lo + width - 1)
+}
+
+/// Generate the procedure population for a config.
+///
+/// `P1_i` = `σ_{lo ≤ skey ≤ hi}(R1)`. `P2_j` adds a hash join to `R2` with
+/// the `f2sel < cut` restriction, and (Model 2) a second join to `R3`.
+/// With probability `SF`, `P2_j` copies the selection window of a random
+/// `P1` (sharing is impossible when `N1 = 0`).
+pub fn generate_procedures(c: &SimConfig) -> Population {
+    let mut rng = StdRng::seed_from_u64(c.seed.wrapping_add(0x9E3779B9));
+    let mut procs = Vec::with_capacity(c.n1 + c.n2);
+    let mut windows = Vec::with_capacity(c.n1);
+    for i in 0..c.n1 {
+        let (lo, hi) = random_window(&mut rng, c);
+        windows.push((lo, hi));
+        procs.push(ProcedureDef::new(
+            procs.len() as u32,
+            format!("P1-{i}"),
+            ViewDef {
+                base: "R1".to_string(),
+                selection: Predicate::int_range(r1::SKEY, lo, hi),
+                joins: vec![],
+            },
+        ));
+    }
+    let mut shared_with = Vec::with_capacity(c.n2);
+    let f2_field_in_pipeline = r1::ARITY + r2::F2SEL;
+    let c_field_in_pipeline = r1::ARITY + r2::C;
+    for j in 0..c.n2 {
+        let shared = c.n1 > 0 && rng.gen_bool(c.sf);
+        let (src, (lo, hi)) = if shared {
+            let k = rng.gen_range(0..c.n1);
+            (Some(k), windows[k])
+        } else {
+            (None, random_window(&mut rng, c))
+        };
+        let mut joins = vec![JoinStep {
+            inner: "R2".to_string(),
+            outer_key_field: r1::A,
+            residual: Predicate {
+                terms: vec![Term::new(f2_field_in_pipeline, CompOp::Lt, c.f2_cut())],
+            },
+        }];
+        if c.joins >= 2 {
+            joins.push(JoinStep {
+                inner: "R3".to_string(),
+                outer_key_field: c_field_in_pipeline,
+                residual: Predicate::always(),
+            });
+        }
+        let idx = procs.len();
+        shared_with.push((idx, src));
+        procs.push(ProcedureDef::new(
+            idx as u32,
+            format!("P2-{j}"),
+            ViewDef {
+                base: "R1".to_string(),
+                selection: Predicate::int_range(r1::SKEY, lo, hi),
+                joins,
+            },
+        ));
+    }
+    Population { procs, shared_with }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n1: usize, n2: usize, sf: f64, joins: usize) -> SimConfig {
+        let mut c = SimConfig::default().scaled_down(100);
+        c.n1 = n1;
+        c.n2 = n2;
+        c.sf = sf;
+        c.joins = joins;
+        c.seed = 7;
+        c
+    }
+
+    #[test]
+    fn population_shape() {
+        let pop = generate_procedures(&cfg(10, 5, 0.5, 1));
+        assert_eq!(pop.procs.len(), 15);
+        assert!(pop.procs[..10].iter().all(|p| p.is_selection()));
+        assert!(pop.procs[10..].iter().all(|p| p.join_count() == 1));
+    }
+
+    #[test]
+    fn model2_has_two_joins() {
+        let pop = generate_procedures(&cfg(4, 4, 0.5, 2));
+        assert!(pop.procs[4..].iter().all(|p| p.join_count() == 2));
+    }
+
+    #[test]
+    fn sharing_factor_extremes() {
+        let none = generate_procedures(&cfg(20, 40, 0.0, 1));
+        assert_eq!(none.shared_count(), 0);
+        let all = generate_procedures(&cfg(20, 40, 1.0, 1));
+        assert_eq!(all.shared_count(), 40);
+        // Shared P2s really use the P1's window.
+        for (idx, src) in &all.shared_with {
+            let p1 = &all.procs[src.unwrap()];
+            let p2 = &all.procs[*idx];
+            assert_eq!(p1.view.selection, p2.view.selection);
+        }
+    }
+
+    #[test]
+    fn no_sharing_possible_without_p1s() {
+        let pop = generate_procedures(&cfg(0, 10, 1.0, 1));
+        assert_eq!(pop.shared_count(), 0);
+        assert_eq!(pop.procs.len(), 10);
+    }
+
+    #[test]
+    fn windows_have_f_selectivity() {
+        let c = cfg(50, 0, 0.0, 1);
+        let pop = generate_procedures(&c);
+        for p in &pop.procs {
+            let (lo, hi) = p.view.selection.int_bounds(r1::SKEY).unwrap();
+            assert_eq!(hi - lo + 1, c.p1_window());
+            assert!(lo >= 0 && hi < c.n as i64);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_procedures(&cfg(5, 5, 0.5, 2));
+        let b = generate_procedures(&cfg(5, 5, 0.5, 2));
+        assert_eq!(a.procs, b.procs);
+    }
+}

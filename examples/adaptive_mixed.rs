@@ -1,0 +1,225 @@
+//! Per-procedure strategy selection — the paper's §8 open problem, end
+//! to end: *observe* a skewed workload, *decide* a strategy for each
+//! procedure from its own update rate and object size, then *run* a
+//! mixed engine and compare against the uniform strategies.
+//!
+//! ```text
+//! cargo run --release --example adaptive_mixed
+//! ```
+
+use std::sync::Arc;
+
+use procdb::avm::ViewDef;
+use procdb::core::{
+    decide_assignments, DecisionInput, Engine, EngineOptions, MixedEngine, ProcedureDef,
+    StrategyKind, WorkloadObserver,
+};
+use procdb::query::{Catalog, FieldType, Organization, Predicate, Schema, Table, Value};
+use procdb::storage::{AccountingMode, CostConstants, Pager, PagerConfig, Result};
+
+const N: i64 = 4_000;
+
+fn substrate() -> Result<(Arc<Pager>, Catalog)> {
+    let pager = Pager::new(PagerConfig {
+        page_size: 4000,
+        buffer_capacity: 8192,
+        mode: AccountingMode::Logical,
+    });
+    pager.set_charging(false);
+    let schema = Schema::new(vec![
+        ("skey", FieldType::Int),
+        ("a", FieldType::Int),
+        ("pad", FieldType::Bytes(84)),
+    ]);
+    let mut r1 = Table::create(
+        pager.clone(),
+        "R1",
+        schema,
+        Organization::BTree { key_field: 0 },
+        0,
+    )?;
+    for i in 0..N {
+        r1.insert(&vec![
+            Value::Int(i),
+            Value::Int(i % 50),
+            Value::Bytes(vec![0; 4]),
+        ])?;
+    }
+    pager.ledger().reset();
+    pager.set_charging(true);
+    let mut cat = Catalog::new();
+    cat.add(r1);
+    Ok((pager, cat))
+}
+
+fn selection(id: u32, lo: i64, hi: i64) -> ProcedureDef {
+    ProcedureDef::new(
+        id,
+        format!("proc-{id}"),
+        ViewDef {
+            base: "R1".into(),
+            selection: Predicate::int_range(0, lo, hi),
+            joins: vec![],
+        },
+    )
+}
+
+/// The skewed workload: six procedures with very different lives.
+///
+/// * procs 0–2: tiny windows, read constantly, almost never updated;
+/// * proc 3: a huge window that every update transaction hits, read once
+///   in a blue moon;
+/// * procs 4–5: medium windows with moderate traffic on both sides.
+fn procedures() -> Vec<ProcedureDef> {
+    vec![
+        selection(0, 0, 39),
+        selection(1, 40, 79),
+        selection(2, 80, 119),
+        selection(3, 1000, 3800),
+        selection(4, 200, 399),
+        selection(5, 400, 599),
+    ]
+}
+
+fn workload() -> Vec<(bool, i64)> {
+    // (is_update, payload): deterministic interleaving.
+    let mut ops = Vec::new();
+    for round in 0..250i64 {
+        ops.push((false, round % 3)); // hot read of procs 0..2
+        if round % 2 == 0 {
+            ops.push((true, round)); // update into proc 3's window
+        }
+        if round % 10 == 0 {
+            ops.push((false, 4 + (round / 10) % 2)); // warm procs 4,5
+        }
+        if round % 100 == 50 {
+            ops.push((false, 3)); // rare read of the big object
+        }
+    }
+    ops
+}
+
+fn run_uniform(kind: StrategyKind, constants: &CostConstants) -> f64 {
+    let (pager, catalog) = substrate().unwrap();
+    let mut e = Engine::new(pager, catalog, procedures(), kind, EngineOptions::default()).unwrap();
+    e.warm_up().unwrap();
+    e.ledger().reset();
+    for (is_update, payload) in workload() {
+        if is_update {
+            let mods: Vec<(i64, i64)> = (0..8)
+                .map(|j| {
+                    let b = payload * 8 + j;
+                    (1000 + b * 13 % 2800, 1000 + b * 31 % 2800)
+                })
+                .collect();
+            e.apply_update(&mods).unwrap();
+        } else {
+            e.access(payload as usize).unwrap();
+        }
+    }
+    e.ledger().snapshot().priced(constants)
+}
+
+fn main() {
+    let constants = CostConstants::default();
+
+    // ---- Phase 1: observe the workload on the cheapest-to-run engine.
+    let (pager, catalog) = substrate().unwrap();
+    let mut probe = Engine::new(
+        pager,
+        catalog,
+        procedures(),
+        StrategyKind::AlwaysRecompute,
+        EngineOptions::default(),
+    )
+    .unwrap();
+    let mut observer = WorkloadObserver::new(6);
+    let windows: Vec<(i64, i64)> = procedures()
+        .iter()
+        .map(|p| p.view.selection.int_bounds(0).unwrap())
+        .collect();
+    for (is_update, payload) in workload() {
+        if is_update {
+            let mods: Vec<(i64, i64)> = (0..8)
+                .map(|j| {
+                    let b = payload * 8 + j;
+                    (1000 + b * 13 % 2800, 1000 + b * 31 % 2800)
+                })
+                .collect();
+            probe.apply_update(&mods).unwrap();
+            let hit = |k: i64| windows.iter().enumerate().filter(move |(_, (lo, hi))| k >= *lo && k <= *hi);
+            let mut conflicting: Vec<usize> = Vec::new();
+            for (old_k, new_k) in &mods {
+                for (i, _) in hit(*old_k).chain(hit(*new_k)) {
+                    if !conflicting.contains(&i) {
+                        conflicting.push(i);
+                    }
+                }
+            }
+            observer.record_update(conflicting);
+        } else {
+            probe.access(payload as usize).unwrap();
+            observer.record_access(payload as usize);
+        }
+    }
+
+    // ---- Phase 2: decide per procedure.
+    let inputs: Vec<DecisionInput> = (0..6)
+        .map(|i| DecisionInput {
+            recompute_ms: probe.estimate_recompute_ms(i, &constants),
+            cached_read_ms: {
+                let (lo, hi) = windows[i];
+                // pages ≈ tuples / blocking factor
+                (((hi - lo + 1) as f64 / 40.0).ceil()).max(1.0) * constants.c2
+            },
+            conflict_rate: 0.0, // filled in from the observer
+            tuples_per_conflict: 8.0,
+        })
+        .collect();
+    let assignment = decide_assignments(&observer, &inputs, &constants);
+    println!("observed workload → per-procedure decisions:");
+    for (i, kind) in assignment.iter().enumerate() {
+        let s = observer.stats(i);
+        println!(
+            "  proc {i}: {:>4} reads, {:>4} conflicting updates  ->  {}",
+            s.accesses,
+            s.conflicting_updates,
+            kind.label()
+        );
+    }
+
+    // ---- Phase 3: run the mixed engine vs the uniform strategies.
+    let mut mixed = MixedEngine::new(
+        &assignment,
+        &procedures(),
+        EngineOptions::default(),
+        substrate,
+    )
+    .unwrap();
+    mixed.warm_up().unwrap();
+    mixed.reset_ledgers();
+    for (is_update, payload) in workload() {
+        if is_update {
+            let mods: Vec<(i64, i64)> = (0..8)
+                .map(|j| {
+                    let b = payload * 8 + j;
+                    (1000 + b * 13 % 2800, 1000 + b * 31 % 2800)
+                })
+                .collect();
+            mixed.apply_update(&mods).unwrap();
+        } else {
+            mixed.access(payload as usize).unwrap();
+        }
+    }
+    let mixed_ms = mixed.total_ms(&constants);
+
+    println!("\ntotal workload cost:");
+    for kind in StrategyKind::ALL {
+        println!(
+            "  uniform {:<18} {:>12.0} ms",
+            kind.label(),
+            run_uniform(kind, &constants)
+        );
+    }
+    println!("  adaptive mixed       {mixed_ms:>14.0} ms   ({} groups)", mixed.group_count());
+}

@@ -1,0 +1,95 @@
+//! Quickstart: define database procedures, serve them with each of the
+//! paper's four strategies, and compare the measured cost per access.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use procdb::core::StrategyKind;
+use procdb::storage::CostConstants;
+use procdb::workload::{run_all_strategies, SimConfig, StreamSpec};
+
+fn main() {
+    // The paper's default database, shrunk 20x so the example runs in
+    // moments: N = 5,000 R1 tuples, 100 procedures (50 selections P1,
+    // 50 two-way joins P2), f = 0.001 of the key space each.
+    let mut config = SimConfig::default().scaled_down(20);
+    config.n1 = 50;
+    config.n2 = 50;
+    config.f = 0.004; // 20-tuple objects at this scale
+    config.l = 10; // keep the analytical comparison on the same workload
+    config.seed = 2024;
+
+    // A mixed workload: 30% updates (each rewriting l = 10 keys of R1),
+    // 70% procedure accesses with 80/20 locality.
+    let stream = StreamSpec {
+        p_update: 0.3,
+        l: 10,
+        z: 0.2,
+        ops: 400,
+        seed: 7,
+    };
+
+    println!("procdb quickstart — Hanson (SIGMOD 1988) strategies head-to-head");
+    println!(
+        "database: |R1| = {}, |R2| = {}, |R3| = {}, {} procedures",
+        config.n,
+        config.n_r2(),
+        config.n_r3(),
+        config.n1 + config.n2
+    );
+    println!(
+        "workload: {} ops, P(update) = {}, l = {}, Z = {}\n",
+        stream.ops, stream.p_update, stream.l, stream.z
+    );
+
+    let constants = CostConstants::default(); // C1=1ms, C2=30ms, C3=1ms
+    let outcomes = run_all_strategies(&config, &stream, &constants, Some(25))
+        .expect("simulation runs");
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "strategy", "accesses", "pageIO", "screens", "ms/access", "verified"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>12.1} {:>7}/{:<2}",
+            o.strategy.label(),
+            o.accesses,
+            o.work.page_ios(),
+            o.work.screens,
+            o.per_access_ms,
+            o.verified - o.mismatches,
+            o.verified,
+        );
+        assert_eq!(o.mismatches, 0, "a strategy served a stale answer!");
+    }
+
+    let best = outcomes
+        .iter()
+        .min_by(|a, b| a.per_access_ms.partial_cmp(&b.per_access_ms).unwrap())
+        .unwrap();
+    println!(
+        "\nwinner at this update rate: {} ({:.1} ms/access)",
+        best.strategy.label(),
+        best.per_access_ms
+    );
+
+    // What does the paper's analytical model say for these parameters?
+    let rec = procdb::core::recommend(
+        procdb::costmodel::Model::One,
+        &config
+            .to_params()
+            .with_update_probability(stream.p_update),
+    );
+    println!(
+        "analytical model recommends: {} (margin {:.2}x over runner-up)",
+        rec.strategy.label(),
+        rec.margin
+    );
+    assert_ne!(
+        best.strategy,
+        StrategyKind::AlwaysRecompute,
+        "at 30% updates a caching strategy should win"
+    );
+}

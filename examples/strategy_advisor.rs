@@ -1,0 +1,57 @@
+//! Strategy advisor: for your workload's update probability and object
+//! size, which processing strategy should a DBMS pick?
+//!
+//! Prints the paper's winner-region map (Figure 12 / 19 territory) from
+//! the analytical model, plus a worked recommendation for one concrete
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example strategy_advisor
+//! ```
+
+use procdb::core::recommend;
+use procdb::costmodel::{region_grid, Model, Params};
+
+fn main() {
+    println!("Winner regions, Model 1 (P2 = two-way join), defaults otherwise:\n");
+    let grid = region_grid(Model::One, &Params::default());
+    print!("{}", grid.ascii_map());
+    let (r, c, u) = grid.family_shares();
+    println!(
+        "\nshares: AlwaysRecompute {:.0}%, Cache&Invalidate {:.0}%, UpdateCache {:.0}%\n",
+        r * 100.0,
+        c * 100.0,
+        u * 100.0
+    );
+
+    println!("Winner regions, Model 2 (P2 = three-way join):\n");
+    let grid2 = region_grid(Model::Two, &Params::default());
+    print!("{}", grid2.ascii_map());
+
+    // A concrete consultation: an OLTP-ish catalog service.
+    println!("\n--- consultation ---");
+    let workload = Params::default()
+        .with_f(0.0005) // 50-tuple objects
+        .with_update_probability(0.15) // 15% of operations are updates
+        .with_z(0.1); // strong access locality
+    let rec = recommend(Model::One, &workload);
+    println!(
+        "object size f = {}, P(update) = {:.2}, locality Z = {}:",
+        workload.f,
+        workload.update_probability(),
+        workload.z
+    );
+    for (kind, ms) in procdb::core::StrategyKind::ALL.iter().zip(rec.predicted_ms) {
+        let marker = if *kind == rec.strategy { "  <-- pick this" } else { "" };
+        println!("  {:<18} {:>9.1} ms/access{}", kind.label(), ms, marker);
+    }
+    println!(
+        "margin over runner-up: {:.2}x — {}",
+        rec.margin,
+        if rec.margin > 1.5 {
+            "clear-cut"
+        } else {
+            "close call; prefer the safer Cache&Invalidate if update rates may spike (paper §8)"
+        }
+    );
+}

@@ -1,0 +1,107 @@
+//! End-to-end test of the `procdb-cli` binary: feed it a script on stdin
+//! and check the transcript, exactly as a user would drive it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    // Resolve the binary next to the test executable (target/debug).
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("procdb-cli{}", std::env::consts::EXE_SUFFIX));
+    let mut child = Command::new(&path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {path:?}: {e}"));
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("cli runs");
+    assert!(out.status.success(), "cli exited with {:?}", out.status);
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const SCRIPT: &str = r#"
+create table EMP (eid int, dept int, job bytes 12) btree eid
+create table DEPT (dname int, floor int) hash dname
+insert DEPT (0, 1)
+insert DEPT (1, 2)
+insert EMP (1, 0, "Programmer")
+insert EMP (2, 0, "Clerk")
+insert EMP (3, 1, "Programmer")
+define view PROGS1 (EMP.all, DEPT.all) where EMP.dept = DEPT.dname and EMP.job = "Programmer" and DEPT.floor = 1
+strategy rvm
+show
+access PROGS1
+insert EMP (5, 0, "Programmer")
+access PROGS1
+update 5 -> 6
+access PROGS1
+costs
+quit
+"#;
+
+#[test]
+fn scripted_session_transcript() {
+    let out = run_script(SCRIPT);
+    assert!(out.contains("table EMP created"), "{out}");
+    assert!(out.contains("view PROGS1 defined"), "{out}");
+    assert!(out.contains("strategy set to UpdateCache-RVM"), "{out}");
+    assert!(out.contains("EMP (3 rows, btree on eid)"), "{out}");
+    assert!(out.contains("DEPT (2 rows, hash on dname)"), "{out}");
+    // First access: only employee 1 qualifies.
+    assert!(out.contains("1 rows in"), "{out}");
+    // After the live insert the view is maintained to 2 rows.
+    assert!(out.contains("2 rows in"), "{out}");
+    // The re-keyed tuple shows its new key.
+    assert!(out.contains("(6, 0, \"Programmer\", 0, 1)"), "{out}");
+    assert!(out.contains("total charged:"), "{out}");
+}
+
+#[test]
+fn errors_do_not_kill_the_session() {
+    let out = run_script(
+        "frobnicate\naccess nothing\ncreate table T (x int) btree x\n\
+         insert T (1, 2)\nstrategy nope\nhelp\nquit\n",
+    );
+    assert!(out.contains("error: unknown command"), "{out}");
+    assert!(out.contains("error: unknown view nothing"), "{out}");
+    assert!(out.contains("error: arity mismatch"), "{out}");
+    assert!(out.contains("error: unknown strategy"), "{out}");
+    assert!(out.contains("commands:"), "help still works: {out}");
+    assert!(out.contains("table T created"), "{out}");
+}
+
+#[test]
+fn strategy_comparison_same_answers() {
+    let base = r#"
+create table EMP (eid int, dept int) btree eid
+insert EMP (1, 0)
+insert EMP (2, 1)
+insert EMP (3, 0)
+define view V (EMP.all) where EMP.eid >= 2
+"#;
+    let mut transcripts = Vec::new();
+    for strat in ["recompute", "cache", "avm", "rvm"] {
+        let script = format!("{base}\nstrategy {strat}\naccess V\nquit\n");
+        let out = run_script(&script);
+        let rows: Vec<&str> = out
+            .lines()
+            .skip_while(|l| !l.contains("rows in"))
+            .skip(1)
+            .take_while(|l| l.starts_with("  ("))
+            .collect();
+        transcripts.push((strat, rows.join("\n")));
+    }
+    let first = transcripts[0].1.clone();
+    assert!(first.contains("(2, 1)") && first.contains("(3, 0)"), "{first}");
+    for (strat, rows) in &transcripts {
+        assert_eq!(rows, &first, "strategy {strat} returned different rows");
+    }
+}

@@ -1,0 +1,90 @@
+//! T-access: the paper's §3 access-method table must be realized by the
+//! generated database — `R1` on a clustered B-tree over the selection
+//! attribute, `R2`/`R3` hash-organized on their join attributes — and the
+//! engine must exploit each (descent-priced selections, bucket-priced
+//! probes).
+
+use procdb::query::Organization;
+use procdb::workload::{build_database, sim_pager, SimConfig};
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::default().scaled_down(50); // N = 2000
+    c.seed = 99;
+    c
+}
+
+#[test]
+fn access_methods_match_paper_table() {
+    let c = config();
+    let cat = build_database(sim_pager(&c), &c).unwrap();
+    assert!(matches!(
+        cat.get("R1").unwrap().organization(),
+        Organization::BTree { key_field: 0 }
+    ));
+    assert!(matches!(
+        cat.get("R2").unwrap().organization(),
+        Organization::Hash { key_field: 0 }
+    ));
+    assert!(matches!(
+        cat.get("R3").unwrap().organization(),
+        Organization::Hash { key_field: 0 }
+    ));
+}
+
+#[test]
+fn r1_selection_costs_descent_plus_leaves() {
+    let c = config();
+    let pager = sim_pager(&c);
+    let cat = build_database(pager.clone(), &c).unwrap();
+    let r1 = cat.get("R1").unwrap();
+    let h1 = r1.btree_height().unwrap() as u64;
+    assert!(h1 >= 2, "tree should have internal levels at N = {}", c.n);
+
+    pager.clear_buffer().unwrap();
+    let before = pager.ledger().snapshot();
+    let mut rows = 0;
+    r1.range_scan(100, 119, |_| rows += 1).unwrap();
+    let reads = pager.ledger().snapshot().since(&before).page_reads;
+    assert_eq!(rows, 20);
+    // Descent (≤ h1) + a handful of leaf pages: 20 tuples at ~30/page is
+    // 1-2 leaves. Generous upper bound: h1 + 4.
+    assert!(
+        reads <= h1 + 4,
+        "selection read {reads} pages (h1 = {h1})"
+    );
+}
+
+#[test]
+fn r2_probe_costs_about_one_page() {
+    let c = config();
+    let pager = sim_pager(&c);
+    let cat = build_database(pager.clone(), &c).unwrap();
+    let r2 = cat.get("R2").unwrap();
+    pager.clear_buffer().unwrap();
+    let before = pager.ledger().snapshot();
+    let probes = 20;
+    for key in 0..probes {
+        let mut n = 0;
+        r2.probe(key, |_| n += 1).unwrap();
+        assert_eq!(n, 1, "b = {key} should match exactly one tuple");
+    }
+    let reads = pager.ledger().snapshot().since(&before).page_reads;
+    assert!(
+        reads <= 2 * probes as u64,
+        "{probes} probes cost {reads} page reads"
+    );
+}
+
+#[test]
+fn base_tables_sized_like_model() {
+    let c = config();
+    let cat = build_database(sim_pager(&c), &c).unwrap();
+    assert_eq!(cat.get("R1").unwrap().len() as usize, c.n);
+    assert_eq!(cat.get("R2").unwrap().len() as usize, c.n_r2());
+    assert_eq!(cat.get("R3").unwrap().len() as usize, c.n_r3());
+    // f·N tuples in a P1 window.
+    let r1 = cat.get("R1").unwrap();
+    let mut in_window = 0;
+    r1.range_scan(0, c.p1_window() - 1, |_| in_window += 1).unwrap();
+    assert_eq!(in_window, c.p1_window());
+}

@@ -1,0 +1,123 @@
+//! The paper's §5/§7/§8 qualitative claims, asserted against the
+//! analytical model end-to-end through the public facade.
+
+use procdb::costmodel::{
+    best_update_cache, cost, headline_speedups, model2, paper_figures, region_grid, Family,
+    Model, Params, Strategy,
+};
+
+#[test]
+fn s8_headline_factors() {
+    let (ci, uc) = headline_speedups();
+    assert!(ci > 3.0, "CI speedup {ci} too small vs paper ~5x");
+    assert!(uc > 5.0, "UC speedup {uc} too small vs paper ~7x");
+    assert!(uc > ci);
+}
+
+#[test]
+fn model2_crossover_near_047() {
+    let sf = model2::avm_rvm_crossover_sf(&Params::default().with_update_probability(0.5))
+        .expect("crossover exists in model 2");
+    assert!((0.35..=0.6).contains(&sf), "crossover = {sf}");
+}
+
+#[test]
+fn model1_avm_never_significantly_worse_than_rvm() {
+    // §5 (Figure 11): "the cost of RVM becomes comparable to AVM only
+    // when almost every type P2 procedure has a shared subexpression" —
+    // AVM wins below SF ≈ 0.9, RVM at most edges ahead near SF = 1.
+    for i in 0..=10 {
+        let sf = i as f64 / 10.0;
+        let p = Params::default().with_sf(sf).with_update_probability(0.5);
+        let avm = cost(Model::One, Strategy::UpdateCacheAvm, &p);
+        let rvm = cost(Model::One, Strategy::UpdateCacheRvm, &p);
+        if sf < 0.9 {
+            assert!(avm <= rvm, "model 1, SF = {sf}: AVM {avm} vs RVM {rvm}");
+        } else {
+            assert!(
+                (rvm - avm).abs() / avm < 0.1,
+                "model 1, SF = {sf}: costs should be comparable (AVM {avm}, RVM {rvm})"
+            );
+        }
+    }
+}
+
+#[test]
+fn update_cache_blows_up_at_high_p_ci_does_not() {
+    let hi = Params::default().with_update_probability(0.95);
+    let ar = cost(Model::One, Strategy::AlwaysRecompute, &hi);
+    let ci = cost(Model::One, Strategy::CacheInvalidate, &hi);
+    let uc = cost(Model::One, Strategy::UpdateCacheAvm, &hi);
+    assert!(uc > 3.0 * ar, "UC should degrade severely: {uc} vs AR {ar}");
+    assert!(ci < 1.2 * ar, "CI plateau stays near AR: {ci} vs {ar}");
+}
+
+#[test]
+fn large_objects_favor_update_cache_at_low_p() {
+    // §8: "Update Cache is significantly better than CI for large objects
+    // when update probability is low."
+    let p = Params::default().with_f(0.01).with_update_probability(0.1);
+    let ci = cost(Model::One, Strategy::CacheInvalidate, &p);
+    let (_, uc) = best_update_cache(Model::One, &p);
+    assert!(uc < 0.75 * ci, "UC {uc} should clearly beat CI {ci}");
+}
+
+#[test]
+fn small_objects_make_ci_competitive() {
+    // §5 (Figure 7): for f = 0.0001, CI is close to UC at low P and does
+    // not degrade at high P.
+    let lo = Params::default().with_f(0.0001).with_update_probability(0.2);
+    let ci = cost(Model::One, Strategy::CacheInvalidate, &lo);
+    let (_, uc) = best_update_cache(Model::One, &lo);
+    assert!(ci < 2.0 * uc, "CI {ci} should be within 2x of UC {uc}");
+}
+
+#[test]
+fn winner_regions_have_paper_structure() {
+    let g = region_grid(Model::One, &Params::default());
+    let (ar_share, _, uc_share) = g.family_shares();
+    assert!(uc_share > 0.4, "UC should dominate low-P cells");
+    assert!(ar_share > 0.1, "AR should own the high-P band");
+    // The UC region shrinks (in P) as objects grow: compare the highest-f
+    // row with the lowest-f row.
+    let np = g.p_values.len();
+    let uc_cols = |fi: usize| {
+        (0..np)
+            .filter(|&pi| g.cells[fi * np + pi].winner == Family::UpdateCache)
+            .count()
+    };
+    assert!(uc_cols(0) >= uc_cols(g.f_values.len() - 1));
+}
+
+#[test]
+fn every_figure_series_is_positive_and_finite() {
+    for fig in paper_figures() {
+        for s in &fig.series {
+            for (x, y) in &s.points {
+                assert!(y.is_finite() && *y >= 0.0, "{} {:?} at x={x}", fig.id, s.strategy);
+            }
+        }
+    }
+}
+
+#[test]
+fn f15_no_false_invalidation_helps_ci() {
+    // With f2 = 1 a broken lock always means a real change, so CI's
+    // cost can only improve (fewer wasted recomputes).
+    let base = Params::default().with_update_probability(0.3);
+    let with_false = cost(Model::One, Strategy::CacheInvalidate, &base);
+    let without = cost(
+        Model::One,
+        Strategy::CacheInvalidate,
+        &base.with_f2(1.0),
+    );
+    // f2 = 1 also makes P2 objects bigger, so compare the *relative* gap
+    // to Update Cache, as Figure 15 does.
+    let uc_with = best_update_cache(Model::One, &Params::default().with_update_probability(0.3)).1;
+    let uc_without = best_update_cache(
+        Model::One,
+        &Params::default().with_update_probability(0.3).with_f2(1.0),
+    )
+    .1;
+    assert!(without / uc_without <= with_false / uc_with * 1.05);
+}

@@ -1,0 +1,169 @@
+//! Shape agreement between the discrete simulation and the analytical
+//! model: the qualitative claims of §5/§7 must hold in *both*.
+
+use procdb::core::StrategyKind;
+use procdb::storage::CostConstants;
+use procdb::workload::{analytic_prediction, run_strategy, SimConfig, StreamSpec};
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::default().scaled_down(50); // N = 2000
+    c.n1 = 8;
+    c.n2 = 8;
+    c.f = 0.01; // 20-tuple objects
+    c.l = 6;
+    c.seed = 321;
+    c
+}
+
+fn spec(p: f64) -> StreamSpec {
+    StreamSpec {
+        p_update: p,
+        l: 6,
+        z: 0.2,
+        ops: 150,
+        seed: 11,
+    }
+}
+
+fn per_access(kind: StrategyKind, p: f64) -> f64 {
+    run_strategy(&config(), &spec(p), kind, &CostConstants::default(), None)
+        .unwrap()
+        .per_access_ms
+}
+
+#[test]
+fn update_cache_rises_with_p_in_both_worlds() {
+    // Simulation.
+    let sim_lo = per_access(StrategyKind::UpdateCacheAvm, 0.1);
+    let sim_hi = per_access(StrategyKind::UpdateCacheAvm, 0.8);
+    assert!(sim_hi > 1.5 * sim_lo, "sim: {sim_lo} -> {sim_hi}");
+    // Analytic at the same (scaled) parameters.
+    let c = config();
+    let a_lo = analytic_prediction(&c, &spec(0.1))[2];
+    let a_hi = analytic_prediction(&c, &spec(0.8))[2];
+    assert!(a_hi > 1.5 * a_lo, "analytic: {a_lo} -> {a_hi}");
+}
+
+#[test]
+fn caching_wins_at_low_p_recompute_flat() {
+    let ar_lo = per_access(StrategyKind::AlwaysRecompute, 0.1);
+    let avm_lo = per_access(StrategyKind::UpdateCacheAvm, 0.1);
+    let ci_lo = per_access(StrategyKind::CacheInvalidate, 0.1);
+    assert!(avm_lo < ar_lo, "UC should beat AR at P=0.1: {avm_lo} vs {ar_lo}");
+    assert!(ci_lo < ar_lo, "CI should beat AR at P=0.1: {ci_lo} vs {ar_lo}");
+}
+
+#[test]
+fn ci_approaches_recompute_plateau_at_high_p() {
+    // §5: at high P the CI cost levels off slightly above AR (the wasted
+    // cache write-back), nowhere near Update Cache's blow-up.
+    let ar = per_access(StrategyKind::AlwaysRecompute, 0.9);
+    let ci = per_access(StrategyKind::CacheInvalidate, 0.9);
+    let uc = per_access(StrategyKind::UpdateCacheAvm, 0.9);
+    assert!(ci < 2.0 * ar, "CI plateau too high: {ci} vs AR {ar}");
+    assert!(uc > ci, "UC should be the one degrading at P=0.9: {uc} vs {ci}");
+}
+
+#[test]
+fn simulated_magnitudes_within_3x_of_analytic() {
+    // The closed forms idealize packing and Yao-count pages; the running
+    // system splits B-trees and fragments heaps. Magnitudes must still
+    // agree within a small constant factor.
+    let c = config();
+    let s = spec(0.3);
+    for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        let sim = run_strategy(&c, &s, kind, &CostConstants::default(), None)
+            .unwrap()
+            .per_access_ms;
+        let analytic = analytic_prediction(&c, &s)[i];
+        let ratio = sim / analytic;
+        assert!(
+            (0.33..=3.0).contains(&ratio),
+            "{kind}: sim {sim:.1} vs analytic {analytic:.1} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn expensive_invalidation_recording_hurts_ci_in_sim() {
+    // F4 vs F5, simulated: price each recorded invalidation at 60 ms (the
+    // read+write-a-flag-page scheme) and CI should get markedly worse,
+    // while the other strategies are untouched.
+    let cheap = procdb::storage::CostConstants::default();
+    let dear = procdb::storage::CostConstants {
+        c_inval: 60.0,
+        ..cheap
+    };
+    let c = config();
+    let s = spec(0.6);
+    let ci_cheap = run_strategy(&c, &s, StrategyKind::CacheInvalidate, &cheap, None)
+        .unwrap()
+        .per_access_ms;
+    let ci_dear = run_strategy(&c, &s, StrategyKind::CacheInvalidate, &dear, None)
+        .unwrap()
+        .per_access_ms;
+    assert!(
+        ci_dear > 1.1 * ci_cheap,
+        "C_inval=60 should visibly hurt CI: {ci_cheap} -> {ci_dear}"
+    );
+    let ar_dear = run_strategy(&c, &s, StrategyKind::AlwaysRecompute, &dear, None)
+        .unwrap()
+        .per_access_ms;
+    let ar_cheap = run_strategy(&c, &s, StrategyKind::AlwaysRecompute, &cheap, None)
+        .unwrap()
+        .per_access_ms;
+    assert_eq!(ar_dear, ar_cheap, "AR never records invalidations");
+}
+
+#[test]
+fn locality_helps_ci_in_sim() {
+    // F9, simulated: higher locality (Z = 0.05) lowers CI's cost (hot
+    // objects are re-validated and then hit repeatedly before the next
+    // conflicting update).
+    let c = config();
+    let mk = |z: f64| StreamSpec {
+        p_update: 0.4,
+        l: 6,
+        z,
+        ops: 300,
+        seed: 11,
+    };
+    let base = run_strategy(
+        &config(),
+        &mk(0.2),
+        StrategyKind::CacheInvalidate,
+        &CostConstants::default(),
+        None,
+    )
+    .unwrap()
+    .per_access_ms;
+    let local = run_strategy(
+        &c,
+        &mk(0.05),
+        StrategyKind::CacheInvalidate,
+        &CostConstants::default(),
+        None,
+    )
+    .unwrap()
+    .per_access_ms;
+    assert!(
+        local < base * 1.05,
+        "locality should not hurt CI: Z=0.2 -> {base}, Z=0.05 -> {local}"
+    );
+}
+
+#[test]
+fn rvm_beats_avm_with_sharing_in_model2_sim() {
+    // §7: in Model 2, sharing makes RVM the better Update Cache variant.
+    let mut c = config();
+    c.joins = 2;
+    c.sf = 1.0;
+    let s = spec(0.6);
+    let avm = run_strategy(&c, &s, StrategyKind::UpdateCacheAvm, &CostConstants::default(), None)
+        .unwrap()
+        .per_access_ms;
+    let rvm = run_strategy(&c, &s, StrategyKind::UpdateCacheRvm, &CostConstants::default(), None)
+        .unwrap()
+        .per_access_ms;
+    assert!(rvm < avm, "RVM {rvm} should beat AVM {avm} at SF=1, model 2");
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: every strategy must serve *exactly* the same
+//! answers on identical randomized workloads — Always Recompute is the
+//! ground truth, and caching/maintenance must be invisible to queries.
+
+use procdb::core::StrategyKind;
+use procdb::storage::CostConstants;
+use procdb::workload::{run_all_strategies, run_strategy, SimConfig, StreamSpec};
+
+fn base_config(joins: usize, seed: u64) -> SimConfig {
+    let mut c = SimConfig::default().scaled_down(100); // N = 1000
+    c.n1 = 5;
+    c.n2 = 5;
+    c.f = 0.02; // 20-tuple objects
+    c.l = 8;
+    c.joins = joins;
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn all_strategies_serve_identical_answers_model1() {
+    let c = base_config(1, 71);
+    let spec = StreamSpec {
+        p_update: 0.5,
+        l: 8,
+        z: 0.2,
+        ops: 80,
+        seed: 5,
+    };
+    // verify_every = 1: every single access is checked against a fresh
+    // recompute inside the runner.
+    let outcomes = run_all_strategies(&c, &spec, &CostConstants::default(), Some(1)).unwrap();
+    for o in &outcomes {
+        assert!(o.verified >= 30, "{}: too few verified accesses", o.strategy);
+        assert_eq!(o.mismatches, 0, "{} diverged from recompute", o.strategy);
+    }
+}
+
+#[test]
+fn all_strategies_serve_identical_answers_model2() {
+    let c = base_config(2, 72);
+    let spec = StreamSpec {
+        p_update: 0.5,
+        l: 8,
+        z: 0.2,
+        ops: 80,
+        seed: 6,
+    };
+    let outcomes = run_all_strategies(&c, &spec, &CostConstants::default(), Some(1)).unwrap();
+    for o in &outcomes {
+        assert_eq!(o.mismatches, 0, "{} diverged from recompute", o.strategy);
+    }
+}
+
+#[test]
+fn correctness_survives_update_heavy_streams() {
+    // P = 0.9: caches are churned constantly; sharing SF = 1 stresses the
+    // shared α-memory path.
+    let mut c = base_config(2, 73);
+    c.sf = 1.0;
+    let spec = StreamSpec {
+        p_update: 0.9,
+        l: 8,
+        z: 0.2,
+        ops: 100,
+        seed: 7,
+    };
+    for kind in [StrategyKind::CacheInvalidate, StrategyKind::UpdateCacheRvm] {
+        let o = run_strategy(&c, &spec, kind, &CostConstants::default(), Some(1)).unwrap();
+        assert_eq!(o.mismatches, 0, "{kind} diverged under churn");
+    }
+}
+
+#[test]
+fn correctness_with_zero_sharing_and_full_sharing() {
+    for sf in [0.0, 1.0] {
+        let mut c = base_config(1, 74);
+        c.sf = sf;
+        let spec = StreamSpec {
+            p_update: 0.4,
+            l: 8,
+            z: 0.2,
+            ops: 60,
+            seed: 8,
+        };
+        let o = run_strategy(
+            &c,
+            &spec,
+            StrategyKind::UpdateCacheRvm,
+            &CostConstants::default(),
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(o.mismatches, 0, "RVM diverged at SF = {sf}");
+    }
+}
+
+#[test]
+fn selection_only_population() {
+    // Figure 8's population: N2 = 0, single-tuple objects.
+    let mut c = base_config(1, 75);
+    c.n1 = 8;
+    c.n2 = 0;
+    c.f = 1.0 / c.n as f64;
+    let spec = StreamSpec {
+        p_update: 0.5,
+        l: 4,
+        z: 0.2,
+        ops: 60,
+        seed: 9,
+    };
+    let outcomes = run_all_strategies(&c, &spec, &CostConstants::default(), Some(1)).unwrap();
+    for o in &outcomes {
+        assert_eq!(o.mismatches, 0, "{} diverged", o.strategy);
+    }
+}
