@@ -213,8 +213,14 @@ mod tests {
             ("dept", FieldType::Int),
             ("salary", FieldType::Int),
         ]);
-        let mut r1 = Table::create(pg.clone(), "R1", schema, Organization::BTree { key_field: 0 }, 0)
-            .unwrap();
+        let mut r1 = Table::create(
+            pg.clone(),
+            "R1",
+            schema,
+            Organization::BTree { key_field: 0 },
+            0,
+        )
+        .unwrap();
         for i in 0..60i64 {
             r1.insert(&vec![Value::Int(i), Value::Int(i % 4), Value::Int(100 + i)])
                 .unwrap();
@@ -323,7 +329,8 @@ mod tests {
         )
         .unwrap();
         for d in 0..4i64 {
-            dept.insert(&vec![Value::Int(d), Value::Int(d % 2)]).unwrap();
+            dept.insert(&vec![Value::Int(d), Value::Int(d % 2)])
+                .unwrap();
         }
         cat.add(dept);
         let def = ViewDef {

@@ -47,11 +47,10 @@ impl MaterializedView {
         let d = delta.len() as f64;
         let screens = d * (c.c1 + c.c3);
         let probes = d * self.def().joins.len() as f64 * c.c2;
-        let refresh = d.min(self.page_count() as f64).max(if delta.is_empty() {
-            0.0
-        } else {
-            1.0
-        }) * 2.0
+        let refresh = d
+            .min(self.page_count() as f64)
+            .max(if delta.is_empty() { 0.0 } else { 1.0 })
+            * 2.0
             * c.c2;
         screens + probes + refresh
     }
@@ -116,9 +115,7 @@ impl MaterializedView {
 mod tests {
     use super::*;
     use crate::view::{JoinStep, ViewDef};
-    use procdb_query::{
-        CompOp, FieldType, Organization, Predicate, Schema, Table, Term, Value,
-    };
+    use procdb_query::{CompOp, FieldType, Organization, Predicate, Schema, Table, Term, Value};
     use procdb_storage::{AccountingMode, Pager, PagerConfig};
     use std::sync::Arc;
 
@@ -133,10 +130,22 @@ mod tests {
     fn setup(pg: &Arc<Pager>) -> Catalog {
         let r1s = Schema::new(vec![("skey", FieldType::Int), ("a", FieldType::Int)]);
         let r2s = Schema::new(vec![("b", FieldType::Int), ("tag", FieldType::Int)]);
-        let mut r1 = Table::create(pg.clone(), "R1", r1s, Organization::BTree { key_field: 0 }, 0)
-            .unwrap();
-        let mut r2 =
-            Table::create(pg.clone(), "R2", r2s, Organization::Hash { key_field: 0 }, 8).unwrap();
+        let mut r1 = Table::create(
+            pg.clone(),
+            "R1",
+            r1s,
+            Organization::BTree { key_field: 0 },
+            0,
+        )
+        .unwrap();
+        let mut r2 = Table::create(
+            pg.clone(),
+            "R2",
+            r2s,
+            Organization::Hash { key_field: 0 },
+            8,
+        )
+        .unwrap();
         for i in 0..200i64 {
             r1.insert(&vec![Value::Int(i), Value::Int(i % 6)]).unwrap();
         }

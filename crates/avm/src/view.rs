@@ -345,7 +345,8 @@ impl MaterializedView {
     /// read per page of the stored copy).
     pub fn read_all(&self) -> Result<Vec<Tuple>> {
         let mut out = Vec::with_capacity(self.heap.len() as usize);
-        self.heap.scan(|_, bytes| out.push(self.schema.decode(bytes)))?;
+        self.heap
+            .scan(|_, bytes| out.push(self.schema.decode(bytes)))?;
         Ok(out)
     }
 
@@ -428,7 +429,10 @@ mod tests {
 
     fn modify(cat: &mut Catalog, old_key: i64, new_key: i64) -> Delta {
         let r1 = cat.get_mut("R1").unwrap();
-        let old = r1.delete_where(old_key, |_| true).unwrap().expect("tuple exists");
+        let old = r1
+            .delete_where(old_key, |_| true)
+            .unwrap()
+            .expect("tuple exists");
         let mut new = old.clone();
         new[0] = Value::Int(new_key);
         r1.insert(&new).unwrap();

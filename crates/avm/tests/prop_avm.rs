@@ -21,8 +21,22 @@ fn pager() -> std::sync::Arc<Pager> {
 fn setup(pg: &std::sync::Arc<Pager>) -> Catalog {
     let r1s = Schema::new(vec![("skey", FieldType::Int), ("a", FieldType::Int)]);
     let r2s = Schema::new(vec![("b", FieldType::Int), ("tag", FieldType::Int)]);
-    let mut r1 = Table::create(pg.clone(), "R1", r1s, Organization::BTree { key_field: 0 }, 0).unwrap();
-    let mut r2 = Table::create(pg.clone(), "R2", r2s, Organization::Hash { key_field: 0 }, 8).unwrap();
+    let mut r1 = Table::create(
+        pg.clone(),
+        "R1",
+        r1s,
+        Organization::BTree { key_field: 0 },
+        0,
+    )
+    .unwrap();
+    let mut r2 = Table::create(
+        pg.clone(),
+        "R2",
+        r2s,
+        Organization::Hash { key_field: 0 },
+        8,
+    )
+    .unwrap();
     for i in 0..50i64 {
         r1.insert(&vec![Value::Int(i), Value::Int(i % 6)]).unwrap();
     }

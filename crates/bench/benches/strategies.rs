@@ -60,8 +60,9 @@ fn bench_strategies(c: &mut Criterion) {
             let mut k = 0i64;
             b.iter(|| {
                 k = (k + 101) % 2000;
-                let mods: Vec<(i64, i64)> =
-                    (0..5).map(|j| ((k + j * 13) % 2000, (k + j * 29) % 2000)).collect();
+                let mods: Vec<(i64, i64)> = (0..5)
+                    .map(|j| ((k + j * 13) % 2000, (k + j * 29) % 2000))
+                    .collect();
                 black_box(engine.apply_update(&mods).unwrap())
             })
         });

@@ -110,7 +110,8 @@ fn join_catalog(pager: &Arc<Pager>) -> Catalog {
     )
     .unwrap();
     for i in 0..10_000i64 {
-        r1.insert(&vec![Value::Int(i), Value::Int(i % 1000)]).unwrap();
+        r1.insert(&vec![Value::Int(i), Value::Int(i % 1000)])
+            .unwrap();
     }
     for j in 0..1000i64 {
         r2.insert(&vec![Value::Int(j), Value::Int(j % 2)]).unwrap();

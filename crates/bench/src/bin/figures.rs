@@ -63,7 +63,10 @@ fn regions(id: &str) {
     match id {
         "f12" => {
             println!("== F12 — winner regions, P x f (Model 1) ==");
-            print!("{}", region_grid(Model::One, &Params::default()).ascii_map());
+            print!(
+                "{}",
+                region_grid(Model::One, &Params::default()).ascii_map()
+            );
         }
         "f13" => {
             println!("== F13 — winner regions, high locality (Z = 0.05) ==");
@@ -117,8 +120,7 @@ fn headline() {
     println!("== S8 — §8 headline factors (f = 0.0001, P = 0.1) ==");
     println!("  AlwaysRecompute / Cache&Invalidate = {ci:.2}x   (paper: ~5x)");
     println!("  AlwaysRecompute / UpdateCache      = {uc:.2}x   (paper: ~7x)");
-    let crossover =
-        model2::avm_rvm_crossover_sf(&Params::default().with_update_probability(0.5));
+    let crossover = model2::avm_rvm_crossover_sf(&Params::default().with_update_probability(0.5));
     println!(
         "  Model 2 AVM/RVM crossover SF        = {}   (paper: ~0.47)\n",
         crossover.map_or("none".into(), |v| format!("{v:.3}"))
@@ -127,7 +129,10 @@ fn headline() {
 
 fn ablation_c_inval() {
     println!("== A1 — ablation: invalidation-recording cost C_inval ==");
-    println!("{:>10}{:>14}{:>14}{:>14}", "C_inval", "CI @ P=0.3", "CI @ P=0.6", "CI @ P=0.9");
+    println!(
+        "{:>10}{:>14}{:>14}{:>14}",
+        "C_inval", "CI @ P=0.3", "CI @ P=0.6", "CI @ P=0.9"
+    );
     for c_inval in [0.0, 5.0, 15.0, 30.0, 60.0] {
         let cost_at = |prob: f64| {
             cost(
@@ -146,12 +151,17 @@ fn ablation_c_inval() {
             cost_at(0.9)
         );
     }
-    println!("  (battery-backed RAM ~ 0 ms; flag-page read+write = 60 ms; paper §3, Figures 4/5)\n");
+    println!(
+        "  (battery-backed RAM ~ 0 ms; flag-page read+write = 60 ms; paper §3, Figures 4/5)\n"
+    );
 }
 
 fn ablation_yao() {
     println!("== A2 — ablation: page-estimate functions (n=10000, m=250) ==");
-    println!("{:>8}{:>14}{:>14}{:>14}", "k", "Yao exact", "Cardenas", "paper clamp");
+    println!(
+        "{:>8}{:>14}{:>14}{:>14}",
+        "k", "Yao exact", "Cardenas", "paper clamp"
+    );
     for k in [0.05, 0.5, 1.0, 2.0, 10.0, 50.0, 100.0, 500.0, 2000.0] {
         println!(
             "{:>8}{:>14.2}{:>14.2}{:>14.2}",
@@ -223,15 +233,12 @@ fn main() {
     }
     let args = args;
     const KNOWN: [&str; 19] = [
-        "params", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14",
-        "f15", "f17", "f18", "f19", "headline", "a1", "a2",
+        "params", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15",
+        "f17", "f18", "f19", "headline", "a1", "a2",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
-            eprintln!(
-                "unknown experiment {a:?}; known ids: {}",
-                KNOWN.join(", ")
-            );
+            eprintln!("unknown experiment {a:?}; known ids: {}", KNOWN.join(", "));
             std::process::exit(2);
         }
     }
@@ -240,10 +247,12 @@ fn main() {
     if want("params") {
         params_table();
     }
-    let line_ids: Vec<&str> = ["f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f17", "f18"]
-        .into_iter()
-        .filter(|id| want(id))
-        .collect();
+    let line_ids: Vec<&str> = [
+        "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f17", "f18",
+    ]
+    .into_iter()
+    .filter(|id| want(id))
+    .collect();
     if !line_ids.is_empty() {
         line_figures(&line_ids);
     }

@@ -125,8 +125,7 @@ fn sweep(id: &str, scale: usize, ops: usize) {
     );
     for p in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
         let spec = stream(p, c.l, ops);
-        let outcomes =
-            run_all_strategies_parallel(&c, &spec, &constants, None).expect("sim runs");
+        let outcomes = run_all_strategies_parallel(&c, &spec, &constants, None).expect("sim runs");
         print!("{p:>6.2}");
         for o in &outcomes {
             print!("{:>18.1}", o.per_access_ms);
@@ -148,7 +147,10 @@ fn sharing_sweep(scale: usize, ops: usize) {
             .expect("avm runs");
         let rvm = run_strategy(&c, &spec, StrategyKind::UpdateCacheRvm, &constants, None)
             .expect("rvm runs");
-        println!("{:>6.2}{:>18.1}{:>18.1}", sf, avm.per_access_ms, rvm.per_access_ms);
+        println!(
+            "{:>6.2}{:>18.1}{:>18.1}",
+            sf, avm.per_access_ms, rvm.per_access_ms
+        );
     }
     println!("  (RVM improves with SF; AVM is flat — Figures 11/18)\n");
 }

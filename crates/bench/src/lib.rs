@@ -64,10 +64,76 @@ pub fn render_figure_sparse(fig: &Figure, step: usize) -> String {
     render_figure(&thin)
 }
 
+/// Latency percentile summary over per-operation samples (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarize samples (sorts in place). `None` when empty.
+    pub fn from_samples(samples_us: &mut [f64]) -> Option<LatencySummary> {
+        if samples_us.is_empty() {
+            return None;
+        }
+        samples_us.sort_by(|a, b| a.total_cmp(b));
+        Some(LatencySummary {
+            count: samples_us.len(),
+            p50_us: percentile(samples_us, 50.0),
+            p95_us: percentile(samples_us, 95.0),
+            p99_us: percentile(samples_us, 99.0),
+            mean_us: samples_us.iter().sum::<f64>() / samples_us.len() as f64,
+            max_us: samples_us[samples_us.len() - 1],
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `p` in `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of no samples");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use procdb_costmodel::paper_figures;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn latency_summary_from_unsorted_samples() {
+        let mut samples: Vec<f64> = (1..=1000).rev().map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&mut samples).unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_us, 500.0);
+        assert_eq!(s.p95_us, 950.0);
+        assert_eq!(s.p99_us, 990.0);
+        assert_eq!(s.max_us, 1000.0);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_samples(&mut []), None);
+    }
 
     #[test]
     fn renders_every_paper_figure() {

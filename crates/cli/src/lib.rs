@@ -5,8 +5,10 @@
 //! `define view` syntax, flip between the four processing strategies, and
 //! watch the model-priced cost of every access and update on the ledger.
 //!
-//! Library surface ([`Session`], [`parse`]) so the shell is scriptable
-//! and testable; the `procdb-cli` binary is a thin REPL around it.
+//! The command language, session, and executor live in `procdb-server`
+//! (the same code answers over TCP — see the `serve` command); this
+//! crate re-exports them so `procdb_cli::{Session, parse, …}` keeps
+//! working, and ships the `procdb-cli` REPL binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,4 +17,5 @@ pub mod command;
 pub mod session;
 
 pub use command::{parse, Command, HELP};
+pub use procdb_server::exec::{execute, Outcome};
 pub use session::{Session, SessionError, TableSpec};

@@ -6,63 +6,41 @@
 //! cargo run --release -p procdb-cli < script.pdb
 //! ```
 //!
-//! Type `help` at the prompt for the command language.
+//! Type `help` at the prompt for the command language. The `serve`
+//! command promotes the current session to a TCP server (same grammar
+//! over the wire); when the server is shut down, the session — with any
+//! changes clients made — returns to the prompt.
 
 use std::io::{BufRead, Write};
 
-use procdb_cli::{parse, Command, Session, HELP};
+use procdb_cli::{execute, parse, Command, Outcome, Session};
+use procdb_server::{Server, ServerConfig};
 
+/// Run one command against the session; `Ok(false)` ends the REPL.
 fn run_command(session: &mut Session, cmd: Command) -> Result<bool, String> {
-    match cmd {
-        Command::Quit => return Ok(false),
-        Command::Help => println!("{HELP}"),
-        Command::CreateTable { name, schema, org } => {
-            session.create_table(&name, schema, org)?;
-            println!("table {name} created");
-        }
-        Command::Insert { table, row } => {
-            session.insert(&table, row)?;
-        }
-        Command::DefineView(stmt) => {
-            let name = session.define_view(&stmt)?;
-            println!("view {name} defined");
-        }
-        Command::Strategy(kind) => {
-            session.set_strategy(kind);
-            println!("strategy set to {kind} (engine rebuilds on next access)");
-        }
-        Command::Access(view) => {
-            let (rows, ms) = session.access(&view)?;
-            println!("{} rows in {ms:.1} model-ms:", rows.len());
-            print!("{}", session.render_rows(&rows, 20));
-        }
-        Command::Update(victim, new_key) => {
-            let (n, ms) = session.update(victim, new_key)?;
-            println!("{n} tuple(s) re-keyed {victim} -> {new_key}; maintenance {ms:.1} model-ms");
-        }
-        Command::Explain(view) => {
-            print!("{}", session.explain(&view)?);
-        }
-        Command::Show => {
-            println!("strategy: {}", session.strategy());
-            for t in session.tables() {
-                println!("  {}", session.table_summary(&t.name).expect("known table"));
+    // `serve` is interactive-only: hand the session to the server, block
+    // until a client sends `shutdown`, then take it back.
+    if let Command::Serve { port, max_conns } = cmd {
+        let owned = std::mem::take(session);
+        let server = Server::start(owned, ServerConfig { port, max_conns })
+            .map_err(|e| format!("bind failed: {e}"))?;
+        println!(
+            "serving on {} (max {max_conns} connections); send 'shutdown' to stop",
+            server.addr()
+        );
+        *session = server.run_until_shutdown();
+        println!("server stopped; session returned to the prompt");
+        return Ok(true);
+    }
+    match execute(session, cmd)? {
+        Outcome::Quit => Ok(false),
+        Outcome::Text(text) => {
+            if !text.is_empty() {
+                println!("{text}");
             }
-            let views: Vec<&str> = session.views().collect();
-            println!(
-                "  views: {}",
-                if views.is_empty() {
-                    "(none)".to_string()
-                } else {
-                    views.join(", ")
-                }
-            );
-        }
-        Command::Costs => {
-            println!("total charged: {:.1} model-ms", session.total_cost_ms());
+            Ok(true)
         }
     }
-    Ok(true)
 }
 
 fn main() {

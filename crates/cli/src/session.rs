@@ -1,527 +1,4 @@
-//! The interactive session: declarative state (tables, rows, views,
-//! strategy) plus a lazily rebuilt engine.
-//!
-//! The session keeps every table's rows in memory so the engine can be
-//! rebuilt from scratch whenever the schema, view set, or strategy
-//! changes — switching strategies mid-session replays the same database
-//! under the new algorithm, which is exactly the comparison the paper is
-//! about.
+//! The interactive session — re-exported from `procdb-server`, where
+//! the same state serves concurrent TCP connections.
 
-use std::sync::Arc;
-
-use procdb_core::{
-    parse_define_view, Engine, EngineOptions, ProcedureDef, StrategyKind,
-};
-use procdb_query::{Catalog, FieldType, Organization, Schema, Table, Tuple, Value};
-use procdb_storage::{CostConstants, Pager, PagerConfig};
-
-/// One declared table: schema, organization, and its current rows.
-#[derive(Debug, Clone)]
-pub struct TableSpec {
-    /// Table name.
-    pub name: String,
-    /// Schema.
-    pub schema: Schema,
-    /// Physical organization.
-    pub org: Organization,
-    /// Current contents.
-    pub rows: Vec<Tuple>,
-}
-
-/// Session errors (string-typed: every message is user-facing).
-pub type SessionError = String;
-
-/// Interactive session state.
-pub struct Session {
-    tables: Vec<TableSpec>,
-    views: Vec<(String, procdb_avm::ViewDef)>,
-    strategy: StrategyKind,
-    constants: CostConstants,
-    engine: Option<Engine>,
-    page_size: usize,
-}
-
-impl Session {
-    /// Fresh session (Always Recompute, paper cost constants).
-    pub fn new() -> Session {
-        Session {
-            tables: Vec::new(),
-            views: Vec::new(),
-            strategy: StrategyKind::AlwaysRecompute,
-            constants: CostConstants::default(),
-            engine: None,
-            page_size: 4000,
-        }
-    }
-
-    /// The active strategy.
-    pub fn strategy(&self) -> StrategyKind {
-        self.strategy
-    }
-
-    /// Declared tables.
-    pub fn tables(&self) -> &[TableSpec] {
-        &self.tables
-    }
-
-    /// Defined views, in definition order.
-    pub fn views(&self) -> impl Iterator<Item = &str> {
-        self.views.iter().map(|(n, _)| n.as_str())
-    }
-
-    fn table_mut(&mut self, name: &str) -> Result<&mut TableSpec, SessionError> {
-        self.tables
-            .iter_mut()
-            .find(|t| t.name == name)
-            .ok_or_else(|| format!("unknown table {name}"))
-    }
-
-    fn table(&self, name: &str) -> Result<&TableSpec, SessionError> {
-        self.tables
-            .iter()
-            .find(|t| t.name == name)
-            .ok_or_else(|| format!("unknown table {name}"))
-    }
-
-    /// Invalidate the built engine (schema/view/strategy changed).
-    fn dirty(&mut self) {
-        self.engine = None;
-    }
-
-    /// Declare a table.
-    pub fn create_table(
-        &mut self,
-        name: &str,
-        schema: Schema,
-        org: Organization,
-    ) -> Result<(), SessionError> {
-        if self.tables.iter().any(|t| t.name == name) {
-            return Err(format!("table {name} already exists"));
-        }
-        if let Organization::BTree { key_field } | Organization::Hash { key_field } = org {
-            if key_field >= schema.arity() {
-                return Err(format!("key field {key_field} out of range"));
-            }
-            if !matches!(schema.fields()[key_field].ty, FieldType::Int) {
-                return Err("organization key must be an int field".to_string());
-            }
-        }
-        self.tables.push(TableSpec {
-            name: name.to_string(),
-            schema,
-            org,
-            rows: Vec::new(),
-        });
-        self.dirty();
-        Ok(())
-    }
-
-    /// Insert a row (typed against the declared schema).
-    pub fn insert(&mut self, table: &str, row: Tuple) -> Result<(), SessionError> {
-        let is_base = self.engine.is_some()
-            && self
-                .tables
-                .first()
-                .map(|t| t.name == table)
-                .unwrap_or(false);
-        let spec = self.table_mut(table)?;
-        if row.len() != spec.schema.arity() {
-            return Err(format!(
-                "arity mismatch: {} fields given, {} expected",
-                row.len(),
-                spec.schema.arity()
-            ));
-        }
-        for (v, f) in row.iter().zip(spec.schema.fields()) {
-            match (v, f.ty) {
-                (Value::Int(_), FieldType::Int) => {}
-                (Value::Bytes(b), FieldType::Bytes(w)) if b.len() <= w => {}
-                _ => return Err(format!("value does not fit field {}", f.name)),
-            }
-        }
-        // Canonical (padded) form everywhere: in the mirror and the engine.
-        let row = spec.schema.normalize(&row);
-        spec.rows.push(row.clone());
-        // If an engine is live and this is its base relation, route the
-        // insert through it (charged maintenance); otherwise rebuild lazily.
-        if is_base {
-            if let Some(e) = self.engine.as_mut() {
-                e.apply_insert(&[row]).map_err(|e| e.to_string())?;
-                return Ok(());
-            }
-        }
-        self.dirty();
-        Ok(())
-    }
-
-    /// Build a catalog from the declared tables (uncharged). With
-    /// `with_rows = false` only the schemas/organizations are created —
-    /// enough for name resolution, without copying any data.
-    fn build_catalog(&self, pager: &Arc<Pager>, with_rows: bool) -> Result<Catalog, SessionError> {
-        pager.set_charging(false);
-        let mut cat = Catalog::new();
-        for spec in &self.tables {
-            let mut t = Table::create(
-                pager.clone(),
-                &spec.name,
-                spec.schema.clone(),
-                spec.org,
-                spec.rows.len().max(16),
-            )
-            .map_err(|e| e.to_string())?;
-            if with_rows {
-                for row in &spec.rows {
-                    t.insert(row).map_err(|e| e.to_string())?;
-                }
-            }
-            cat.add(t);
-        }
-        pager.ledger().reset();
-        pager.set_charging(true);
-        Ok(cat)
-    }
-
-    /// Define a view/procedure in the paper's syntax.
-    pub fn define_view(&mut self, statement: &str) -> Result<String, SessionError> {
-        // Resolve against a throwaway catalog of the declared schemas.
-        let pager = Pager::new(PagerConfig {
-            page_size: self.page_size,
-            buffer_capacity: 1024,
-            mode: procdb_storage::AccountingMode::Logical,
-        });
-        // Name resolution only needs schemas, not data.
-        let cat = self.build_catalog(&pager, false)?;
-        let dv = parse_define_view(statement, &cat).map_err(|e| e.to_string())?;
-        let name = if dv.name.is_empty() {
-            format!("view{}", self.views.len())
-        } else {
-            dv.name.clone()
-        };
-        if self.views.iter().any(|(n, _)| *n == name) {
-            return Err(format!("view {name} already exists"));
-        }
-        // The engine requires the view's base to be the session's first
-        // (updatable) table.
-        if self.tables.first().map(|t| t.name != dv.view.base).unwrap_or(true) {
-            return Err(format!(
-                "views must select from the first-declared (updatable) table; \
-                 {} is not {}",
-                dv.view.base,
-                self.tables.first().map(|t| t.name.as_str()).unwrap_or("?")
-            ));
-        }
-        self.views.push((name.clone(), dv.view));
-        self.dirty();
-        Ok(name)
-    }
-
-    /// Switch processing strategy (rebuilds the engine lazily).
-    pub fn set_strategy(&mut self, kind: StrategyKind) {
-        self.strategy = kind;
-        self.dirty();
-    }
-
-    fn ensure_engine(&mut self) -> Result<&mut Engine, SessionError> {
-        if self.engine.is_none() {
-            let base = self
-                .tables
-                .first()
-                .ok_or_else(|| "no tables declared".to_string())?;
-            if self.views.is_empty() {
-                return Err("no views defined".to_string());
-            }
-            let pager = Pager::new(PagerConfig {
-                page_size: self.page_size,
-                buffer_capacity: 16 * 1024,
-                mode: procdb_storage::AccountingMode::Physical,
-            });
-            let r1 = base.name.clone();
-            let r1_key_field = match base.org {
-                Organization::BTree { key_field } => key_field,
-                _ => return Err("the first table must be B-tree organized".to_string()),
-            };
-            let catalog = self.build_catalog(&pager, true)?;
-            let procs: Vec<ProcedureDef> = self
-                .views
-                .iter()
-                .enumerate()
-                .map(|(i, (n, v))| ProcedureDef::new(i as u32, n.clone(), v.clone()))
-                .collect();
-            let probe = self
-                .views
-                .iter()
-                .find_map(|(_, v)| v.joins.first().map(|j| j.outer_key_field))
-                .unwrap_or(r1_key_field);
-            let engine = Engine::new(
-                pager,
-                catalog,
-                procs,
-                self.strategy,
-                EngineOptions {
-                    r1,
-                    r1_key_field,
-                    rvm_base_probe_field: probe,
-                    rvm_update_frequencies: None,
-                    clear_buffer_between_ops: true,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            self.engine = Some(engine);
-            if let Some(e) = self.engine.as_mut() {
-                e.warm_up().map_err(|er| er.to_string())?;
-            }
-        }
-        Ok(self.engine.as_mut().expect("just built"))
-    }
-
-    /// Read a view's current value; returns the rows and the priced cost.
-    pub fn access(&mut self, view: &str) -> Result<(Vec<Tuple>, f64), SessionError> {
-        let idx = self
-            .views
-            .iter()
-            .position(|(n, _)| n == view)
-            .ok_or_else(|| format!("unknown view {view}"))?;
-        let constants = self.constants;
-        let engine = self.ensure_engine()?;
-        let before = engine.ledger().snapshot();
-        let rows = engine.access(idx).map_err(|e| e.to_string())?;
-        let ms = engine.ledger().snapshot().since(&before).priced(&constants);
-        Ok((rows, ms))
-    }
-
-    /// Re-key one tuple of the base table; returns the priced maintenance
-    /// cost.
-    pub fn update(&mut self, victim: i64, new_key: i64) -> Result<(usize, f64), SessionError> {
-        let constants = self.constants;
-        if self.tables.is_empty() {
-            return Err("no tables declared".to_string());
-        }
-        let base_name = self.tables[0].name.clone();
-        let engine = self.ensure_engine()?;
-        let before = engine.ledger().snapshot();
-        let n = engine
-            .apply_update(&[(victim, new_key)])
-            .map_err(|e| e.to_string())?;
-        let ms = engine.ledger().snapshot().since(&before).priced(&constants);
-        if n > 0 {
-            // Resync the mirror from the engine's base table: with
-            // duplicate keys, guessing which tuple the engine re-keyed can
-            // diverge — reading it back cannot (uncharged setup work).
-            let pager = engine.pager().clone();
-            pager.set_charging(false);
-            let rows = engine
-                .catalog()
-                .get(&base_name)
-                .expect("base table exists")
-                .scan_all()
-                .map_err(|e| e.to_string());
-            pager.set_charging(true);
-            self.tables[0].rows = rows?;
-        }
-        Ok((n, ms))
-    }
-
-    /// Total priced cost accumulated on the live engine's ledger.
-    pub fn total_cost_ms(&self) -> f64 {
-        self.engine
-            .as_ref()
-            .map(|e| e.ledger().snapshot().priced(&self.constants))
-            .unwrap_or(0.0)
-    }
-
-    /// EXPLAIN a view's precompiled plan.
-    pub fn explain(&self, view: &str) -> Result<String, SessionError> {
-        let (_, def) = self
-            .views
-            .iter()
-            .find(|(n, _)| n == view)
-            .ok_or_else(|| format!("unknown view {view}"))?;
-        Ok(def.to_plan().explain())
-    }
-
-    /// Pretty row rendering against the base schemas (for display).
-    pub fn render_rows(&self, rows: &[Tuple], limit: usize) -> String {
-        let mut out = String::new();
-        for row in rows.iter().take(limit) {
-            let cells: Vec<String> = row
-                .iter()
-                .map(|v| match v {
-                    Value::Int(i) => i.to_string(),
-                    Value::Bytes(b) => {
-                        let end = b.iter().position(|&c| c == 0).unwrap_or(b.len());
-                        format!("{:?}", String::from_utf8_lossy(&b[..end]))
-                    }
-                })
-                .collect();
-            out.push_str(&format!("  ({})\n", cells.join(", ")));
-        }
-        if rows.len() > limit {
-            out.push_str(&format!("  ... {} more\n", rows.len() - limit));
-        }
-        out
-    }
-
-    /// Summary of the table used by `show tables`.
-    pub fn table_summary(&self, name: &str) -> Result<String, SessionError> {
-        let t = self.table(name)?;
-        let org = match t.org {
-            Organization::BTree { key_field } => {
-                format!("btree on {}", t.schema.fields()[key_field].name)
-            }
-            Organization::Hash { key_field } => {
-                format!("hash on {}", t.schema.fields()[key_field].name)
-            }
-            Organization::Heap => "heap".to_string(),
-        };
-        Ok(format!("{} ({} rows, {})", t.name, t.rows.len(), org))
-    }
-}
-
-impl Default for Session {
-    fn default() -> Self {
-        Session::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn demo_session() -> Session {
-        let mut s = Session::new();
-        s.create_table(
-            "EMP",
-            Schema::new(vec![
-                ("eid", FieldType::Int),
-                ("dept", FieldType::Int),
-                ("job", FieldType::Bytes(8)),
-            ]),
-            Organization::BTree { key_field: 0 },
-        )
-        .unwrap();
-        s.create_table(
-            "DEPT",
-            Schema::new(vec![("dname", FieldType::Int), ("floor", FieldType::Int)]),
-            Organization::Hash { key_field: 0 },
-        )
-        .unwrap();
-        for d in 0..4i64 {
-            s.insert("DEPT", vec![Value::Int(d), Value::Int(d % 2)]).unwrap();
-        }
-        for i in 0..40i64 {
-            s.insert(
-                "EMP",
-                vec![
-                    Value::Int(i),
-                    Value::Int(i % 4),
-                    Value::Bytes(b"w".to_vec()),
-                ],
-            )
-            .unwrap();
-        }
-        s
-    }
-
-    #[test]
-    fn create_insert_define_access() {
-        let mut s = demo_session();
-        let name = s
-            .define_view(
-                "define view F0 (EMP.all, DEPT.all) \
-                 where EMP.dept = DEPT.dname and DEPT.floor = 0",
-            )
-            .unwrap();
-        assert_eq!(name, "F0");
-        let (rows, ms) = s.access("F0").unwrap();
-        assert_eq!(rows.len(), 20); // depts 0, 2 are floor 0
-        assert!(ms > 0.0);
-    }
-
-    #[test]
-    fn strategy_switch_preserves_answers() {
-        let mut s = demo_session();
-        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
-            .unwrap();
-        let (rows_ar, _) = s.access("V").unwrap();
-        for kind in [
-            StrategyKind::CacheInvalidate,
-            StrategyKind::UpdateCacheAvm,
-            StrategyKind::UpdateCacheRvm,
-        ] {
-            s.set_strategy(kind);
-            let (rows, _) = s.access("V").unwrap();
-            assert_eq!(rows.len(), rows_ar.len(), "{kind}");
-        }
-    }
-
-    #[test]
-    fn updates_flow_through_live_engine() {
-        let mut s = demo_session();
-        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
-            .unwrap();
-        s.set_strategy(StrategyKind::UpdateCacheRvm);
-        assert_eq!(s.access("V").unwrap().0.len(), 10);
-        let (n, _) = s.update(15, 99).unwrap();
-        assert_eq!(n, 1);
-        assert_eq!(s.access("V").unwrap().0.len(), 9);
-        // The in-memory mirror follows, so a strategy switch (rebuild)
-        // sees the same data.
-        s.set_strategy(StrategyKind::AlwaysRecompute);
-        assert_eq!(s.access("V").unwrap().0.len(), 9);
-    }
-
-    #[test]
-    fn inserts_after_engine_build_are_maintained() {
-        let mut s = demo_session();
-        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
-            .unwrap();
-        s.set_strategy(StrategyKind::UpdateCacheAvm);
-        assert_eq!(s.access("V").unwrap().0.len(), 10);
-        s.insert(
-            "EMP",
-            vec![Value::Int(12), Value::Int(1), Value::Bytes(b"x".to_vec())],
-        )
-        .unwrap();
-        assert_eq!(s.access("V").unwrap().0.len(), 11);
-    }
-
-    #[test]
-    fn errors_are_descriptive() {
-        let mut s = Session::new();
-        assert!(s.access("nope").is_err());
-        assert!(s
-            .create_table(
-                "T",
-                Schema::new(vec![("x", FieldType::Bytes(4))]),
-                Organization::BTree { key_field: 0 }
-            )
-            .is_err());
-        s.create_table(
-            "T",
-            Schema::new(vec![("x", FieldType::Int)]),
-            Organization::BTree { key_field: 0 },
-        )
-        .unwrap();
-        assert!(s.create_table(
-            "T",
-            Schema::new(vec![("x", FieldType::Int)]),
-            Organization::Heap
-        ).is_err(), "duplicate table");
-        assert!(s.insert("T", vec![]).is_err(), "arity");
-        assert!(s.define_view("define view V (NOPE.all)").is_err());
-    }
-
-    #[test]
-    fn explain_and_summaries() {
-        let mut s = demo_session();
-        s.define_view(
-            "define view F0 (EMP.all, DEPT.all) where EMP.dept = DEPT.dname",
-        )
-        .unwrap();
-        assert!(s.explain("F0").unwrap().contains("HashJoin"));
-        assert!(s.table_summary("EMP").unwrap().contains("btree on eid"));
-        assert!(s.table_summary("DEPT").unwrap().contains("hash on dname"));
-        let rendered = s.render_rows(&[vec![Value::Int(1), Value::Bytes(b"hi\0\0".to_vec())]], 5);
-        assert!(rendered.contains("1, \"hi\""));
-    }
-}
+pub use procdb_server::session::*;

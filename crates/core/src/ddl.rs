@@ -324,12 +324,7 @@ fn field_index(catalog: &Catalog, rel: &str, attr: &str) -> Result<usize, DdlErr
         .ok_or_else(|| DdlError::UnknownAttribute(rel.to_string(), attr.to_string()))
 }
 
-fn const_value(
-    catalog: &Catalog,
-    rel: &str,
-    attr: &str,
-    c: &ConstVal,
-) -> Result<Value, DdlError> {
+fn const_value(catalog: &Catalog, rel: &str, attr: &str, c: &ConstVal) -> Result<Value, DdlError> {
     let table = catalog
         .get(rel)
         .ok_or_else(|| DdlError::UnknownRelation(rel.to_string()))?;
@@ -393,9 +388,7 @@ pub fn parse_define_view(input: &str, catalog: &Catalog) -> Result<DefineView, D
         match (&c.left, &c.right) {
             (Operand::Attr(r1, a1), Operand::Attr(r2, a2)) => {
                 if c.op != CompOp::Eq {
-                    return Err(DdlError::Syntax(
-                        "only equality joins are supported".into(),
-                    ));
+                    return Err(DdlError::Syntax("only equality joins are supported".into()));
                 }
                 joins.push((r1.clone(), a1.clone(), r2.clone(), a2.clone()));
             }
@@ -524,10 +517,7 @@ mod tests {
             ("salary", FieldType::Int),
             ("job", FieldType::Bytes(12)),
         ]);
-        let dept_schema = Schema::new(vec![
-            ("dname", FieldType::Int),
-            ("floor", FieldType::Int),
-        ]);
+        let dept_schema = Schema::new(vec![("dname", FieldType::Int), ("floor", FieldType::Int)]);
         let mut emp = Table::create(
             pager.clone(),
             "EMP",
@@ -562,7 +552,8 @@ mod tests {
         for d in 0..4i64 {
             // Depts 0,1 on floor 1; depts 2,3 on floor 2.
             let floor = if d < 2 { 1 } else { 2 };
-            dept.insert(&vec![Value::Int(d), Value::Int(floor)]).unwrap();
+            dept.insert(&vec![Value::Int(d), Value::Int(floor)])
+                .unwrap();
         }
         let mut cat = Catalog::new();
         cat.add(emp);
@@ -585,7 +576,7 @@ mod tests {
         assert_eq!(dv.view.joins.len(), 1);
         assert_eq!(dv.view.joins[0].inner, "DEPT");
         assert_eq!(dv.view.joins[0].outer_key_field, 2); // EMP.dept
-        // Execute it: programmers (even eids) in floor-1 depts (0, 2).
+                                                         // Execute it: programmers (even eids) in floor-1 depts (0, 2).
         let rows = execute(&dv.view.to_plan(), &cat).unwrap();
         assert_eq!(rows.len(), 10);
         for r in &rows {
@@ -682,11 +673,7 @@ mod tests {
     #[test]
     fn string_constants_are_width_padded() {
         let cat = catalog();
-        let dv = parse_define_view(
-            "retrieve (EMP.all) where EMP.job = \"Clerk\"",
-            &cat,
-        )
-        .unwrap();
+        let dv = parse_define_view("retrieve (EMP.all) where EMP.job = \"Clerk\"", &cat).unwrap();
         let rows = execute(&dv.view.to_plan(), &cat).unwrap();
         assert_eq!(rows.len(), 20, "all odd eids are clerks");
     }

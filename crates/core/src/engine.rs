@@ -98,6 +98,14 @@ pub struct Engine {
     state: StrategyState,
 }
 
+// The server shares one `Engine` across connection threads behind a
+// read-write lock; keep it `Send + Sync` (no `Rc`/`RefCell`/raw
+// pointers anywhere in the strategy state).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>()
+};
+
 /// `R1`'s i-lock table reference.
 const R1_TABLE: TableRef = TableRef(0);
 
@@ -142,20 +150,14 @@ impl Engine {
                 let mut caches = Vec::with_capacity(self.procs.len());
                 for p in &self.procs {
                     caches.push(CacheEntry {
-                        heap: HeapFile::create(
-                            self.pager.clone(),
-                            &format!("cache-{}", p.name),
-                        ),
+                        heap: HeapFile::create(self.pager.clone(), &format!("cache-{}", p.name)),
                         schema: p.view.output_schema(&self.catalog),
                         bounds: self.selection_bounds(&p.view),
                     });
                 }
                 Ok(StrategyState::CacheInval {
                     caches,
-                    validity: ValidityTable::new(
-                        self.procs.len(),
-                        self.pager.ledger().clone(),
-                    ),
+                    validity: ValidityTable::new(self.procs.len(), self.pager.ledger().clone()),
                     locks: ILockManager::new(),
                 })
             }
@@ -178,13 +180,11 @@ impl Engine {
             StrategyKind::UpdateCacheRvm => {
                 // Statically optimize each view's network shape for the
                 // expected update frequencies (crate::rete_planner).
-                let freqs: crate::rete_planner::UpdateFrequencies = match &self
-                    .opts
-                    .rvm_update_frequencies
-                {
-                    Some(pairs) => pairs.iter().cloned().collect(),
-                    None => std::iter::once((self.opts.r1.clone(), 1.0)).collect(),
-                };
+                let freqs: crate::rete_planner::UpdateFrequencies =
+                    match &self.opts.rvm_update_frequencies {
+                        Some(pairs) => pairs.iter().cloned().collect(),
+                        None => std::iter::once((self.opts.r1.clone(), 1.0)).collect(),
+                    };
                 let mut rete = Rete::new(self.pager.clone());
                 let mut outputs = Vec::with_capacity(self.procs.len());
                 for p in &self.procs {
@@ -302,6 +302,37 @@ impl Engine {
         };
         self.end_operation()?;
         Ok(rows)
+    }
+
+    /// Shared-path variant of [`Engine::access`]: serve procedure `i`
+    /// through `&self` when the strategy's read path needs no engine
+    /// mutation — Always Recompute, AVM, RVM, and a valid Cache &
+    /// Invalidate entry. Returns `Ok(None)` for an invalid cache entry,
+    /// whose refill must mutate; callers escalate to exclusive access
+    /// and call [`Engine::access`]. Work is charged identically to
+    /// `access` (the pager and ledger are internally synchronized).
+    pub fn access_shared(&self, i: usize) -> Result<Option<Vec<Tuple>>> {
+        assert!(i < self.procs.len(), "procedure index out of range");
+        let rows = match &self.state {
+            StrategyState::Recompute => execute(&self.procs[i].plan(), &self.catalog)?,
+            StrategyState::CacheInval {
+                caches, validity, ..
+            } => {
+                if !validity.is_valid(ProcId(i as u32)) {
+                    return Ok(None);
+                }
+                let entry = &caches[i];
+                let mut rows = Vec::with_capacity(entry.heap.len() as usize);
+                entry
+                    .heap
+                    .scan(|_, bytes| rows.push(entry.schema.decode(bytes)))?;
+                rows
+            }
+            StrategyState::Avm { views, .. } => views[i].read_all()?,
+            StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
+        };
+        self.end_operation()?;
+        Ok(Some(rows))
     }
 
     /// Apply one update transaction: modify tuples of `R1` in place. Each
@@ -439,7 +470,11 @@ impl Engine {
     /// falls back to conservative invalidation of every procedure that
     /// joins the relation (its i-locks on probe keys are not tracked, so
     /// any write may conflict).
-    pub fn apply_update_to(&mut self, relation: &str, modifications: &[(i64, i64)]) -> Result<usize> {
+    pub fn apply_update_to(
+        &mut self,
+        relation: &str,
+        modifications: &[(i64, i64)],
+    ) -> Result<usize> {
         if relation == self.opts.r1 {
             return self.apply_update(modifications);
         }
@@ -667,7 +702,8 @@ mod tests {
                 .unwrap();
         }
         for k in 0..10i64 {
-            r3.insert(&vec![Value::Int(k), Value::Int(k * 100)]).unwrap();
+            r3.insert(&vec![Value::Int(k), Value::Int(k * 100)])
+                .unwrap();
         }
         let mut cat = Catalog::new();
         cat.add(r1);
@@ -740,7 +776,10 @@ mod tests {
     #[test]
     fn all_strategies_agree_on_static_data() {
         for kind in StrategyKind::ALL {
-            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            let mut e = engine_with(
+                kind,
+                vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)],
+            );
             for i in 0..3 {
                 assert_matches_expected(&mut e, i);
             }
@@ -750,7 +789,10 @@ mod tests {
     #[test]
     fn all_strategies_agree_after_updates() {
         for kind in StrategyKind::ALL {
-            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            let mut e = engine_with(
+                kind,
+                vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)],
+            );
             e.warm_up().unwrap();
             // Interleave updates and accesses.
             for round in 0..6 {
@@ -838,7 +880,11 @@ mod tests {
             e.normalize(0, &after),
             "object value must be unchanged"
         );
-        assert_eq!(e.valid_fraction(), Some(0.0), "yet the cache was invalidated");
+        assert_eq!(
+            e.valid_fraction(),
+            Some(0.0),
+            "yet the cache was invalidated"
+        );
         assert_eq!(e.ledger().snapshot().invalidations, 1);
     }
 
@@ -900,7 +946,11 @@ mod tests {
             }
             // Delete one of them again.
             assert_eq!(e.apply_delete(&[15]).unwrap(), 1);
-            assert_eq!(e.apply_delete(&[9999]).unwrap(), 0, "missing key is a no-op");
+            assert_eq!(
+                e.apply_delete(&[9999]).unwrap(),
+                0,
+                "missing key is a no-op"
+            );
             for i in 0..2 {
                 assert_matches_expected(&mut e, i);
             }
@@ -910,7 +960,10 @@ mod tests {
     #[test]
     fn inner_relation_updates_maintained_by_all_strategies() {
         for kind in StrategyKind::ALL {
-            let mut e = engine_with(kind, vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)]);
+            let mut e = engine_with(
+                kind,
+                vec![p1(0, 10, 29), p2(1, 0, 49), p2_threeway(2, 20, 69)],
+            );
             e.warm_up().unwrap();
             // Move R2 keys around; P1 must be unaffected, P2s must track.
             for round in 0..4i64 {
@@ -937,7 +990,10 @@ mod tests {
 
     #[test]
     fn ci_conservatively_invalidates_joining_procs_only() {
-        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+        let mut e = engine_with(
+            StrategyKind::CacheInvalidate,
+            vec![p1(0, 10, 29), p2(1, 0, 49)],
+        );
         e.warm_up().unwrap();
         e.apply_update_to("R2", &[(3, 11)]).unwrap();
         // P2 invalidated, P1 untouched → half the caches valid.
@@ -947,7 +1003,10 @@ mod tests {
     #[test]
     fn recompute_estimate_tracks_measured_cost() {
         let c = procdb_storage::CostConstants::default();
-        let mut e = engine_with(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+        let mut e = engine_with(
+            StrategyKind::AlwaysRecompute,
+            vec![p1(0, 10, 29), p2(1, 0, 49)],
+        );
         for i in 0..2 {
             let predicted = e.estimate_recompute_ms(i, &c);
             let s0 = e.ledger().snapshot();
@@ -971,7 +1030,10 @@ mod tests {
         let s0 = e.ledger().snapshot();
         e.access(0).unwrap();
         let measured = e.ledger().snapshot().since(&s0).priced(&c);
-        assert_eq!(predicted, measured, "warm hit cost is exactly the page count");
+        assert_eq!(
+            predicted, measured,
+            "warm hit cost is exactly the page count"
+        );
     }
 
     #[test]
@@ -995,7 +1057,8 @@ mod tests {
         )
         .unwrap();
         for round in 0..4i64 {
-            e.apply_update(&[(round * 31 % 200, round * 17 % 200)]).unwrap();
+            e.apply_update(&[(round * 31 % 200, round * 17 % 200)])
+                .unwrap();
             e.apply_update_to("R3", &[(round % 10, (round * 3 + 1) % 10)])
                 .unwrap();
             for i in 0..2 {
@@ -1007,10 +1070,8 @@ mod tests {
     #[test]
     fn advisor_integration() {
         use procdb_costmodel::{Model, Params};
-        let rec = crate::advisor::recommend(
-            Model::One,
-            &Params::default().with_update_probability(0.05),
-        );
+        let rec =
+            crate::advisor::recommend(Model::One, &Params::default().with_update_probability(0.05));
         assert!(matches!(
             rec.strategy,
             StrategyKind::UpdateCacheAvm | StrategyKind::UpdateCacheRvm

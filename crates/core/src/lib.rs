@@ -35,8 +35,8 @@ pub mod stats;
 
 pub use advisor::{recommend, Recommendation};
 pub use ddl::{parse_define_view, DdlError, DefineView};
+pub use engine::{Engine, EngineOptions};
 pub use mixed::MixedEngine;
+pub use procedure::{ProcId, ProcedureDef, StrategyKind};
 pub use rete_planner::{choose_spec, maintenance_cost, UpdateFrequencies};
 pub use stats::{decide_assignments, decide_one, DecisionInput, WorkloadObserver};
-pub use engine::{Engine, EngineOptions};
-pub use procedure::{ProcId, ProcedureDef, StrategyKind};

@@ -108,7 +108,11 @@ impl MixedEngine {
     }
 
     /// Apply an inner-relation update transaction to every group.
-    pub fn apply_update_to(&mut self, relation: &str, modifications: &[(i64, i64)]) -> Result<usize> {
+    pub fn apply_update_to(
+        &mut self,
+        relation: &str,
+        modifications: &[(i64, i64)],
+    ) -> Result<usize> {
         let mut modified = 0;
         for g in &mut self.groups {
             modified = g.apply_update_to(relation, modifications)?;
@@ -203,14 +207,17 @@ mod tests {
 
     #[test]
     fn routes_and_groups() {
-        let procs = vec![selection(0, 0, 19), selection(1, 100, 899), selection(2, 20, 39)];
+        let procs = vec![
+            selection(0, 0, 19),
+            selection(1, 100, 899),
+            selection(2, 20, 39),
+        ];
         let kinds = [
             StrategyKind::UpdateCacheAvm,
             StrategyKind::AlwaysRecompute,
             StrategyKind::UpdateCacheAvm,
         ];
-        let m = MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate)
-            .unwrap();
+        let m = MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate).unwrap();
         assert_eq!(m.group_count(), 2);
         assert_eq!(m.strategy_of(0), StrategyKind::UpdateCacheAvm);
         assert_eq!(m.strategy_of(1), StrategyKind::AlwaysRecompute);
@@ -221,11 +228,11 @@ mod tests {
     fn mixed_engine_serves_correct_answers_through_updates() {
         let procs = vec![selection(0, 0, 19), selection(1, 100, 899)];
         let kinds = [StrategyKind::UpdateCacheAvm, StrategyKind::CacheInvalidate];
-        let mut m =
-            MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate).unwrap();
+        let mut m = MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate).unwrap();
         m.warm_up().unwrap();
         for round in 0..6i64 {
-            m.apply_update(&[(round * 37 % 1000, round * 91 % 1000)]).unwrap();
+            m.apply_update(&[(round * 37 % 1000, round * 91 % 1000)])
+                .unwrap();
             for i in 0..2 {
                 let got = m.access(i).unwrap();
                 let expect = m.expected_rows(i).unwrap();
@@ -242,8 +249,7 @@ mod tests {
         let constants = CostConstants::default();
         let run = |kinds: [StrategyKind; 2]| -> f64 {
             let mut m =
-                MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate)
-                    .unwrap();
+                MixedEngine::new(&kinds, &procs, EngineOptions::default(), substrate).unwrap();
             m.warm_up().unwrap();
             m.reset_ledgers();
             for round in 0..40i64 {
@@ -298,7 +304,11 @@ mod tests {
             },
         ];
         let kinds = decide_assignments(&obs, &inputs, &CostConstants::default());
-        assert_eq!(kinds[0], StrategyKind::UpdateCacheAvm, "cold-updated hot reader");
+        assert_eq!(
+            kinds[0],
+            StrategyKind::UpdateCacheAvm,
+            "cold-updated hot reader"
+        );
         assert_eq!(
             kinds[1],
             StrategyKind::AlwaysRecompute,

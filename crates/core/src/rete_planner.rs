@@ -36,7 +36,12 @@ pub type UpdateFrequencies = HashMap<String, f64>;
 /// Per-leaf maintenance profile: `(relation, probes, refreshes)` — the
 /// and-nodes and memory nodes on the leaf's path to the root.
 pub fn leaf_costs(spec: &ReteSpec) -> Vec<(String, usize, usize)> {
-    fn go(spec: &ReteSpec, ands_above: usize, mems_above: usize, out: &mut Vec<(String, usize, usize)>) {
+    fn go(
+        spec: &ReteSpec,
+        ands_above: usize,
+        mems_above: usize,
+        out: &mut Vec<(String, usize, usize)>,
+    ) {
         match spec {
             ReteSpec::Select { relation, .. } => {
                 // The leaf's own α-memory plus everything above it.
@@ -116,7 +121,12 @@ fn inner_select(
     )
 }
 
-fn base_select(def: &ViewDef, catalog: &Catalog, probe_fallback: usize, dispatch_field: usize) -> (ReteSpec, usize) {
+fn base_select(
+    def: &ViewDef,
+    catalog: &Catalog,
+    probe_fallback: usize,
+    dispatch_field: usize,
+) -> (ReteSpec, usize) {
     let base_table = catalog
         .get(&def.base)
         .unwrap_or_else(|| panic!("unknown base {}", def.base));
@@ -231,7 +241,12 @@ pub fn candidate_specs(
     probe_fallback: usize,
     dispatch_field: usize,
 ) -> Vec<ReteSpec> {
-    let mut out = vec![right_deep_spec(def, catalog, probe_fallback, dispatch_field)];
+    let mut out = vec![right_deep_spec(
+        def,
+        catalog,
+        probe_fallback,
+        dispatch_field,
+    )];
     if def.joins.len() >= 2 {
         out.push(left_deep_spec(def, catalog, probe_fallback, dispatch_field));
     }

@@ -44,6 +44,13 @@ impl WorkloadObserver {
         }
     }
 
+    /// Track one more procedure (counters start at zero). Lets a live
+    /// session grow the observer as views are defined, instead of
+    /// rebuilding it and losing history.
+    pub fn add_procedure(&mut self) {
+        self.per_proc.push(ProcStats::default());
+    }
+
     /// Record an access to procedure `i`.
     pub fn record_access(&mut self, i: usize) {
         self.per_proc[i].accesses += 1;
@@ -114,10 +121,9 @@ pub struct DecisionInput {
 pub fn decide_one(input: &DecisionInput, c: &CostConstants) -> StrategyKind {
     let ar = input.recompute_ms;
     let ip = input.conflict_rate.min(1.0);
-    let ci = ip * (input.recompute_ms + 2.0 * input.cached_read_ms)
-        + (1.0 - ip) * input.cached_read_ms;
-    let maint_per_conflict =
-        input.tuples_per_conflict * (c.c1 + c.c3 + c.c2 + 2.0 * c.c2);
+    let ci =
+        ip * (input.recompute_ms + 2.0 * input.cached_read_ms) + (1.0 - ip) * input.cached_read_ms;
+    let maint_per_conflict = input.tuples_per_conflict * (c.c1 + c.c3 + c.c2 + 2.0 * c.c2);
     let uc = input.cached_read_ms + input.conflict_rate * maint_per_conflict;
     let (mut best, mut best_cost) = (StrategyKind::AlwaysRecompute, ar);
     if ci < best_cost {
@@ -199,6 +205,18 @@ mod tests {
             &CostConstants::default(),
         );
         assert_eq!(d, StrategyKind::CacheInvalidate);
+    }
+
+    #[test]
+    fn add_procedure_grows_observer_without_losing_history() {
+        let mut o = WorkloadObserver::new(1);
+        o.record_access(0);
+        o.add_procedure();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.stats(0).accesses, 1);
+        assert_eq!(o.stats(1).accesses, 0);
+        o.record_access(1);
+        assert_eq!(o.stats(1).accesses, 1);
     }
 
     #[test]

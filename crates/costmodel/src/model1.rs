@@ -182,8 +182,7 @@ pub(crate) fn avm_with_join(p: &Params, c_join: f64) -> AvmCost {
     let c_refresh_p2 = p.n2 * 2.0 * p.c2 * y4(p);
     let c_overhead = p.c3 * delta * p.n_procs();
     let c_read = c_read(p);
-    let per_update =
-        c_screen_p1 + c_screen_p2 + c_refresh_p1 + c_refresh_p2 + c_overhead + c_join;
+    let per_update = c_screen_p1 + c_screen_p2 + c_refresh_p1 + c_refresh_p2 + c_overhead + c_join;
     AvmCost {
         c_screen_p1,
         c_screen_p2,
@@ -245,9 +244,12 @@ pub(crate) fn rvm_with_join(p: &Params, c_join_memory: f64) -> RvmCost {
     let c_refresh_alpha = p.n2 * (1.0 - p.sf) * 2.0 * p.c2 * y3(p);
     let c_refresh_p2 = p.n2 * 2.0 * p.c2 * y4(p);
     let c_read = c_read(p);
-    let per_update =
-        c_screen_p1 + c_screen_p2_rete + c_refresh_p1 + c_refresh_alpha + c_refresh_p2
-            + c_join_memory;
+    let per_update = c_screen_p1
+        + c_screen_p2_rete
+        + c_refresh_p1
+        + c_refresh_alpha
+        + c_refresh_p2
+        + c_join_memory;
     RvmCost {
         c_screen_p1,
         c_screen_p2_rete,

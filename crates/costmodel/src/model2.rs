@@ -6,8 +6,8 @@
 //! else delegates to [`crate::model1`].
 
 use crate::model1::{
-    avm_with_join, c_query_p1, c_query_p2, cache_invalidate_from, rvm_with_join, y2,
-    AvmCost, CacheInvalCost, RecomputeCost, RvmCost,
+    avm_with_join, c_query_p1, c_query_p2, cache_invalidate_from, rvm_with_join, y2, AvmCost,
+    CacheInvalCost, RecomputeCost, RvmCost,
 };
 use crate::params::Params;
 use crate::yao::yao_paper;
@@ -200,7 +200,9 @@ mod tests {
 
     #[test]
     fn zero_p2_population_degenerates_to_model1() {
-        let p = defaults().with_populations(100.0, 0.0).with_update_probability(0.4);
+        let p = defaults()
+            .with_populations(100.0, 0.0)
+            .with_update_probability(0.4);
         assert_eq!(recompute(&p).total, model1::recompute(&p).total);
         assert_eq!(
             update_cache_avm(&p).total,

@@ -145,7 +145,11 @@ impl RegionGrid {
             out.push_str(&format!("{f:>12.6}  "));
             for pi in 0..self.p_values.len() {
                 let cell = &self.cells[fi * self.p_values.len() + pi];
-                let ch = if cell.ci_over_uc <= threshold { '#' } else { '.' };
+                let ch = if cell.ci_over_uc <= threshold {
+                    '#'
+                } else {
+                    '.'
+                };
                 out.push_str(&format!("{ch:>4}"));
             }
             out.push('\n');
@@ -159,9 +163,7 @@ impl RegionGrid {
     /// Fraction of cells won by each family: `(recompute, ci, uc)`.
     pub fn family_shares(&self) -> (f64, f64, f64) {
         let n = self.cells.len() as f64;
-        let count = |fam: Family| {
-            self.cells.iter().filter(|c| c.winner == fam).count() as f64 / n
-        };
+        let count = |fam: Family| self.cells.iter().filter(|c| c.winner == fam).count() as f64 / n;
         (
             count(Family::Recompute),
             count(Family::CacheInvalidate),
@@ -292,9 +294,7 @@ mod tests {
         // CI gets closer to UC for small objects.
         let base = region_grid(Model::One, &Params::default());
         let nofalse = region_grid(Model::One, &Params::default().with_f2(1.0));
-        let close = |g: &RegionGrid| {
-            g.cells.iter().filter(|c| c.ci_over_uc <= 2.0).count()
-        };
+        let close = |g: &RegionGrid| g.cells.iter().filter(|c| c.ci_over_uc <= 2.0).count();
         assert!(close(&nofalse) >= close(&base));
     }
 

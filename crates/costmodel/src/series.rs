@@ -38,11 +38,7 @@ pub fn default_sf_grid() -> Vec<f64> {
 }
 
 /// Sweep cost vs update probability for all four strategies.
-pub fn sweep_update_probability(
-    model: Model,
-    base: &Params,
-    grid: &[f64],
-) -> Vec<Series> {
+pub fn sweep_update_probability(model: Model, base: &Params, grid: &[f64]) -> Vec<Series> {
     Strategy::ALL
         .iter()
         .map(|&s| Series {
@@ -158,7 +154,9 @@ pub fn paper_figures() -> Vec<Figure> {
 /// Update Cache outperform Always Recompute "by factors of approximately 5
 /// and 7, respectively". Returns `(ci_speedup, uc_speedup)`.
 pub fn headline_speedups() -> (f64, f64) {
-    let p = Params::default().with_f(0.0001).with_update_probability(0.1);
+    let p = Params::default()
+        .with_f(0.0001)
+        .with_update_probability(0.1);
     let all = cost_all(Model::One, &p);
     let ar = all[0].1;
     let ci = all[1].1;

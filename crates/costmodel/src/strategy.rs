@@ -102,7 +102,10 @@ mod tests {
                 for &f in &[1e-5, 1e-4, 1e-3, 1e-2] {
                     let p = Params::default().with_update_probability(prob).with_f(f);
                     for (s, c) in cost_all(model, &p) {
-                        assert!(c.is_finite() && c >= 0.0, "{model:?} {s} P={prob} f={f}: {c}");
+                        assert!(
+                            c.is_finite() && c >= 0.0,
+                            "{model:?} {s} P={prob} f={f}: {c}"
+                        );
                     }
                 }
             }

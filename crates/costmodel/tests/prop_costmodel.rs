@@ -5,21 +5,20 @@
 use proptest::prelude::*;
 
 use procdb_costmodel::{
-    cardenas, cost, cost_all, model1, yao_exact, yao_paper, Model, Params,
-    Strategy as Strat,
+    cardenas, cost, cost_all, model1, yao_exact, yao_paper, Model, Params, Strategy as Strat,
 };
 
 /// Random-but-sane parameter points.
 #[allow(clippy::field_reassign_with_default)]
 fn params_strategy() -> impl Strategy<Value = Params> {
     (
-        1e-5..0.02f64,         // f
-        0.01..1.0f64,          // f2
-        0.0..0.95f64,          // P
-        1.0..100.0f64,         // l
+        1e-5..0.02f64,                  // f
+        0.01..1.0f64,                   // f2
+        0.0..0.95f64,                   // P
+        1.0..100.0f64,                  // l
         (1.0..500.0f64, 0.0..500.0f64), // N1, N2
-        0.01..0.99f64,         // Z
-        0.0..1.0f64,           // SF
+        0.01..0.99f64,                  // Z
+        0.0..1.0f64,                    // SF
     )
         .prop_map(|(f, f2, p, l, (n1, n2), z, sf)| {
             let mut params = Params::default();

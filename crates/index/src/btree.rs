@@ -64,7 +64,11 @@ impl Node {
     fn encoded_size(&self) -> usize {
         match self {
             Node::Leaf { entries, .. } => {
-                LEAF_HDR + entries.iter().map(|(_, v)| 8 + 8 + 2 + v.len()).sum::<usize>()
+                LEAF_HDR
+                    + entries
+                        .iter()
+                        .map(|(_, v)| 8 + 8 + 2 + v.len())
+                        .sum::<usize>()
             }
             Node::Internal { keys, .. } => INTERNAL_HDR + keys.len() * INTERNAL_ENTRY,
         }
@@ -265,7 +269,10 @@ impl BTreeFile {
                 self.write_node(page_no, &left)?;
                 Ok(Some((sep, right_no)))
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = keys.partition_point(|k| *k <= ek);
                 let split = self.insert_rec(children[idx], ek, value)?;
                 let Some((sep, right_no)) = split else {
@@ -278,7 +285,11 @@ impl BTreeFile {
                     self.write_node(page_no, &node)?;
                     return Ok(None);
                 }
-                let Node::Internal { mut keys, mut children } = node else {
+                let Node::Internal {
+                    mut keys,
+                    mut children,
+                } = node
+                else {
                     unreachable!()
                 };
                 let mid = keys.len() / 2;
@@ -315,12 +326,7 @@ impl BTreeFile {
     /// Scan all tuples with `lo ≤ key ≤ hi` in key order, calling
     /// `f(key, seq, tuple)`. Charges one descent plus one read per leaf
     /// page visited.
-    pub fn scan_range(
-        &self,
-        lo: i64,
-        hi: i64,
-        mut f: impl FnMut(i64, u64, &[u8]),
-    ) -> Result<()> {
+    pub fn scan_range(&self, lo: i64, hi: i64, mut f: impl FnMut(i64, u64, &[u8])) -> Result<()> {
         if lo > hi {
             return Ok(());
         }

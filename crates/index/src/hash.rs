@@ -27,7 +27,12 @@ struct Bucket {
 
 impl Bucket {
     fn encoded_size(&self) -> usize {
-        BUCKET_HDR + self.entries.iter().map(|(_, v)| entry_size(v.len())).sum::<usize>()
+        BUCKET_HDR
+            + self
+                .entries
+                .iter()
+                .map(|(_, v)| entry_size(v.len()))
+                .sum::<usize>()
     }
 
     fn encode(&self, page: &mut [u8]) {
@@ -255,7 +260,10 @@ mod tests {
         h.insert(10, b"ten").unwrap();
         h.insert(20, b"twenty").unwrap();
         h.insert(10, b"TEN").unwrap();
-        assert_eq!(h.get_all(10).unwrap(), vec![b"ten".to_vec(), b"TEN".to_vec()]);
+        assert_eq!(
+            h.get_all(10).unwrap(),
+            vec![b"ten".to_vec(), b"TEN".to_vec()]
+        );
         assert_eq!(h.get_all(20).unwrap(), vec![b"twenty".to_vec()]);
         assert!(h.get_all(99).unwrap().is_empty());
         assert_eq!(h.len(), 3);
@@ -279,7 +287,10 @@ mod tests {
         let mut h = HashFile::create(pager(512), "h", 4).unwrap();
         h.insert(5, b"a").unwrap();
         h.insert(5, b"b").unwrap();
-        assert_eq!(h.delete_where(5, |v| v == b"a").unwrap(), Some(b"a".to_vec()));
+        assert_eq!(
+            h.delete_where(5, |v| v == b"a").unwrap(),
+            Some(b"a".to_vec())
+        );
         assert_eq!(h.get_all(5).unwrap(), vec![b"b".to_vec()]);
         assert!(h.delete_where(5, |v| v == b"zzz").unwrap().is_none());
         assert_eq!(h.len(), 1);

@@ -263,8 +263,12 @@ mod tests {
                 .unwrap();
         }
         for j in 0..10i64 {
-            r2.insert(&vec![Value::Int(j), Value::Int(j % 2), Value::Int(1000 + j)])
-                .unwrap();
+            r2.insert(&vec![
+                Value::Int(j),
+                Value::Int(j % 2),
+                Value::Int(1000 + j),
+            ])
+            .unwrap();
         }
         let mut cat = Catalog::new();
         cat.add(r1);
@@ -388,7 +392,10 @@ mod tests {
         let cat = setup(pager());
         let plan = Plan::select("R1", Predicate::int_range(0, 3, 3)).project(vec![0, 0, 2]);
         let rows = execute(&plan, &cat).unwrap();
-        assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(3), Value::Int(3)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(3), Value::Int(3), Value::Int(3)]]
+        );
     }
 
     #[test]

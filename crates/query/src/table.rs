@@ -340,7 +340,10 @@ mod tests {
         let gone = t.delete_where(2, |tp| tp[1].as_int() == 21).unwrap();
         assert_eq!(gone, Some(tup(2, 21)));
         assert_eq!(t.len(), 1);
-        assert!(t.delete_where(2, |tp| tp[1].as_int() == 99).unwrap().is_none());
+        assert!(t
+            .delete_where(2, |tp| tp[1].as_int() == 99)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

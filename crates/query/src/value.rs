@@ -208,7 +208,9 @@ mod tests {
         assert_eq!(back[0], Value::Int(42));
         assert_eq!(back[1], Value::Int(-7));
         // Bytes field comes back padded to its declared width.
-        let Value::Bytes(name) = &back[2] else { panic!() };
+        let Value::Bytes(name) = &back[2] else {
+            panic!()
+        };
         assert_eq!(&name[..5], b"susan");
         assert_eq!(name.len(), 16);
     }
@@ -216,11 +218,7 @@ mod tests {
     #[test]
     fn normalize_pads_bytes_fields() {
         let s = emp_schema();
-        let t: Tuple = vec![
-            Value::Int(1),
-            Value::Int(2),
-            Value::Bytes(b"ann".to_vec()),
-        ];
+        let t: Tuple = vec![Value::Int(1), Value::Int(2), Value::Bytes(b"ann".to_vec())];
         let n = s.normalize(&t);
         assert_eq!(n[0], Value::Int(1));
         let Value::Bytes(name) = &n[2] else { panic!() };

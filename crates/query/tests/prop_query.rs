@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use procdb_query::{
-    execute, Catalog, CompOp, FieldType, Organization, Plan, Predicate, Schema, Table, Term,
-    Tuple, Value,
+    execute, Catalog, CompOp, FieldType, Organization, Plan, Predicate, Schema, Table, Term, Tuple,
+    Value,
 };
 use procdb_storage::{AccountingMode, Pager, PagerConfig};
 

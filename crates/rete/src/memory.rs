@@ -134,7 +134,8 @@ impl MemoryStore {
     /// the memory is a procedure's result).
     pub fn scan_all(&self) -> Result<Vec<Tuple>> {
         let mut out = Vec::with_capacity(self.heap.len() as usize);
-        self.heap.scan(|_, bytes| out.push(self.schema.decode(bytes)))?;
+        self.heap
+            .scan(|_, bytes| out.push(self.schema.decode(bytes)))?;
         Ok(out)
     }
 

@@ -106,8 +106,13 @@ pub enum ReteSpec {
 
 /// How a memory node's initial contents are computed.
 enum MemSource {
-    Select { relation: String, predicate: Predicate },
-    Join { and: NodeId },
+    Select {
+        relation: String,
+        predicate: Predicate,
+    },
+    Join {
+        and: NodeId,
+    },
 }
 
 // Memory nodes dwarf the other variants; boxing the store keeps the node
@@ -251,7 +256,8 @@ impl Rete {
                     out: out_id,
                 });
                 self.memory_outputs_mut(left_id).push((and_id, Side::Left));
-                self.memory_outputs_mut(right_id).push((and_id, Side::Right));
+                self.memory_outputs_mut(right_id)
+                    .push((and_id, Side::Right));
                 out_id
             }
         };

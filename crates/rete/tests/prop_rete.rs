@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use procdb_query::{
-    execute, Catalog, CompOp, FieldType, Organization, Plan, Predicate, Schema, Table, Term,
-    Value,
+    execute, Catalog, CompOp, FieldType, Organization, Plan, Predicate, Schema, Table, Term, Value,
 };
 use procdb_rete::{Rete, ReteSpec, Token};
 use procdb_storage::{AccountingMode, Pager, PagerConfig};
@@ -33,9 +32,30 @@ fn r3_schema() -> Schema {
 
 /// Three-relation catalog, sized like a miniature Model-2 database.
 fn setup(pg: &std::sync::Arc<Pager>) -> Catalog {
-    let mut r1 = Table::create(pg.clone(), "R1", r1_schema(), Organization::BTree { key_field: 0 }, 0).unwrap();
-    let mut r2 = Table::create(pg.clone(), "R2", r2_schema(), Organization::Hash { key_field: 0 }, 8).unwrap();
-    let mut r3 = Table::create(pg.clone(), "R3", r3_schema(), Organization::Hash { key_field: 0 }, 4).unwrap();
+    let mut r1 = Table::create(
+        pg.clone(),
+        "R1",
+        r1_schema(),
+        Organization::BTree { key_field: 0 },
+        0,
+    )
+    .unwrap();
+    let mut r2 = Table::create(
+        pg.clone(),
+        "R2",
+        r2_schema(),
+        Organization::Hash { key_field: 0 },
+        8,
+    )
+    .unwrap();
+    let mut r3 = Table::create(
+        pg.clone(),
+        "R3",
+        r3_schema(),
+        Organization::Hash { key_field: 0 },
+        4,
+    )
+    .unwrap();
     for i in 0..60i64 {
         r1.insert(&vec![Value::Int(i), Value::Int(i % 8)]).unwrap();
     }

@@ -1,0 +1,443 @@
+//! `loadgen`: a closed-loop load generator for `procdb-server`.
+//!
+//! Drives N concurrent client connections with the paper's operation
+//! mix — accesses with probability `1 − P` under a `Z` locality skew,
+//! update transactions of `l` tuples with probability `P` — and reports
+//! throughput and latency percentiles per strategy.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
+//!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
+//!         [--strategies ar,ci,avm,rvm] [--json PATH]
+//! ```
+//!
+//! Without `--addr` an in-process server is started on an ephemeral
+//! port, loaded with a dense integer relation split into per-view key
+//! windows, and shut down afterwards — a self-contained benchmark.
+//! Each client is closed-loop: it issues one wire command, waits for
+//! the `ok`/`err` terminator, records the round-trip, and only then
+//! issues the next.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use procdb_bench::LatencySummary;
+use procdb_server::{Server, ServerConfig, Session};
+use procdb_workload::{generate_stream, StreamSpec};
+
+#[derive(Debug, Clone)]
+struct Config {
+    addr: Option<String>,
+    clients: Vec<usize>,
+    ops: usize,
+    rows: usize,
+    views: usize,
+    p_update: f64,
+    l: usize,
+    z: f64,
+    seed: u64,
+    strategies: Vec<(String, String)>, // (label, wire name)
+    json: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: None,
+            clients: vec![1, 4, 8],
+            ops: 200,
+            rows: 400,
+            views: 8,
+            p_update: 0.2,
+            l: 4,
+            z: 0.25,
+            seed: 1,
+            strategies: all_strategies(),
+            json: None,
+        }
+    }
+}
+
+fn all_strategies() -> Vec<(String, String)> {
+    [
+        ("ar", "recompute"),
+        ("ci", "cache"),
+        ("avm", "avm"),
+        ("rvm", "rvm"),
+    ]
+    .iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect()
+}
+
+fn strategy_by_label(label: &str) -> Option<(String, String)> {
+    all_strategies().into_iter().find(|(l, _)| l == label)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
+         [--views N] [--p-update P] [--l N] [--z Z] [--seed N] \
+         [--strategies ar,ci,avm,rvm] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let mut args = std::env::args().skip(1);
+    fn val(args: &mut impl Iterator<Item = String>) -> String {
+        args.next().unwrap_or_else(|| usage())
+    }
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => cfg.addr = Some(val(&mut args)),
+            "--clients" => {
+                cfg.clients = val(&mut args)
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if cfg.clients.is_empty() || cfg.clients.contains(&0) {
+                    usage();
+                }
+            }
+            "--ops" => cfg.ops = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--rows" => cfg.rows = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--views" => cfg.views = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--p-update" => cfg.p_update = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--l" => cfg.l = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--z" => cfg.z = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--strategies" => {
+                cfg.strategies = val(&mut args)
+                    .split(',')
+                    .map(|s| strategy_by_label(s).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--json" => cfg.json = Some(val(&mut args)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if cfg.rows == 0 || cfg.views == 0 || cfg.views > cfg.rows || cfg.ops == 0 {
+        usage();
+    }
+    cfg
+}
+
+/// One wire-protocol client connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("nodelay: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut c = Client {
+            writer,
+            reader: BufReader::new(stream),
+        };
+        let (_greeting, term) = c.read_response()?;
+        if term != "ok ready" {
+            return Err(format!("unexpected greeting terminator {term:?}"));
+        }
+        Ok(c)
+    }
+
+    /// Data lines up to (and excluding) the `ok`/`err` terminator.
+    fn read_response(&mut self) -> Result<(Vec<String>, String), String> {
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            let line = line.trim_end().to_string();
+            if line == "ok" || line.starts_with("ok ") || line.starts_with("err") {
+                return Ok((data, line));
+            }
+            data.push(line);
+        }
+    }
+
+    fn cmd(&mut self, line: &str) -> Result<(Vec<String>, String), String> {
+        // One write per command: a split command + newline would cross
+        // two TCP segments and pay a Nagle round-trip per op.
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        self.read_response()
+    }
+
+    /// Run a command that must succeed (setup/control path).
+    fn expect_ok(&mut self, line: &str) -> Result<(), String> {
+        let (_, term) = self.cmd(line)?;
+        if term.starts_with("err") {
+            return Err(format!("{line:?} failed: {term}"));
+        }
+        Ok(())
+    }
+}
+
+fn view_names(cfg: &Config) -> Vec<String> {
+    (0..cfg.views).map(|i| format!("V{i}")).collect()
+}
+
+/// Create the relation and the per-view key windows over the wire.
+fn setup_schema(control: &mut Client, cfg: &Config) -> Result<(), String> {
+    control.expect_ok("create table EMP (eid int, grp int, pad bytes 16) btree eid")?;
+    for eid in 0..cfg.rows {
+        control.expect_ok(&format!("insert EMP ({eid}, {}, \"pad\")", eid % cfg.views))?;
+    }
+    let window = cfg.rows / cfg.views;
+    for (i, name) in view_names(cfg).iter().enumerate() {
+        let lo = i * window;
+        let hi = if i + 1 == cfg.views {
+            cfg.rows - 1
+        } else {
+            (i + 1) * window - 1
+        };
+        control.expect_ok(&format!(
+            "define view {name} (EMP.all) where EMP.eid >= {lo} and EMP.eid <= {hi}"
+        ))?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone)]
+struct RunResult {
+    strategy: String,
+    clients: usize,
+    commands: usize,
+    errors: usize,
+    elapsed: Duration,
+    latency: LatencySummary,
+}
+
+impl RunResult {
+    fn throughput(&self) -> f64 {
+        self.commands as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Per-client measurement: latencies (µs), wall-clock elapsed, error count.
+type ClientRun = Result<(Vec<f64>, Duration, usize), String>;
+
+/// One client's closed loop: issue every wire line of every op in its
+/// stream, one at a time, timing each round-trip.
+fn run_client(addr: &str, lines: &[String], barrier: &Barrier) -> ClientRun {
+    let mut client = Client::connect(addr)?;
+    let mut latencies = Vec::with_capacity(lines.len());
+    let mut errors = 0usize;
+    barrier.wait();
+    let start = Instant::now();
+    for line in lines {
+        let t = Instant::now();
+        let (_, term) = client.cmd(line)?;
+        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+        if term.starts_with("err") {
+            errors += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let _ = client.cmd("quit");
+    Ok((latencies, elapsed, errors))
+}
+
+fn run_one(
+    addr: &str,
+    control: &mut Client,
+    cfg: &Config,
+    label: &str,
+    wire: &str,
+    n_clients: usize,
+) -> Result<RunResult, String> {
+    control.expect_ok(&format!("strategy {wire}"))?;
+    // Warm exclusively: the first access builds the engine and fills
+    // every cache, so the measured loop sees steady state.
+    for name in view_names(cfg) {
+        control.expect_ok(&format!("access {name}"))?;
+    }
+    let names = view_names(cfg);
+    let streams: Vec<Vec<String>> = (0..n_clients)
+        .map(|c| {
+            let spec = StreamSpec {
+                p_update: cfg.p_update,
+                l: cfg.l,
+                z: cfg.z,
+                ops: cfg.ops,
+                seed: cfg.seed + c as u64 * 7919,
+            };
+            generate_stream(&spec, cfg.views, cfg.rows as i64)
+                .iter()
+                .flat_map(|op| op.to_wire_lines(&names))
+                .collect()
+        })
+        .collect();
+    let barrier = Barrier::new(n_clients);
+    let results: Vec<ClientRun> = std::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|lines| s.spawn(|| run_client(addr, lines, &barrier)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let mut all_latencies = Vec::new();
+    let mut max_elapsed = Duration::ZERO;
+    let mut commands = 0usize;
+    let mut errors = 0usize;
+    for r in results {
+        let (lat, elapsed, errs) = r?;
+        commands += lat.len();
+        errors += errs;
+        all_latencies.extend(lat);
+        max_elapsed = max_elapsed.max(elapsed);
+    }
+    let latency = LatencySummary::from_samples(&mut all_latencies)
+        .ok_or_else(|| "no samples recorded".to_string())?;
+    Ok(RunResult {
+        strategy: label.to_string(),
+        clients: n_clients,
+        commands,
+        errors,
+        elapsed: max_elapsed,
+        latency,
+    })
+}
+
+fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"procdb-server loadgen (closed loop)\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
+         \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}}},\n",
+        cfg.ops, cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.seed
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"clients\": {}, \"commands\": {}, \
+             \"errors\": {}, \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
+             \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \
+             \"mean\": {:.1}, \"max\": {:.1}}}}}{}\n",
+            r.strategy,
+            r.clients,
+            r.commands,
+            r.errors,
+            r.elapsed.as_secs_f64(),
+            r.throughput(),
+            r.latency.p50_us,
+            r.latency.p95_us,
+            r.latency.p99_us,
+            r.latency.mean_us,
+            r.latency.max_us,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
+    // Spawn an in-process server unless pointed at an external one.
+    let max_clients = cfg.clients.iter().copied().max().unwrap_or(1);
+    let server = match &cfg.addr {
+        Some(_) => None,
+        None => Some(
+            Server::start(
+                Session::new(),
+                ServerConfig {
+                    port: 0,
+                    max_conns: max_clients + 2,
+                },
+            )
+            .map_err(|e| format!("start server: {e}"))?,
+        ),
+    };
+    let addr = match &cfg.addr {
+        Some(a) => a.clone(),
+        None => server
+            .as_ref()
+            .map(|s| s.addr().to_string())
+            .unwrap_or_default(),
+    };
+    let mut control = Client::connect(&addr)?;
+    setup_schema(&mut control, cfg)?;
+    println!(
+        "loadgen: {} rows, {} views, P={}, l={}, Z={}, {} ops/client @ {}",
+        cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, addr
+    );
+    println!(
+        "{:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "strategy",
+        "clients",
+        "commands",
+        "errors",
+        "cmds/s",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)",
+        "max(us)"
+    );
+    let mut runs = Vec::new();
+    for (label, wire) in &cfg.strategies {
+        for &n in &cfg.clients {
+            let r = run_one(&addr, &mut control, cfg, label, wire, n)?;
+            println!(
+                "{:>9} {:>8} {:>9} {:>7} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                r.strategy,
+                r.clients,
+                r.commands,
+                r.errors,
+                r.throughput(),
+                r.latency.p50_us,
+                r.latency.p95_us,
+                r.latency.p99_us,
+                r.latency.max_us
+            );
+            runs.push(r);
+        }
+    }
+    let _ = control.cmd("quit");
+    if let Some(server) = server {
+        server.stop();
+    }
+    Ok(runs)
+}
+
+fn main() {
+    let cfg = parse_args();
+    match run(&cfg) {
+        Ok(runs) => {
+            if let Some(path) = &cfg.json {
+                let json = render_json(&cfg, &runs);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

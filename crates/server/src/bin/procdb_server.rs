@@ -1,0 +1,46 @@
+//! `procdb-server`: serve an empty procdb session over TCP.
+//!
+//! ```text
+//! procdb-server [--port P] [--max-conns N]
+//! ```
+//!
+//! Clients speak the shell's command language, one command per line
+//! (`help` lists it); each response ends with an `ok`/`err` terminator
+//! line. Send `shutdown` to stop the server.
+
+use procdb_server::{Server, ServerConfig, Session};
+
+fn usage() -> ! {
+    eprintln!("usage: procdb-server [--port P] [--max-conns N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--port" => match args.next().map(|v| v.parse()) {
+                Some(Ok(p)) => cfg.port = p,
+                _ => usage(),
+            },
+            "--max-conns" => match args.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => cfg.max_conns = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let server = match Server::start(Session::new(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("procdb-server listening on {}", server.addr());
+    println!("stop with the 'shutdown' wire command");
+    server.run_until_shutdown();
+    println!("procdb-server stopped");
+}

@@ -1,0 +1,462 @@
+//! The command language: one command per line, shared by the
+//! interactive shell and the wire protocol.
+//!
+//! ```text
+//! create table EMP (eid int, dept int, job bytes 12) btree eid
+//! create table DEPT (dname int, floor int) hash dname
+//! insert EMP (1, 0, "Programmer")
+//! define view PROGS (EMP.all, DEPT.all) where EMP.dept = DEPT.dname and DEPT.floor = 1
+//! strategy recompute | cache | avm | rvm
+//! access PROGS
+//! update 5 -> 99
+//! explain PROGS
+//! show
+//! costs
+//! stats
+//! serve --port 7878 --max-conns 64
+//! help
+//! quit
+//! ```
+//!
+//! Parsing never panics: every malformed line yields `Err(String)` with
+//! a user-facing message, so a bad line can neither kill the shell nor
+//! a server connection thread.
+
+use procdb_core::StrategyKind;
+use procdb_query::{FieldType, Organization, Schema, Value};
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `create table NAME (field type[, ...]) btree|hash KEY`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Schema.
+        schema: Schema,
+        /// Organization (resolved key field).
+        org: Organization,
+    },
+    /// `insert TABLE (v1, v2, ...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row values.
+        row: Vec<Value>,
+    },
+    /// `define view ...` / `retrieve ...` — passed through verbatim.
+    DefineView(String),
+    /// `strategy KIND`
+    Strategy(StrategyKind),
+    /// `access VIEW`
+    Access(String),
+    /// `update VICTIM -> NEWKEY`
+    Update(i64, i64),
+    /// `explain VIEW`
+    Explain(String),
+    /// `show`
+    Show,
+    /// `costs`
+    Costs,
+    /// `stats` — per-procedure workload counters.
+    Stats,
+    /// `serve [--port P] [--max-conns N]` — turn the session into a
+    /// TCP server (interactive shell only).
+    Serve {
+        /// TCP port to listen on.
+        port: u16,
+        /// Maximum simultaneous connections.
+        max_conns: usize,
+    },
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+}
+
+/// Default port for `serve`.
+pub const DEFAULT_PORT: u16 = 7878;
+/// Default connection cap for `serve`.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// The help text.
+pub const HELP: &str = "\
+commands:
+  create table NAME (field type[, ...]) btree|hash KEYFIELD
+      types: int | bytes N.  The first table is the updatable relation
+      (must be btree); later tables are join targets (hash).
+  insert TABLE (v1, v2, ...)            -- string values in double quotes
+  define view NAME (T.all, ...) where … -- the paper's Section 2 syntax
+  strategy recompute|cache|avm|rvm      -- switch processing strategy
+  access VIEW                           -- read a procedure's value
+  update VICTIM -> NEWKEY               -- re-key one base tuple in place
+  explain VIEW                          -- show the precompiled plan
+  show                                  -- tables, views, strategy
+  costs                                 -- total ms charged so far
+  stats                                 -- per-procedure workload counters
+  serve [--port P] [--max-conns N]      -- expose this session over TCP
+  help, quit";
+
+fn split_ident(s: &str) -> Option<(String, &str)> {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_')
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if end == 0 {
+        None
+    } else {
+        Some((s[..end].to_string(), &s[end..]))
+    }
+}
+
+fn parse_schema_body(body: &str) -> Result<Schema, String> {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    for part in body.split(',') {
+        let toks: Vec<&str> = part.split_whitespace().collect();
+        match toks.as_slice() {
+            [name, ty] if ty.eq_ignore_ascii_case("int") => {
+                fields.push((name.to_string(), FieldType::Int));
+            }
+            [name, ty, width] if ty.eq_ignore_ascii_case("bytes") => {
+                let w: usize = width
+                    .parse()
+                    .map_err(|_| format!("bad bytes width {width}"))?;
+                fields.push((name.to_string(), FieldType::Bytes(w)));
+            }
+            _ => return Err(format!("bad field declaration {part:?}")),
+        }
+    }
+    if fields.is_empty() {
+        return Err("empty schema".to_string());
+    }
+    Ok(Schema::new(
+        fields.iter().map(|(n, t)| (n.as_str(), *t)).collect(),
+    ))
+}
+
+fn parse_values(body: &str) -> Result<Vec<Value>, String> {
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(|c: char| c.is_whitespace() || c == ',');
+        if rest.is_empty() {
+            break;
+        }
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped
+                .find('"')
+                .ok_or_else(|| "unterminated string".to_string())?;
+            out.push(Value::Bytes(stripped.as_bytes()[..end].to_vec()));
+            rest = &stripped[end + 1..];
+        } else {
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| *c == ',' || c.is_whitespace())
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let tok = &rest[..end];
+            let v: i64 = tok.parse().map_err(|_| format!("bad value {tok:?}"))?;
+            out.push(Value::Int(v));
+            rest = &rest[end..];
+        }
+    }
+    Ok(out)
+}
+
+fn parse_serve(rest: &str) -> Result<Command, String> {
+    let mut port = DEFAULT_PORT;
+    let mut max_conns = DEFAULT_MAX_CONNS;
+    let mut toks = rest.split_whitespace();
+    while let Some(flag) = toks.next() {
+        match flag {
+            "--port" => {
+                let v = toks
+                    .next()
+                    .ok_or_else(|| "--port needs a value".to_string())?;
+                port = v.parse().map_err(|_| format!("bad port {v:?}"))?;
+            }
+            "--max-conns" => {
+                let v = toks
+                    .next()
+                    .ok_or_else(|| "--max-conns needs a value".to_string())?;
+                max_conns = v.parse().map_err(|_| format!("bad count {v:?}"))?;
+                if max_conns == 0 {
+                    return Err("--max-conns must be at least 1".to_string());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown serve flag {other:?} (--port P, --max-conns N)"
+                ))
+            }
+        }
+    }
+    Ok(Command::Serve { port, max_conns })
+}
+
+/// Parse one input line (blank lines and `#` comments yield `None`).
+pub fn parse(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let lower = line.to_ascii_lowercase();
+    if lower == "quit" || lower == "exit" {
+        return Ok(Some(Command::Quit));
+    }
+    if lower == "help" {
+        return Ok(Some(Command::Help));
+    }
+    if lower == "show" {
+        return Ok(Some(Command::Show));
+    }
+    if lower == "costs" {
+        return Ok(Some(Command::Costs));
+    }
+    if lower == "stats" {
+        return Ok(Some(Command::Stats));
+    }
+    if lower == "serve" || lower.starts_with("serve ") {
+        return parse_serve(&line["serve".len()..]).map(Some);
+    }
+    if lower.starts_with("define view") || lower.starts_with("retrieve") {
+        return Ok(Some(Command::DefineView(line.to_string())));
+    }
+    if let Some(rest) = lower.strip_prefix("strategy") {
+        let kind = match rest.trim() {
+            "recompute" | "always-recompute" | "ar" => StrategyKind::AlwaysRecompute,
+            "cache" | "cache-invalidate" | "ci" => StrategyKind::CacheInvalidate,
+            "avm" | "update-cache-avm" => StrategyKind::UpdateCacheAvm,
+            "rvm" | "update-cache-rvm" => StrategyKind::UpdateCacheRvm,
+            other => {
+                return Err(format!(
+                    "unknown strategy {other:?} (recompute|cache|avm|rvm)"
+                ))
+            }
+        };
+        return Ok(Some(Command::Strategy(kind)));
+    }
+    if lower.starts_with("create table") {
+        let rest = &line["create table".len()..];
+        let (name, rest) = split_ident(rest).ok_or_else(|| "expected table name".to_string())?;
+        let rest = rest.trim_start();
+        let open = rest
+            .strip_prefix('(')
+            .ok_or_else(|| "expected '(' after table name".to_string())?;
+        let close = open
+            .find(')')
+            .ok_or_else(|| "expected ')' closing the schema".to_string())?;
+        let schema = parse_schema_body(&open[..close])?;
+        let tail: Vec<&str> = open[close + 1..].split_whitespace().collect();
+        let org = match tail.as_slice() {
+            [kind, key] => {
+                let key_field = schema
+                    .field_index(key)
+                    .ok_or_else(|| format!("unknown key field {key}"))?;
+                if kind.eq_ignore_ascii_case("btree") {
+                    Organization::BTree { key_field }
+                } else if kind.eq_ignore_ascii_case("hash") {
+                    Organization::Hash { key_field }
+                } else {
+                    return Err(format!("unknown organization {kind:?} (btree|hash)"));
+                }
+            }
+            _ => return Err("expected: btree|hash KEYFIELD after the schema".to_string()),
+        };
+        return Ok(Some(Command::CreateTable { name, schema, org }));
+    }
+    if lower.starts_with("insert") {
+        let rest = &line["insert".len()..];
+        let (table, rest) = split_ident(rest).ok_or_else(|| "expected table name".to_string())?;
+        let rest = rest.trim_start();
+        let open = rest
+            .strip_prefix('(')
+            .ok_or_else(|| "expected '(' before values".to_string())?;
+        let close = open
+            .rfind(')')
+            .ok_or_else(|| "expected ')' after values".to_string())?;
+        let row = parse_values(&open[..close])?;
+        return Ok(Some(Command::Insert { table, row }));
+    }
+    if lower.starts_with("access") {
+        let (view, _) =
+            split_ident(&line["access".len()..]).ok_or_else(|| "expected view name".to_string())?;
+        return Ok(Some(Command::Access(view)));
+    }
+    if lower.starts_with("explain") {
+        let (view, _) = split_ident(&line["explain".len()..])
+            .ok_or_else(|| "expected view name".to_string())?;
+        return Ok(Some(Command::Explain(view)));
+    }
+    if lower.starts_with("update") {
+        let rest = &line["update".len()..];
+        let parts: Vec<&str> = rest.split("->").collect();
+        if parts.len() != 2 {
+            return Err("expected: update VICTIM -> NEWKEY".to_string());
+        }
+        let victim: i64 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad key {:?}", parts[0].trim()))?;
+        let new_key: i64 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad key {:?}", parts[1].trim()))?;
+        return Ok(Some(Command::Update(victim, new_key)));
+    }
+    Err(format!("unknown command {line:?} (try 'help')"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_forms() {
+        let c = parse("create table EMP (eid int, job bytes 12) btree eid")
+            .unwrap()
+            .unwrap();
+        let Command::CreateTable { name, schema, org } = c else {
+            panic!()
+        };
+        assert_eq!(name, "EMP");
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.fields()[1].ty, FieldType::Bytes(12));
+        assert_eq!(org, Organization::BTree { key_field: 0 });
+
+        let c = parse("create table DEPT (dname int, floor int) hash dname")
+            .unwrap()
+            .unwrap();
+        let Command::CreateTable { org, .. } = c else {
+            panic!()
+        };
+        assert_eq!(org, Organization::Hash { key_field: 0 });
+    }
+
+    #[test]
+    fn insert_values_mixed_types() {
+        let c = parse(r#"insert EMP (1, -5, "Programmer")"#)
+            .unwrap()
+            .unwrap();
+        let Command::Insert { table, row } = c else {
+            panic!()
+        };
+        assert_eq!(table, "EMP");
+        assert_eq!(row[0], Value::Int(1));
+        assert_eq!(row[1], Value::Int(-5));
+        assert_eq!(row[2], Value::Bytes(b"Programmer".to_vec()));
+    }
+
+    #[test]
+    fn strategies_and_simple_commands() {
+        assert_eq!(
+            parse("strategy rvm").unwrap(),
+            Some(Command::Strategy(StrategyKind::UpdateCacheRvm))
+        );
+        assert_eq!(
+            parse("strategy recompute").unwrap(),
+            Some(Command::Strategy(StrategyKind::AlwaysRecompute))
+        );
+        assert_eq!(
+            parse("access V").unwrap(),
+            Some(Command::Access("V".into()))
+        );
+        assert_eq!(
+            parse("update 5 -> 99").unwrap(),
+            Some(Command::Update(5, 99))
+        );
+        assert_eq!(
+            parse("explain V").unwrap(),
+            Some(Command::Explain("V".into()))
+        );
+        assert_eq!(parse("show").unwrap(), Some(Command::Show));
+        assert_eq!(parse("costs").unwrap(), Some(Command::Costs));
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse("  # comment").unwrap(), None);
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn serve_flags() {
+        assert_eq!(
+            parse("serve").unwrap(),
+            Some(Command::Serve {
+                port: DEFAULT_PORT,
+                max_conns: DEFAULT_MAX_CONNS
+            })
+        );
+        assert_eq!(
+            parse("serve --port 9000 --max-conns 4").unwrap(),
+            Some(Command::Serve {
+                port: 9000,
+                max_conns: 4
+            })
+        );
+        assert!(parse("serve --port").is_err());
+        assert!(parse("serve --port nope").is_err());
+        assert!(parse("serve --max-conns 0").is_err());
+        assert!(parse("serve --frobnicate 1").is_err());
+    }
+
+    #[test]
+    fn define_view_passthrough() {
+        let src = "define view V (EMP.all) where EMP.eid >= 3";
+        assert_eq!(
+            parse(src).unwrap(),
+            Some(Command::DefineView(src.to_string()))
+        );
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse("strategy nope").is_err());
+        assert!(parse("create table X eid int").is_err());
+        assert!(parse("create table X (eid int) btree nope").is_err());
+        assert!(parse("update 5 99").is_err());
+        assert!(parse("frobnicate").is_err());
+        assert!(parse(r#"insert T (1, "unterminated)"#).is_err());
+    }
+
+    /// Wire input is untrusted: no line, however malformed, may panic
+    /// the parser (a panic would kill a server connection thread).
+    #[test]
+    fn parse_never_panics_on_garbage() {
+        let torture = [
+            "create table",
+            "create table (",
+            "create table T ((((",
+            "create table T (x int) btree",
+            "create table T () btree x",
+            "insert",
+            "insert (",
+            "insert T (\"",
+            "insert T (,,,,)",
+            "insert T (99999999999999999999999999)",
+            "update",
+            "update ->",
+            "update -> ->",
+            "update 9223372036854775807 -> -9223372036854775808",
+            "update 99999999999999999999 -> 0",
+            "access",
+            "access ???",
+            "explain",
+            "strategy",
+            "serve --port 99999",
+            "serve --max-conns -3",
+            "define view",
+            "retrieve",
+            "\u{0}\u{1}\u{2}",
+            "créate tàble ünïcode (x int) btree x",
+            "update \u{FFFD} -> \u{FFFD}",
+            "    ",
+            "((((((((((",
+            "\"\"\"\"\"",
+        ];
+        for line in torture {
+            let _ = parse(line); // Ok or Err, never a panic.
+        }
+    }
+}

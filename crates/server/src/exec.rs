@@ -1,0 +1,172 @@
+//! Shared command execution: turn a parsed [`Command`] into text output
+//! against a [`Session`]. The interactive shell prints the text; the
+//! server writes it as data lines followed by an `ok`/`err` terminator.
+//!
+//! Execution never panics on user input — every failure path is an
+//! `Err(String)` (the shell prints `error: …`, the server sends
+//! `err …` and keeps the connection alive).
+
+use crate::command::{Command, HELP};
+use crate::session::Session;
+
+/// Result of executing one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Command ran; display this text (possibly empty, possibly
+    /// multi-line, no trailing newline guarantees).
+    Text(String),
+    /// `quit` — end the session/connection.
+    Quit,
+}
+
+impl Outcome {
+    fn text(s: impl Into<String>) -> Outcome {
+        Outcome::Text(s.into())
+    }
+}
+
+/// Execute one command against the session.
+///
+/// `Command::Serve` is rejected here: only the interactive shell may
+/// promote its session to a server (the server itself refuses nested
+/// `serve` over the wire).
+pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
+    let out = match cmd {
+        Command::Quit => return Ok(Outcome::Quit),
+        Command::Help => Outcome::text(HELP),
+        Command::CreateTable { name, schema, org } => {
+            session.create_table(&name, schema, org)?;
+            Outcome::text(format!("table {name} created"))
+        }
+        Command::Insert { table, row } => {
+            session.insert(&table, row)?;
+            Outcome::text("")
+        }
+        Command::DefineView(stmt) => {
+            let name = session.define_view(&stmt)?;
+            Outcome::text(format!("view {name} defined"))
+        }
+        Command::Strategy(kind) => {
+            session.set_strategy(kind);
+            Outcome::text(format!(
+                "strategy set to {kind} (engine rebuilds on next access)"
+            ))
+        }
+        Command::Access(view) => {
+            let (rows, ms) = session.access(&view)?;
+            let mut s = format!("{} rows in {ms:.1} model-ms:\n", rows.len());
+            s.push_str(&session.render_rows(&rows, 20));
+            Outcome::Text(s.trim_end_matches('\n').to_string())
+        }
+        Command::Update(victim, new_key) => {
+            let (n, ms) = session.update(victim, new_key)?;
+            Outcome::text(format!(
+                "{n} tuple(s) re-keyed {victim} -> {new_key}; maintenance {ms:.1} model-ms"
+            ))
+        }
+        Command::Explain(view) => {
+            Outcome::Text(session.explain(&view)?.trim_end_matches('\n').to_string())
+        }
+        Command::Show => {
+            let mut s = format!("strategy: {}\n", session.strategy());
+            for summary in session
+                .tables()
+                .iter()
+                .map(|t| t.name.clone())
+                .collect::<Vec<_>>()
+            {
+                match session.table_summary(&summary) {
+                    Ok(line) => s.push_str(&format!("  {line}\n")),
+                    Err(e) => s.push_str(&format!("  {summary}: {e}\n")),
+                }
+            }
+            let views: Vec<&str> = session.views().collect();
+            s.push_str(&format!(
+                "  views: {}",
+                if views.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    views.join(", ")
+                }
+            ));
+            Outcome::Text(s)
+        }
+        Command::Costs => Outcome::text(format!(
+            "total charged: {:.1} model-ms",
+            session.total_cost_ms()
+        )),
+        Command::Stats => Outcome::Text(session.stats_text().trim_end().to_string()),
+        Command::Serve { .. } => {
+            return Err("serve is only available from the interactive shell".to_string())
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::parse;
+
+    fn run(session: &mut Session, line: &str) -> Result<Outcome, String> {
+        let cmd = parse(line)?.ok_or_else(|| "blank".to_string())?;
+        execute(session, cmd)
+    }
+
+    #[test]
+    fn script_through_executor() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        run(
+            &mut s,
+            "create table DEPT (dname int, floor int) hash dname",
+        )
+        .unwrap();
+        for i in 0..10 {
+            run(&mut s, &format!("insert EMP ({i}, {})", i % 2)).unwrap();
+        }
+        run(&mut s, "insert DEPT (0, 1)").unwrap();
+        run(&mut s, "insert DEPT (1, 2)").unwrap();
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 5",
+        )
+        .unwrap();
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("4 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "update 3 -> 99").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("1 tuple(s) re-keyed"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "show").unwrap() else {
+            panic!()
+        };
+        assert!(
+            t.contains("strategy: always-recompute") || t.contains("strategy:"),
+            "{t}"
+        );
+        assert!(t.contains("EMP (10 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "stats").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("V: 1 accesses, 1 conflicting updates"), "{t}");
+        assert_eq!(run(&mut s, "quit").unwrap(), Outcome::Quit);
+    }
+
+    #[test]
+    fn serve_is_rejected_by_the_executor() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "serve --port 1").is_err());
+    }
+
+    #[test]
+    fn errors_surface_not_panic() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "access NOPE").is_err());
+        assert!(run(&mut s, "insert NOPE (1)").is_err());
+        assert!(run(&mut s, "explain NOPE").is_err());
+        assert!(run(&mut s, "update 1 -> 2").is_err(), "no tables declared");
+    }
+}

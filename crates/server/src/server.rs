@@ -1,0 +1,463 @@
+//! The TCP server: thread-per-connection over a shared [`Session`]
+//! behind a readers-writer lock.
+//!
+//! * `access` runs under a **shared read lock** when the strategy's read
+//!   path is pure ([`Session::access_shared`]); an invalidated Cache &
+//!   Invalidate entry escalates to the **write lock** and refills — the
+//!   network analogue of a CI access re-acquiring its i-locks.
+//! * every other command (updates, inserts, DDL, strategy switches)
+//!   takes the write lock.
+//! * a panic while executing a command is caught and reported as
+//!   `err internal: …`; the connection (and server) stay up.
+//!
+//! Wire protocol: one command per line; each response is zero or more
+//! data lines followed by a terminator line starting with `ok` or
+//! `err`. `quit` closes the connection, `shutdown` stops the server,
+//! and connections over the configured limit are refused with
+//! `err server busy`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::command::{parse, Command};
+use crate::exec::{execute, Outcome};
+use crate::session::Session;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on localhost (0 picks an ephemeral port).
+    pub port: u16,
+    /// Maximum simultaneous connections; extras are refused with
+    /// `err server busy`.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            port: crate::command::DEFAULT_PORT,
+            max_conns: crate::command::DEFAULT_MAX_CONNS,
+        }
+    }
+}
+
+/// How often blocked readers/acceptors re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+struct Shared {
+    session: RwLock<Session>,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    max_conns: usize,
+}
+
+/// A running server; [`Server::stop`] shuts it down and hands the
+/// session back.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind on localhost and start accepting connections over `session`.
+    pub fn start(session: Session, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            session: RwLock::new(session),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            max_conns: cfg.max_conns.max(1),
+        });
+        let accept_shared = shared.clone();
+        let accept = thread::Builder::new()
+            .name("procdb-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `shutdown` wire command has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Currently active connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Block until a `shutdown` wire command arrives, then stop.
+    pub fn run_until_shutdown(self) -> Session {
+        while !self.shutdown_requested() {
+            thread::sleep(POLL);
+        }
+        self.stop()
+    }
+
+    /// Stop accepting, drain connection threads, and return the session.
+    pub fn stop(mut self) -> Session {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the flag within one read-timeout
+        // tick and exit, dropping their `Arc`s.
+        let mut shared = self.shared;
+        loop {
+            match Arc::try_unwrap(shared) {
+                Ok(s) => return s.session.into_inner(),
+                Err(still_shared) => {
+                    shared = still_shared;
+                    thread::sleep(POLL);
+                }
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Reap finished connection threads as we go; join the rest on exit
+    // so `stop` sees the last `Arc` clones dropped promptly.
+    let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let n = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+                if n > shared.max_conns {
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    refuse(stream, shared.max_conns);
+                    continue;
+                }
+                let conn_shared = shared.clone();
+                match thread::Builder::new()
+                    .name("procdb-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                {
+                    Ok(h) => {
+                        let mut guard = conns.lock();
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(h);
+                    }
+                    Err(_) => {
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+    for h in conns.into_inner() {
+        let _ = h.join();
+    }
+}
+
+fn refuse(mut stream: TcpStream, max: usize) {
+    let _ = writeln!(stream, "err server busy ({max} connections)");
+}
+
+/// Decrement the active-connection count when the thread exits, however
+/// it exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _guard = ConnGuard(shared.clone());
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    if writeln!(
+        writer,
+        "procdb-server: database procedures over TCP (type 'help')\nok ready"
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Timeout while idle or mid-line: `line` keeps any
+                // partial bytes already read; re-check shutdown, retry.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = writeln!(writer, "err server shutting down");
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let done = match respond(&shared, &line, &mut writer) {
+            Ok(keep_open) => !keep_open,
+            Err(_) => true,
+        };
+        if done {
+            return;
+        }
+        line.clear();
+    }
+}
+
+/// Handle one request line; `Ok(false)` closes the connection.
+fn respond(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> io::Result<bool> {
+    if line.trim().eq_ignore_ascii_case("shutdown") {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        writeln!(writer, "ok shutting down")?;
+        return Ok(false);
+    }
+    // Wire input is untrusted and the engine is rich: treat any panic as
+    // a command failure, not a dead connection. The lock stubs recover
+    // from poisoning, so other connections keep working too.
+    let result = catch_unwind(AssertUnwindSafe(|| run_line(shared, line)));
+    match result {
+        Ok(Response::Closed) => {
+            writeln!(writer, "ok bye")?;
+            Ok(false)
+        }
+        Ok(Response::Silent) => {
+            writeln!(writer, "ok")?;
+            Ok(true)
+        }
+        Ok(Response::Data(text)) => {
+            for data_line in text.lines() {
+                writeln!(writer, "{data_line}")?;
+            }
+            writeln!(writer, "ok")?;
+            Ok(true)
+        }
+        Ok(Response::Error(msg)) => {
+            writeln!(writer, "err {}", msg.replace('\n', "; "))?;
+            Ok(true)
+        }
+        Err(panic) => {
+            let msg = panic_message(&panic);
+            writeln!(writer, "err internal: {}", msg.replace('\n', "; "))?;
+            Ok(true)
+        }
+    }
+}
+
+enum Response {
+    /// Data lines to print before the bare `ok` terminator.
+    Data(String),
+    /// Nothing to print; respond `ok`.
+    Silent,
+    /// Respond `err <msg>`.
+    Error(String),
+    /// `quit` — respond `ok bye` and close.
+    Closed,
+}
+
+fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
+    let cmd = match parse(line) {
+        Ok(None) => return Response::Silent,
+        Ok(Some(cmd)) => cmd,
+        Err(msg) => return Response::Error(msg),
+    };
+    if let Command::Access(view) = &cmd {
+        // Fast path: concurrent reads under the shared lock. `None`
+        // means the read needs engine mutation (first build, or a CI
+        // refill) — fall through to the exclusive path.
+        let session = shared.session.read();
+        match session.access_shared(view) {
+            Err(msg) => return Response::Error(msg),
+            Ok(Some((rows, ms))) => {
+                let mut text = format!("{} rows in {ms:.1} model-ms:\n", rows.len());
+                text.push_str(&session.render_rows(&rows, 20));
+                return Response::Data(text);
+            }
+            Ok(None) => {} // escalate below
+        }
+    }
+    let mut session = shared.session.write();
+    match execute(&mut session, cmd) {
+        Ok(Outcome::Quit) => Response::Closed,
+        Ok(Outcome::Text(t)) if t.is_empty() => Response::Silent,
+        Ok(Outcome::Text(t)) => Response::Data(t),
+        Err(msg) => Response::Error(msg),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Read one full response: data lines up to an `ok`/`err` terminator.
+    fn read_response(reader: &mut impl BufRead) -> (Vec<String>, String) {
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            let line = line.trim_end().to_string();
+            if line == "ok" || line.starts_with("ok ") || line.starts_with("err") {
+                return (data, line);
+            }
+            data.push(line);
+        }
+    }
+
+    fn send(stream: &mut TcpStream, reader: &mut impl BufRead, cmd: &str) -> (Vec<String>, String) {
+        writeln!(stream, "{cmd}").unwrap();
+        read_response(reader)
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (_greeting, term) = read_response(&mut reader);
+        assert_eq!(term, "ok ready");
+        (stream, reader)
+    }
+
+    #[test]
+    fn end_to_end_script_over_the_wire() {
+        let server = Server::start(
+            Session::new(),
+            ServerConfig {
+                port: 0,
+                max_conns: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (mut s, mut r) = connect(addr);
+        let (_, t) = send(
+            &mut s,
+            &mut r,
+            "create table EMP (eid int, dept int) btree eid",
+        );
+        assert_eq!(t, "ok");
+        for i in 0..8 {
+            let (_, t) = send(&mut s, &mut r, &format!("insert EMP ({i}, 0)"));
+            assert_eq!(t, "ok");
+        }
+        let (_, t) = send(
+            &mut s,
+            &mut r,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 5",
+        );
+        assert_eq!(t, "ok");
+        let (data, t) = send(&mut s, &mut r, "access V");
+        assert_eq!(t, "ok");
+        assert!(data[0].starts_with("4 rows"), "{data:?}");
+        assert_eq!(data.len(), 5, "header + 4 tuples: {data:?}");
+        let (_, t) = send(&mut s, &mut r, "update 3 -> 99");
+        assert_eq!(t, "ok");
+        let (data, _) = send(&mut s, &mut r, "access V");
+        assert!(data[0].starts_with("3 rows"), "{data:?}");
+        let (_, t) = send(&mut s, &mut r, "nonsense");
+        assert!(t.starts_with("err"), "{t}");
+        let (data, t) = send(&mut s, &mut r, "stats");
+        assert_eq!(t, "ok");
+        assert!(data.iter().any(|l| l.contains("V: 2 accesses")), "{data:?}");
+        let (_, t) = send(&mut s, &mut r, "quit");
+        assert_eq!(t, "ok bye");
+        let session = server.stop();
+        assert_eq!(session.tables()[0].rows.len(), 8);
+    }
+
+    #[test]
+    fn connection_limit_refuses_extras() {
+        let server = Server::start(
+            Session::new(),
+            ServerConfig {
+                port: 0,
+                max_conns: 1,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (_s1, _r1) = connect(addr);
+        // Second connection must be refused with a busy error.
+        let s2 = TcpStream::connect(addr).unwrap();
+        let mut r2 = BufReader::new(s2);
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err server busy"), "{line}");
+        drop((_s1, _r1));
+        // The slot frees up; a later connection succeeds.
+        for _ in 0..100 {
+            if server.active_connections() == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        let (_s3, _r3) = connect(addr);
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = Server::start(
+            Session::new(),
+            ServerConfig {
+                port: 0,
+                max_conns: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (mut s, mut r) = connect(addr);
+        let (_, t) = send(&mut s, &mut r, "shutdown");
+        assert_eq!(t, "ok shutting down");
+        let session = server.run_until_shutdown();
+        assert_eq!(session.tables().len(), 0);
+        // The port is closed: new connections fail or are reset promptly.
+        thread::sleep(Duration::from_millis(50));
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                // A raced connect gets EOF or an error, never "ok ready".
+                let n = reader.read_line(&mut line).unwrap_or(0);
+                assert!(n == 0 || !line.contains("ok ready"), "{line}");
+            }
+        }
+    }
+}

@@ -386,7 +386,9 @@ mod tests {
         let pager = small_pager(AccountingMode::Logical, 4);
         let f = pager.create_file("t");
         let p = pager.allocate_page(f).unwrap();
-        pager.write(p, |d| d[..5].copy_from_slice(b"abcde")).unwrap();
+        pager
+            .write(p, |d| d[..5].copy_from_slice(b"abcde"))
+            .unwrap();
         let got = pager.read(p, |d| d[..5].to_vec()).unwrap();
         assert_eq!(got, b"abcde");
     }

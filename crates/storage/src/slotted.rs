@@ -37,7 +37,10 @@ fn free_end(page: &[u8]) -> u16 {
 /// any other operation.
 pub fn init(page: &mut [u8]) {
     assert!(page.len() >= HEADER + SLOT, "page too small");
-    assert!(page.len() <= u16::MAX as usize, "page too large for u16 offsets");
+    assert!(
+        page.len() <= u16::MAX as usize,
+        "page too large for u16 offsets"
+    );
     write_u16(page, 0, 0);
     write_u16(page, 2, page.len() as u16);
 }

@@ -97,7 +97,9 @@ pub fn build_database(pager: Arc<Pager>, c: &SimConfig) -> Result<Catalog> {
         pager.clone(),
         "R1",
         r1_schema(c),
-        Organization::BTree { key_field: r1::SKEY },
+        Organization::BTree {
+            key_field: r1::SKEY,
+        },
         c.n,
     )?;
     let pad1 = vec![0u8; 1];

@@ -29,7 +29,6 @@ pub use database::build_database;
 pub use procedures::{generate_procedures, Population};
 pub use sim::{
     analytic_prediction, run_all_strategies, run_all_strategies_parallel, run_strategy,
-    run_strategy_with_buffer, sim_pager,
-    SimOutcome,
+    run_strategy_with_buffer, sim_pager, SimOutcome,
 };
 pub use stream::{generate_stream, Op, StreamSpec};

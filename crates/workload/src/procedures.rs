@@ -32,7 +32,11 @@ impl Population {
 fn random_window(rng: &mut StdRng, c: &SimConfig) -> (i64, i64) {
     let width = c.p1_window();
     let max_lo = (c.n as i64 - width).max(0);
-    let lo = if max_lo == 0 { 0 } else { rng.gen_range(0..=max_lo) };
+    let lo = if max_lo == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_lo)
+    };
     (lo, lo + width - 1)
 }
 

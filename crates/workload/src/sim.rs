@@ -11,9 +11,7 @@ use std::sync::Arc;
 
 use procdb_core::{Engine, EngineOptions, StrategyKind};
 use procdb_costmodel::{cost, Model, Strategy};
-use procdb_storage::{
-    AccountingMode, CostConstants, CostSnapshot, Pager, PagerConfig, Result,
-};
+use procdb_storage::{AccountingMode, CostConstants, CostSnapshot, Pager, PagerConfig, Result};
 
 use crate::config::SimConfig;
 use crate::database::{build_database, r1};

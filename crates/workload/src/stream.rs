@@ -43,6 +43,26 @@ impl Default for StreamSpec {
     }
 }
 
+impl Op {
+    /// Render this operation as wire-protocol command lines for
+    /// `procdb-server` (the shell's command language). An access
+    /// becomes one `access NAME` line; an update transaction becomes
+    /// one `update VICTIM -> NEWKEY` line per modified tuple, since the
+    /// wire grammar re-keys one tuple per command.
+    ///
+    /// Panics if an access references a procedure outside `view_names`
+    /// (the stream and the served schema must agree).
+    pub fn to_wire_lines(&self, view_names: &[String]) -> Vec<String> {
+        match self {
+            Op::Access(i) => vec![format!("access {}", view_names[*i])],
+            Op::Update(mods) => mods
+                .iter()
+                .map(|(victim, new_key)| format!("update {victim} -> {new_key}"))
+                .collect(),
+        }
+    }
+}
+
 /// Pick a procedure index under the `Z` skew: the first `⌈z·n⌉`
 /// procedures are "hot" and receive a fraction `1 − z` of accesses.
 pub fn pick_procedure(rng: &mut StdRng, n_procs: usize, z: f64) -> usize {
@@ -105,7 +125,9 @@ mod tests {
         for op in generate_stream(&spec, 5, 100) {
             let Op::Update(mods) = op else { panic!() };
             assert_eq!(mods.len(), 7);
-            assert!(mods.iter().all(|&(a, b)| (0..100).contains(&a) && (0..100).contains(&b)));
+            assert!(mods
+                .iter()
+                .all(|&(a, b)| (0..100).contains(&a) && (0..100).contains(&b)));
         }
     }
 
@@ -142,6 +164,16 @@ mod tests {
         assert_eq!(
             generate_stream(&spec, 10, 100),
             generate_stream(&spec, 10, 100)
+        );
+    }
+
+    #[test]
+    fn ops_render_as_wire_lines() {
+        let names = vec!["HOT".to_string(), "COLD".to_string()];
+        assert_eq!(Op::Access(1).to_wire_lines(&names), vec!["access COLD"]);
+        assert_eq!(
+            Op::Update(vec![(5, 99), (7, 3)]).to_wire_lines(&names),
+            vec!["update 5 -> 99", "update 7 -> 3"]
         );
     }
 

@@ -147,7 +147,12 @@ fn main() {
                 })
                 .collect();
             probe.apply_update(&mods).unwrap();
-            let hit = |k: i64| windows.iter().enumerate().filter(move |(_, (lo, hi))| k >= *lo && k <= *hi);
+            let hit = |k: i64| {
+                windows
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, (lo, hi))| k >= *lo && k <= *hi)
+            };
             let mut conflicting: Vec<usize> = Vec::new();
             for (old_k, new_k) in &mods {
                 for (i, _) in hit(*old_k).chain(hit(*new_k)) {
@@ -221,5 +226,8 @@ fn main() {
             run_uniform(kind, &constants)
         );
     }
-    println!("  adaptive mixed       {mixed_ms:>14.0} ms   ({} groups)", mixed.group_count());
+    println!(
+        "  adaptive mixed       {mixed_ms:>14.0} ms   ({} groups)",
+        mixed.group_count()
+    );
 }

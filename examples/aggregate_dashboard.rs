@@ -69,8 +69,14 @@ fn main() {
     let s0 = pager.ledger().snapshot();
     let rows = dash.read_all().unwrap();
     let read_ms = pager.ledger().snapshot().since(&s0).priced(&constants);
-    println!("dashboard ({} departments, read cost {read_ms:.0} ms):", rows.len());
-    println!("{:>6} {:>10} {:>14} {:>12}", "dept", "headcount", "payroll", "avg salary");
+    println!(
+        "dashboard ({} departments, read cost {read_ms:.0} ms):",
+        rows.len()
+    );
+    println!(
+        "{:>6} {:>10} {:>14} {:>12}",
+        "dept", "headcount", "payroll", "avg salary"
+    );
     for g in &rows {
         println!(
             "{:>6} {:>10} {:>14} {:>12.0}",
@@ -102,6 +108,9 @@ fn main() {
     );
     let d3 = dash.get(3).unwrap();
     let d5 = dash.get(5).unwrap();
-    println!("dept 3 now {} heads; dept 5 now {} heads", d3.count, d5.count);
+    println!(
+        "dept 3 now {} heads; dept 5 now {} heads",
+        d3.count, d5.count
+    );
     assert_eq!(d3.count + d5.count, 1250);
 }

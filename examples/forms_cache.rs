@@ -67,7 +67,11 @@ fn build_catalog(pager: &std::sync::Arc<Pager>) -> Catalog {
     }
     for c in 0..64i64 {
         widgets
-            .insert(&vec![Value::Int(c), Value::Int(c % 3), Value::Bytes(vec![1; 4])])
+            .insert(&vec![
+                Value::Int(c),
+                Value::Int(c % 3),
+                Value::Bytes(vec![1; 4]),
+            ])
             .unwrap();
     }
     pager.ledger().reset();
@@ -109,8 +113,14 @@ fn run(kind: StrategyKind, shared: bool) -> (f64, Option<procdb::rete::ReteStats
             form_procedure(i, w * 40, w * 40 + 39)
         })
         .collect();
-    let mut engine = Engine::new(pager.clone(), catalog, procs, kind, EngineOptions::default())
-        .expect("engine builds");
+    let mut engine = Engine::new(
+        pager.clone(),
+        catalog,
+        procs,
+        kind,
+        EngineOptions::default(),
+    )
+    .expect("engine builds");
     engine.warm_up().unwrap();
     pager.ledger().reset();
     // Update-heavy workload: widgets move between forms.
@@ -127,7 +137,11 @@ fn run(kind: StrategyKind, shared: bool) -> (f64, Option<procdb::rete::ReteStats
 fn main() {
     println!("forms with shared subobjects — AVM vs shared Rete (RVM)\n");
     for shared in [false, true] {
-        let label = if shared { "high sharing (4 distinct windows)" } else { "no sharing (24 windows)" };
+        let label = if shared {
+            "high sharing (4 distinct windows)"
+        } else {
+            "no sharing (24 windows)"
+        };
         let (avm_ms, _) = run(StrategyKind::UpdateCacheAvm, shared);
         let (rvm_ms, stats) = run(StrategyKind::UpdateCacheRvm, shared);
         let stats = stats.unwrap();

@@ -52,7 +52,8 @@ fn main() {
     .unwrap();
     // Departments: 0 = Accounting (floor 1), 1 = Shipping (floor 2).
     const ACCOUNTING: i64 = 0;
-    dept.insert(&vec![Value::Int(ACCOUNTING), Value::Int(1)]).unwrap();
+    dept.insert(&vec![Value::Int(ACCOUNTING), Value::Int(1)])
+        .unwrap();
     dept.insert(&vec![Value::Int(1), Value::Int(2)]).unwrap();
     for (eid, age, d, sal, job) in [
         (1i64, 31i64, ACCOUNTING, 28_000i64, "Programmer"),
@@ -87,7 +88,10 @@ fn main() {
     let progs1 = parse_define_view(progs1_src, &catalog).expect("PROGS1 parses");
     let clerks1 = parse_define_view(clerks1_src, &catalog).expect("CLERKS1 parses");
     println!("parsed the paper's views:\n\n{progs1_src}\n\n{clerks1_src}\n");
-    println!("PROGS1 precompiled plan:\n{}", progs1.view.to_plan().explain());
+    println!(
+        "PROGS1 precompiled plan:\n{}",
+        progs1.view.to_plan().explain()
+    );
 
     // --- One shared Rete network maintains both (the paper's Figure 1:
     // the EMP t-const chain forks at job = Programmer / job = Clerk, and

@@ -44,8 +44,8 @@ fn main() {
     );
 
     let constants = CostConstants::default(); // C1=1ms, C2=30ms, C3=1ms
-    let outcomes = run_all_strategies(&config, &stream, &constants, Some(25))
-        .expect("simulation runs");
+    let outcomes =
+        run_all_strategies(&config, &stream, &constants, Some(25)).expect("simulation runs");
 
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>12} {:>10}",
@@ -78,9 +78,7 @@ fn main() {
     // What does the paper's analytical model say for these parameters?
     let rec = procdb::core::recommend(
         procdb::costmodel::Model::One,
-        &config
-            .to_params()
-            .with_update_probability(stream.p_update),
+        &config.to_params().with_update_probability(stream.p_update),
     );
     println!(
         "analytical model recommends: {} (margin {:.2}x over runner-up)",

@@ -58,8 +58,12 @@ fn build_catalog(pager: &std::sync::Arc<Pager>) -> Catalog {
     for d in 0..30i64 {
         // Departments 0..24 active, 25..29 retired.
         let active = i64::from(d < 25);
-        dept.insert(&vec![Value::Int(d), Value::Int(active), Value::Bytes(vec![0; 4])])
-            .unwrap();
+        dept.insert(&vec![
+            Value::Int(d),
+            Value::Int(active),
+            Value::Bytes(vec![0; 4]),
+        ])
+        .unwrap();
     }
     pager.ledger().reset();
     pager.set_charging(true);

@@ -42,7 +42,11 @@ fn main() {
         workload.z
     );
     for (kind, ms) in procdb::core::StrategyKind::ALL.iter().zip(rec.predicted_ms) {
-        let marker = if *kind == rec.strategy { "  <-- pick this" } else { "" };
+        let marker = if *kind == rec.strategy {
+            "  <-- pick this"
+        } else {
+            ""
+        };
         println!("  {:<18} {:>9.1} ms/access{}", kind.label(), ms, marker);
     }
     println!(

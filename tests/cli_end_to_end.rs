@@ -100,7 +100,10 @@ define view V (EMP.all) where EMP.eid >= 2
         transcripts.push((strat, rows.join("\n")));
     }
     let first = transcripts[0].1.clone();
-    assert!(first.contains("(2, 1)") && first.contains("(3, 0)"), "{first}");
+    assert!(
+        first.contains("(2, 1)") && first.contains("(3, 0)"),
+        "{first}"
+    );
     for (strat, rows) in &transcripts {
         assert_eq!(rows, &first, "strategy {strat} returned different rows");
     }

@@ -48,10 +48,7 @@ fn r1_selection_costs_descent_plus_leaves() {
     assert_eq!(rows, 20);
     // Descent (≤ h1) + a handful of leaf pages: 20 tuples at ~30/page is
     // 1-2 leaves. Generous upper bound: h1 + 4.
-    assert!(
-        reads <= h1 + 4,
-        "selection read {reads} pages (h1 = {h1})"
-    );
+    assert!(reads <= h1 + 4, "selection read {reads} pages (h1 = {h1})");
 }
 
 #[test]
@@ -85,6 +82,7 @@ fn base_tables_sized_like_model() {
     // f·N tuples in a P1 window.
     let r1 = cat.get("R1").unwrap();
     let mut in_window = 0;
-    r1.range_scan(0, c.p1_window() - 1, |_| in_window += 1).unwrap();
+    r1.range_scan(0, c.p1_window() - 1, |_| in_window += 1)
+        .unwrap();
     assert_eq!(in_window, c.p1_window());
 }

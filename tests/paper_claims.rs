@@ -2,8 +2,8 @@
 //! analytical model end-to-end through the public facade.
 
 use procdb::costmodel::{
-    best_update_cache, cost, headline_speedups, model2, paper_figures, region_grid, Family,
-    Model, Params, Strategy,
+    best_update_cache, cost, headline_speedups, model2, paper_figures, region_grid, Family, Model,
+    Params, Strategy,
 };
 
 #[test]
@@ -66,7 +66,9 @@ fn large_objects_favor_update_cache_at_low_p() {
 fn small_objects_make_ci_competitive() {
     // §5 (Figure 7): for f = 0.0001, CI is close to UC at low P and does
     // not degrade at high P.
-    let lo = Params::default().with_f(0.0001).with_update_probability(0.2);
+    let lo = Params::default()
+        .with_f(0.0001)
+        .with_update_probability(0.2);
     let ci = cost(Model::One, Strategy::CacheInvalidate, &lo);
     let (_, uc) = best_update_cache(Model::One, &lo);
     assert!(ci < 2.0 * uc, "CI {ci} should be within 2x of UC {uc}");
@@ -94,7 +96,12 @@ fn every_figure_series_is_positive_and_finite() {
     for fig in paper_figures() {
         for s in &fig.series {
             for (x, y) in &s.points {
-                assert!(y.is_finite() && *y >= 0.0, "{} {:?} at x={x}", fig.id, s.strategy);
+                assert!(
+                    y.is_finite() && *y >= 0.0,
+                    "{} {:?} at x={x}",
+                    fig.id,
+                    s.strategy
+                );
             }
         }
     }
@@ -106,11 +113,7 @@ fn f15_no_false_invalidation_helps_ci() {
     // cost can only improve (fewer wasted recomputes).
     let base = Params::default().with_update_probability(0.3);
     let with_false = cost(Model::One, Strategy::CacheInvalidate, &base);
-    let without = cost(
-        Model::One,
-        Strategy::CacheInvalidate,
-        &base.with_f2(1.0),
-    );
+    let without = cost(Model::One, Strategy::CacheInvalidate, &base.with_f2(1.0));
     // f2 = 1 also makes P2 objects bigger, so compare the *relative* gap
     // to Update Cache, as Figure 15 does.
     let uc_with = best_update_cache(Model::One, &Params::default().with_update_probability(0.3)).1;

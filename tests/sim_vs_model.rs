@@ -49,8 +49,14 @@ fn caching_wins_at_low_p_recompute_flat() {
     let ar_lo = per_access(StrategyKind::AlwaysRecompute, 0.1);
     let avm_lo = per_access(StrategyKind::UpdateCacheAvm, 0.1);
     let ci_lo = per_access(StrategyKind::CacheInvalidate, 0.1);
-    assert!(avm_lo < ar_lo, "UC should beat AR at P=0.1: {avm_lo} vs {ar_lo}");
-    assert!(ci_lo < ar_lo, "CI should beat AR at P=0.1: {ci_lo} vs {ar_lo}");
+    assert!(
+        avm_lo < ar_lo,
+        "UC should beat AR at P=0.1: {avm_lo} vs {ar_lo}"
+    );
+    assert!(
+        ci_lo < ar_lo,
+        "CI should beat AR at P=0.1: {ci_lo} vs {ar_lo}"
+    );
 }
 
 #[test]
@@ -61,7 +67,10 @@ fn ci_approaches_recompute_plateau_at_high_p() {
     let ci = per_access(StrategyKind::CacheInvalidate, 0.9);
     let uc = per_access(StrategyKind::UpdateCacheAvm, 0.9);
     assert!(ci < 2.0 * ar, "CI plateau too high: {ci} vs AR {ar}");
-    assert!(uc > ci, "UC should be the one degrading at P=0.9: {uc} vs {ci}");
+    assert!(
+        uc > ci,
+        "UC should be the one degrading at P=0.9: {uc} vs {ci}"
+    );
 }
 
 #[test]
@@ -159,11 +168,26 @@ fn rvm_beats_avm_with_sharing_in_model2_sim() {
     c.joins = 2;
     c.sf = 1.0;
     let s = spec(0.6);
-    let avm = run_strategy(&c, &s, StrategyKind::UpdateCacheAvm, &CostConstants::default(), None)
-        .unwrap()
-        .per_access_ms;
-    let rvm = run_strategy(&c, &s, StrategyKind::UpdateCacheRvm, &CostConstants::default(), None)
-        .unwrap()
-        .per_access_ms;
-    assert!(rvm < avm, "RVM {rvm} should beat AVM {avm} at SF=1, model 2");
+    let avm = run_strategy(
+        &c,
+        &s,
+        StrategyKind::UpdateCacheAvm,
+        &CostConstants::default(),
+        None,
+    )
+    .unwrap()
+    .per_access_ms;
+    let rvm = run_strategy(
+        &c,
+        &s,
+        StrategyKind::UpdateCacheRvm,
+        &CostConstants::default(),
+        None,
+    )
+    .unwrap()
+    .per_access_ms;
+    assert!(
+        rvm < avm,
+        "RVM {rvm} should beat AVM {avm} at SF=1, model 2"
+    );
 }

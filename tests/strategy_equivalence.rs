@@ -31,7 +31,11 @@ fn all_strategies_serve_identical_answers_model1() {
     // recompute inside the runner.
     let outcomes = run_all_strategies(&c, &spec, &CostConstants::default(), Some(1)).unwrap();
     for o in &outcomes {
-        assert!(o.verified >= 30, "{}: too few verified accesses", o.strategy);
+        assert!(
+            o.verified >= 30,
+            "{}: too few verified accesses",
+            o.strategy
+        );
         assert_eq!(o.mismatches, 0, "{} diverged from recompute", o.strategy);
     }
 }

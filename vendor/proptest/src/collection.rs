@@ -1,0 +1,27 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// `vec(element_strategy, size_range)` — the `proptest::collection::vec`
+/// entry point.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
