@@ -15,12 +15,22 @@
 
 use std::collections::HashMap;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use procdb_query::{execute, Catalog, Plan, Predicate, Schema, Tuple};
 use procdb_storage::{HeapFile, Pager, Result, Rid};
 
 use crate::delta::Delta;
+
+fn delta_applications_counter() -> &'static procdb_obs::Counter {
+    static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| procdb_obs::global().counter("procdb_avm_delta_applications_total", &[]))
+}
+
+fn delta_tuples_counter() -> &'static procdb_obs::Counter {
+    static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| procdb_obs::global().counter("procdb_avm_delta_tuples_total", &[]))
+}
 
 /// One join step of a linear view pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,6 +215,8 @@ impl MaterializedView {
     /// Apply one transaction's (pre-filtered) base-relation delta: evaluate
     /// `V(a, …)` and `V(d, …)` and patch the stored copy.
     pub fn apply_delta(&mut self, delta: &Delta, catalog: &Catalog) -> Result<MaintStats> {
+        delta_applications_counter().inc();
+        delta_tuples_counter().add(delta.len() as u64);
         let pager = self.heap.pager().clone();
         let to_insert = self.def.delta_rows(&delta.inserted, catalog, &pager)?;
         let to_delete = self.def.delta_rows(&delta.deleted, catalog, &pager)?;
@@ -253,6 +265,8 @@ impl MaterializedView {
         catalog: &Catalog,
     ) -> Result<MaintStats> {
         assert!(step_idx < self.def.joins.len(), "no such join step");
+        delta_applications_counter().inc();
+        delta_tuples_counter().add(delta.len() as u64);
         let pager = self.heap.pager().clone();
         let ledger = pager.ledger().clone();
         let charging = pager.is_charging();

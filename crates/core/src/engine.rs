@@ -18,14 +18,45 @@
 //! distinct-pages-per-operation cost semantics.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use procdb_avm::{Delta, MaterializedView, ViewDef};
 use procdb_ilock::{ILockManager, ProcId, TableRef, ValidityTable};
 use procdb_query::{execute, Catalog, Organization, Schema, Tuple};
 use procdb_rete::{NodeId, Rete, Token};
-use procdb_storage::{AccountingMode, CostLedger, HeapFile, Pager, Result};
+use procdb_storage::{AccountingMode, CostConstants, CostLedger, HeapFile, Pager, Result};
 
 use crate::procedure::{ProcedureDef, StrategyKind};
+
+/// Per-engine metric handles, labeled by strategy. Registered once at
+/// construction; every increment afterwards is a relaxed atomic op.
+struct EngineMetrics {
+    accesses: procdb_obs::Counter,
+    updates: procdb_obs::Counter,
+    cache_refills: procdb_obs::Counter,
+    access_us: procdb_obs::Histogram,
+    update_us: procdb_obs::Histogram,
+    predicted_ms: procdb_obs::FloatCounter,
+    observed_ms: procdb_obs::FloatCounter,
+    rel_error: procdb_obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn new(kind: StrategyKind) -> EngineMetrics {
+        let reg = procdb_obs::global();
+        let labels: &[(&str, &str)] = &[("strategy", kind.metric_label())];
+        EngineMetrics {
+            accesses: reg.counter("procdb_engine_accesses_total", labels),
+            updates: reg.counter("procdb_engine_updates_total", labels),
+            cache_refills: reg.counter("procdb_engine_cache_refills_total", labels),
+            access_us: reg.histogram("procdb_engine_access_us", labels),
+            update_us: reg.histogram("procdb_engine_update_us", labels),
+            predicted_ms: reg.float_counter("procdb_cost_model_predicted_ms_total", labels),
+            observed_ms: reg.float_counter("procdb_cost_model_observed_ms_total", labels),
+            rel_error: reg.histogram("procdb_cost_model_abs_rel_error", labels),
+        }
+    }
+}
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -96,6 +127,7 @@ pub struct Engine {
     opts: EngineOptions,
     kind: StrategyKind,
     state: StrategyState,
+    metrics: EngineMetrics,
 }
 
 // The server shares one `Engine` across connection threads behind a
@@ -127,6 +159,7 @@ impl Engine {
             opts,
             kind,
             state: StrategyState::Recompute,
+            metrics: EngineMetrics::new(kind),
         };
         let was_charging = engine.pager.is_charging();
         engine.pager.set_charging(false);
@@ -257,6 +290,8 @@ impl Engine {
     /// Recompute procedure `i`'s value, rewrite its cache, reset its
     /// i-locks, and mark it valid. Returns the fresh rows.
     fn refill_cache(&mut self, i: usize) -> Result<Vec<Tuple>> {
+        self.metrics.cache_refills.inc();
+        let _sp = procdb_obs::span!(procdb_obs::global(), "recompute", proc = i);
         let plan = self.procs[i].plan();
         let rows = execute(&plan, &self.catalog)?;
         let StrategyState::CacheInval {
@@ -279,8 +314,18 @@ impl Engine {
 
     /// Read the full current value of procedure `i` (one of the paper's
     /// `q` operations). All work is charged to the ledger.
+    ///
+    /// Every access also feeds the observability layer: predicted cost
+    /// (from [`Engine::estimate_access_ms`], priced at the paper's default
+    /// constants) is recorded next to the observed ledger delta, so cost-
+    /// model error is queryable (`procdb_cost_model_abs_rel_error`).
     pub fn access(&mut self, i: usize) -> Result<Vec<Tuple>> {
         assert!(i < self.procs.len(), "procedure index out of range");
+        let c = CostConstants::default();
+        let predicted = self.estimate_access_ms(i, &c);
+        let before = self.pager.ledger().snapshot();
+        let start = Instant::now();
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "access", proc = i);
         let rows = match &mut self.state {
             StrategyState::Recompute => execute(&self.procs[i].plan(), &self.catalog)?,
             StrategyState::CacheInval {
@@ -301,6 +346,8 @@ impl Engine {
             StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
         };
         self.end_operation()?;
+        let observed = self.pager.ledger().snapshot().since(&before).priced(&c);
+        self.record_access(predicted, observed, start, rows.len(), &mut sp);
         Ok(rows)
     }
 
@@ -313,6 +360,11 @@ impl Engine {
     /// `access` (the pager and ledger are internally synchronized).
     pub fn access_shared(&self, i: usize) -> Result<Option<Vec<Tuple>>> {
         assert!(i < self.procs.len(), "procedure index out of range");
+        let c = CostConstants::default();
+        let predicted = self.estimate_access_ms(i, &c);
+        let before = self.pager.ledger().snapshot();
+        let start = Instant::now();
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "access", proc = i);
         let rows = match &self.state {
             StrategyState::Recompute => execute(&self.procs[i].plan(), &self.catalog)?,
             StrategyState::CacheInval {
@@ -332,7 +384,37 @@ impl Engine {
             StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
         };
         self.end_operation()?;
+        let observed = self.pager.ledger().snapshot().since(&before).priced(&c);
+        self.record_access(predicted, observed, start, rows.len(), &mut sp);
         Ok(Some(rows))
+    }
+
+    /// Record one completed access into the metric registry and the span.
+    ///
+    /// Under a concurrent server the ledger is shared, so the observed
+    /// delta may include another thread's overlapping work; the error
+    /// series is exact single-threaded and an upper bound under load.
+    fn record_access(
+        &self,
+        predicted: f64,
+        observed: f64,
+        start: Instant,
+        rows: usize,
+        sp: &mut procdb_obs::SpanGuard<'_>,
+    ) {
+        let m = &self.metrics;
+        m.accesses.inc();
+        m.access_us.observe(start.elapsed().as_secs_f64() * 1e6);
+        m.predicted_ms.add(predicted);
+        m.observed_ms.add(observed);
+        if observed > 0.0 {
+            m.rel_error.observe((predicted - observed).abs() / observed);
+        }
+        if sp.is_recording() {
+            sp.field("rows", rows as f64);
+            sp.field("predicted_ms", predicted);
+            sp.field("observed_ms", observed);
+        }
     }
 
     /// Apply one update transaction: modify tuples of `R1` in place. Each
@@ -395,6 +477,10 @@ impl Engine {
         &mut self,
         mutate: impl FnOnce(&mut procdb_query::Table, &mut Delta) -> Result<()>,
     ) -> Result<usize> {
+        let c = CostConstants::default();
+        let before = self.pager.ledger().snapshot();
+        let start = Instant::now();
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "update");
         // 1. Mutate the base relation (uncharged).
         let was = self.pager.is_charging();
         self.pager.set_charging(false);
@@ -422,42 +508,66 @@ impl Engine {
         let modified = delta.inserted.len().max(delta.deleted.len());
 
         // 2. Strategy maintenance (charged).
-        match &mut self.state {
-            StrategyState::Recompute => {}
-            StrategyState::CacheInval {
-                validity, locks, ..
-            } => {
-                let writes = delta
-                    .deleted
-                    .iter()
-                    .chain(&delta.inserted)
-                    .map(|t| (R1_TABLE, t[key_field].as_int()));
-                for pid in locks.conflicting_any(writes) {
-                    validity.invalidate(pid);
-                }
-            }
-            StrategyState::Avm { views, bounds } => {
-                for (v, &(lo, hi)) in views.iter_mut().zip(bounds.iter()) {
-                    let filtered = delta.filtered(|t| {
-                        let k = t[key_field].as_int();
-                        k >= lo && k <= hi
-                    });
-                    if !filtered.is_empty() {
-                        v.apply_delta(&filtered, &self.catalog)?;
+        {
+            let _maint =
+                procdb_obs::span!(procdb_obs::global(), "maintain", tuples = modified as f64);
+            match &mut self.state {
+                StrategyState::Recompute => {}
+                StrategyState::CacheInval {
+                    validity, locks, ..
+                } => {
+                    let writes = delta
+                        .deleted
+                        .iter()
+                        .chain(&delta.inserted)
+                        .map(|t| (R1_TABLE, t[key_field].as_int()));
+                    for pid in locks.conflicting_any(writes) {
+                        validity.invalidate(pid);
                     }
                 }
-            }
-            StrategyState::Rvm { rete, .. } => {
-                for old in &delta.deleted {
-                    rete.submit(&self.opts.r1, Token::minus(old.clone()))?;
+                StrategyState::Avm { views, bounds } => {
+                    for (v, &(lo, hi)) in views.iter_mut().zip(bounds.iter()) {
+                        let filtered = delta.filtered(|t| {
+                            let k = t[key_field].as_int();
+                            k >= lo && k <= hi
+                        });
+                        if !filtered.is_empty() {
+                            v.apply_delta(&filtered, &self.catalog)?;
+                        }
+                    }
                 }
-                for new in &delta.inserted {
-                    rete.submit(&self.opts.r1, Token::plus(new.clone()))?;
+                StrategyState::Rvm { rete, .. } => {
+                    for old in &delta.deleted {
+                        rete.submit(&self.opts.r1, Token::minus(old.clone()))?;
+                    }
+                    for new in &delta.inserted {
+                        rete.submit(&self.opts.r1, Token::plus(new.clone()))?;
+                    }
                 }
             }
         }
         self.end_operation()?;
+        self.record_update(modified, before, start, &c, &mut sp);
         Ok(modified)
+    }
+
+    /// Record one completed update transaction (metrics + span fields).
+    fn record_update(
+        &self,
+        tuples: usize,
+        before: procdb_storage::CostSnapshot,
+        start: Instant,
+        c: &CostConstants,
+        sp: &mut procdb_obs::SpanGuard<'_>,
+    ) {
+        let m = &self.metrics;
+        m.updates.inc();
+        m.update_us.observe(start.elapsed().as_secs_f64() * 1e6);
+        if sp.is_recording() {
+            let observed = self.pager.ledger().snapshot().since(&before).priced(c);
+            sp.field("tuples", tuples as f64);
+            sp.field("observed_ms", observed);
+        }
     }
 
     /// Apply one update transaction to an **inner** relation (`R2`/`R3`):
@@ -478,6 +588,10 @@ impl Engine {
         if relation == self.opts.r1 {
             return self.apply_update(modifications);
         }
+        let c = CostConstants::default();
+        let before = self.pager.ledger().snapshot();
+        let start = Instant::now();
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "update");
         // 1. Base mutation, uncharged.
         let was = self.pager.is_charging();
         self.pager.set_charging(false);
@@ -512,37 +626,42 @@ impl Engine {
         let modified = delta.inserted.len();
 
         // 2. Strategy maintenance, charged.
-        match &mut self.state {
-            StrategyState::Recompute => {}
-            StrategyState::CacheInval { validity, .. } => {
-                for (i, p) in self.procs.iter().enumerate() {
-                    if p.view.joins.iter().any(|j| j.inner == relation) && modified > 0 {
-                        validity.invalidate(ProcId(i as u32));
+        {
+            let _maint =
+                procdb_obs::span!(procdb_obs::global(), "maintain", tuples = modified as f64);
+            match &mut self.state {
+                StrategyState::Recompute => {}
+                StrategyState::CacheInval { validity, .. } => {
+                    for (i, p) in self.procs.iter().enumerate() {
+                        if p.view.joins.iter().any(|j| j.inner == relation) && modified > 0 {
+                            validity.invalidate(ProcId(i as u32));
+                        }
                     }
                 }
-            }
-            StrategyState::Avm { views, .. } => {
-                for v in views.iter_mut() {
-                    let steps = v.steps_on(relation);
-                    assert!(
-                        steps.len() <= 1,
-                        "inner-delta maintenance supports one occurrence of {relation} per view"
-                    );
-                    if let Some(&step) = steps.first() {
-                        v.apply_inner_delta(step, &delta, &self.catalog)?;
+                StrategyState::Avm { views, .. } => {
+                    for v in views.iter_mut() {
+                        let steps = v.steps_on(relation);
+                        assert!(
+                            steps.len() <= 1,
+                            "inner-delta maintenance supports one occurrence of {relation} per view"
+                        );
+                        if let Some(&step) = steps.first() {
+                            v.apply_inner_delta(step, &delta, &self.catalog)?;
+                        }
                     }
                 }
-            }
-            StrategyState::Rvm { rete, .. } => {
-                for old in &delta.deleted {
-                    rete.submit(relation, Token::minus(old.clone()))?;
-                }
-                for new in &delta.inserted {
-                    rete.submit(relation, Token::plus(new.clone()))?;
+                StrategyState::Rvm { rete, .. } => {
+                    for old in &delta.deleted {
+                        rete.submit(relation, Token::minus(old.clone()))?;
+                    }
+                    for new in &delta.inserted {
+                        rete.submit(relation, Token::plus(new.clone()))?;
+                    }
                 }
             }
         }
         self.end_operation()?;
+        self.record_update(modified, before, start, &c, &mut sp);
         Ok(modified)
     }
 
@@ -620,6 +739,30 @@ impl Engine {
             StrategyState::Rvm { rete, outputs } => rete.memory(outputs[i]).page_count(),
         };
         Some(pages.max(1) as f64 * c.c2)
+    }
+
+    /// Predicted cost (ms) of the *next* `access(i)` given the current
+    /// strategy and validity state: a recompute for Always Recompute (and
+    /// for an invalidated Cache & Invalidate entry, plus the cache
+    /// write-back), a cached read otherwise.
+    pub fn estimate_access_ms(&self, i: usize, c: &CostConstants) -> f64 {
+        match &self.state {
+            StrategyState::Recompute => self.estimate_recompute_ms(i, c),
+            StrategyState::CacheInval { validity, .. } => {
+                let cached = self.estimate_cached_read_ms(i, c).unwrap_or(0.0);
+                if validity.is_valid(ProcId(i as u32)) {
+                    cached
+                } else {
+                    // Miss: recompute, then write the fresh value back
+                    // (one page write per cache page — the read estimate
+                    // prices the same page count).
+                    self.estimate_recompute_ms(i, c) + cached
+                }
+            }
+            StrategyState::Avm { .. } | StrategyState::Rvm { .. } => {
+                self.estimate_cached_read_ms(i, c).unwrap_or(0.0)
+            }
+        }
     }
 
     /// Fraction of Cache-and-Invalidate caches currently valid (CI only).
@@ -1065,6 +1208,76 @@ mod tests {
                 assert_matches_expected(&mut e, i);
             }
         }
+    }
+
+    #[test]
+    fn access_feeds_cost_model_metrics() {
+        // The registry is process-global and shared with parallel tests:
+        // assert growth, never exact values.
+        let reg = procdb_obs::global();
+        let labels: &[(&str, &str)] = &[("strategy", "ci")];
+        let accesses = reg.counter("procdb_engine_accesses_total", labels);
+        let predicted = reg.float_counter("procdb_cost_model_predicted_ms_total", labels);
+        let observed = reg.float_counter("procdb_cost_model_observed_ms_total", labels);
+        let (a0, p0, o0) = (accesses.get(), predicted.get(), observed.get());
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        e.access(0).unwrap();
+        assert!(accesses.get() > a0);
+        assert!(predicted.get() > p0, "predicted ms accumulated");
+        assert!(observed.get() > o0, "observed ms accumulated");
+    }
+
+    #[test]
+    fn estimate_access_follows_validity_state() {
+        let c = procdb_storage::CostConstants::default();
+        let mut e = engine_with(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        let hit = e.estimate_access_ms(0, &c);
+        assert_eq!(hit, e.estimate_cached_read_ms(0, &c).unwrap());
+        e.apply_update(&[(100, 15)]).unwrap(); // invalidate
+        let miss = e.estimate_access_ms(0, &c);
+        assert!(
+            miss > hit,
+            "a miss ({miss} ms) must predict dearer than a hit ({hit} ms)"
+        );
+        // AR has no cache: the estimate is always the recompute cost.
+        let ar = engine_with(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29)]);
+        assert_eq!(
+            ar.estimate_access_ms(0, &c),
+            ar.estimate_recompute_ms(0, &c)
+        );
+    }
+
+    #[test]
+    fn spans_capture_access_fields() {
+        let reg = procdb_obs::global();
+        let mut e = engine_with(StrategyKind::UpdateCacheAvm, vec![p1(0, 10, 29)]);
+        reg.set_tracing(true);
+        let seq_before: i64 = reg
+            .recent_spans(1, |_| true)
+            .last()
+            .map(|s| s.seq as i64)
+            .unwrap_or(-1);
+        e.access(0).unwrap();
+        e.apply_update(&[(15, 40)]).unwrap();
+        reg.set_tracing(false);
+        let spans = reg.recent_spans(64, |s| s.seq as i64 > seq_before);
+        let access = spans
+            .iter()
+            .find(|s| s.name == "access" && s.field("proc") == Some(0.0))
+            .expect("access span recorded");
+        assert!(access.field("rows").is_some());
+        assert!(access.field("predicted_ms").is_some());
+        assert!(access.field("observed_ms").is_some());
+        assert!(
+            spans.iter().any(|s| s.name == "update"),
+            "update span recorded"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "maintain"),
+            "maintain span nested in update"
+        );
     }
 
     #[test]

@@ -80,6 +80,16 @@ impl StrategyKind {
             StrategyKind::UpdateCacheRvm => "UpdateCache-RVM",
         }
     }
+
+    /// Short lowercase token used as the `strategy` metric label.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            StrategyKind::AlwaysRecompute => "ar",
+            StrategyKind::CacheInvalidate => "ci",
+            StrategyKind::UpdateCacheAvm => "avm",
+            StrategyKind::UpdateCacheRvm => "rvm",
+        }
+    }
 }
 
 impl std::fmt::Display for StrategyKind {

@@ -1,6 +1,12 @@
 //! The i-lock manager: per-table interval locks owned by procedures.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn locks_set_counter() -> &'static procdb_obs::Counter {
+    static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| procdb_obs::global().counter("procdb_ilock_locks_set_total", &[]))
+}
 
 /// Identifies a stored database procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,6 +52,7 @@ impl ILockManager {
     /// Set an interval i-lock `[lo, hi]` on `table` for `owner` — the index
     /// interval inspected by a B-tree selection.
     pub fn set_range_lock(&mut self, table: TableRef, lo: i64, hi: i64, owner: ProcId) {
+        locks_set_counter().inc();
         self.by_table
             .entry(table)
             .or_default()

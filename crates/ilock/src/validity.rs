@@ -11,11 +11,16 @@
 //! to the ledger's invalidation counter, priced at whatever `C_inval` the
 //! experiment chose.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use procdb_storage::CostLedger;
 
 use crate::manager::ProcId;
+
+fn invalidations_counter() -> &'static procdb_obs::Counter {
+    static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| procdb_obs::global().counter("procdb_ci_invalidations_total", &[]))
+}
 
 /// Tracks per-procedure cache validity and charges invalidation recording.
 #[derive(Debug)]
@@ -62,6 +67,7 @@ impl ValidityTable {
     pub fn invalidate(&mut self, proc: ProcId) {
         self.ledger.add_invalidations(1);
         self.invalidation_events += 1;
+        invalidations_counter().inc();
         self.valid[proc.0 as usize] = false;
     }
 

@@ -1,0 +1,64 @@
+//! # procdb-obs
+//!
+//! Unified observability for the `procdb` reproduction of Hanson
+//! (SIGMOD 1988): a lock-cheap metrics registry and a span-tracing ring
+//! buffer, shared by the engine, the storage substrate, and the server.
+//!
+//! ## Metrics
+//!
+//! [`Registry`] hands out [`Counter`], [`FloatCounter`], [`Gauge`], and
+//! [`Histogram`] handles keyed by `(name, labels)`. Registration takes a
+//! mutex once; the handles themselves are `Arc`-wrapped atomics, so the
+//! hot path is a single relaxed `fetch_add` — instrumentation stays
+//! cheap enough to leave on permanently. [`Registry::render_prometheus`]
+//! emits the whole registry in the Prometheus text exposition format.
+//!
+//! Histograms use fixed log-scale (powers-of-two) buckets, so a latency
+//! distribution costs 32 atomics, not a sample vector.
+//!
+//! ## Spans
+//!
+//! [`span!`] opens a [`SpanGuard`] that records the span's wall-clock
+//! duration, nesting depth, and any number of named `f64` fields into a
+//! bounded in-memory ring buffer when tracing is enabled
+//! ([`Registry::set_tracing`]). When tracing is off a span is one atomic
+//! load — the hot path never pays for dormant tracing. Callers attach
+//! whatever they observed (ledger deltas, predicted costs) as fields;
+//! the buffer is queryable with [`Registry::recent_spans`].
+//!
+//! The crate is dependency-free (std only) so every other `procdb` crate
+//! can instrument itself against [`global()`] without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Sample};
+pub use trace::{SpanEvent, SpanGuard};
+
+use std::sync::OnceLock;
+
+/// The process-global registry: every crate's built-in instrumentation
+/// records here, and the server's `metrics` command renders it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Open a span on a registry: `span!(reg, "access", proc = i)`.
+///
+/// Every `key = value` pair after the name becomes an `f64` field on the
+/// recorded event (values are cast with `as f64`). The span ends when
+/// the returned [`SpanGuard`] drops; add late fields (observed costs,
+/// row counts) with [`SpanGuard::field`] before then.
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __span = $reg.span($name);
+        $(__span.field(stringify!($key), $val as f64);)*
+        __span
+    }};
+}

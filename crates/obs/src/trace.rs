@@ -1,0 +1,270 @@
+//! Span tracing: bounded ring buffer of structured timing events.
+//!
+//! A span is opened with [`crate::span!`] (or [`Registry::span`]) and
+//! recorded when its guard drops. Each event carries the span name, the
+//! wall-clock duration, the nesting depth on the recording thread, a
+//! monotone sequence number, and arbitrary named `f64` fields attached
+//! by the caller (ledger deltas, predicted/observed costs, row counts).
+//!
+//! Tracing is off by default: an inactive span is one relaxed atomic
+//! load and no allocation, so instrumented hot paths stay hot.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// Default ring-buffer capacity (events; oldest evicted first).
+pub const TRACE_CAPACITY: usize = 1024;
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `"access"`, `"recompute"`).
+    pub name: String,
+    /// Named `f64` fields attached by the instrumented code.
+    pub fields: Vec<(&'static str, f64)>,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: f64,
+    /// Nesting depth on the recording thread (0 = outermost).
+    pub depth: u32,
+    /// Monotone per-registry sequence number (records completion order).
+    pub seq: u64,
+}
+
+impl SpanEvent {
+    /// Value of a named field, if attached.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// One-line rendering for the shell's `explain` span dump.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:indent$}{} {:.0}us",
+            "",
+            self.name,
+            self.dur_us,
+            indent = (self.depth as usize) * 2
+        );
+        for (k, v) in &self.fields {
+            if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+                out.push_str(&format!(" {k}={}", *v as i64));
+            } else {
+                out.push_str(&format!(" {k}={v:.2}"));
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An open span; records a [`SpanEvent`] into its registry's ring
+/// buffer on drop (when tracing was enabled at open time).
+pub struct SpanGuard<'r> {
+    active: Option<ActiveSpan<'r>>,
+}
+
+struct ActiveSpan<'r> {
+    registry: &'r Registry,
+    name: &'static str,
+    fields: Vec<(&'static str, f64)>,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Attach (or append) a named field. No-op when tracing is off.
+    pub fn field(&mut self, name: &'static str, value: f64) {
+        if let Some(a) = self.active.as_mut() {
+            a.fields.push((name, value));
+        }
+    }
+
+    /// Whether this span is live (tracing was on when it opened).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_us = a.start.elapsed().as_secs_f64() * 1e6;
+        let depth = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        let seq = a.registry.span_seq.fetch_add(1, Ordering::Relaxed);
+        let event = SpanEvent {
+            name: a.name.to_string(),
+            fields: a.fields,
+            dur_us,
+            depth,
+            seq,
+        };
+        let mut ring = a.registry.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= TRACE_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+}
+
+impl Registry {
+    /// Enable or disable span recording.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being recorded.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Open a span (prefer the [`crate::span!`] macro). Inactive — a
+    /// single atomic load — when tracing is off.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.tracing_enabled() {
+            return SpanGuard { active: None };
+        }
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                registry: self,
+                name,
+                fields: Vec::new(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The most recent `limit` spans matching `filter`, oldest first.
+    pub fn recent_spans(
+        &self,
+        limit: usize,
+        mut filter: impl FnMut(&SpanEvent) -> bool,
+    ) -> Vec<SpanEvent> {
+        let ring = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let mut picked: Vec<SpanEvent> = ring
+            .iter()
+            .rev()
+            .filter(|e| filter(e))
+            .take(limit)
+            .cloned()
+            .collect();
+        picked.reverse();
+        picked
+    }
+
+    /// Drop every recorded span.
+    pub fn clear_spans(&self) {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Number of spans currently buffered.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+// `VecDeque` import is used in the registry struct definition.
+#[allow(unused)]
+fn _type_check(_: &VecDeque<SpanEvent>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_only_when_tracing() {
+        let r = Registry::new();
+        {
+            let _s = crate::span!(r, "quiet", proc = 1);
+        }
+        assert_eq!(r.span_count(), 0, "tracing off records nothing");
+        r.set_tracing(true);
+        {
+            let mut s = crate::span!(r, "access", proc = 3);
+            s.field("observed_ms", 42.5);
+        }
+        let spans = r.recent_spans(10, |_| true);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "access");
+        assert_eq!(spans[0].field("proc"), Some(3.0));
+        assert_eq!(spans[0].field("observed_ms"), Some(42.5));
+        assert_eq!(spans[0].depth, 0);
+    }
+
+    #[test]
+    fn nested_spans_carry_depth() {
+        let r = Registry::new();
+        r.set_tracing(true);
+        {
+            let _outer = crate::span!(r, "access");
+            {
+                let _inner = crate::span!(r, "recompute");
+            }
+        }
+        let spans = r.recent_spans(10, |_| true);
+        assert_eq!(spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(spans[0].name, "recompute");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "access");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[0].seq < spans[1].seq);
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_keeps_newest() {
+        let r = Registry::new();
+        r.set_tracing(true);
+        for i in 0..(TRACE_CAPACITY + 10) {
+            let _s = crate::span!(r, "op", i = i as f64);
+        }
+        assert_eq!(r.span_count(), TRACE_CAPACITY);
+        let newest = r.recent_spans(1, |_| true);
+        assert_eq!(
+            newest[0].field("i"),
+            Some((TRACE_CAPACITY + 9) as f64),
+            "oldest evicted first"
+        );
+        r.clear_spans();
+        assert_eq!(r.span_count(), 0);
+    }
+
+    #[test]
+    fn recent_spans_filters_and_orders() {
+        let r = Registry::new();
+        r.set_tracing(true);
+        for i in 0..6 {
+            let _s = crate::span!(r, "access", proc = (i % 2) as f64);
+        }
+        let proc1 = r.recent_spans(2, |e| e.field("proc") == Some(1.0));
+        assert_eq!(proc1.len(), 2);
+        assert!(proc1[0].seq < proc1[1].seq, "oldest first");
+        assert!(proc1.iter().all(|e| e.field("proc") == Some(1.0)));
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let e = SpanEvent {
+            name: "access".into(),
+            fields: vec![("proc", 2.0), ("observed_ms", 90.5)],
+            dur_us: 123.4,
+            depth: 1,
+            seq: 0,
+        };
+        let s = e.render();
+        assert_eq!(s, "  access 123us proc=2 observed_ms=90.50");
+    }
+}

@@ -16,12 +16,17 @@
 //! contains it; unbounded t-consts receive everything.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use procdb_query::{Catalog, Predicate, Schema, Tuple};
 use procdb_storage::{Pager, Result};
 
 use crate::memory::MemoryStore;
+
+fn tokens_counter() -> &'static procdb_obs::Counter {
+    static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| procdb_obs::global().counter("procdb_rete_tokens_total", &[]))
+}
 
 /// Index of a node in the network.
 pub type NodeId = usize;
@@ -360,6 +365,7 @@ impl Rete {
     /// dispatch delivers the token to; memory refreshes and probes charge
     /// page I/O through the pager.
     pub fn submit(&mut self, relation: &str, token: Token) -> Result<()> {
+        tokens_counter().inc();
         let Some(entries) = self.dispatch.get(relation) else {
             return Ok(());
         };

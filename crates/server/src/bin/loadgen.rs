@@ -8,8 +8,14 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
-//!         [--strategies ar,ci,avm,rvm] [--json PATH]
+//!         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]
 //! ```
+//!
+//! With `--metrics-json` (requires `--json`), the server's `metrics`
+//! exposition is scraped before and after every run and the per-run
+//! counter deltas — accesses, invalidations, maintenance work, pager
+//! traffic, buffer hit ratio — are embedded in the JSON report under
+//! `server_metrics`.
 //!
 //! Without `--addr` an in-process server is started on an ephemeral
 //! port, loaded with a dense integer relation split into per-view key
@@ -40,6 +46,7 @@ struct Config {
     seed: u64,
     strategies: Vec<(String, String)>, // (label, wire name)
     json: Option<String>,
+    metrics_json: bool,
 }
 
 impl Default for Config {
@@ -56,6 +63,7 @@ impl Default for Config {
             seed: 1,
             strategies: all_strategies(),
             json: None,
+            metrics_json: false,
         }
     }
 }
@@ -80,7 +88,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] \
-         [--strategies ar,ci,avm,rvm] [--json PATH]"
+         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]"
     );
     std::process::exit(2);
 }
@@ -117,12 +125,17 @@ fn parse_args() -> Config {
                     .collect();
             }
             "--json" => cfg.json = Some(val(&mut args)),
+            "--metrics-json" => cfg.metrics_json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     if cfg.rows == 0 || cfg.views == 0 || cfg.views > cfg.rows || cfg.ops == 0 {
         usage();
+    }
+    if cfg.metrics_json && cfg.json.is_none() {
+        eprintln!("loadgen: --metrics-json requires --json PATH");
+        std::process::exit(2);
     }
     cfg
 }
@@ -223,6 +236,10 @@ struct RunResult {
     errors: usize,
     elapsed: Duration,
     latency: LatencySummary,
+    /// Per-run deltas of server-side `_total` counters (plus a derived
+    /// `buffer_hit_ratio`), scraped via the `metrics` command when
+    /// `--metrics-json` is on. Empty otherwise.
+    server_metrics: Vec<(String, f64)>,
 }
 
 impl RunResult {
@@ -255,6 +272,57 @@ fn run_client(addr: &str, lines: &[String], barrier: &Barrier) -> ClientRun {
     Ok((latencies, elapsed, errors))
 }
 
+/// Scrape the server's `metrics` exposition into (name{labels}, value)
+/// pairs, skipping `# HELP`/`# TYPE` comment lines.
+fn fetch_metrics(control: &mut Client) -> Result<Vec<(String, f64)>, String> {
+    let (data, term) = control.cmd("metrics")?;
+    if term.starts_with("err") {
+        return Err(format!("metrics scrape failed: {term}"));
+    }
+    let mut out = Vec::new();
+    for line in data {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        if let Some((key, val)) = line.rsplit_once(' ') {
+            if let Ok(v) = val.parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Counter deltas between two scrapes: every `_total` series that moved,
+/// plus `buffer_hit_ratio` derived from the pager hit/fault deltas.
+fn metric_deltas(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<(String, f64)> {
+    let base: std::collections::BTreeMap<&str, f64> =
+        before.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut deltas = Vec::new();
+    let mut hits = 0.0;
+    let mut faults = 0.0;
+    for (key, v) in after {
+        if !key.contains("_total") {
+            continue;
+        }
+        let d = v - base.get(key.as_str()).copied().unwrap_or(0.0);
+        if d <= 0.0 {
+            continue;
+        }
+        if key.starts_with("procdb_pager_buffer_hits_total") {
+            hits += d;
+        }
+        if key.starts_with("procdb_pager_buffer_faults_total") {
+            faults += d;
+        }
+        deltas.push((key.clone(), d));
+    }
+    if hits + faults > 0.0 {
+        deltas.push(("buffer_hit_ratio".to_string(), hits / (hits + faults)));
+    }
+    deltas
+}
+
 fn run_one(
     addr: &str,
     control: &mut Client,
@@ -285,6 +353,11 @@ fn run_one(
                 .collect()
         })
         .collect();
+    let metrics_before = if cfg.metrics_json {
+        fetch_metrics(control)?
+    } else {
+        Vec::new()
+    };
     let barrier = Barrier::new(n_clients);
     let results: Vec<ClientRun> = std::thread::scope(|s| {
         let handles: Vec<_> = streams
@@ -312,6 +385,11 @@ fn run_one(
     }
     let latency = LatencySummary::from_samples(&mut all_latencies)
         .ok_or_else(|| "no samples recorded".to_string())?;
+    let server_metrics = if cfg.metrics_json {
+        metric_deltas(&metrics_before, &fetch_metrics(control)?)
+    } else {
+        Vec::new()
+    };
     Ok(RunResult {
         strategy: label.to_string(),
         clients: n_clients,
@@ -319,6 +397,7 @@ fn run_one(
         errors,
         elapsed: max_elapsed,
         latency,
+        server_metrics,
     })
 }
 
@@ -336,7 +415,7 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
             "    {{\"strategy\": \"{}\", \"clients\": {}, \"commands\": {}, \
              \"errors\": {}, \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
              \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \
-             \"mean\": {:.1}, \"max\": {:.1}}}}}{}\n",
+             \"p999\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}",
             r.strategy,
             r.clients,
             r.commands,
@@ -346,8 +425,31 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
             r.latency.p50_us,
             r.latency.p95_us,
             r.latency.p99_us,
+            r.latency.p999_us,
             r.latency.mean_us,
             r.latency.max_us,
+        ));
+        if !r.server_metrics.is_empty() {
+            out.push_str(", \"server_metrics\": {");
+            for (j, (key, v)) in r.server_metrics.iter().enumerate() {
+                // Metric keys carry label syntax (`name{k="v"}`); escape
+                // the embedded quotes so the key stays one JSON string.
+                let escaped = key.replace('\\', "\\\\").replace('"', "\\\"");
+                out.push_str(&format!(
+                    "\"{}\": {}{}",
+                    escaped,
+                    v,
+                    if j + 1 == r.server_metrics.len() {
+                        ""
+                    } else {
+                        ", "
+                    }
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "}}{}\n",
             if i + 1 == runs.len() { "" } else { "," }
         ));
     }
@@ -385,7 +487,7 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, addr
     );
     println!(
-        "{:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "{:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "strategy",
         "clients",
         "commands",
@@ -394,6 +496,7 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         "p50(us)",
         "p95(us)",
         "p99(us)",
+        "p999(us)",
         "max(us)"
     );
     let mut runs = Vec::new();
@@ -401,7 +504,7 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         for &n in &cfg.clients {
             let r = run_one(&addr, &mut control, cfg, label, wire, n)?;
             println!(
-                "{:>9} {:>8} {:>9} {:>7} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                "{:>9} {:>8} {:>9} {:>7} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
                 r.strategy,
                 r.clients,
                 r.commands,
@@ -410,6 +513,7 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
                 r.latency.p50_us,
                 r.latency.p95_us,
                 r.latency.p99_us,
+                r.latency.p999_us,
                 r.latency.max_us
             );
             runs.push(r);

@@ -60,6 +60,10 @@ pub enum Command {
     Costs,
     /// `stats` — per-procedure workload counters.
     Stats,
+    /// `metrics` — Prometheus text exposition of the global registry.
+    Metrics,
+    /// `trace on|off` — toggle span recording (surfaced by `explain`).
+    Trace(bool),
     /// `serve [--port P] [--max-conns N]` — turn the session into a
     /// TCP server (interactive shell only).
     Serve {
@@ -94,6 +98,8 @@ commands:
   show                                  -- tables, views, strategy
   costs                                 -- total ms charged so far
   stats                                 -- per-procedure workload counters
+  metrics                               -- Prometheus text exposition
+  trace on|off                          -- record spans (shown by explain)
   serve [--port P] [--max-conns N]      -- expose this session over TCP
   help, quit";
 
@@ -217,6 +223,18 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     }
     if lower == "stats" {
         return Ok(Some(Command::Stats));
+    }
+    if lower == "metrics" {
+        return Ok(Some(Command::Metrics));
+    }
+    if let Some(rest) = lower.strip_prefix("trace") {
+        if rest.is_empty() || rest.starts_with(|c: char| c.is_whitespace()) {
+            return match rest.trim() {
+                "on" => Ok(Some(Command::Trace(true))),
+                "off" => Ok(Some(Command::Trace(false))),
+                other => Err(format!("expected 'trace on' or 'trace off', got {other:?}")),
+            };
+        }
     }
     if lower == "serve" || lower.starts_with("serve ") {
         return parse_serve(&line["serve".len()..]).map(Some);
@@ -374,6 +392,11 @@ mod tests {
         assert_eq!(parse("show").unwrap(), Some(Command::Show));
         assert_eq!(parse("costs").unwrap(), Some(Command::Costs));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("metrics").unwrap(), Some(Command::Metrics));
+        assert_eq!(parse("trace on").unwrap(), Some(Command::Trace(true)));
+        assert_eq!(parse("TRACE OFF").unwrap(), Some(Command::Trace(false)));
+        assert!(parse("trace").is_err());
+        assert!(parse("trace maybe").is_err());
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("  # comment").unwrap(), None);
         assert_eq!(parse("").unwrap(), None);

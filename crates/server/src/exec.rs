@@ -96,6 +96,15 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
             session.total_cost_ms()
         )),
         Command::Stats => Outcome::Text(session.stats_text().trim_end().to_string()),
+        Command::Metrics => Outcome::Text(session.metrics_text().trim_end().to_string()),
+        Command::Trace(on) => {
+            session.set_tracing(on);
+            Outcome::text(if on {
+                "tracing on (spans shown by 'explain')"
+            } else {
+                "tracing off"
+            })
+        }
         Command::Serve { .. } => {
             return Err("serve is only available from the interactive shell".to_string())
         }

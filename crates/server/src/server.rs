@@ -304,6 +304,12 @@ fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
             Ok(None) => {} // escalate below
         }
     }
+    if let Command::Metrics = &cmd {
+        // A metrics scrape must not stall behind writers' queue turns:
+        // it only reads atomics, so serve it under the shared lock.
+        let session = shared.session.read();
+        return Response::Data(session.metrics_text().trim_end().to_string());
+    }
     let mut session = shared.session.write();
     match execute(&mut session, cmd) {
         Ok(Outcome::Quit) => Response::Closed,
@@ -399,6 +405,67 @@ mod tests {
         assert_eq!(t, "ok bye");
         let session = server.stop();
         assert_eq!(session.tables()[0].rows.len(), 8);
+    }
+
+    #[test]
+    fn observability_over_the_wire() {
+        let server = Server::start(
+            Session::new(),
+            ServerConfig {
+                port: 0,
+                max_conns: 4,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (mut s, mut r) = connect(addr);
+        send(
+            &mut s,
+            &mut r,
+            "create table EMP (eid int, dept int) btree eid",
+        );
+        for i in 0..8 {
+            send(&mut s, &mut r, &format!("insert EMP ({i}, 0)"));
+        }
+        send(
+            &mut s,
+            &mut r,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 5",
+        );
+        let (data, t) = send(&mut s, &mut r, "trace on");
+        assert_eq!(t, "ok");
+        assert!(data.iter().any(|l| l.contains("tracing on")), "{data:?}");
+        send(&mut s, &mut r, "access V");
+        let (data, t) = send(&mut s, &mut r, "explain V");
+        assert_eq!(t, "ok");
+        assert!(
+            data.iter().any(|l| l.contains("recent spans")),
+            "explain should dump spans: {data:?}"
+        );
+        assert!(
+            data.iter()
+                .any(|l| l.contains("access") && l.contains("observed_ms")),
+            "{data:?}"
+        );
+        let (data, t) = send(&mut s, &mut r, "metrics");
+        assert_eq!(t, "ok");
+        assert!(
+            data.iter()
+                .any(|l| l.starts_with("procdb_engine_accesses_total")),
+            "{data:?}"
+        );
+        assert!(
+            data.iter().any(|l| l.starts_with("# TYPE")),
+            "exposition format: {data:?}"
+        );
+        assert!(
+            !data.iter().any(|l| l.contains("NaN")),
+            "no NaN in exposition: {data:?}"
+        );
+        let (_, t) = send(&mut s, &mut r, "trace off");
+        assert_eq!(t, "ok");
+        send(&mut s, &mut r, "quit");
+        server.stop();
     }
 
     #[test]

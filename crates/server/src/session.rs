@@ -410,7 +410,9 @@ impl Session {
     }
 
     /// Per-procedure workload counters (the `stats` command): accesses,
-    /// conflicting updates, and the per-procedure `k/q` conflict rate.
+    /// conflicting updates, the per-procedure `k/q` conflict rate, and —
+    /// once the engine is live and the procedure has been accessed — the
+    /// strategy [`procdb_core::decide_one`] would pick for it today.
     pub fn stats_text(&self) -> String {
         let obs = self.observer.lock();
         let mut out = format!("operations: {}\n", obs.operations);
@@ -420,8 +422,25 @@ impl Session {
                 .conflict_rate(i)
                 .map(|r| format!("{r:.2}"))
                 .unwrap_or_else(|| "-".to_string());
+            let advice = match (self.engine.as_ref(), obs.conflict_rate(i)) {
+                (Some(engine), Some(rate)) => {
+                    let c = self.constants;
+                    let input = procdb_core::DecisionInput {
+                        recompute_ms: engine.estimate_recompute_ms(i, &c),
+                        // Always Recompute keeps no cache to measure; a
+                        // one-page read stands in for the hypothetical one.
+                        cached_read_ms: engine.estimate_cached_read_ms(i, &c).unwrap_or(c.c2),
+                        conflict_rate: rate,
+                        // Shell updates re-key one base tuple at a time.
+                        tuples_per_conflict: 1.0,
+                    };
+                    procdb_core::decide_one(&input, &c).label()
+                }
+                _ => "-",
+            };
             out.push_str(&format!(
-                "  {name}: {} accesses, {} conflicting updates, conflict rate {rate}\n",
+                "  {name}: {} accesses, {} conflicting updates, conflict rate {rate}, \
+                 advisor {advice}\n",
                 s.accesses, s.conflicting_updates
             ));
         }
@@ -431,14 +450,61 @@ impl Session {
         out
     }
 
-    /// EXPLAIN a view's precompiled plan.
+    /// Prometheus text exposition of the process-global metric registry,
+    /// with session-level gauges (CI valid fraction, total priced cost)
+    /// refreshed first (the `metrics` command).
+    pub fn metrics_text(&self) -> String {
+        let reg = procdb_obs::global();
+        if let Some(e) = self.engine.as_ref() {
+            if let Some(vf) = e.valid_fraction() {
+                reg.gauge("procdb_ci_valid_fraction", &[]).set(vf);
+            }
+            reg.gauge("procdb_session_cost_ms", &[])
+                .set(e.ledger().snapshot().priced(&self.constants));
+        }
+        reg.render_prometheus()
+    }
+
+    /// Enable or disable span recording (the `trace on|off` command).
+    pub fn set_tracing(&self, on: bool) {
+        procdb_obs::global().set_tracing(on);
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn tracing_enabled(&self) -> bool {
+        procdb_obs::global().tracing_enabled()
+    }
+
+    /// How many spans `explain` dumps per procedure.
+    const SPAN_DUMP_LIMIT: usize = 10;
+
+    /// EXPLAIN a view: the precompiled plan, plus (when tracing has
+    /// recorded any) the most recent spans touching this procedure —
+    /// accesses and recomputes with their predicted/observed costs.
     pub fn explain(&self, view: &str) -> Result<String, SessionError> {
-        let (_, def) = self
-            .views
-            .iter()
-            .find(|(n, _)| n == view)
-            .ok_or_else(|| format!("unknown view {view}"))?;
-        Ok(def.to_plan().explain())
+        let idx = self.view_index(view)?;
+        let def = &self.views[idx].1;
+        let mut out = def.to_plan().explain();
+        let reg = procdb_obs::global();
+        let spans = reg.recent_spans(Self::SPAN_DUMP_LIMIT, |e| {
+            e.field("proc") == Some(idx as f64)
+        });
+        if !spans.is_empty() {
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("recent spans (oldest first):\n");
+            for s in &spans {
+                out.push_str(&s.render());
+                out.push('\n');
+            }
+        } else if self.tracing_enabled() {
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("recent spans: none recorded yet (run an access)\n");
+        }
+        Ok(out)
     }
 
     /// Pretty row rendering against the base schemas (for display).
@@ -668,6 +734,58 @@ mod tests {
         // The exclusive path refills, after which shared reads work again.
         assert_eq!(s.access("V").unwrap().0.len(), 9);
         assert_eq!(s.access_shared("V").unwrap().unwrap().0.len(), 9);
+    }
+
+    #[test]
+    fn stats_include_advisor_pick() {
+        let mut s = demo_session();
+        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
+            .unwrap();
+        // Before any access the advisor has no conflict rate: dash.
+        assert!(s.stats_text().contains("advisor -"), "{}", s.stats_text());
+        // Read-only workload: maintaining a cache is free, so the
+        // advisor must pick an Update Cache flavor.
+        for _ in 0..3 {
+            s.access("V").unwrap();
+        }
+        let text = s.stats_text();
+        assert!(text.contains("advisor UpdateCache"), "{text}");
+    }
+
+    #[test]
+    fn metrics_text_renders_global_registry() {
+        let mut s = demo_session();
+        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
+            .unwrap();
+        s.set_strategy(StrategyKind::CacheInvalidate);
+        s.access("V").unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("procdb_engine_accesses_total"), "{text}");
+        assert!(text.contains("procdb_pager_reads_total"), "{text}");
+        assert!(text.contains("procdb_session_cost_ms"), "{text}");
+        assert!(text.contains("procdb_ci_valid_fraction"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn explain_appends_spans_when_tracing() {
+        let mut s = demo_session();
+        s.define_view("define view V (EMP.all) where EMP.eid >= 10 and EMP.eid <= 19")
+            .unwrap();
+        // Tracing off: the plan alone.
+        s.access("V").unwrap();
+        s.set_tracing(true);
+        let plain = s.explain("V").unwrap();
+        assert!(
+            plain.contains("recent spans: none recorded yet") || plain.contains("recent spans ("),
+            "{plain}"
+        );
+        s.access("V").unwrap();
+        let text = s.explain("V").unwrap();
+        s.set_tracing(false);
+        assert!(text.contains("recent spans (oldest first):"), "{text}");
+        assert!(text.contains("access"), "{text}");
+        assert!(text.contains("observed_ms"), "{text}");
     }
 
     #[test]

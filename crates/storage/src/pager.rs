@@ -71,12 +71,38 @@ struct PagerState {
     faults: u64,
 }
 
+/// Cached global-metric handles for the pager's hot paths (one relaxed
+/// `fetch_add` each; created once per pager, recorded process-wide).
+struct PagerMetrics {
+    reads: procdb_obs::Counter,
+    writes: procdb_obs::Counter,
+    hits: procdb_obs::Counter,
+    faults: procdb_obs::Counter,
+    evictions: procdb_obs::Counter,
+    flushes: procdb_obs::Counter,
+}
+
+impl PagerMetrics {
+    fn new() -> PagerMetrics {
+        let reg = procdb_obs::global();
+        PagerMetrics {
+            reads: reg.counter("procdb_pager_reads_total", &[]),
+            writes: reg.counter("procdb_pager_writes_total", &[]),
+            hits: reg.counter("procdb_pager_buffer_hits_total", &[]),
+            faults: reg.counter("procdb_pager_buffer_faults_total", &[]),
+            evictions: reg.counter("procdb_pager_evictions_total", &[]),
+            flushes: reg.counter("procdb_pager_flushes_total", &[]),
+        }
+    }
+}
+
 /// Buffer-managed, cost-accounted page store. Shared via `Arc`.
 pub struct Pager {
     state: Mutex<PagerState>,
     ledger: Arc<CostLedger>,
     charging: AtomicBool,
     config: PagerConfig,
+    metrics: PagerMetrics,
 }
 
 impl Pager {
@@ -93,6 +119,7 @@ impl Pager {
             ledger: CostLedger::new(),
             charging: AtomicBool::new(true),
             config,
+            metrics: PagerMetrics::new(),
         })
     }
 
@@ -169,6 +196,15 @@ impl Pager {
         }
     }
 
+    /// Record a hit-or-fault outcome on the global metrics.
+    fn note_fault(&self, missed: bool) {
+        if missed {
+            self.metrics.faults.inc();
+        } else {
+            self.metrics.hits.inc();
+        }
+    }
+
     fn charge_write(&self, n: u64) {
         if self.is_charging() {
             self.ledger.add_page_writes(n);
@@ -197,7 +233,7 @@ impl Pager {
     }
 
     /// Evict LRU frames down to capacity; returns dirty pages written back.
-    fn evict_to_capacity(st: &mut PagerState, capacity: usize, keep: PageId) -> Result<u64> {
+    fn evict_to_capacity(&self, st: &mut PagerState, capacity: usize, keep: PageId) -> Result<u64> {
         let mut writes = 0;
         while st.frames.len() > capacity {
             let victim = st
@@ -208,6 +244,7 @@ impl Pager {
                 .map(|(pid, _)| *pid);
             let Some(victim) = victim else { break };
             let frame = st.frames.remove(&victim).expect("victim exists");
+            self.metrics.evictions.inc();
             if frame.dirty {
                 st.disk.write_page(victim, &frame.data)?;
                 writes += 1;
@@ -226,8 +263,10 @@ impl Pager {
         let frame = st.frames.get_mut(&pid).expect("framed");
         frame.last_used = clock;
         let out = f(&frame.data);
-        let writes = Self::evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
+        let writes = self.evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
         drop(st);
+        self.metrics.reads.inc();
+        self.note_fault(missed);
         match self.config.mode {
             AccountingMode::Logical => self.charge_read(1),
             AccountingMode::Physical => {
@@ -252,8 +291,10 @@ impl Pager {
         frame.last_used = clock;
         frame.dirty = true;
         let out = f(&mut frame.data);
-        let writes = Self::evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
+        let writes = self.evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
         drop(st);
+        self.metrics.writes.inc();
+        self.note_fault(missed);
         match self.config.mode {
             AccountingMode::Logical => {
                 self.charge_read(1);
@@ -286,6 +327,7 @@ impl Pager {
     /// Write back all dirty frames (charged as physical writes in
     /// `Physical` mode only — `Logical` mode has already charged them).
     pub fn flush(&self) -> Result<()> {
+        self.metrics.flushes.inc();
         let mut st = self.state.lock();
         let dirty: Vec<PageId> = st
             .frames
@@ -417,6 +459,25 @@ mod tests {
         pager.clear_buffer().unwrap();
         pager.read(p, |_| ()).unwrap(); // fault again
         assert_eq!(pager.buffer_stats(), (2, 2));
+    }
+
+    #[test]
+    fn pager_feeds_global_metrics() {
+        let reg = procdb_obs::global();
+        let reads0 = reg.counter("procdb_pager_reads_total", &[]).get();
+        let writes0 = reg.counter("procdb_pager_writes_total", &[]).get();
+        let flushes0 = reg.counter("procdb_pager_flushes_total", &[]).get();
+        let pager = small_pager(AccountingMode::Logical, 8);
+        let f = pager.create_file("t");
+        let p = pager.allocate_page(f).unwrap();
+        pager.write(p, |d| d[0] = 1).unwrap();
+        pager.read(p, |_| ()).unwrap();
+        pager.flush().unwrap();
+        // Global counters are shared across parallel tests: assert growth,
+        // not exact values.
+        assert!(reg.counter("procdb_pager_reads_total", &[]).get() > reads0);
+        assert!(reg.counter("procdb_pager_writes_total", &[]).get() > writes0);
+        assert!(reg.counter("procdb_pager_flushes_total", &[]).get() > flushes0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`costmodel`] | every closed-form cost formula of the paper |
+//! | [`obs`] | metrics registry, span tracing, Prometheus exposition |
 //! | [`storage`] | pages, buffer pool, heap files, the cost ledger |
 //! | [`index`] | clustered B+-tree and hash-file organizations |
 //! | [`query`] | tuples, predicates, plans, cost-accounted executor |
@@ -76,6 +77,7 @@ pub use procdb_core as core;
 pub use procdb_costmodel as costmodel;
 pub use procdb_ilock as ilock;
 pub use procdb_index as index;
+pub use procdb_obs as obs;
 pub use procdb_query as query;
 pub use procdb_rete as rete;
 pub use procdb_storage as storage;
