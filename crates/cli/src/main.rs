@@ -22,8 +22,15 @@ fn run_command(session: &mut Session, cmd: Command) -> Result<bool, String> {
     // until a client sends `shutdown`, then take it back.
     if let Command::Serve { port, max_conns } = cmd {
         let owned = std::mem::take(session);
-        let server = Server::start(owned, ServerConfig { port, max_conns })
-            .map_err(|e| format!("bind failed: {e}"))?;
+        let server = Server::start(
+            owned,
+            ServerConfig {
+                port,
+                max_conns,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("bind failed: {e}"))?;
         println!(
             "serving on {} (max {max_conns} connections); send 'shutdown' to stop",
             server.addr()

@@ -39,6 +39,11 @@ struct EngineMetrics {
     predicted_ms: procdb_obs::FloatCounter,
     observed_ms: procdb_obs::FloatCounter,
     rel_error: procdb_obs::Histogram,
+    crashes: procdb_obs::Counter,
+    recovery_passes: procdb_obs::Counter,
+    recovery_replayed: procdb_obs::Counter,
+    recovery_conservative: procdb_obs::Counter,
+    recovery_rebuilds: procdb_obs::Counter,
 }
 
 impl EngineMetrics {
@@ -54,6 +59,12 @@ impl EngineMetrics {
             predicted_ms: reg.float_counter("procdb_cost_model_predicted_ms_total", labels),
             observed_ms: reg.float_counter("procdb_cost_model_observed_ms_total", labels),
             rel_error: reg.histogram("procdb_cost_model_abs_rel_error", labels),
+            crashes: reg.counter("procdb_recovery_crashes_total", labels),
+            recovery_passes: reg.counter("procdb_recovery_passes_total", labels),
+            recovery_replayed: reg.counter("procdb_recovery_wal_replayed_records_total", labels),
+            recovery_conservative: reg
+                .counter("procdb_recovery_conservative_invalidations_total", labels),
+            recovery_rebuilds: reg.counter("procdb_recovery_rebuilds_total", labels),
         }
     }
 }
@@ -112,11 +123,35 @@ enum StrategyState {
         views: Vec<MaterializedView>,
         /// Per-procedure selection bounds on `R1` (the i-lock intervals).
         bounds: Vec<(i64, i64)>,
+        /// Per-view needs-rebuild flags: set by a crash (the in-memory
+        /// locators would not survive one) or by a failed maintenance
+        /// pass; cleared by recompute-on-first-access.
+        dirty: Vec<bool>,
     },
     Rvm {
         rete: Rete,
         outputs: Vec<NodeId>,
+        /// Whole-network needs-rebuild flag (memories are shared between
+        /// views, so rebuild granularity is the network).
+        dirty: bool,
     },
+}
+
+/// What one [`Engine::recover`] pass did (and what it left deferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Crash epoch this recovery closed (1 = first crash).
+    pub crash_epoch: u64,
+    /// Validity-WAL records replayed over the checkpoint (CI only —
+    /// Always Recompute replays nothing, the paper's §3 ranking).
+    pub wal_records_replayed: usize,
+    /// Validity-WAL bytes replayed.
+    pub wal_bytes_replayed: usize,
+    /// Procedures conservatively invalidated because their validity
+    /// records sat in the unforced window at crash time.
+    pub conservative_invalidations: usize,
+    /// Derived-state rebuilds deferred to first access (UC strategies).
+    pub rebuilds_pending: usize,
 }
 
 /// The database-procedure engine.
@@ -128,7 +163,18 @@ pub struct Engine {
     kind: StrategyKind,
     state: StrategyState,
     metrics: EngineMetrics,
+    /// Crashes simulated so far.
+    crash_epoch: u64,
+    /// CI procedures whose validity records were unforced at crash time
+    /// (captured by [`Engine::crash`], consumed by [`Engine::recover`]).
+    pending_suspect: Vec<ProcId>,
+    last_recovery: Option<RecoveryReport>,
 }
+
+/// Checkpoint the CI validity WAL after this many forced bytes (32
+/// records — small enough that chaos tests cross boundaries, large
+/// enough that checkpoints are not the common case).
+const WAL_CHECKPOINT_INTERVAL: usize = 160;
 
 // The server shares one `Engine` across connection threads behind a
 // read-write lock; keep it `Send + Sync` (no `Rc`/`RefCell`/raw
@@ -160,6 +206,9 @@ impl Engine {
             kind,
             state: StrategyState::Recompute,
             metrics: EngineMetrics::new(kind),
+            crash_epoch: 0,
+            pending_suspect: Vec::new(),
+            last_recovery: None,
         };
         let was_charging = engine.pager.is_charging();
         engine.pager.set_charging(false);
@@ -190,7 +239,11 @@ impl Engine {
                 }
                 Ok(StrategyState::CacheInval {
                     caches,
-                    validity: ValidityTable::new(self.procs.len(), self.pager.ledger().clone()),
+                    validity: ValidityTable::new_recoverable(
+                        self.procs.len(),
+                        self.pager.ledger().clone(),
+                        WAL_CHECKPOINT_INTERVAL,
+                    ),
                     locks: ILockManager::new(),
                 })
             }
@@ -208,7 +261,12 @@ impl Engine {
                     bounds.push(self.selection_bounds(&p.view));
                     views.push(v);
                 }
-                Ok(StrategyState::Avm { views, bounds })
+                let dirty = vec![false; views.len()];
+                Ok(StrategyState::Avm {
+                    views,
+                    bounds,
+                    dirty,
+                })
             }
             StrategyKind::UpdateCacheRvm => {
                 // Statically optimize each view's network shape for the
@@ -231,7 +289,11 @@ impl Engine {
                     outputs.push(rete.add_view(&spec));
                 }
                 rete.initialize(&self.catalog)?;
-                Ok(StrategyState::Rvm { rete, outputs })
+                Ok(StrategyState::Rvm {
+                    rete,
+                    outputs,
+                    dirty: false,
+                })
             }
         }
     }
@@ -270,6 +332,152 @@ impl Engine {
         Ok(())
     }
 
+    /// Commit buffered validity-WAL records (CI only; no-op otherwise).
+    /// Called *after* [`end_operation`] so the log never claims a cache
+    /// state whose pages are not yet durable.
+    ///
+    /// [`end_operation`]: Engine::end_operation
+    fn force_validity(&mut self) {
+        if let StrategyState::CacheInval { validity, .. } = &mut self.state {
+            validity.force();
+        }
+    }
+
+    /// Simulate a whole-process crash: every buffered page frame is
+    /// dropped un-flushed (true volatility — the disk keeps only what
+    /// was actually written), the CI validity table loses its bitmap and
+    /// unforced WAL buffer, and UC derived state is marked for rebuild
+    /// (its in-memory locators would not survive a real crash). I-locks
+    /// are *persistent* locks in the paper's sense \[SSH86\] and survive.
+    /// A fault injector's kill latch, if set, stays set until
+    /// [`Engine::recover`].
+    pub fn crash(&mut self) {
+        self.crash_epoch += 1;
+        self.metrics.crashes.inc();
+        self.pager.drop_frames();
+        match &mut self.state {
+            StrategyState::Recompute => {}
+            StrategyState::CacheInval {
+                caches, validity, ..
+            } => {
+                for p in validity.crash() {
+                    if !self.pending_suspect.contains(&p) {
+                        self.pending_suspect.push(p);
+                    }
+                }
+                // The caches' free-space maps may now be ahead of the disk
+                // (lost writes); the next rewrite must not trust them.
+                for entry in caches.iter_mut() {
+                    entry.heap.assume_unknown_contents();
+                }
+            }
+            StrategyState::Avm { dirty, .. } => {
+                for d in dirty.iter_mut() {
+                    *d = true;
+                }
+            }
+            StrategyState::Rvm { dirty, .. } => *dirty = true,
+        }
+    }
+
+    /// Recover after [`Engine::crash`], reproducing the paper's §3
+    /// reliability ranking as an executable property:
+    ///
+    /// * **Always Recompute** — nothing to do (zero WAL replay);
+    /// * **Cache & Invalidate** — replay the validity WAL over its last
+    ///   checkpoint, then conservatively invalidate every procedure whose
+    ///   records sat in the unforced window (extra invalidation is always
+    ///   safe; trusting a possibly-stale cache is not);
+    /// * **Update Cache (AVM/RVM)** — derived state is rebuilt by
+    ///   recompute-on-first-access; this pass only reports the debt.
+    ///
+    /// Also clears the fault injector's crash latch so transfers flow
+    /// again. Idempotent: calling it twice without a new crash yields the
+    /// same state.
+    pub fn recover(&mut self) -> RecoveryReport {
+        if let Some(inj) = self.pager.fault_injector() {
+            inj.clear_crash();
+        }
+        let mut report = RecoveryReport {
+            crash_epoch: self.crash_epoch,
+            ..RecoveryReport::default()
+        };
+        match &mut self.state {
+            StrategyState::Recompute => {}
+            StrategyState::CacheInval { validity, .. } => {
+                let rec = validity.recover(&self.pending_suspect);
+                self.pending_suspect.clear();
+                report.wal_records_replayed = rec.replayed_records;
+                report.wal_bytes_replayed = rec.replayed_bytes;
+                report.conservative_invalidations = rec.conservative;
+            }
+            StrategyState::Avm { dirty, .. } => {
+                report.rebuilds_pending = dirty.iter().filter(|&&d| d).count();
+            }
+            StrategyState::Rvm { dirty, .. } => {
+                report.rebuilds_pending = usize::from(*dirty);
+            }
+        }
+        self.metrics.recovery_passes.inc();
+        self.metrics
+            .recovery_replayed
+            .add(report.wal_records_replayed as u64);
+        self.metrics
+            .recovery_conservative
+            .add(report.conservative_invalidations as u64);
+        self.last_recovery = Some(report);
+        report
+    }
+
+    /// Crashes simulated so far (0 = never crashed).
+    pub fn crash_epoch(&self) -> u64 {
+        self.crash_epoch
+    }
+
+    /// The most recent [`Engine::recover`] report, if any.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery
+    }
+
+    /// Validity-WAL sizes `(log_bytes, replay_tail_bytes)` (CI only).
+    pub fn wal_stats(&self) -> Option<(usize, usize)> {
+        match &self.state {
+            StrategyState::CacheInval { validity, .. } => {
+                Some((validity.wal_log_len(), validity.wal_replay_len()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Derived-state rebuilds still deferred to first access.
+    pub fn rebuilds_pending(&self) -> usize {
+        match &self.state {
+            StrategyState::Avm { dirty, .. } => dirty.iter().filter(|&&d| d).count(),
+            StrategyState::Rvm { dirty, .. } => usize::from(*dirty),
+            _ => 0,
+        }
+    }
+
+    /// Rebuild procedure `i`'s derived state if a crash or failed
+    /// maintenance pass marked it dirty (UC strategies). Charged: the
+    /// rebuild is real recovery work, and pricing it is the point.
+    fn rebuild_if_dirty(&mut self, i: usize) -> Result<()> {
+        match &mut self.state {
+            StrategyState::Avm { views, dirty, .. } if dirty[i] => {
+                views[i].recompute_full(&self.catalog)?;
+                dirty[i] = false;
+                self.metrics.recovery_rebuilds.inc();
+            }
+            StrategyState::Rvm { rete, dirty, .. } if *dirty => {
+                rete.rebuild(&self.catalog)?;
+                *dirty = false;
+                self.metrics.recovery_rebuilds.inc();
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Warm every cache so the first measured accesses are steady-state
     /// (uncharged; Cache-and-Invalidate caches start valid, with i-locks
     /// set). No-op for the other strategies, whose setup already warms.
@@ -281,9 +489,11 @@ impl Engine {
                 self.refill_cache(i)?;
             }
         }
-        // Flush warm-up writes while still uncharged.
+        // Flush warm-up writes while still uncharged, then commit the
+        // validity records those (now durable) pages justify.
         self.pager.clear_buffer()?;
         self.pager.set_charging(was);
+        self.force_validity();
         Ok(())
     }
 
@@ -326,6 +536,7 @@ impl Engine {
         let before = self.pager.ledger().snapshot();
         let start = Instant::now();
         let mut sp = procdb_obs::span!(procdb_obs::global(), "access", proc = i);
+        self.rebuild_if_dirty(i)?;
         let rows = match &mut self.state {
             StrategyState::Recompute => execute(&self.procs[i].plan(), &self.catalog)?,
             StrategyState::CacheInval {
@@ -343,9 +554,12 @@ impl Engine {
                 }
             }
             StrategyState::Avm { views, .. } => views[i].read_all()?,
-            StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
+            StrategyState::Rvm { rete, outputs, .. } => rete.read_view(outputs[i])?,
         };
         self.end_operation()?;
+        // A refill's mark_valid is only committed once its cache pages are
+        // durable (the flush above) — WAL order for the validity log.
+        self.force_validity();
         let observed = self.pager.ledger().snapshot().since(&before).priced(&c);
         self.record_access(predicted, observed, start, rows.len(), &mut sp);
         Ok(rows)
@@ -380,8 +594,22 @@ impl Engine {
                     .scan(|_, bytes| rows.push(entry.schema.decode(bytes)))?;
                 rows
             }
-            StrategyState::Avm { views, .. } => views[i].read_all()?,
-            StrategyState::Rvm { rete, outputs } => rete.read_view(outputs[i])?,
+            StrategyState::Avm { views, dirty, .. } => {
+                if dirty[i] {
+                    return Ok(None); // rebuild needs &mut — escalate
+                }
+                views[i].read_all()?
+            }
+            StrategyState::Rvm {
+                rete,
+                outputs,
+                dirty,
+            } => {
+                if *dirty {
+                    return Ok(None); // rebuild needs &mut — escalate
+                }
+                rete.read_view(outputs[i])?
+            }
         };
         self.end_operation()?;
         let observed = self.pager.ledger().snapshot().since(&before).priced(&c);
@@ -525,28 +753,53 @@ impl Engine {
                         validity.invalidate(pid);
                     }
                 }
-                StrategyState::Avm { views, bounds } => {
-                    for (v, &(lo, hi)) in views.iter_mut().zip(bounds.iter()) {
+                StrategyState::Avm {
+                    views,
+                    bounds,
+                    dirty,
+                } => {
+                    for (i, (v, &(lo, hi))) in views.iter_mut().zip(bounds.iter()).enumerate() {
+                        if dirty[i] {
+                            continue; // stale anyway; the rebuild recomputes from base
+                        }
                         let filtered = delta.filtered(|t| {
                             let k = t[key_field].as_int();
                             k >= lo && k <= hi
                         });
                         if !filtered.is_empty() {
-                            v.apply_delta(&filtered, &self.catalog)?;
+                            if let Err(e) = v.apply_delta(&filtered, &self.catalog) {
+                                // Partial maintenance: the view can no
+                                // longer be trusted — rebuild before serving.
+                                dirty[i] = true;
+                                return Err(e);
+                            }
                         }
                     }
                 }
-                StrategyState::Rvm { rete, .. } => {
-                    for old in &delta.deleted {
-                        rete.submit(&self.opts.r1, Token::minus(old.clone()))?;
-                    }
-                    for new in &delta.inserted {
-                        rete.submit(&self.opts.r1, Token::plus(new.clone()))?;
+                StrategyState::Rvm { rete, dirty, .. } => {
+                    if !*dirty {
+                        let mut submit_all = || -> Result<()> {
+                            for old in &delta.deleted {
+                                rete.submit(&self.opts.r1, Token::minus(old.clone()))?;
+                            }
+                            for new in &delta.inserted {
+                                rete.submit(&self.opts.r1, Token::plus(new.clone()))?;
+                            }
+                            Ok(())
+                        };
+                        if let Err(e) = submit_all() {
+                            *dirty = true;
+                            return Err(e);
+                        }
                     }
                 }
             }
         }
         self.end_operation()?;
+        // Commit this transaction's invalidation records (CI): the base
+        // mutation is durable (flushed uncharged above) and maintenance
+        // succeeded, so the log may now reflect it.
+        self.force_validity();
         self.record_update(modified, before, start, &c, &mut sp);
         Ok(modified)
     }
@@ -638,29 +891,45 @@ impl Engine {
                         }
                     }
                 }
-                StrategyState::Avm { views, .. } => {
-                    for v in views.iter_mut() {
+                StrategyState::Avm { views, dirty, .. } => {
+                    for (i, v) in views.iter_mut().enumerate() {
+                        if dirty[i] {
+                            continue; // stale anyway; the rebuild recomputes from base
+                        }
                         let steps = v.steps_on(relation);
                         assert!(
                             steps.len() <= 1,
                             "inner-delta maintenance supports one occurrence of {relation} per view"
                         );
                         if let Some(&step) = steps.first() {
-                            v.apply_inner_delta(step, &delta, &self.catalog)?;
+                            if let Err(e) = v.apply_inner_delta(step, &delta, &self.catalog) {
+                                dirty[i] = true;
+                                return Err(e);
+                            }
                         }
                     }
                 }
-                StrategyState::Rvm { rete, .. } => {
-                    for old in &delta.deleted {
-                        rete.submit(relation, Token::minus(old.clone()))?;
-                    }
-                    for new in &delta.inserted {
-                        rete.submit(relation, Token::plus(new.clone()))?;
+                StrategyState::Rvm { rete, dirty, .. } => {
+                    if !*dirty {
+                        let mut submit_all = || -> Result<()> {
+                            for old in &delta.deleted {
+                                rete.submit(relation, Token::minus(old.clone()))?;
+                            }
+                            for new in &delta.inserted {
+                                rete.submit(relation, Token::plus(new.clone()))?;
+                            }
+                            Ok(())
+                        };
+                        if let Err(e) = submit_all() {
+                            *dirty = true;
+                            return Err(e);
+                        }
                     }
                 }
             }
         }
         self.end_operation()?;
+        self.force_validity();
         self.record_update(modified, before, start, &c, &mut sp);
         Ok(modified)
     }
@@ -736,7 +1005,7 @@ impl Engine {
             StrategyState::Recompute => return None,
             StrategyState::CacheInval { caches, .. } => caches[i].heap.page_count(),
             StrategyState::Avm { views, .. } => views[i].page_count(),
-            StrategyState::Rvm { rete, outputs } => rete.memory(outputs[i]).page_count(),
+            StrategyState::Rvm { rete, outputs, .. } => rete.memory(outputs[i]).page_count(),
         };
         Some(pages.max(1) as f64 * c.c2)
     }
@@ -1289,5 +1558,141 @@ mod tests {
             rec.strategy,
             StrategyKind::UpdateCacheAvm | StrategyKind::UpdateCacheRvm
         ));
+    }
+
+    /// Crash simulation needs physical accounting with buffer clears at
+    /// operation boundaries: that's what makes each operation durable
+    /// before the next one, so `drop_frames` models volatility instead of
+    /// data loss.
+    fn engine_physical(kind: StrategyKind, procs: Vec<ProcedureDef>) -> (Arc<Pager>, Engine) {
+        let pg = Pager::new(PagerConfig {
+            page_size: 512,
+            buffer_capacity: 4096,
+            mode: AccountingMode::Physical,
+        });
+        let cat = catalog(&pg);
+        let e = Engine::new(pg.clone(), cat, procs, kind, EngineOptions::default()).unwrap();
+        (pg, e)
+    }
+
+    #[test]
+    fn crash_recover_round_trip_all_strategies() {
+        for kind in StrategyKind::ALL {
+            let (_pg, mut e) = engine_physical(kind, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+            e.warm_up().unwrap();
+            for cycle in 0..2i64 {
+                e.apply_update(&[(100 + cycle, 15), (40 + cycle, 160 + cycle)])
+                    .unwrap();
+                e.crash();
+                let rep = e.recover();
+                assert_eq!(rep.crash_epoch, (cycle + 1) as u64, "{}", e.strategy());
+                for i in 0..2 {
+                    assert_matches_expected(&mut e, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn always_recompute_recovery_is_free() {
+        let (_pg, mut e) = engine_physical(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        e.apply_update(&[(100, 15)]).unwrap();
+        e.crash();
+        let rep = e.recover();
+        assert_eq!(rep.wal_records_replayed, 0, "AR replays no WAL (§3)");
+        assert_eq!(rep.wal_bytes_replayed, 0);
+        assert_eq!(rep.conservative_invalidations, 0);
+        assert_eq!(rep.rebuilds_pending, 0);
+        assert!(e.wal_stats().is_none());
+        assert_matches_expected(&mut e, 0);
+    }
+
+    #[test]
+    fn uc_rebuild_debt_is_paid_on_first_access() {
+        for kind in [StrategyKind::UpdateCacheAvm, StrategyKind::UpdateCacheRvm] {
+            let (_pg, mut e) = engine_physical(kind, vec![p1(0, 10, 29), p2(1, 0, 49)]);
+            e.warm_up().unwrap();
+            e.apply_update(&[(100, 15)]).unwrap();
+            e.crash();
+            let rep = e.recover();
+            assert!(rep.rebuilds_pending >= 1, "{}: {rep:?}", e.strategy());
+            assert_eq!(rep.wal_records_replayed, 0, "UC replays no validity WAL");
+            assert!(
+                e.access_shared(0).unwrap().is_none(),
+                "dirty derived state must escalate to exclusive access"
+            );
+            assert_matches_expected(&mut e, 0);
+            assert_matches_expected(&mut e, 1);
+            assert_eq!(e.rebuilds_pending(), 0, "first accesses settle the debt");
+        }
+    }
+
+    #[test]
+    fn ci_crash_at_clean_boundary_replays_wal() {
+        let (_pg, mut e) = engine_physical(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        e.apply_update(&[(100, 15)]).unwrap(); // invalidate, forced
+        e.crash();
+        let rep = e.recover();
+        assert!(
+            rep.wal_records_replayed > 0,
+            "validity state comes back from the log: {rep:?}"
+        );
+        assert_eq!(
+            rep.conservative_invalidations, 0,
+            "everything was forced at the boundary"
+        );
+        assert_matches_expected(&mut e, 0);
+        // Recovery is idempotent: a second pass with no new crash.
+        let rep2 = e.recover();
+        assert_eq!(rep2.conservative_invalidations, 0);
+        assert_matches_expected(&mut e, 0);
+    }
+
+    #[test]
+    fn ci_kill_mid_refill_is_conservatively_invalidated() {
+        // Two identical engines: the first measures the charged-transfer
+        // count of a cache refill, the second is killed on that refill's
+        // final flush write — after `mark_valid`, before the force.
+        let measured = {
+            let (pg, mut e) = engine_physical(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+            e.warm_up().unwrap();
+            e.apply_update(&[(100, 15)]).unwrap();
+            let inj = pg.install_faults(procdb_storage::FaultPlan::new(1));
+            e.access(0).unwrap();
+            inj.status().transfers
+        };
+        assert!(measured > 0, "a refill must move pages");
+        let (pg, mut e) = engine_physical(StrategyKind::CacheInvalidate, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        e.apply_update(&[(100, 15)]).unwrap();
+        pg.install_faults(procdb_storage::FaultPlan::new(1).kill_at(measured));
+        let err = e.access(0).unwrap_err();
+        assert_eq!(err, procdb_storage::StorageError::Crashed);
+        e.crash();
+        let rep = e.recover();
+        assert_eq!(
+            rep.conservative_invalidations, 1,
+            "the unforced mark_valid must be distrusted: {rep:?}"
+        );
+        // Recovered and immediately serviceable: the next access refills.
+        assert_matches_expected(&mut e, 0);
+    }
+
+    #[test]
+    fn io_failure_window_surfaces_errors_then_service_resumes() {
+        let (pg, mut e) = engine_physical(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        pg.install_faults(procdb_storage::FaultPlan::new(3).fail_window(1, u64::MAX));
+        let err = e.access(0).unwrap_err();
+        assert!(
+            matches!(err, procdb_storage::StorageError::Io(_)),
+            "got {err:?}"
+        );
+        // The failure is an error, not a poisoned engine: lift the window
+        // and the same access succeeds.
+        pg.clear_faults();
+        assert_matches_expected(&mut e, 0);
     }
 }

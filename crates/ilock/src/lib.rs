@@ -34,5 +34,5 @@ pub mod validity;
 pub mod wal;
 
 pub use manager::{ILockManager, LockStats, ProcId, TableRef};
-pub use validity::ValidityTable;
+pub use validity::{ValidityRecovery, ValidityTable};
 pub use wal::RecoverableValidity;

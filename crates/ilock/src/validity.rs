@@ -16,18 +16,36 @@ use std::sync::{Arc, OnceLock};
 use procdb_storage::CostLedger;
 
 use crate::manager::ProcId;
+use crate::wal::RecoverableValidity;
 
 fn invalidations_counter() -> &'static procdb_obs::Counter {
     static C: OnceLock<procdb_obs::Counter> = OnceLock::new();
     C.get_or_init(|| procdb_obs::global().counter("procdb_ci_invalidations_total", &[]))
 }
 
+/// What a [`ValidityTable::recover`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidityRecovery {
+    /// WAL records replayed over the last checkpoint.
+    pub replayed_records: usize,
+    /// WAL bytes replayed.
+    pub replayed_bytes: usize,
+    /// Procedures conservatively invalidated because their records were in
+    /// the unforced window at crash time.
+    pub conservative: usize,
+}
+
 /// Tracks per-procedure cache validity and charges invalidation recording.
+///
+/// Optionally backed by a [`RecoverableValidity`] WAL (the paper's §3
+/// logged-and-checkpointed RAM structure) so the table survives a
+/// simulated crash; the plain form is the battery-backed-RAM reading.
 #[derive(Debug)]
 pub struct ValidityTable {
     valid: Vec<bool>,
     ledger: Arc<CostLedger>,
     invalidation_events: u64,
+    wal: Option<RecoverableValidity>,
 }
 
 impl ValidityTable {
@@ -38,6 +56,22 @@ impl ValidityTable {
             valid: vec![false; n],
             ledger,
             invalidation_events: 0,
+            wal: None,
+        }
+    }
+
+    /// A WAL-backed table that can be crashed and recovered,
+    /// checkpointing after every `checkpoint_interval` forced log bytes.
+    pub fn new_recoverable(
+        n: usize,
+        ledger: Arc<CostLedger>,
+        checkpoint_interval: usize,
+    ) -> ValidityTable {
+        ValidityTable {
+            valid: vec![false; n],
+            ledger,
+            invalidation_events: 0,
+            wal: Some(RecoverableValidity::new(n, checkpoint_interval)),
         }
     }
 
@@ -59,6 +93,9 @@ impl ValidityTable {
     /// Mark the cached value valid (after recompute + cache write).
     pub fn mark_valid(&mut self, proc: ProcId) {
         self.valid[proc.0 as usize] = true;
+        if let Some(wal) = &mut self.wal {
+            wal.mark_valid(proc);
+        }
     }
 
     /// Record an invalidation. Charged (once per call) at `C_inval` via the
@@ -69,6 +106,78 @@ impl ValidityTable {
         self.invalidation_events += 1;
         invalidations_counter().inc();
         self.valid[proc.0 as usize] = false;
+        if let Some(wal) = &mut self.wal {
+            wal.invalidate(proc);
+        }
+    }
+
+    /// Force buffered WAL records to the durable log (transaction commit).
+    /// No-op for a plain (non-recoverable) table.
+    pub fn force(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.force();
+        }
+    }
+
+    /// Simulate a crash: volatile state is lost. Returns the procedures
+    /// whose WAL records were unforced — recovery must treat their caches
+    /// as suspect. A plain table loses everything and reports nothing.
+    pub fn crash(&mut self) -> Vec<ProcId> {
+        for v in &mut self.valid {
+            *v = false;
+        }
+        match &mut self.wal {
+            Some(wal) => wal.crash(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Recover after [`crash`]: replay the WAL tail over the checkpoint,
+    /// then conservatively invalidate every `suspect` procedure (extra
+    /// invalidation is always safe; trusting a possibly-stale cache is
+    /// not). The conservative invalidations are logged and forced so a
+    /// second crash recovers the same state.
+    ///
+    /// [`crash`]: ValidityTable::crash
+    pub fn recover(&mut self, suspect: &[ProcId]) -> ValidityRecovery {
+        let Some(wal) = &mut self.wal else {
+            // Nothing durable: everything is already invalid, which is the
+            // maximally conservative (and correct) state.
+            return ValidityRecovery {
+                conservative: suspect.len(),
+                ..ValidityRecovery::default()
+            };
+        };
+        let replayed_bytes = wal.replay_len();
+        let replayed_records = wal.recover();
+        let mut conservative = 0;
+        for &p in suspect {
+            wal.invalidate(p);
+            conservative += 1;
+        }
+        wal.force();
+        // Checkpoint the recovered state so the replay work is done once:
+        // a later recovery (or a second crash) replays only records
+        // written after this point.
+        wal.take_checkpoint();
+        for (i, v) in self.valid.iter_mut().enumerate() {
+            *v = wal.is_valid(ProcId(i as u32)) && !suspect.contains(&ProcId(i as u32));
+        }
+        ValidityRecovery {
+            replayed_records,
+            replayed_bytes,
+            conservative,
+        }
+    }
+
+    /// Durable WAL size in bytes (0 for a plain table).
+    pub fn wal_log_len(&self) -> usize {
+        self.wal.as_ref().map_or(0, |w| w.log_len())
+    }
+
+    /// WAL bytes a recovery right now would replay (0 for a plain table).
+    pub fn wal_replay_len(&self) -> usize {
+        self.wal.as_ref().map_or(0, |w| w.replay_len())
     }
 
     /// Count of procedures currently valid.
@@ -115,6 +224,45 @@ mod tests {
         t.invalidate(ProcId(0));
         t.invalidate(ProcId(0));
         assert_eq!(ledger.snapshot().invalidations, 2);
+    }
+
+    #[test]
+    fn recoverable_table_survives_crash_conservatively() {
+        let ledger = CostLedger::new();
+        let mut t = ValidityTable::new_recoverable(3, ledger, 0);
+        t.mark_valid(ProcId(0));
+        t.mark_valid(ProcId(1));
+        t.force();
+        // Unforced window: the log will not know about this invalidation.
+        t.invalidate(ProcId(1));
+        let suspect = t.crash();
+        assert_eq!(suspect, vec![ProcId(1)]);
+        let rec = t.recover(&suspect);
+        assert!(t.is_valid(ProcId(0)), "forced state recovered");
+        assert!(
+            !t.is_valid(ProcId(1)),
+            "suspect proc conservatively invalid"
+        );
+        assert_eq!(rec.conservative, 1);
+        assert!(rec.replayed_records >= 2);
+        // Idempotent: a second recover with no new crash changes nothing
+        // and replays nothing (recovery checkpoints the state it rebuilt).
+        let again = t.recover(&[]);
+        assert!(t.is_valid(ProcId(0)));
+        assert!(!t.is_valid(ProcId(1)));
+        assert_eq!(again.conservative, 0);
+        assert_eq!(again.replayed_records, 0);
+    }
+
+    #[test]
+    fn plain_table_crash_recovers_all_invalid() {
+        let mut t = ValidityTable::new(2, CostLedger::new());
+        t.mark_valid(ProcId(0));
+        let suspect = t.crash();
+        assert!(suspect.is_empty());
+        let rec = t.recover(&suspect);
+        assert_eq!(rec.replayed_records, 0);
+        assert_eq!(t.valid_count(), 0, "nothing durable → all invalid");
     }
 
     #[test]

@@ -138,13 +138,31 @@ impl RecoverableValidity {
         self.log.len() - self.checkpoint.log_offset
     }
 
+    /// Bytes sitting in the append buffer (would be lost by a crash now).
+    pub fn unforced_len(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Simulate a crash: all volatile state (the bitmap and any unforced
-    /// buffer) is lost.
-    pub fn crash(&mut self) {
+    /// buffer) is lost. Returns the procedures whose records were in the
+    /// unforced window — the log cannot say what happened to them, so a
+    /// recovery must treat their cached values as suspect (conservatively
+    /// invalid).
+    pub fn crash(&mut self) -> Vec<ProcId> {
+        let mut suspect = Vec::new();
+        let mut pos = 0;
+        while pos + 5 <= self.buffer.len() {
+            let id = u32::from_le_bytes(self.buffer[pos + 1..pos + 5].try_into().unwrap());
+            if !suspect.contains(&ProcId(id)) {
+                suspect.push(ProcId(id));
+            }
+            pos += 5;
+        }
         self.buffer.clear();
         for v in &mut self.valid {
             *v = false; // garbage; recover() must rebuild
         }
+        suspect
     }
 
     /// Recover the bitmap by replaying the durable log tail over the last
@@ -235,6 +253,42 @@ mod tests {
         t.crash();
         assert_eq!(t.recover(), 0, "nothing to replay");
         assert!(t.is_valid(ProcId(0)), "state comes from the checkpoint");
+    }
+
+    #[test]
+    fn crash_reports_unforced_window_procs() {
+        let mut t = RecoverableValidity::new(4, 0);
+        t.mark_valid(ProcId(0));
+        t.force();
+        t.invalidate(ProcId(0)); // unforced: the log will claim 0 is valid
+        t.mark_valid(ProcId(2)); // unforced
+        let suspect = t.crash();
+        assert_eq!(suspect, vec![ProcId(0), ProcId(2)]);
+        t.recover();
+        // Without the conservative pass, recovery would wrongly trust 0.
+        assert!(t.is_valid(ProcId(0)));
+    }
+
+    #[test]
+    fn crash_exactly_on_checkpoint_boundary_recovers() {
+        // interval = 10 bytes = exactly 2 records: the force() that brings
+        // forced_since_checkpoint to == interval must checkpoint, and a
+        // crash landing right there must recover the checkpointed state.
+        let mut t = RecoverableValidity::new(4, 10);
+        t.mark_valid(ProcId(0));
+        t.mark_valid(ProcId(1));
+        t.force(); // 10 forced bytes == interval → checkpoint fires here
+        assert_eq!(t.replay_len(), 0, "checkpoint must cover the full log");
+        let suspect = t.crash();
+        assert!(suspect.is_empty());
+        let replayed = t.recover();
+        assert_eq!(replayed, 0, "state comes entirely from the checkpoint");
+        assert!(t.is_valid(ProcId(0)));
+        assert!(t.is_valid(ProcId(1)));
+        assert!(!t.is_valid(ProcId(2)));
+        // recover() is idempotent when called twice back-to-back.
+        assert_eq!(t.recover(), 0);
+        assert!(t.is_valid(ProcId(0)) && t.is_valid(ProcId(1)));
     }
 
     #[test]

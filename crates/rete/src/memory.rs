@@ -63,6 +63,17 @@ impl MemoryStore {
         self.heap.page_count()
     }
 
+    /// Drop every tuple, keeping the allocated pages. Re-initializes each
+    /// page on disk (crash-recovery support: after volatile state is lost
+    /// the stored contents are untrustworthy, and a rebuild must not parse
+    /// them — possibly torn — before overwriting).
+    pub fn clear(&mut self) -> Result<()> {
+        self.heap.clear()?;
+        self.by_key.clear();
+        self.locator.clear();
+        Ok(())
+    }
+
     /// Insert a tuple (a `+` token landing in this memory). Charges the
     /// page write through the pager.
     pub fn insert(&mut self, tuple: &Tuple) -> Result<()> {

@@ -360,6 +360,21 @@ impl Rete {
         Ok(())
     }
 
+    /// Rebuild every memory from the base catalog: clear all α/β contents
+    /// (re-initializing their pages without parsing possibly-torn bytes)
+    /// and re-run [`initialize`]. Crash-recovery support — after volatile
+    /// state is lost, recomputing from base is the conservative move.
+    ///
+    /// [`initialize`]: Rete::initialize
+    pub fn rebuild(&mut self, catalog: &Catalog) -> Result<()> {
+        for node in &mut self.nodes {
+            if let Node::Memory { store, .. } = node {
+                store.clear()?;
+            }
+        }
+        self.initialize(catalog)
+    }
+
     /// Submit one change token for `relation` at the root and let it
     /// propagate. Screens are charged at `C1` for every t-const the root
     /// dispatch delivers the token to; memory refreshes and probes charge

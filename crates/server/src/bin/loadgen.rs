@@ -9,6 +9,7 @@
 //! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
 //!         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]
+//!         [--max-in-flight N]
 //! ```
 //!
 //! With `--metrics-json` (requires `--json`), the server's `metrics`
@@ -22,7 +23,10 @@
 //! windows, and shut down afterwards — a self-contained benchmark.
 //! Each client is closed-loop: it issues one wire command, waits for
 //! the `ok`/`err` terminator, records the round-trip, and only then
-//! issues the next.
+//! issues the next. `BUSY`/`DEADLINE` sheds are retried with capped
+//! exponential backoff and reported per run; `--max-in-flight` lowers
+//! the in-process server's admission bound (set it below the client
+//! count to exercise the shed/backoff path).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -47,6 +51,10 @@ struct Config {
     strategies: Vec<(String, String)>, // (label, wire name)
     json: Option<String>,
     metrics_json: bool,
+    /// Admission bound for the in-process server (ignored with `--addr`);
+    /// lower it below the client count to exercise BUSY shedding + the
+    /// clients' exponential backoff.
+    max_in_flight: Option<usize>,
 }
 
 impl Default for Config {
@@ -64,6 +72,7 @@ impl Default for Config {
             strategies: all_strategies(),
             json: None,
             metrics_json: false,
+            max_in_flight: None,
         }
     }
 }
@@ -88,7 +97,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] \
-         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]"
+         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json] \
+         [--max-in-flight N]"
     );
     std::process::exit(2);
 }
@@ -126,6 +136,13 @@ fn parse_args() -> Config {
             }
             "--json" => cfg.json = Some(val(&mut args)),
             "--metrics-json" => cfg.metrics_json = true,
+            "--max-in-flight" => {
+                let n: usize = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                cfg.max_in_flight = Some(n);
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -138,6 +155,21 @@ fn parse_args() -> Config {
         std::process::exit(2);
     }
     cfg
+}
+
+/// First backoff step after a `BUSY`/`DEADLINE` shed or a refused
+/// connection; doubles per consecutive failure up to [`MAX_BACKOFF`].
+const BASE_BACKOFF: Duration = Duration::from_millis(1);
+/// Backoff ceiling.
+const MAX_BACKOFF: Duration = Duration::from_millis(64);
+/// Give up on a command (count it as an error) after this many sheds.
+const MAX_RETRIES_PER_CMD: usize = 50;
+/// Give up connecting after this many refusals.
+const MAX_CONNECT_RETRIES: usize = 200;
+
+fn backoff_step(backoff: &mut Duration) {
+    std::thread::sleep(*backoff);
+    *backoff = (*backoff * 2).min(MAX_BACKOFF);
 }
 
 /// One wire-protocol client connection.
@@ -201,6 +233,25 @@ impl Client {
         }
         Ok(())
     }
+
+    /// Connect, retrying refused/busy attempts with exponential backoff.
+    /// Returns the client and how many retries it took.
+    fn connect_with_retry(addr: &str) -> Result<(Client, usize), String> {
+        let mut backoff = BASE_BACKOFF;
+        let mut retries = 0usize;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok((c, retries)),
+                Err(e) => {
+                    retries += 1;
+                    if retries >= MAX_CONNECT_RETRIES {
+                        return Err(format!("giving up after {retries} connect retries: {e}"));
+                    }
+                    backoff_step(&mut backoff);
+                }
+            }
+        }
+    }
 }
 
 fn view_names(cfg: &Config) -> Vec<String> {
@@ -233,7 +284,7 @@ struct RunResult {
     strategy: String,
     clients: usize,
     commands: usize,
-    errors: usize,
+    counters: ClientCounters,
     elapsed: Duration,
     latency: LatencySummary,
     /// Per-run deltas of server-side `_total` counters (plus a derived
@@ -248,28 +299,80 @@ impl RunResult {
     }
 }
 
-/// Per-client measurement: latencies (µs), wall-clock elapsed, error count.
-type ClientRun = Result<(Vec<f64>, Duration, usize), String>;
+/// Per-client shed/retry accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientCounters {
+    /// Commands that ultimately failed (after retries, for retryable
+    /// errors).
+    errors: usize,
+    /// Total retry attempts (sheds re-sent plus connect retries).
+    retries: usize,
+    /// `err BUSY` admission-gate sheds observed.
+    busy_sheds: usize,
+    /// `err DEADLINE` lock-deadline expiries observed.
+    deadline_expiries: usize,
+}
+
+impl ClientCounters {
+    fn absorb(&mut self, other: ClientCounters) {
+        self.errors += other.errors;
+        self.retries += other.retries;
+        self.busy_sheds += other.busy_sheds;
+        self.deadline_expiries += other.deadline_expiries;
+    }
+}
+
+/// Per-client measurement: latencies (µs), wall-clock elapsed, counters.
+type ClientRun = Result<(Vec<f64>, Duration, ClientCounters), String>;
 
 /// One client's closed loop: issue every wire line of every op in its
-/// stream, one at a time, timing each round-trip.
+/// stream, one at a time, timing each round-trip. `BUSY` and `DEADLINE`
+/// sheds are retried with exponential backoff (they are flow control,
+/// not failures); the retry wait is included in the command's latency,
+/// which is what a caller of a shedding server actually experiences.
 fn run_client(addr: &str, lines: &[String], barrier: &Barrier) -> ClientRun {
-    let mut client = Client::connect(addr)?;
+    let (mut client, connect_retries) = Client::connect_with_retry(addr)?;
     let mut latencies = Vec::with_capacity(lines.len());
-    let mut errors = 0usize;
+    let mut counters = ClientCounters {
+        retries: connect_retries,
+        ..ClientCounters::default()
+    };
     barrier.wait();
     let start = Instant::now();
     for line in lines {
         let t = Instant::now();
-        let (_, term) = client.cmd(line)?;
-        latencies.push(t.elapsed().as_secs_f64() * 1e6);
-        if term.starts_with("err") {
-            errors += 1;
+        let mut backoff = BASE_BACKOFF;
+        let mut attempts = 0usize;
+        loop {
+            let (_, term) = client.cmd(line)?;
+            let shed = if term.starts_with("err BUSY") {
+                counters.busy_sheds += 1;
+                true
+            } else if term.starts_with("err DEADLINE") {
+                counters.deadline_expiries += 1;
+                true
+            } else {
+                if term.starts_with("err") {
+                    counters.errors += 1;
+                }
+                false
+            };
+            if !shed {
+                break;
+            }
+            attempts += 1;
+            if attempts >= MAX_RETRIES_PER_CMD {
+                counters.errors += 1;
+                break;
+            }
+            counters.retries += 1;
+            backoff_step(&mut backoff);
         }
+        latencies.push(t.elapsed().as_secs_f64() * 1e6);
     }
     let elapsed = start.elapsed();
     let _ = client.cmd("quit");
-    Ok((latencies, elapsed, errors))
+    Ok((latencies, elapsed, counters))
 }
 
 /// Scrape the server's `metrics` exposition into (name{labels}, value)
@@ -375,11 +478,11 @@ fn run_one(
     let mut all_latencies = Vec::new();
     let mut max_elapsed = Duration::ZERO;
     let mut commands = 0usize;
-    let mut errors = 0usize;
+    let mut counters = ClientCounters::default();
     for r in results {
-        let (lat, elapsed, errs) = r?;
+        let (lat, elapsed, c) = r?;
         commands += lat.len();
-        errors += errs;
+        counters.absorb(c);
         all_latencies.extend(lat);
         max_elapsed = max_elapsed.max(elapsed);
     }
@@ -394,7 +497,7 @@ fn run_one(
         strategy: label.to_string(),
         clients: n_clients,
         commands,
-        errors,
+        counters,
         elapsed: max_elapsed,
         latency,
         server_metrics,
@@ -413,13 +516,18 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"strategy\": \"{}\", \"clients\": {}, \"commands\": {}, \
-             \"errors\": {}, \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
+             \"errors\": {}, \"retries\": {}, \"busy_sheds\": {}, \
+             \"deadline_expiries\": {}, \
+             \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
              \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \
              \"p999\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}",
             r.strategy,
             r.clients,
             r.commands,
-            r.errors,
+            r.counters.errors,
+            r.counters.retries,
+            r.counters.busy_sheds,
+            r.counters.deadline_expiries,
             r.elapsed.as_secs_f64(),
             r.throughput(),
             r.latency.p50_us,
@@ -468,6 +576,10 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
                 ServerConfig {
                     port: 0,
                     max_conns: max_clients + 2,
+                    max_in_flight: cfg
+                        .max_in_flight
+                        .unwrap_or(ServerConfig::default().max_in_flight),
+                    ..ServerConfig::default()
                 },
             )
             .map_err(|e| format!("start server: {e}"))?,
@@ -487,11 +599,12 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, addr
     );
     println!(
-        "{:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "strategy",
         "clients",
         "commands",
         "errors",
+        "retries",
         "cmds/s",
         "p50(us)",
         "p95(us)",
@@ -504,11 +617,12 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         for &n in &cfg.clients {
             let r = run_one(&addr, &mut control, cfg, label, wire, n)?;
             println!(
-                "{:>9} {:>8} {:>9} {:>7} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
                 r.strategy,
                 r.clients,
                 r.commands,
-                r.errors,
+                r.counters.errors,
+                r.counters.retries,
                 r.throughput(),
                 r.latency.p50_us,
                 r.latency.p95_us,

@@ -24,6 +24,7 @@
 
 use procdb_core::StrategyKind;
 use procdb_query::{FieldType, Organization, Schema, Value};
+use procdb_storage::FaultPlan;
 
 /// A parsed shell command.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,18 @@ pub enum Command {
     Metrics,
     /// `trace on|off` — toggle span recording (surfaced by `explain`).
     Trace(bool),
+    /// `fault inject [--seed S] [--io-reads P] [--io-writes P] [--torn P]
+    /// [--kill-at N] [--window START END] [--include-uncharged]` —
+    /// install a seeded fault schedule on the engine's pager.
+    FaultInject(FaultPlan),
+    /// `fault off` — remove the installed fault plan.
+    FaultOff,
+    /// `fault status` — injector counters and the active plan.
+    FaultStatus,
+    /// `crash` — simulate a whole-process crash (volatile state lost).
+    Crash,
+    /// `recover` — run crash recovery and report what it did.
+    Recover,
     /// `serve [--port P] [--max-conns N]` — turn the session into a
     /// TCP server (interactive shell only).
     Serve {
@@ -100,6 +113,12 @@ commands:
   stats                                 -- per-procedure workload counters
   metrics                               -- Prometheus text exposition
   trace on|off                          -- record spans (shown by explain)
+  fault inject [--seed S] [--io-reads P] [--io-writes P] [--torn P]
+               [--kill-at N] [--window START END] [--include-uncharged]
+                                        -- inject seeded storage faults
+  fault off | fault status              -- lift the plan / show counters
+  crash                                 -- simulate a process crash
+  recover                               -- run crash recovery
   serve [--port P] [--max-conns N]      -- expose this session over TCP
   help, quit";
 
@@ -202,6 +221,70 @@ fn parse_serve(rest: &str) -> Result<Command, String> {
     Ok(Command::Serve { port, max_conns })
 }
 
+fn parse_fault(rest: &str) -> Result<Command, String> {
+    let mut toks = rest.split_whitespace();
+    match toks.next() {
+        Some("off") => Ok(Command::FaultOff),
+        Some("status") => Ok(Command::FaultStatus),
+        Some("inject") => {
+            let mut plan = FaultPlan::new(1);
+            fn value<'a>(
+                toks: &mut impl Iterator<Item = &'a str>,
+                flag: &str,
+            ) -> Result<&'a str, String> {
+                toks.next().ok_or_else(|| format!("{flag} needs a value"))
+            }
+            fn prob(v: &str, flag: &str) -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad probability {v:?} for {flag}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{flag} must be in [0, 1], got {v}"));
+                }
+                Ok(p)
+            }
+            while let Some(flag) = toks.next() {
+                match flag {
+                    "--seed" => {
+                        let v = value(&mut toks, flag)?;
+                        plan.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                    }
+                    "--io-reads" => plan.io_read_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--io-writes" => plan.io_write_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--torn" => plan.torn_write_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--kill-at" => {
+                        let v = value(&mut toks, flag)?;
+                        let n: u64 = v
+                            .parse()
+                            .map_err(|_| format!("bad transfer number {v:?}"))?;
+                        if n == 0 {
+                            return Err("--kill-at is 1-based; 0 never fires".to_string());
+                        }
+                        plan.kill_after = Some(n);
+                    }
+                    "--window" => {
+                        let a = value(&mut toks, flag)?;
+                        let b = value(&mut toks, "--window END")?;
+                        let start: u64 =
+                            a.parse().map_err(|_| format!("bad window start {a:?}"))?;
+                        let end: u64 = b.parse().map_err(|_| format!("bad window end {b:?}"))?;
+                        if start == 0 || end <= start {
+                            return Err(
+                                "--window wants 1-based START END with START < END".to_string()
+                            );
+                        }
+                        plan.fail_window = Some((start, end));
+                    }
+                    "--include-uncharged" => plan.charged_only = false,
+                    other => return Err(format!("unknown fault flag {other:?}")),
+                }
+            }
+            Ok(Command::FaultInject(plan))
+        }
+        _ => Err("expected: fault inject|off|status".to_string()),
+    }
+}
+
 /// Parse one input line (blank lines and `#` comments yield `None`).
 pub fn parse(line: &str) -> Result<Option<Command>, String> {
     let line = line.trim();
@@ -238,6 +321,15 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     }
     if lower == "serve" || lower.starts_with("serve ") {
         return parse_serve(&line["serve".len()..]).map(Some);
+    }
+    if lower == "crash" {
+        return Ok(Some(Command::Crash));
+    }
+    if lower == "recover" {
+        return Ok(Some(Command::Recover));
+    }
+    if lower == "fault" || lower.starts_with("fault ") {
+        return parse_fault(&lower["fault".len()..]).map(Some);
     }
     if lower.starts_with("define view") || lower.starts_with("retrieve") {
         return Ok(Some(Command::DefineView(line.to_string())));
@@ -425,6 +517,47 @@ mod tests {
     }
 
     #[test]
+    fn fault_and_recovery_commands() {
+        assert_eq!(parse("crash").unwrap(), Some(Command::Crash));
+        assert_eq!(parse("RECOVER").unwrap(), Some(Command::Recover));
+        assert_eq!(parse("fault off").unwrap(), Some(Command::FaultOff));
+        assert_eq!(parse("fault status").unwrap(), Some(Command::FaultStatus));
+        let c = parse("fault inject --seed 42 --io-reads 0.1 --io-writes 0.2 --torn 0.3")
+            .unwrap()
+            .unwrap();
+        let Command::FaultInject(plan) = c else {
+            panic!()
+        };
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.io_read_prob, 0.1);
+        assert_eq!(plan.io_write_prob, 0.2);
+        assert_eq!(plan.torn_write_prob, 0.3);
+        assert!(plan.charged_only);
+        let c = parse("fault inject --kill-at 7 --window 3 9 --include-uncharged")
+            .unwrap()
+            .unwrap();
+        let Command::FaultInject(plan) = c else {
+            panic!()
+        };
+        assert_eq!(plan.kill_after, Some(7));
+        assert_eq!(plan.fail_window, Some((3, 9)));
+        assert!(!plan.charged_only);
+        // Bare `fault inject` is a valid (inert) plan.
+        assert!(matches!(
+            parse("fault inject").unwrap(),
+            Some(Command::FaultInject(_))
+        ));
+        assert!(parse("fault").is_err());
+        assert!(parse("fault frobnicate").is_err());
+        assert!(parse("fault inject --io-reads 1.5").is_err());
+        assert!(parse("fault inject --io-reads").is_err());
+        assert!(parse("fault inject --kill-at 0").is_err());
+        assert!(parse("fault inject --window 5 2").is_err());
+        assert!(parse("fault inject --window 0 2").is_err());
+        assert!(parse("fault inject --frobnicate 1").is_err());
+    }
+
+    #[test]
     fn define_view_passthrough() {
         let src = "define view V (EMP.all) where EMP.eid >= 3";
         assert_eq!(
@@ -471,6 +604,12 @@ mod tests {
             "serve --max-conns -3",
             "define view",
             "retrieve",
+            "fault",
+            "fault inject --seed",
+            "fault inject --window 1",
+            "fault inject --io-reads NaN",
+            "fault inject --kill-at 99999999999999999999",
+            "crash now",
             "\u{0}\u{1}\u{2}",
             "créate tàble ünïcode (x int) btree x",
             "update \u{FFFD} -> \u{FFFD}",

@@ -105,6 +105,11 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
                 "tracing off"
             })
         }
+        Command::FaultInject(plan) => Outcome::Text(session.fault_inject(plan)?),
+        Command::FaultOff => Outcome::Text(session.fault_off()?),
+        Command::FaultStatus => Outcome::Text(session.fault_status_text()),
+        Command::Crash => Outcome::Text(session.crash()?),
+        Command::Recover => Outcome::Text(session.recover()?),
         Command::Serve { .. } => {
             return Err("serve is only available from the interactive shell".to_string())
         }
@@ -162,6 +167,51 @@ mod tests {
         };
         assert!(t.contains("V: 1 accesses, 1 conflicting updates"), "{t}");
         assert_eq!(run(&mut s, "quit").unwrap(), Outcome::Quit);
+    }
+
+    #[test]
+    fn chaos_knobs_through_executor() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        for i in 0..10 {
+            run(&mut s, &format!("insert EMP ({i}, 0)")).unwrap();
+        }
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 5",
+        )
+        .unwrap();
+        run(&mut s, "access V").unwrap();
+        // A 100%-failure window: every charged access errors, but the
+        // session survives and reports it.
+        run(&mut s, "fault inject --io-reads 1 --io-writes 1").unwrap();
+        assert!(run(&mut s, "access V").is_err());
+        let Outcome::Text(t) = run(&mut s, "fault status").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("io failures"), "{t}");
+        run(&mut s, "fault off").unwrap();
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("4 rows"), "{t}");
+        // A crash/recover cycle, then normal service.
+        let Outcome::Text(t) = run(&mut s, "crash").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("epoch 1"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "recover").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("recovered (epoch 1)"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("4 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "stats").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("recovery: 1 crash(es)"), "{t}");
     }
 
     #[test]

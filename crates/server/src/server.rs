@@ -22,7 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -38,13 +38,28 @@ pub struct ServerConfig {
     /// Maximum simultaneous connections; extras are refused with
     /// `err server busy`.
     pub max_conns: usize,
+    /// Admission gate: commands admitted to the session at once.
+    /// A command arriving above this bound is shed with `err BUSY …`
+    /// instead of queueing on the lock — clients retry with backoff.
+    pub max_in_flight: usize,
+    /// Per-command wall-clock deadline on acquiring the session lock;
+    /// expiry answers `err DEADLINE …` instead of waiting forever
+    /// behind a stalled writer.
+    pub deadline: Duration,
 }
+
+/// Default admission bound (`max_in_flight`).
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+/// Default per-command lock deadline.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(5);
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             port: crate::command::DEFAULT_PORT,
             max_conns: crate::command::DEFAULT_MAX_CONNS,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            deadline: DEFAULT_DEADLINE,
         }
     }
 }
@@ -52,11 +67,31 @@ impl Default for ServerConfig {
 /// How often blocked readers/acceptors re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
 
+/// How often a lock-waiter re-tries under a deadline. The vendored lock
+/// has no timed acquire, so the deadline is a try-loop at this cadence.
+const LOCK_RETRY: Duration = Duration::from_millis(1);
+
 struct Shared {
     session: RwLock<Session>,
     shutdown: AtomicBool,
     active: AtomicUsize,
     max_conns: usize,
+    /// Commands currently admitted past the gate.
+    in_flight: AtomicUsize,
+    max_in_flight: usize,
+    deadline: Duration,
+    m_busy: procdb_obs::Counter,
+    m_deadline: procdb_obs::Counter,
+}
+
+/// Releases one admission-gate slot when a command finishes, however it
+/// finishes.
+struct GateGuard<'a>(&'a Shared);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server; [`Server::stop`] shuts it down and hands the
@@ -73,11 +108,17 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let reg = procdb_obs::global();
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             max_conns: cfg.max_conns.max(1),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: cfg.max_in_flight.max(1),
+            deadline: cfg.deadline,
+            m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
+            m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
         });
         let accept_shared = shared.clone();
         let accept = thread::Builder::new()
@@ -283,17 +324,80 @@ enum Response {
     Closed,
 }
 
+/// Acquire the session read lock before `deadline`, or give up.
+fn read_by(
+    shared: &Shared,
+    deadline: Instant,
+) -> Option<parking_lot::RwLockReadGuard<'_, Session>> {
+    loop {
+        if let Some(g) = shared.session.try_read() {
+            return Some(g);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        thread::sleep(LOCK_RETRY);
+    }
+}
+
+/// Acquire the session write lock before `deadline`, or give up.
+fn write_by(
+    shared: &Shared,
+    deadline: Instant,
+) -> Option<parking_lot::RwLockWriteGuard<'_, Session>> {
+    loop {
+        if let Some(g) = shared.session.try_write() {
+            return Some(g);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        thread::sleep(LOCK_RETRY);
+    }
+}
+
+fn deadline_expired(shared: &Shared) -> Response {
+    shared.m_deadline.inc();
+    Response::Error(format!(
+        "DEADLINE (no session lock within {}ms; retry)",
+        shared.deadline.as_millis()
+    ))
+}
+
 fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
     let cmd = match parse(line) {
         Ok(None) => return Response::Silent,
         Ok(Some(cmd)) => cmd,
         Err(msg) => return Response::Error(msg),
     };
+    // Lock-free commands bypass the admission gate: a client can always
+    // leave, and help costs nothing.
+    match &cmd {
+        Command::Quit => return Response::Closed,
+        Command::Help => return Response::Data(crate::command::HELP.to_string()),
+        _ => {}
+    }
+    // Admission gate: bounded in-flight work. Above the bound, shed with
+    // BUSY instead of queueing on the lock — the client retries with
+    // backoff, and the commands already admitted keep their latency.
+    let admitted = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    let _gate = GateGuard(shared);
+    if admitted > shared.max_in_flight {
+        shared.m_busy.inc();
+        return Response::Error(format!(
+            "BUSY ({admitted} commands in flight, limit {}; retry with backoff)",
+            shared.max_in_flight
+        ));
+    }
+    let deadline = Instant::now() + shared.deadline;
     if let Command::Access(view) = &cmd {
         // Fast path: concurrent reads under the shared lock. `None`
-        // means the read needs engine mutation (first build, or a CI
-        // refill) — fall through to the exclusive path.
-        let session = shared.session.read();
+        // means the read needs engine mutation (first build, a CI
+        // refill, or a post-crash rebuild) — fall through to the
+        // exclusive path.
+        let Some(session) = read_by(shared, deadline) else {
+            return deadline_expired(shared);
+        };
         match session.access_shared(view) {
             Err(msg) => return Response::Error(msg),
             Ok(Some((rows, ms))) => {
@@ -307,10 +411,14 @@ fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
     if let Command::Metrics = &cmd {
         // A metrics scrape must not stall behind writers' queue turns:
         // it only reads atomics, so serve it under the shared lock.
-        let session = shared.session.read();
+        let Some(session) = read_by(shared, deadline) else {
+            return deadline_expired(shared);
+        };
         return Response::Data(session.metrics_text().trim_end().to_string());
     }
-    let mut session = shared.session.write();
+    let Some(mut session) = write_by(shared, deadline) else {
+        return deadline_expired(shared);
+    };
     match execute(&mut session, cmd) {
         Ok(Outcome::Quit) => Response::Closed,
         Ok(Outcome::Text(t)) if t.is_empty() => Response::Silent,
@@ -367,6 +475,7 @@ mod tests {
             ServerConfig {
                 port: 0,
                 max_conns: 4,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -414,6 +523,7 @@ mod tests {
             ServerConfig {
                 port: 0,
                 max_conns: 4,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -475,6 +585,7 @@ mod tests {
             ServerConfig {
                 port: 0,
                 max_conns: 1,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -498,6 +609,136 @@ mod tests {
         server.stop();
     }
 
+    /// A `Shared` with no listener behind it, for driving `run_line`
+    /// directly: admission and deadline behavior is deterministic this
+    /// way, where a wire-level race would be flaky.
+    fn test_shared(max_in_flight: usize, deadline: Duration) -> Arc<Shared> {
+        let reg = procdb_obs::global();
+        Arc::new(Shared {
+            session: RwLock::new(Session::new()),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            max_conns: 4,
+            in_flight: AtomicUsize::new(0),
+            max_in_flight,
+            deadline,
+            m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
+            m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
+        })
+    }
+
+    #[test]
+    fn admission_gate_sheds_above_the_bound() {
+        let shared = test_shared(1, Duration::from_secs(1));
+        // One command already in flight fills the whole gate.
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let before = shared.m_busy.get();
+        match run_line(&shared, "show") {
+            Response::Error(msg) => assert!(msg.starts_with("BUSY"), "{msg}"),
+            _ => panic!("expected a BUSY shed"),
+        }
+        assert_eq!(
+            shared.in_flight.load(Ordering::SeqCst),
+            1,
+            "shed command must release its gate slot"
+        );
+        assert_eq!(shared.m_busy.get(), before + 1);
+        // Lock-free commands bypass the gate even when it is full.
+        match run_line(&shared, "help") {
+            Response::Data(t) => assert!(t.contains("fault inject"), "{t}"),
+            _ => panic!("help must bypass the gate"),
+        }
+        // Once the in-flight command finishes, the same command is
+        // admitted.
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match run_line(&shared, "show") {
+            Response::Data(t) => assert!(t.contains("strategy:"), "{t}"),
+            _ => panic!("expected admission below the bound"),
+        }
+        assert_eq!(shared.in_flight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn deadline_expires_behind_a_stalled_writer() {
+        let shared = test_shared(8, Duration::from_millis(20));
+        let before = shared.m_deadline.get();
+        {
+            let _stalled = shared.session.write();
+            match run_line(&shared, "show") {
+                Response::Error(msg) => assert!(msg.starts_with("DEADLINE"), "{msg}"),
+                _ => panic!("expected a DEADLINE expiry behind a held write lock"),
+            }
+            // The read-path fast lane expires too: a writer blocks
+            // readers.
+            match run_line(&shared, "metrics") {
+                Response::Error(msg) => assert!(msg.starts_with("DEADLINE"), "{msg}"),
+                _ => panic!("expected a DEADLINE expiry on the read path"),
+            }
+        }
+        assert_eq!(shared.m_deadline.get(), before + 2);
+        // Lock released: the next command proceeds normally.
+        match run_line(&shared, "show") {
+            Response::Data(t) => assert!(t.contains("strategy:"), "{t}"),
+            _ => panic!("expected success after the writer released"),
+        }
+    }
+
+    #[test]
+    fn io_fault_window_degrades_gracefully_over_the_wire() {
+        let server = Server::start(
+            Session::new(),
+            ServerConfig {
+                port: 0,
+                max_conns: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let (mut s, mut r) = connect(addr);
+        send(
+            &mut s,
+            &mut r,
+            "create table EMP (eid int, dept int) btree eid",
+        );
+        for i in 0..8 {
+            send(&mut s, &mut r, &format!("insert EMP ({i}, 0)"));
+        }
+        send(
+            &mut s,
+            &mut r,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 5",
+        );
+        let (data, t) = send(&mut s, &mut r, "access V");
+        assert_eq!(t, "ok");
+        assert!(data[0].starts_with("4 rows"), "{data:?}");
+        // 100% I/O failure: every charged access errors per-command —
+        // no panic terminator, no dead connection — until the window is
+        // lifted.
+        let (_, t) = send(&mut s, &mut r, "fault inject --io-reads 1 --io-writes 1");
+        assert_eq!(t, "ok");
+        for _ in 0..3 {
+            let (_, t) = send(&mut s, &mut r, "access V");
+            assert!(t.starts_with("err"), "{t}");
+            assert!(!t.contains("internal"), "typed error, not a panic: {t}");
+        }
+        let (_, t) = send(&mut s, &mut r, "fault off");
+        assert_eq!(t, "ok");
+        let (data, t) = send(&mut s, &mut r, "access V");
+        assert_eq!(t, "ok");
+        assert!(data[0].starts_with("4 rows"), "service resumed: {data:?}");
+        // Crash/recover over the wire keeps working afterwards too.
+        let (_, t) = send(&mut s, &mut r, "crash");
+        assert!(t == "ok", "{t}");
+        let (_, t) = send(&mut s, &mut r, "recover");
+        assert!(t == "ok", "{t}");
+        let (data, t) = send(&mut s, &mut r, "access V");
+        assert_eq!(t, "ok");
+        assert!(data[0].starts_with("4 rows"), "{data:?}");
+        send(&mut s, &mut r, "quit");
+        server.stop();
+    }
+
     #[test]
     fn shutdown_command_stops_the_server() {
         let server = Server::start(
@@ -505,6 +746,7 @@ mod tests {
             ServerConfig {
                 port: 0,
                 max_conns: 4,
+                ..ServerConfig::default()
             },
         )
         .unwrap();

@@ -21,7 +21,7 @@ use procdb_core::{
     parse_define_view, Engine, EngineOptions, ProcedureDef, StrategyKind, WorkloadObserver,
 };
 use procdb_query::{Catalog, FieldType, Organization, Schema, Table, Tuple, Value};
-use procdb_storage::{CostConstants, Pager, PagerConfig};
+use procdb_storage::{CostConstants, FaultPlan, Pager, PagerConfig};
 
 /// One declared table: schema, organization, and its current rows.
 #[derive(Debug, Clone)]
@@ -401,6 +401,103 @@ impl Session {
         Ok((n, ms))
     }
 
+    /// Install a fault plan on the live engine's pager (building the
+    /// engine first if needed). Note that rebuilding the engine — a
+    /// strategy switch or DDL — discards the plan with the pager.
+    pub fn fault_inject(&mut self, plan: FaultPlan) -> Result<String, SessionError> {
+        let engine = self.ensure_engine()?;
+        let desc = format!(
+            "fault plan installed: seed {} io-reads {} io-writes {} torn {}{}{}{}",
+            plan.seed,
+            plan.io_read_prob,
+            plan.io_write_prob,
+            plan.torn_write_prob,
+            plan.kill_after
+                .map(|n| format!(" kill-at {n}"))
+                .unwrap_or_default(),
+            plan.fail_window
+                .map(|(a, b)| format!(" window [{a}, {b})"))
+                .unwrap_or_default(),
+            if plan.charged_only {
+                ""
+            } else {
+                " (uncharged included)"
+            },
+        );
+        engine.pager().install_faults(plan);
+        Ok(desc)
+    }
+
+    /// Remove the installed fault plan, if any.
+    pub fn fault_off(&mut self) -> Result<String, SessionError> {
+        let engine = self.ensure_engine()?;
+        engine.pager().clear_faults();
+        Ok("fault injection off".to_string())
+    }
+
+    /// Injector counters and the active plan (the `fault status` command).
+    pub fn fault_status_text(&self) -> String {
+        match self
+            .engine
+            .as_ref()
+            .and_then(|e| e.pager().fault_injector())
+        {
+            None => "no fault plan installed".to_string(),
+            Some(inj) => {
+                let st = inj.status();
+                let p = inj.plan();
+                format!(
+                    "plan: seed {} io-reads {} io-writes {} torn {} kill-at {} \
+                     window {} charged-only {}\n\
+                     injected: {} transfers, {} io failures, {} torn writes, \
+                     {} kills, crashed {}",
+                    p.seed,
+                    p.io_read_prob,
+                    p.io_write_prob,
+                    p.torn_write_prob,
+                    p.kill_after
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                    p.fail_window
+                        .map(|(a, b)| format!("[{a}, {b})"))
+                        .unwrap_or_else(|| "-".to_string()),
+                    p.charged_only,
+                    st.transfers,
+                    st.io_failures,
+                    st.torn_writes,
+                    st.kills,
+                    st.crashed,
+                )
+            }
+        }
+    }
+
+    /// Simulate a whole-process crash on the live engine.
+    pub fn crash(&mut self) -> Result<String, SessionError> {
+        let engine = self.ensure_engine()?;
+        engine.crash();
+        Ok(format!(
+            "crashed (epoch {}): buffered frames dropped, derived state distrusted; \
+             run 'recover' to resume",
+            engine.crash_epoch()
+        ))
+    }
+
+    /// Run crash recovery on the live engine and report what it did.
+    pub fn recover(&mut self) -> Result<String, SessionError> {
+        let engine = self.ensure_engine()?;
+        let rep = engine.recover();
+        Ok(format!(
+            "recovered (epoch {}): {} WAL records ({} bytes) replayed, \
+             {} conservative invalidations, {} rebuilds deferred to first access",
+            rep.crash_epoch,
+            rep.wal_records_replayed,
+            rep.wal_bytes_replayed,
+            rep.conservative_invalidations,
+            rep.rebuilds_pending,
+        ))
+    }
+
     /// Total priced cost accumulated on the live engine's ledger.
     pub fn total_cost_ms(&self) -> f64 {
         self.engine
@@ -446,6 +543,28 @@ impl Session {
         }
         if self.views.is_empty() {
             out.push_str("  (no procedures defined)\n");
+        }
+        if let Some(e) = self.engine.as_ref() {
+            out.push_str(&format!("recovery: {} crash(es)", e.crash_epoch()));
+            if let Some(rep) = e.last_recovery() {
+                out.push_str(&format!(
+                    "; last recovery replayed {} WAL records ({} bytes), \
+                     {} conservative invalidations",
+                    rep.wal_records_replayed,
+                    rep.wal_bytes_replayed,
+                    rep.conservative_invalidations,
+                ));
+            }
+            if let Some((log, tail)) = e.wal_stats() {
+                out.push_str(&format!(
+                    "; validity WAL {log} bytes ({tail} past checkpoint)"
+                ));
+            }
+            let pending = e.rebuilds_pending();
+            if pending > 0 {
+                out.push_str(&format!("; {pending} rebuild(s) pending"));
+            }
+            out.push('\n');
         }
         out
     }

@@ -21,6 +21,18 @@ pub enum StorageError {
     },
     /// A page whose bytes do not form a valid slotted page.
     CorruptPage(PageId),
+    /// An injected I/O failure (the payload is the injector's transfer
+    /// number, for deterministic replay of a fault schedule).
+    Io(u64),
+    /// An injected torn write: the page on disk was only partially updated
+    /// before the "device" failed.
+    TornWrite(PageId),
+    /// A simulated process crash is in effect: a kill-point fired and every
+    /// subsequent transfer fails until recovery clears the latch.
+    Crashed,
+    /// An internal storage invariant was violated (never expected; returned
+    /// instead of panicking so a fault can't poison a lock).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for StorageError {
@@ -33,6 +45,12 @@ impl std::fmt::Display for StorageError {
                 write!(f, "record of {requested} bytes exceeds page capacity {max}")
             }
             StorageError::CorruptPage(id) => write!(f, "corrupt slotted page {id:?}"),
+            StorageError::Io(n) => write!(f, "injected I/O failure at transfer #{n}"),
+            StorageError::TornWrite(id) => {
+                write!(f, "torn write left page {id:?} partially applied")
+            }
+            StorageError::Crashed => write!(f, "simulated crash in effect; recover to resume"),
+            StorageError::Corrupt(what) => write!(f, "internal storage corruption: {what}"),
         }
     }
 }

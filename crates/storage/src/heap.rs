@@ -243,15 +243,33 @@ impl HeapFile {
             self.free.push(0);
         }
         let empty_free = slotted::max_record_len(page_size) as u16 + 4;
-        // Write the packed pages.
+        // A failed (e.g. torn) write leaves a page whose disk contents no
+        // longer match the free map; distrust the whole map so the next
+        // rewrite re-initializes every page instead of skipping ones it
+        // believes are empty.
+        let wrote = self.write_packed(&pages, empty_free);
+        if wrote.is_err() {
+            self.assume_unknown_contents();
+        }
+        wrote?;
+        self.live = records.len() as u64;
+        Ok(())
+    }
+
+    /// [`rewrite`]'s write phase: pack `pages` in, empty leftovers.
+    ///
+    /// [`rewrite`]: HeapFile::rewrite
+    fn write_packed(&mut self, pages: &[Vec<&Vec<u8>>], empty_free: u16) -> Result<()> {
         for (i, recs) in pages.iter().enumerate() {
             let remaining = self.pager.write(self.pid(i as u32), |data| {
                 slotted::init(data);
                 for r in recs.iter() {
-                    slotted::insert(data, r).expect("packing fits by construction");
+                    slotted::insert(data, r)?;
                 }
-                slotted::total_free(data) as u16
+                Some(slotted::total_free(data) as u16)
             })?;
+            let remaining =
+                remaining.ok_or(StorageError::Corrupt("rewrite packing overflowed a page"))?;
             self.free[i] = remaining;
         }
         // Empty any leftover pages that previously held records.
@@ -264,8 +282,20 @@ impl HeapFile {
                 self.free[i] = remaining;
             }
         }
-        self.live = records.len() as u64;
         Ok(())
+    }
+
+    /// Declare the in-memory free-space map untrustworthy (crash
+    /// recovery: the disk may have lost writes the map already reflects).
+    /// Every page is treated as having unknown contents, so the next
+    /// [`rewrite`] re-initializes all of them instead of skipping pages
+    /// it believes are already empty.
+    ///
+    /// [`rewrite`]: HeapFile::rewrite
+    pub fn assume_unknown_contents(&mut self) {
+        for f in &mut self.free {
+            *f = 0;
+        }
     }
 
     /// The shared pager.
@@ -372,6 +402,37 @@ mod tests {
         // Cleared space is reusable.
         h.insert(&[1u8; 50]).unwrap();
         assert_eq!(h.page_count(), pages);
+    }
+
+    #[test]
+    fn failed_rewrite_distrusts_free_map() {
+        // A torn write mid-rewrite leaves garbage on disk under a stale
+        // free map. A later, *shorter* rewrite must not skip the garbage
+        // page on the belief that it is still empty. A 2-frame pool makes
+        // the rewrite evict (and so write back) as it goes, exposing each
+        // page write to the injector.
+        let pg = Pager::new(PagerConfig {
+            page_size: 256,
+            buffer_capacity: 2,
+            mode: AccountingMode::Physical,
+        });
+        let mut h = HeapFile::create(pg.clone(), "t");
+        let big: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 60]).collect();
+        h.rewrite(&big).unwrap();
+        assert!(h.page_count() > 1);
+        h.rewrite(&[]).unwrap(); // every page recorded as empty
+        pg.install_faults(
+            crate::fault::FaultPlan::new(9)
+                .torn_writes(1.0)
+                .include_uncharged(),
+        );
+        assert!(h.rewrite(&big).is_err(), "torn write must surface");
+        pg.clear_faults();
+        let small: Vec<Vec<u8>> = vec![vec![7u8; 60]];
+        h.rewrite(&small).unwrap();
+        let all = h.scan_all().unwrap();
+        assert_eq!(all.len(), 1, "garbage from the torn rewrite leaked");
+        assert_eq!(all[0].1, vec![7u8; 60]);
     }
 
     #[test]

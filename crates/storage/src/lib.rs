@@ -33,6 +33,7 @@
 
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod ledger;
 pub mod pager;
@@ -40,6 +41,7 @@ pub mod slotted;
 
 pub use disk::{Disk, FileId, PageId};
 pub use error::{Result, StorageError};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStatus, TransferKind};
 pub use heap::{HeapFile, Rid};
 pub use ledger::{CostConstants, CostLedger, CostSnapshot};
 pub use pager::{AccountingMode, Pager, PagerConfig};

@@ -24,7 +24,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::disk::{Disk, FileId, PageId};
-use crate::error::Result;
+use crate::error::{Result, StorageError};
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, TransferKind};
 use crate::ledger::CostLedger;
 
 /// How page accesses are converted into ledger charges.
@@ -69,6 +70,7 @@ struct PagerState {
     clock: u64,
     hits: u64,
     faults: u64,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 /// Cached global-metric handles for the pager's hot paths (one relaxed
@@ -115,6 +117,7 @@ impl Pager {
                 clock: 0,
                 hits: 0,
                 faults: 0,
+                injector: None,
             }),
             ledger: CostLedger::new(),
             charging: AtomicBool::new(true),
@@ -190,6 +193,53 @@ impl Pager {
         self.state.lock().disk.allocate_page(file)
     }
 
+    /// Install a fault-injection plan. Every subsequent disk transfer
+    /// consults the returned injector; replaces any previous plan.
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = FaultInjector::new(plan);
+        self.state.lock().injector = Some(inj.clone());
+        inj
+    }
+
+    /// Remove the fault-injection plan (transfers run clean again).
+    pub fn clear_faults(&self) {
+        self.state.lock().injector = None;
+    }
+
+    /// The currently installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.state.lock().injector.clone()
+    }
+
+    /// Drop every buffered frame **without** writing dirty pages back —
+    /// the volatile half of a simulated process crash. Durable state is
+    /// exactly what the disk already holds.
+    pub fn drop_frames(&self) {
+        self.state.lock().frames.clear();
+    }
+
+    /// Write `data` to disk at `pid`, routing through the fault injector.
+    /// A torn write lands a prefix of the new bytes over the old page
+    /// content, then reports failure — exactly what a half-completed
+    /// sector write leaves behind.
+    fn write_back(&self, st: &mut PagerState, pid: PageId, data: &[u8]) -> Result<()> {
+        if let Some(inj) = st.injector.clone() {
+            match inj.decide(TransferKind::Write, self.is_charging()) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Fail(n) => return Err(StorageError::Io(n)),
+                FaultDecision::Kill => return Err(StorageError::Crashed),
+                FaultDecision::Torn(_) => {
+                    let split = inj.torn_split(data.len());
+                    let mut torn = st.disk.read_page(pid)?.to_vec();
+                    torn[..split].copy_from_slice(&data[..split]);
+                    st.disk.write_page(pid, &torn)?;
+                    return Err(StorageError::TornWrite(pid));
+                }
+            }
+        }
+        st.disk.write_page(pid, data)
+    }
+
     fn charge_read(&self, n: u64) {
         if self.is_charging() {
             self.ledger.add_page_reads(n);
@@ -212,10 +262,17 @@ impl Pager {
     }
 
     /// Ensure `pid` is framed; returns whether a physical read happened.
-    fn fault_in(st: &mut PagerState, pid: PageId) -> Result<bool> {
+    fn fault_in(&self, st: &mut PagerState, pid: PageId) -> Result<bool> {
         if st.frames.contains_key(&pid) {
             st.hits += 1;
             return Ok(false);
+        }
+        if let Some(inj) = &st.injector {
+            match inj.decide(TransferKind::Read, self.is_charging()) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Fail(n) | FaultDecision::Torn(n) => return Err(StorageError::Io(n)),
+                FaultDecision::Kill => return Err(StorageError::Crashed),
+            }
         }
         st.faults += 1;
         let data: Box<[u8]> = st.disk.read_page(pid)?.to_vec().into_boxed_slice();
@@ -243,10 +300,21 @@ impl Pager {
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(pid, _)| *pid);
             let Some(victim) = victim else { break };
-            let frame = st.frames.remove(&victim).expect("victim exists");
+            let Some(frame) = st.frames.remove(&victim) else {
+                return Err(StorageError::Corrupt(
+                    "eviction victim vanished from frame table",
+                ));
+            };
             self.metrics.evictions.inc();
             if frame.dirty {
-                st.disk.write_page(victim, &frame.data)?;
+                if let Err(e) = self.write_back(st, victim, &frame.data) {
+                    // The device write failed but the in-memory copy is
+                    // intact: keep the frame (still dirty) so no data is
+                    // silently lost without a crash. The pool runs over
+                    // capacity until a later eviction succeeds.
+                    st.frames.insert(victim, frame);
+                    return Err(e);
+                }
                 writes += 1;
             }
         }
@@ -257,10 +325,14 @@ impl Pager {
     /// `Logical` mode, or a physical read on buffer miss in `Physical` mode.
     pub fn read<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let mut st = self.state.lock();
-        let missed = Self::fault_in(&mut st, pid)?;
+        let missed = self.fault_in(&mut st, pid)?;
         st.clock += 1;
         let clock = st.clock;
-        let frame = st.frames.get_mut(&pid).expect("framed");
+        let Some(frame) = st.frames.get_mut(&pid) else {
+            return Err(StorageError::Corrupt(
+                "faulted-in page missing from frame table",
+            ));
+        };
         frame.last_used = clock;
         let out = f(&frame.data);
         let writes = self.evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
@@ -284,10 +356,14 @@ impl Pager {
     /// mode the frame is dirtied and written back on eviction/flush.
     pub fn write<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let mut st = self.state.lock();
-        let missed = Self::fault_in(&mut st, pid)?;
+        let missed = self.fault_in(&mut st, pid)?;
         st.clock += 1;
         let clock = st.clock;
-        let frame = st.frames.get_mut(&pid).expect("framed");
+        let Some(frame) = st.frames.get_mut(&pid) else {
+            return Err(StorageError::Corrupt(
+                "faulted-in page missing from frame table",
+            ));
+        };
         frame.last_used = clock;
         frame.dirty = true;
         let out = f(&mut frame.data);
@@ -337,9 +413,14 @@ impl Pager {
             .collect();
         let mut writes = 0;
         for pid in dirty {
-            let data = st.frames.get(&pid).expect("exists").data.clone();
-            st.disk.write_page(pid, &data)?;
-            st.frames.get_mut(&pid).expect("exists").dirty = false;
+            let Some(data) = st.frames.get(&pid).map(|fr| fr.data.clone()) else {
+                return Err(StorageError::Corrupt("dirty page vanished during flush"));
+            };
+            self.write_back(&mut st, pid, &data)?;
+            let Some(frame) = st.frames.get_mut(&pid) else {
+                return Err(StorageError::Corrupt("dirty page vanished during flush"));
+            };
+            frame.dirty = false;
             writes += 1;
         }
         drop(st);
@@ -478,6 +559,100 @@ mod tests {
         assert!(reg.counter("procdb_pager_reads_total", &[]).get() > reads0);
         assert!(reg.counter("procdb_pager_writes_total", &[]).get() > writes0);
         assert!(reg.counter("procdb_pager_flushes_total", &[]).get() > flushes0);
+    }
+
+    #[test]
+    fn injected_read_failure_surfaces_as_io_error() {
+        let pager = small_pager(AccountingMode::Physical, 8);
+        let f = pager.create_file("t");
+        let p = pager.allocate_page(f).unwrap();
+        pager.install_faults(crate::fault::FaultPlan::new(3).fail_window(1, 2));
+        assert!(matches!(
+            pager.read(p, |_| ()),
+            Err(crate::StorageError::Io(1))
+        ));
+        // The window passed; the pager is usable again.
+        pager.read(p, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn uncharged_transfers_are_immune_by_default() {
+        let pager = small_pager(AccountingMode::Physical, 8);
+        let f = pager.create_file("t");
+        let p = pager.allocate_page(f).unwrap();
+        pager.install_faults(crate::fault::FaultPlan::new(3).fail_window(1, u64::MAX));
+        pager.set_charging(false);
+        pager.write(p, |d| d[0] = 5).unwrap();
+        pager.flush().unwrap();
+        pager.set_charging(true);
+        assert!(pager.write(p, |d| d[0] = 6).is_err() || pager.flush().is_err());
+    }
+
+    #[test]
+    fn faulted_eviction_leaves_pager_usable() {
+        // Regression for the old `expect("victim exists")` panic path: an
+        // injected failure during eviction write-back must surface as an
+        // error, and the pager must keep serving afterwards.
+        let pager = small_pager(AccountingMode::Physical, 2);
+        let f = pager.create_file("t");
+        let pids: Vec<_> = (0..4).map(|_| pager.allocate_page(f).unwrap()).collect();
+        pager.write(pids[0], |d| d[0] = 1).unwrap();
+        pager.write(pids[1], |d| d[0] = 2).unwrap();
+        // Next write must evict a dirty victim; fail that write-back.
+        pager.install_faults(crate::fault::FaultPlan::new(3).io_writes(1.0));
+        let err = pager.write(pids[2], |d| d[0] = 3);
+        assert!(matches!(err, Err(crate::StorageError::Io(_))), "{err:?}");
+        pager.clear_faults();
+        // No poisoned lock, no panic: everything still works.
+        for &p in &pids {
+            pager.write(p, |d| d[1] = 9).unwrap();
+        }
+        pager.flush().unwrap();
+        assert_eq!(pager.read(pids[3], |d| d[1]).unwrap(), 9);
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_page_on_disk() {
+        let pager = small_pager(AccountingMode::Physical, 8);
+        let f = pager.create_file("t");
+        let p = pager.allocate_page(f).unwrap();
+        pager.write(p, |d| d.fill(0xAA)).unwrap();
+        pager.flush().unwrap();
+        pager.write(p, |d| d.fill(0xBB)).unwrap();
+        pager.install_faults(crate::fault::FaultPlan::new(5).torn_writes(1.0));
+        assert!(matches!(
+            pager.flush(),
+            Err(crate::StorageError::TornWrite(_))
+        ));
+        pager.clear_faults();
+        // Simulate the crash: volatile frames are gone; disk shows the tear.
+        pager.drop_frames();
+        let bytes = pager.read(p, |d| d.to_vec()).unwrap();
+        assert!(bytes.contains(&0xBB), "prefix of new bytes applied");
+        assert!(bytes.contains(&0xAA), "suffix of old bytes survives");
+    }
+
+    #[test]
+    fn kill_point_fails_all_transfers_until_recovery() {
+        let pager = small_pager(AccountingMode::Physical, 8);
+        let f = pager.create_file("t");
+        let p = pager.allocate_page(f).unwrap();
+        pager.write(p, |d| d[0] = 1).unwrap();
+        pager.flush().unwrap();
+        pager.clear_buffer().unwrap();
+        let inj = pager.install_faults(crate::fault::FaultPlan::new(7).kill_at(1));
+        assert!(matches!(
+            pager.read(p, |_| ()),
+            Err(crate::StorageError::Crashed)
+        ));
+        assert!(matches!(
+            pager.read(p, |_| ()),
+            Err(crate::StorageError::Crashed)
+        ));
+        // Recovery clears the latch (and the plan, in this test).
+        inj.clear_crash();
+        pager.clear_faults();
+        assert_eq!(pager.read(p, |d| d[0]).unwrap(), 1);
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn run_strategy(strategy: StrategyKind) {
         ServerConfig {
             port: 0,
             max_conns: UPDATERS + READERS + 2,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
