@@ -38,6 +38,7 @@ fn build_engine(kind: StrategyKind) -> Engine {
             rvm_base_probe_field: 1,
             rvm_update_frequencies: None,
             clear_buffer_between_ops: true,
+            shard: None,
         },
     )
     .unwrap();

@@ -47,9 +47,14 @@ struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    fn new(kind: StrategyKind) -> EngineMetrics {
+    fn new(kind: StrategyKind, shard: Option<u32>) -> EngineMetrics {
         let reg = procdb_obs::global();
-        let labels: &[(&str, &str)] = &[("strategy", kind.metric_label())];
+        let shard_label = shard.map(|s| s.to_string());
+        let mut label_vec: Vec<(&str, &str)> = vec![("strategy", kind.metric_label())];
+        if let Some(s) = shard_label.as_deref() {
+            label_vec.push(("shard", s));
+        }
+        let labels: &[(&str, &str)] = &label_vec;
         EngineMetrics {
             accesses: reg.counter("procdb_engine_accesses_total", labels),
             updates: reg.counter("procdb_engine_updates_total", labels),
@@ -91,6 +96,12 @@ pub struct EngineOptions {
     /// a warm cross-operation buffer pool shifts the tradeoff (ablation
     /// `A3`).
     pub clear_buffer_between_ops: bool,
+    /// Shard this engine serves inside a partitioned (`procdb-shard`)
+    /// deployment. `None` for a standalone engine. Only affects metric
+    /// labels: every per-engine series additionally carries
+    /// `shard="<id>"` so a scatter-gather deployment stays separable in
+    /// the exposition.
+    pub shard: Option<u32>,
 }
 
 impl Default for EngineOptions {
@@ -101,6 +112,7 @@ impl Default for EngineOptions {
             rvm_base_probe_field: 1,
             rvm_update_frequencies: None,
             clear_buffer_between_ops: true,
+            shard: None,
         }
     }
 }
@@ -198,6 +210,7 @@ impl Engine {
         kind: StrategyKind,
         opts: EngineOptions,
     ) -> Result<Engine> {
+        let metrics = EngineMetrics::new(kind, opts.shard);
         let mut engine = Engine {
             pager,
             catalog,
@@ -205,7 +218,7 @@ impl Engine {
             opts,
             kind,
             state: StrategyState::Recompute,
-            metrics: EngineMetrics::new(kind),
+            metrics,
             crash_epoch: 0,
             pending_suspect: Vec::new(),
             last_recovery: None,
@@ -301,6 +314,11 @@ impl Engine {
     /// The strategy in force.
     pub fn strategy(&self) -> StrategyKind {
         self.kind
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
     }
 
     /// The registered procedures.
@@ -695,6 +713,25 @@ impl Engine {
             }
             Ok(())
         })
+    }
+
+    /// [`Engine::apply_delete`], returning the removed tuples themselves.
+    /// A partitioned router uses this for a cross-shard re-key: delete on
+    /// the shard that owns the victim key, rewrite the key, and re-insert
+    /// on the shard that owns the new one. Maintenance is charged on this
+    /// engine exactly as for `apply_delete`.
+    pub fn apply_delete_take(&mut self, keys: &[i64]) -> Result<Vec<Tuple>> {
+        let mut taken: Vec<Tuple> = Vec::new();
+        self.mutate_r1(|r1, delta| {
+            for &k in keys {
+                if let Some(old) = r1.delete_where(k, |_| true)? {
+                    taken.push(old.clone());
+                    delta.deleted.push(old);
+                }
+            }
+            Ok(())
+        })?;
+        Ok(taken)
     }
 
     /// Shared transaction skeleton: run `mutate` against `R1` uncharged,
@@ -1366,6 +1403,18 @@ mod tests {
             for i in 0..2 {
                 assert_matches_expected(&mut e, i);
             }
+        }
+    }
+
+    #[test]
+    fn delete_take_returns_removed_tuples_and_maintains() {
+        for kind in StrategyKind::ALL {
+            let mut e = engine_with(kind, vec![p1(0, 10, 29)]);
+            e.warm_up().unwrap();
+            let taken = e.apply_delete_take(&[15, 9999]).unwrap();
+            assert_eq!(taken.len(), 1, "{kind}: one victim exists, one missing");
+            assert_eq!(taken[0][0], Value::Int(15));
+            assert_matches_expected(&mut e, 0);
         }
     }
 

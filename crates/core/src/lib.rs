@@ -35,7 +35,7 @@ pub mod stats;
 
 pub use advisor::{recommend, Recommendation};
 pub use ddl::{parse_define_view, DdlError, DefineView};
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, RecoveryReport};
 pub use mixed::MixedEngine;
 pub use procedure::{ProcId, ProcedureDef, StrategyKind};
 pub use rete_planner::{choose_spec, maintenance_cost, UpdateFrequencies};

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use procdb_bench::LatencySummary;
 use procdb_server::{Server, ServerConfig, Session};
-use procdb_workload::{generate_stream, StreamSpec};
+use procdb_workload::{split_stream, StreamSpec};
 
 #[derive(Debug, Clone)]
 struct Config {
@@ -48,6 +48,9 @@ struct Config {
     l: usize,
     z: f64,
     seed: u64,
+    /// Partition `R1` across this many shard engines (`shards N` over
+    /// the wire); 1 keeps the classic single-engine backend.
+    shards: usize,
     strategies: Vec<(String, String)>, // (label, wire name)
     json: Option<String>,
     metrics_json: bool,
@@ -69,6 +72,7 @@ impl Default for Config {
             l: 4,
             z: 0.25,
             seed: 1,
+            shards: 1,
             strategies: all_strategies(),
             json: None,
             metrics_json: false,
@@ -96,7 +100,7 @@ fn strategy_by_label(label: &str) -> Option<(String, String)> {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
-         [--views N] [--p-update P] [--l N] [--z Z] [--seed N] \
+         [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
          [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json] \
          [--max-in-flight N]"
     );
@@ -128,6 +132,12 @@ fn parse_args() -> Config {
             "--l" => cfg.l = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--z" => cfg.z = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                cfg.shards = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if cfg.shards == 0 {
+                    usage();
+                }
+            }
             "--strategies" => {
                 cfg.strategies = val(&mut args)
                     .split(',')
@@ -276,7 +286,102 @@ fn setup_schema(control: &mut Client, cfg: &Config) -> Result<(), String> {
             "define view {name} (EMP.all) where EMP.eid >= {lo} and EMP.eid <= {hi}"
         ))?;
     }
+    if cfg.shards > 1 {
+        control.expect_ok(&format!("shards {}", cfg.shards))?;
+    }
     Ok(())
+}
+
+/// One shard's counters from the `shards` wire command.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardSnapshot {
+    shard: usize,
+    accesses: f64,
+    updates: f64,
+    escalations: f64,
+    hits: f64,
+    faults: f64,
+    access_ms: f64,
+    r1_rows: f64,
+}
+
+impl ShardSnapshot {
+    fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hits / total
+        }
+    }
+
+    fn conflict_rate(&self) -> f64 {
+        if self.accesses == 0.0 {
+            0.0
+        } else {
+            self.escalations / self.accesses
+        }
+    }
+
+    /// Per-run counter deltas; rows are a level, not a counter.
+    fn since(&self, before: &ShardSnapshot) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: self.shard,
+            accesses: self.accesses - before.accesses,
+            updates: self.updates - before.updates,
+            escalations: self.escalations - before.escalations,
+            hits: self.hits - before.hits,
+            faults: self.faults - before.faults,
+            access_ms: self.access_ms - before.access_ms,
+            r1_rows: self.r1_rows,
+        }
+    }
+}
+
+/// Scrape the `shards` command into per-shard snapshots. Works against
+/// both backends (a single engine reports itself as one shard).
+fn fetch_shards(control: &mut Client) -> Result<Vec<ShardSnapshot>, String> {
+    let (data, term) = control.cmd("shards")?;
+    if term.starts_with("err") {
+        return Err(format!("shards scrape failed: {term}"));
+    }
+    let mut out = Vec::new();
+    for line in data {
+        let Some(rest) = line.strip_prefix("shard ") else {
+            continue;
+        };
+        let Some((id, fields)) = rest.split_once(':') else {
+            continue;
+        };
+        let mut snap = ShardSnapshot {
+            shard: id
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad shard id in {line:?}"))?,
+            ..ShardSnapshot::default()
+        };
+        for kv in fields.split_whitespace() {
+            let Some((k, v)) = kv.split_once('=') else {
+                continue;
+            };
+            let Ok(v) = v.parse::<f64>() else { continue };
+            match k {
+                "accesses" => snap.accesses = v,
+                "updates" => snap.updates = v,
+                "escalations" => snap.escalations = v,
+                "hits" => snap.hits = v,
+                "faults" => snap.faults = v,
+                "access_ms" => snap.access_ms = v,
+                "r1_rows" => snap.r1_rows = v,
+                _ => {}
+            }
+        }
+        out.push(snap);
+    }
+    if out.is_empty() {
+        return Err("shards scrape returned no per-shard lines".to_string());
+    }
+    Ok(out)
 }
 
 #[derive(Debug, Clone)]
@@ -291,6 +396,10 @@ struct RunResult {
     /// `buffer_hit_ratio`), scraped via the `metrics` command when
     /// `--metrics-json` is on. Empty otherwise.
     server_metrics: Vec<(String, f64)>,
+    /// Per-shard counter deltas for this run, scraped via the `shards`
+    /// wire command (one entry per shard; a single-engine backend
+    /// reports itself as shard 0).
+    shards: Vec<ShardSnapshot>,
 }
 
 impl RunResult {
@@ -441,26 +550,28 @@ fn run_one(
         control.expect_ok(&format!("access {name}"))?;
     }
     let names = view_names(cfg);
-    let streams: Vec<Vec<String>> = (0..n_clients)
-        .map(|c| {
-            let spec = StreamSpec {
-                p_update: cfg.p_update,
-                l: cfg.l,
-                z: cfg.z,
-                ops: cfg.ops,
-                seed: cfg.seed + c as u64 * 7919,
-            };
-            generate_stream(&spec, cfg.views, cfg.rows as i64)
-                .iter()
-                .flat_map(|op| op.to_wire_lines(&names))
-                .collect()
-        })
+    // One seeded RNG generates the *global* operation sequence and the
+    // ops are dealt round-robin to the clients: every client count (and
+    // shard count) replays the identical global workload, so runs are
+    // comparable. Per-client seeds (`seed + c * prime`) would give each
+    // configuration a different workload.
+    let spec = StreamSpec {
+        p_update: cfg.p_update,
+        l: cfg.l,
+        z: cfg.z,
+        ops: cfg.ops * n_clients,
+        seed: cfg.seed,
+    };
+    let streams: Vec<Vec<String>> = split_stream(&spec, cfg.views, cfg.rows as i64, n_clients)
+        .iter()
+        .map(|ops| ops.iter().flat_map(|op| op.to_wire_lines(&names)).collect())
         .collect();
     let metrics_before = if cfg.metrics_json {
         fetch_metrics(control)?
     } else {
         Vec::new()
     };
+    let shards_before = fetch_shards(control)?;
     let barrier = Barrier::new(n_clients);
     let results: Vec<ClientRun> = std::thread::scope(|s| {
         let handles: Vec<_> = streams
@@ -493,6 +604,19 @@ fn run_one(
     } else {
         Vec::new()
     };
+    let shards_after = fetch_shards(control)?;
+    if shards_after.len() != shards_before.len() {
+        return Err(format!(
+            "shard count changed mid-run ({} -> {})",
+            shards_before.len(),
+            shards_after.len()
+        ));
+    }
+    let shards = shards_after
+        .iter()
+        .zip(&shards_before)
+        .map(|(a, b)| a.since(b))
+        .collect();
     Ok(RunResult {
         strategy: label.to_string(),
         clients: n_clients,
@@ -501,6 +625,7 @@ fn run_one(
         elapsed: max_elapsed,
         latency,
         server_metrics,
+        shards,
     })
 }
 
@@ -509,8 +634,8 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
     out.push_str("  \"benchmark\": \"procdb-server loadgen (closed loop)\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
-         \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}}},\n",
-        cfg.ops, cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.seed
+         \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}}},\n",
+        cfg.ops, cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.seed, cfg.shards
     ));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -556,6 +681,29 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
             }
             out.push('}');
         }
+        out.push_str(", \"shards\": [");
+        for (j, sh) in r.shards.iter().enumerate() {
+            let ops = sh.accesses + sh.updates;
+            out.push_str(&format!(
+                "{{\"shard\": {}, \"accesses\": {}, \"updates\": {}, \
+                 \"escalations\": {}, \"buffer_hits\": {}, \"buffer_faults\": {}, \
+                 \"hit_ratio\": {:.4}, \"conflict_rate\": {:.4}, \
+                 \"ops_per_s\": {:.1}, \"access_ms\": {:.3}, \"r1_rows\": {}}}{}",
+                sh.shard,
+                sh.accesses,
+                sh.updates,
+                sh.escalations,
+                sh.hits,
+                sh.faults,
+                sh.hit_ratio(),
+                sh.conflict_rate(),
+                ops / r.elapsed.as_secs_f64().max(1e-9),
+                sh.access_ms,
+                sh.r1_rows,
+                if j + 1 == r.shards.len() { "" } else { ", " }
+            ));
+        }
+        out.push(']');
         out.push_str(&format!(
             "}}{}\n",
             if i + 1 == runs.len() { "" } else { "," }
@@ -595,8 +743,8 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
     let mut control = Client::connect(&addr)?;
     setup_schema(&mut control, cfg)?;
     println!(
-        "loadgen: {} rows, {} views, P={}, l={}, Z={}, {} ops/client @ {}",
-        cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, addr
+        "loadgen: {} rows, {} views, P={}, l={}, Z={}, {} ops/client, {} shard(s) @ {}",
+        cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, cfg.shards, addr
     );
     println!(
         "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -630,6 +778,20 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
                 r.latency.p999_us,
                 r.latency.max_us
             );
+            if cfg.shards > 1 {
+                for sh in &r.shards {
+                    println!(
+                        "          shard {}: {} accesses ({} escalated), {} updates, \
+                         hit ratio {:.2}, {:.1} ops/s",
+                        sh.shard,
+                        sh.accesses,
+                        sh.escalations,
+                        sh.updates,
+                        sh.hit_ratio(),
+                        (sh.accesses + sh.updates) / r.elapsed.as_secs_f64().max(1e-9),
+                    );
+                }
+            }
             runs.push(r);
         }
     }

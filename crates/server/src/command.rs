@@ -73,10 +73,15 @@ pub enum Command {
     FaultOff,
     /// `fault status` — injector counters and the active plan.
     FaultStatus,
-    /// `crash` — simulate a whole-process crash (volatile state lost).
-    Crash,
-    /// `recover` — run crash recovery and report what it did.
-    Recover,
+    /// `crash [SHARD]` — simulate a crash (volatile state lost). With a
+    /// sharded backend, `crash N` kills only shard `N`.
+    Crash(Option<usize>),
+    /// `recover [SHARD]` — run crash recovery and report what it did.
+    /// With a sharded backend, `recover N` recovers only shard `N`.
+    Recover(Option<usize>),
+    /// `shards N` — partition `R1` across `N` shard engines;
+    /// bare `shards` reports per-shard status counters.
+    Shards(Option<usize>),
     /// `serve [--port P] [--max-conns N]` — turn the session into a
     /// TCP server (interactive shell only).
     Serve {
@@ -117,8 +122,9 @@ commands:
                [--kill-at N] [--window START END] [--include-uncharged]
                                         -- inject seeded storage faults
   fault off | fault status              -- lift the plan / show counters
-  crash                                 -- simulate a process crash
-  recover                               -- run crash recovery
+  crash [SHARD]                         -- simulate a crash (one shard or all)
+  recover [SHARD]                       -- run crash recovery (one shard or all)
+  shards N | shards                     -- partition R1 N ways / show shard status
   serve [--port P] [--max-conns N]      -- expose this session over TCP
   help, quit";
 
@@ -322,11 +328,25 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     if lower == "serve" || lower.starts_with("serve ") {
         return parse_serve(&line["serve".len()..]).map(Some);
     }
-    if lower == "crash" {
-        return Ok(Some(Command::Crash));
+    fn parse_opt_shard(rest: &str, what: &str) -> Result<Option<usize>, String> {
+        let rest = rest.trim();
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        rest.parse()
+            .map(Some)
+            .map_err(|_| format!("expected: {what} [SHARD], got {rest:?}"))
     }
-    if lower == "recover" {
-        return Ok(Some(Command::Recover));
+    if lower == "crash" || lower.starts_with("crash ") {
+        return parse_opt_shard(&lower["crash".len()..], "crash").map(|s| Some(Command::Crash(s)));
+    }
+    if lower == "recover" || lower.starts_with("recover ") {
+        return parse_opt_shard(&lower["recover".len()..], "recover")
+            .map(|s| Some(Command::Recover(s)));
+    }
+    if lower == "shards" || lower.starts_with("shards ") {
+        return parse_opt_shard(&lower["shards".len()..], "shards")
+            .map(|s| Some(Command::Shards(s)));
     }
     if lower == "fault" || lower.starts_with("fault ") {
         return parse_fault(&lower["fault".len()..]).map(Some);
@@ -518,8 +538,15 @@ mod tests {
 
     #[test]
     fn fault_and_recovery_commands() {
-        assert_eq!(parse("crash").unwrap(), Some(Command::Crash));
-        assert_eq!(parse("RECOVER").unwrap(), Some(Command::Recover));
+        assert_eq!(parse("crash").unwrap(), Some(Command::Crash(None)));
+        assert_eq!(parse("crash 2").unwrap(), Some(Command::Crash(Some(2))));
+        assert_eq!(parse("RECOVER").unwrap(), Some(Command::Recover(None)));
+        assert_eq!(parse("recover 0").unwrap(), Some(Command::Recover(Some(0))));
+        assert!(parse("crash now").is_err());
+        assert!(parse("recover -1").is_err());
+        assert_eq!(parse("shards").unwrap(), Some(Command::Shards(None)));
+        assert_eq!(parse("shards 4").unwrap(), Some(Command::Shards(Some(4))));
+        assert!(parse("shards many").is_err());
         assert_eq!(parse("fault off").unwrap(), Some(Command::FaultOff));
         assert_eq!(parse("fault status").unwrap(), Some(Command::FaultStatus));
         let c = parse("fault inject --seed 42 --io-reads 0.1 --io-writes 0.2 --torn 0.3")

@@ -108,8 +108,15 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         Command::FaultInject(plan) => Outcome::Text(session.fault_inject(plan)?),
         Command::FaultOff => Outcome::Text(session.fault_off()?),
         Command::FaultStatus => Outcome::Text(session.fault_status_text()),
-        Command::Crash => Outcome::Text(session.crash()?),
-        Command::Recover => Outcome::Text(session.recover()?),
+        Command::Crash(shard) => Outcome::Text(session.crash(shard)?),
+        Command::Recover(shard) => Outcome::Text(session.recover(shard)?),
+        Command::Shards(Some(n)) => {
+            session.set_shards(n)?;
+            Outcome::text(format!(
+                "shards set to {n} (engine rebuilds on next access)"
+            ))
+        }
+        Command::Shards(None) => Outcome::Text(session.shards_text()),
         Command::Serve { .. } => {
             return Err("serve is only available from the interactive shell".to_string())
         }
@@ -212,6 +219,60 @@ mod tests {
             panic!()
         };
         assert!(t.contains("recovery: 1 crash(es)"), "{t}");
+    }
+
+    #[test]
+    fn sharded_script_through_executor() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        for i in 0..20 {
+            run(&mut s, &format!("insert EMP ({i}, 0)")).unwrap();
+        }
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 9",
+        )
+        .unwrap();
+        let Outcome::Text(t) = run(&mut s, "shards 3").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("shards set to 3"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("8 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "update 3 -> 99").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("1 tuple(s) re-keyed"), "{t}");
+        // One shard crashes; the others keep serving, recovery is
+        // per-shard, and the cluster then answers correctly.
+        let Outcome::Text(t) = run(&mut s, "crash 1").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("shard 1 crashed"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "recover 1").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("shard 1 recovered"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("7 rows"), "{t}"); // 3 re-keyed out of range
+        let Outcome::Text(t) = run(&mut s, "shards").unwrap() else {
+            panic!()
+        };
+        assert!(t.starts_with("shards: 3"), "{t}");
+        assert!(t.contains("shard 0: accesses="), "{t}");
+        assert!(t.contains("hit_ratio="), "{t}");
+        let Outcome::Text(t) = run(&mut s, "stats").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("shards: 3"), "{t}");
+        assert!(t.contains("buffer hit ratio"), "{t}");
+        // Out-of-range shard selection is an error, not a panic.
+        assert!(run(&mut s, "crash 9").is_err());
+        assert!(run(&mut s, "recover 9").is_err());
     }
 
     #[test]

@@ -408,13 +408,39 @@ fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
             Ok(None) => {} // escalate below
         }
     }
-    if let Command::Metrics = &cmd {
-        // A metrics scrape must not stall behind writers' queue turns:
-        // it only reads atomics, so serve it under the shared lock.
+    if let Command::Update(victim, new_key) = &cmd {
+        // Sharded fast path: the per-shard engine locks are the real
+        // concurrency control, so an update only needs the session
+        // *read* lock — updates to different shards run concurrently
+        // with each other and with accesses. `None` means the backend
+        // isn't sharded (or isn't built): fall through to the exclusive
+        // path below.
         let Some(session) = read_by(shared, deadline) else {
             return deadline_expired(shared);
         };
-        return Response::Data(session.metrics_text().trim_end().to_string());
+        match session.update_shared(*victim, *new_key) {
+            Err(msg) => return Response::Error(msg),
+            Ok(Some((n, ms))) => {
+                return Response::Data(format!(
+                    "{n} tuple(s) re-keyed {victim} -> {new_key}; maintenance {ms:.1} model-ms"
+                ))
+            }
+            Ok(None) => {} // single-engine backend: escalate below
+        }
+    }
+    if matches!(cmd, Command::Metrics | Command::Shards(None)) {
+        // A metrics or shard-status scrape must not stall behind
+        // writers' queue turns: it only reads atomics, so serve it
+        // under the shared lock.
+        let Some(session) = read_by(shared, deadline) else {
+            return deadline_expired(shared);
+        };
+        let text = if matches!(cmd, Command::Metrics) {
+            session.metrics_text()
+        } else {
+            session.shards_text()
+        };
+        return Response::Data(text.trim_end().to_string());
     }
     let Some(mut session) = write_by(shared, deadline) else {
         return deadline_expired(shared);
@@ -680,6 +706,65 @@ mod tests {
         match run_line(&shared, "show") {
             Response::Data(t) => assert!(t.contains("strategy:"), "{t}"),
             _ => panic!("expected success after the writer released"),
+        }
+    }
+
+    #[test]
+    fn sharded_updates_run_under_the_read_lock() {
+        let shared = test_shared(8, Duration::from_millis(50));
+        for line in [
+            "create table EMP (eid int, dept int) btree eid",
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 9",
+        ] {
+            match run_line(&shared, line) {
+                Response::Data(_) | Response::Silent => {}
+                other => panic!(
+                    "setup {line:?} failed: {:?}",
+                    matches!(other, Response::Error(_))
+                ),
+            }
+        }
+        for i in 0..20 {
+            run_line(&shared, &format!("insert EMP ({i}, 0)"));
+        }
+        run_line(&shared, "shards 2");
+        match run_line(&shared, "access V") {
+            Response::Data(t) => assert!(t.contains("8 rows"), "{t}"),
+            _ => panic!("access must succeed"),
+        }
+        {
+            // A held *read* lock starves writers, so this proves the
+            // sharded update path never takes the session write lock —
+            // the per-shard engine locks carry the isolation instead.
+            let _reader = shared.session.read();
+            match run_line(&shared, "update 3 -> 99") {
+                Response::Data(t) => assert!(t.contains("1 tuple(s) re-keyed"), "{t}"),
+                _ => panic!("sharded update must run under the shared read lock"),
+            }
+            // Shard status is served read-only too.
+            match run_line(&shared, "shards") {
+                Response::Data(t) => assert!(t.starts_with("shards: 2"), "{t}"),
+                _ => panic!("shards status must run under the shared read lock"),
+            }
+        }
+        // The moved key is visible to later accesses.
+        match run_line(&shared, "access V") {
+            Response::Data(t) => assert!(t.contains("7 rows"), "{t}"),
+            _ => panic!("post-update access must succeed"),
+        }
+        // A single-engine session still escalates updates to the write
+        // lock (and therefore expires behind the held reader).
+        {
+            let mut session = shared.session.write();
+            session.set_shards(1).unwrap();
+        }
+        run_line(&shared, "access V");
+        {
+            let _reader = shared.session.read();
+            match run_line(&shared, "update 4 -> 90") {
+                Response::Error(msg) => assert!(msg.starts_with("DEADLINE"), "{msg}"),
+                _ => panic!("single-engine update must need the write lock"),
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 //! a mutex counts per-procedure accesses and conflicting updates either
 //! way (surfaced by the `stats` command).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,7 +22,20 @@ use procdb_core::{
     parse_define_view, Engine, EngineOptions, ProcedureDef, StrategyKind, WorkloadObserver,
 };
 use procdb_query::{Catalog, FieldType, Organization, Schema, Table, Tuple, Value};
+use procdb_shard::{Router, ShardedEngine};
 use procdb_storage::{CostConstants, FaultPlan, Pager, PagerConfig};
+
+/// The session's engine: one instance, or `S` hash-partitioned shard
+/// engines behind per-shard locks ([`procdb_shard::ShardedEngine`]).
+/// Built lazily from the declarative state either way; `shards 1` and
+/// the single engine behave identically.
+// One backend lives per session (heap-held behind the session lock), so
+// the size spread between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
 
 /// One declared table: schema, organization, and its current rows.
 #[derive(Debug, Clone)]
@@ -45,8 +59,14 @@ pub struct Session {
     views: Vec<(String, procdb_avm::ViewDef)>,
     strategy: StrategyKind,
     constants: CostConstants,
-    engine: Option<Engine>,
+    engine: Option<Backend>,
     page_size: usize,
+    /// Shard count the next engine build partitions into (1 = single).
+    shards: usize,
+    /// Set when sharded updates ran through `&self` and the in-memory
+    /// row mirror no longer matches the engine; resynced (from the
+    /// engine, which is authoritative) before the mirror is next used.
+    mirror_stale: AtomicBool,
     /// Per-procedure workload counters; a mutex (not `&mut`) so the
     /// shared read path can record accesses too.
     observer: Mutex<WorkloadObserver>,
@@ -62,6 +82,8 @@ impl Session {
             constants: CostConstants::default(),
             engine: None,
             page_size: 4000,
+            shards: 1,
+            mirror_stale: AtomicBool::new(false),
             observer: Mutex::new(WorkloadObserver::new(0)),
         }
     }
@@ -95,9 +117,47 @@ impl Session {
             .ok_or_else(|| format!("unknown table {name}"))
     }
 
-    /// Invalidate the built engine (schema/view/strategy changed).
+    /// Invalidate the built engine (schema/view/strategy changed). The
+    /// mirror is resynced first: once the backend is gone it can no
+    /// longer tell us which tuples sharded updates re-keyed.
     fn dirty(&mut self) {
+        self.resync_mirror();
         self.engine = None;
+    }
+
+    /// Pull the base table's rows back out of a live sharded backend if
+    /// updates ran through `&self` since the last sync. (The single
+    /// backend resyncs eagerly inside [`Session::update`].)
+    fn resync_mirror(&mut self) {
+        if !self.mirror_stale.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(Backend::Sharded(sharded)) = self.engine.as_ref() {
+            if let Ok(rows) = sharded.scan_r1() {
+                self.tables[0].rows = rows;
+            }
+        }
+    }
+
+    /// Partition the engine `shards` ways on the next build (1 restores
+    /// the single engine). A live engine is rebuilt lazily, exactly like
+    /// a strategy switch.
+    pub fn set_shards(&mut self, n: usize) -> Result<(), SessionError> {
+        if n == 0 {
+            return Err("shards must be at least 1".to_string());
+        }
+        if n > 64 {
+            return Err(format!("shards capped at 64, got {n}"));
+        }
+        self.shards = n;
+        self.dirty();
+        Ok(())
+    }
+
+    /// Configured shard count (what the next engine build partitions
+    /// into; 1 = single engine).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Declare a table.
@@ -157,9 +217,19 @@ impl Session {
         // If an engine is live and this is its base relation, route the
         // insert through it (charged maintenance); otherwise rebuild lazily.
         if is_base {
-            if let Some(e) = self.engine.as_mut() {
-                e.apply_insert(&[row]).map_err(|e| e.to_string())?;
-                return Ok(());
+            let constants = self.constants;
+            match self.engine.as_mut() {
+                Some(Backend::Single(e)) => {
+                    e.apply_insert(&[row]).map_err(|e| e.to_string())?;
+                    return Ok(());
+                }
+                Some(Backend::Sharded(sharded)) => {
+                    sharded
+                        .apply_insert(&[row], &constants)
+                        .map_err(|e| e.to_string())?;
+                    return Ok(());
+                }
+                None => {}
             }
         }
         self.dirty();
@@ -168,21 +238,33 @@ impl Session {
 
     /// Build a catalog from the declared tables (uncharged). With
     /// `with_rows = false` only the schemas/organizations are created —
-    /// enough for name resolution, without copying any data.
-    fn build_catalog(&self, pager: &Arc<Pager>, with_rows: bool) -> Result<Catalog, SessionError> {
+    /// enough for name resolution, without copying any data. A shard
+    /// build passes `base_rows` to load only its partition of the first
+    /// (updatable) table; every other table is loaded in full (inner
+    /// relations are replicated per shard).
+    fn build_catalog(
+        &self,
+        pager: &Arc<Pager>,
+        with_rows: bool,
+        base_rows: Option<&[Tuple]>,
+    ) -> Result<Catalog, SessionError> {
         pager.set_charging(false);
         let mut cat = Catalog::new();
-        for spec in &self.tables {
+        for (ti, spec) in self.tables.iter().enumerate() {
+            let rows: &[Tuple] = match (ti, base_rows) {
+                (0, Some(part)) => part,
+                _ => &spec.rows,
+            };
             let mut t = Table::create(
                 pager.clone(),
                 &spec.name,
                 spec.schema.clone(),
                 spec.org,
-                spec.rows.len().max(16),
+                rows.len().max(16),
             )
             .map_err(|e| e.to_string())?;
             if with_rows {
-                for row in &spec.rows {
+                for row in rows {
                     t.insert(row).map_err(|e| e.to_string())?;
                 }
             }
@@ -202,7 +284,7 @@ impl Session {
             mode: procdb_storage::AccountingMode::Logical,
         });
         // Name resolution only needs schemas, not data.
-        let cat = self.build_catalog(&pager, false)?;
+        let cat = self.build_catalog(&pager, false, None)?;
         let dv = parse_define_view(statement, &cat).map_err(|e| e.to_string())?;
         let name = if dv.name.is_empty() {
             format!("view{}", self.views.len())
@@ -239,54 +321,78 @@ impl Session {
         self.dirty();
     }
 
-    fn ensure_engine(&mut self) -> Result<&mut Engine, SessionError> {
+    /// Build one engine over the declared schema. `shard` carries the
+    /// shard id (for metric labels) and that shard's partition of the
+    /// base table's rows; `None` builds the single (unpartitioned)
+    /// engine.
+    fn build_engine(&self, shard: Option<(u32, &[Tuple])>) -> Result<Engine, SessionError> {
+        let base = self
+            .tables
+            .first()
+            .ok_or_else(|| "no tables declared".to_string())?;
+        if self.views.is_empty() {
+            return Err("no views defined".to_string());
+        }
+        let pager = Pager::new(PagerConfig {
+            page_size: self.page_size,
+            buffer_capacity: 16 * 1024,
+            mode: procdb_storage::AccountingMode::Physical,
+        });
+        let r1 = base.name.clone();
+        let r1_key_field = match base.org {
+            Organization::BTree { key_field } => key_field,
+            _ => return Err("the first table must be B-tree organized".to_string()),
+        };
+        let catalog = self.build_catalog(&pager, true, shard.map(|(_, rows)| rows))?;
+        let procs: Vec<ProcedureDef> = self
+            .views
+            .iter()
+            .enumerate()
+            .map(|(i, (n, v))| ProcedureDef::new(i as u32, n.clone(), v.clone()))
+            .collect();
+        let probe = self
+            .views
+            .iter()
+            .find_map(|(_, v)| v.joins.first().map(|j| j.outer_key_field))
+            .unwrap_or(r1_key_field);
+        Engine::new(
+            pager,
+            catalog,
+            procs,
+            self.strategy,
+            EngineOptions {
+                r1,
+                r1_key_field,
+                rvm_base_probe_field: probe,
+                rvm_update_frequencies: None,
+                clear_buffer_between_ops: true,
+                shard: shard.map(|(id, _)| id),
+            },
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    fn ensure_backend(&mut self) -> Result<&mut Backend, SessionError> {
         if self.engine.is_none() {
-            let base = self
-                .tables
-                .first()
-                .ok_or_else(|| "no tables declared".to_string())?;
-            if self.views.is_empty() {
-                return Err("no views defined".to_string());
-            }
-            let pager = Pager::new(PagerConfig {
-                page_size: self.page_size,
-                buffer_capacity: 16 * 1024,
-                mode: procdb_storage::AccountingMode::Physical,
-            });
-            let r1 = base.name.clone();
-            let r1_key_field = match base.org {
-                Organization::BTree { key_field } => key_field,
-                _ => return Err("the first table must be B-tree organized".to_string()),
-            };
-            let catalog = self.build_catalog(&pager, true)?;
-            let procs: Vec<ProcedureDef> = self
-                .views
-                .iter()
-                .enumerate()
-                .map(|(i, (n, v))| ProcedureDef::new(i as u32, n.clone(), v.clone()))
-                .collect();
-            let probe = self
-                .views
-                .iter()
-                .find_map(|(_, v)| v.joins.first().map(|j| j.outer_key_field))
-                .unwrap_or(r1_key_field);
-            let engine = Engine::new(
-                pager,
-                catalog,
-                procs,
-                self.strategy,
-                EngineOptions {
-                    r1,
-                    r1_key_field,
-                    rvm_base_probe_field: probe,
-                    rvm_update_frequencies: None,
-                    clear_buffer_between_ops: true,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            self.engine = Some(engine);
-            if let Some(e) = self.engine.as_mut() {
-                e.warm_up().map_err(|er| er.to_string())?;
+            if self.shards == 1 {
+                let mut engine = self.build_engine(None)?;
+                engine.warm_up().map_err(|e| e.to_string())?;
+                self.engine = Some(Backend::Single(engine));
+            } else {
+                let base = self
+                    .tables
+                    .first()
+                    .ok_or_else(|| "no tables declared".to_string())?;
+                let key_field = match base.org {
+                    Organization::BTree { key_field } => key_field,
+                    _ => return Err("the first table must be B-tree organized".to_string()),
+                };
+                let parts = Router::new(self.shards).partition_rows(&base.rows, key_field);
+                let sharded = ShardedEngine::new(self.shards, |sid| {
+                    self.build_engine(Some((sid as u32, &parts[sid])))
+                })?;
+                sharded.warm_up().map_err(|e| e.to_string())?;
+                self.engine = Some(Backend::Sharded(sharded));
             }
         }
         self.engine
@@ -299,7 +405,7 @@ impl Session {
     /// the first unlucky client's access.
     pub fn prepare(&mut self) -> Result<(), SessionError> {
         if !self.views.is_empty() && !self.tables.is_empty() {
-            self.ensure_engine()?;
+            self.ensure_backend()?;
         }
         Ok(())
     }
@@ -315,10 +421,17 @@ impl Session {
     pub fn access(&mut self, view: &str) -> Result<(Vec<Tuple>, f64), SessionError> {
         let idx = self.view_index(view)?;
         let constants = self.constants;
-        let engine = self.ensure_engine()?;
-        let before = engine.ledger().snapshot();
-        let rows = engine.access(idx).map_err(|e| e.to_string())?;
-        let ms = engine.ledger().snapshot().since(&before).priced(&constants);
+        let (rows, ms) = match self.ensure_backend()? {
+            Backend::Single(engine) => {
+                let before = engine.ledger().snapshot();
+                let rows = engine.access(idx).map_err(|e| e.to_string())?;
+                let ms = engine.ledger().snapshot().since(&before).priced(&constants);
+                (rows, ms)
+            }
+            Backend::Sharded(sharded) => {
+                sharded.access(idx, &constants).map_err(|e| e.to_string())?
+            }
+        };
         self.observer.lock().record_access(idx);
         Ok((rows, ms))
     }
@@ -326,24 +439,59 @@ impl Session {
     /// Serve a read through `&self` when the engine's read path needs no
     /// mutation (see [`Engine::access_shared`]). `Ok(None)` means the
     /// caller must escalate to exclusive access — the engine is not
-    /// built yet, or a Cache & Invalidate entry needs a refill.
+    /// built yet, or a single engine's Cache & Invalidate entry needs a
+    /// refill. A sharded backend always serves here: escalation happens
+    /// per shard, inside its own lock.
     pub fn access_shared(&self, view: &str) -> Result<Option<(Vec<Tuple>, f64)>, SessionError> {
         let idx = self.view_index(view)?;
-        let Some(engine) = self.engine.as_ref() else {
-            return Ok(None);
-        };
-        let before = engine.ledger().snapshot();
-        match engine.access_shared(idx).map_err(|e| e.to_string())? {
+        match self.engine.as_ref() {
             None => Ok(None),
-            Some(rows) => {
-                let ms = engine
-                    .ledger()
-                    .snapshot()
-                    .since(&before)
-                    .priced(&self.constants);
+            Some(Backend::Single(engine)) => {
+                let before = engine.ledger().snapshot();
+                match engine.access_shared(idx).map_err(|e| e.to_string())? {
+                    None => Ok(None),
+                    Some(rows) => {
+                        let ms = engine
+                            .ledger()
+                            .snapshot()
+                            .since(&before)
+                            .priced(&self.constants);
+                        self.observer.lock().record_access(idx);
+                        Ok(Some((rows, ms)))
+                    }
+                }
+            }
+            Some(Backend::Sharded(sharded)) => {
+                let (rows, ms) = sharded
+                    .access(idx, &self.constants)
+                    .map_err(|e| e.to_string())?;
                 self.observer.lock().record_access(idx);
                 Ok(Some((rows, ms)))
             }
+        }
+    }
+
+    /// Count which procedures an applied re-key conflicted with: any
+    /// whose selection window (on the base key field) contains the
+    /// vacated or the newly written key.
+    fn note_update(&self, n: usize, key_field: usize, victim: i64, new_key: i64) {
+        if n > 0 {
+            let conflicting: Vec<usize> = self
+                .views
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, def))| {
+                    let (lo, hi) = def
+                        .selection
+                        .int_bounds(key_field)
+                        .unwrap_or((i64::MIN, i64::MAX));
+                    (lo..=hi).contains(&victim) || (lo..=hi).contains(&new_key)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            self.observer.lock().record_update(conflicting);
+        } else {
+            self.observer.lock().record_update([]);
         }
     }
 
@@ -359,7 +507,17 @@ impl Session {
             Organization::BTree { key_field } | Organization::Hash { key_field } => key_field,
             Organization::Heap => 0,
         };
-        let engine = self.ensure_engine()?;
+        self.ensure_backend()?;
+        if matches!(self.engine.as_ref(), Some(Backend::Sharded(_))) {
+            let out = self
+                .update_shared(victim, new_key)?
+                .expect("sharded backend is live");
+            self.resync_mirror();
+            return Ok(out);
+        }
+        let Some(Backend::Single(engine)) = self.engine.as_mut() else {
+            return Err("engine build failed".to_string());
+        };
         let before = engine.ledger().snapshot();
         let n = engine
             .apply_update(&[(victim, new_key)])
@@ -378,34 +536,47 @@ impl Session {
                 .and_then(|t| t.scan_all().map_err(|e| e.to_string()));
             pager.set_charging(true);
             self.tables[0].rows = rows?;
-            // Count which procedures this update conflicted with: any
-            // whose selection window (on the base key field) contains the
-            // vacated or the newly written key.
-            let conflicting: Vec<usize> = self
-                .views
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, def))| {
-                    let (lo, hi) = def
-                        .selection
-                        .int_bounds(key_field)
-                        .unwrap_or((i64::MIN, i64::MAX));
-                    (lo..=hi).contains(&victim) || (lo..=hi).contains(&new_key)
-                })
-                .map(|(i, _)| i)
-                .collect();
-            self.observer.lock().record_update(conflicting);
-        } else {
-            self.observer.lock().record_update([]);
         }
+        self.note_update(n, key_field, victim, new_key);
         Ok((n, ms))
     }
 
+    /// Re-key one base tuple through `&self`. Only a live **sharded**
+    /// backend serves here — its concurrency control is per shard, so
+    /// the caller needs no exclusive session lock; the server routes
+    /// updates this way, locking one shard instead of the whole session.
+    /// `Ok(None)` means single-engine (or unbuilt) — escalate to
+    /// [`Session::update`] under the exclusive lock.
+    pub fn update_shared(
+        &self,
+        victim: i64,
+        new_key: i64,
+    ) -> Result<Option<(usize, f64)>, SessionError> {
+        let Some(Backend::Sharded(sharded)) = self.engine.as_ref() else {
+            return Ok(None);
+        };
+        let key_field = match self.tables[0].org {
+            Organization::BTree { key_field } | Organization::Hash { key_field } => key_field,
+            Organization::Heap => 0,
+        };
+        let (n, ms) = sharded
+            .apply_update(&[(victim, new_key)], &self.constants)
+            .map_err(|e| e.to_string())?;
+        if n > 0 {
+            // The row mirror can't be rewritten under `&self`; mark it
+            // and resync before its next use (engine rebuild/DDL).
+            self.mirror_stale.store(true, Ordering::SeqCst);
+        }
+        self.note_update(n, key_field, victim, new_key);
+        Ok(Some((n, ms)))
+    }
+
     /// Install a fault plan on the live engine's pager (building the
-    /// engine first if needed). Note that rebuilding the engine — a
-    /// strategy switch or DDL — discards the plan with the pager.
+    /// engine first if needed). A sharded backend installs the same
+    /// seeded plan on every shard's private pager. Note that rebuilding
+    /// the engine — a strategy switch or DDL — discards the plan with
+    /// the pager.
     pub fn fault_inject(&mut self, plan: FaultPlan) -> Result<String, SessionError> {
-        let engine = self.ensure_engine()?;
         let desc = format!(
             "fault plan installed: seed {} io-reads {} io-writes {} torn {}{}{}{}",
             plan.seed,
@@ -424,24 +595,59 @@ impl Session {
                 " (uncharged included)"
             },
         );
-        engine.pager().install_faults(plan);
-        Ok(desc)
+        match self.ensure_backend()? {
+            Backend::Single(engine) => {
+                engine.pager().install_faults(plan);
+                Ok(desc)
+            }
+            Backend::Sharded(sharded) => {
+                for s in 0..sharded.shards() {
+                    let plan = plan.clone();
+                    sharded.with_engine(s, |e| e.pager().install_faults(plan));
+                }
+                Ok(format!("{desc} (all {} shards)", sharded.shards()))
+            }
+        }
     }
 
     /// Remove the installed fault plan, if any.
     pub fn fault_off(&mut self) -> Result<String, SessionError> {
-        let engine = self.ensure_engine()?;
-        engine.pager().clear_faults();
+        match self.ensure_backend()? {
+            Backend::Single(engine) => engine.pager().clear_faults(),
+            Backend::Sharded(sharded) => {
+                for s in 0..sharded.shards() {
+                    sharded.with_engine(s, |e| e.pager().clear_faults());
+                }
+            }
+        }
         Ok("fault injection off".to_string())
     }
 
     /// Injector counters and the active plan (the `fault status` command).
     pub fn fault_status_text(&self) -> String {
-        match self
-            .engine
-            .as_ref()
-            .and_then(|e| e.pager().fault_injector())
-        {
+        if let Some(Backend::Sharded(sharded)) = self.engine.as_ref() {
+            let mut out = String::new();
+            for s in 0..sharded.shards() {
+                let line = sharded.with_engine(s, |e| match e.pager().fault_injector() {
+                    None => format!("shard {s}: no fault plan installed"),
+                    Some(inj) => {
+                        let st = inj.status();
+                        format!(
+                            "shard {s}: {} transfers, {} io failures, {} torn writes, \
+                             {} kills, crashed {}",
+                            st.transfers, st.io_failures, st.torn_writes, st.kills, st.crashed,
+                        )
+                    }
+                });
+                out.push_str(&line);
+                out.push('\n');
+            }
+            return out.trim_end().to_string();
+        }
+        match self.engine.as_ref().and_then(|b| match b {
+            Backend::Single(e) => e.pager().fault_injector(),
+            Backend::Sharded(_) => unreachable!("handled above"),
+        }) {
             None => "no fault plan installed".to_string(),
             Some(inj) => {
                 let st = inj.status();
@@ -472,38 +678,94 @@ impl Session {
         }
     }
 
-    /// Simulate a whole-process crash on the live engine.
-    pub fn crash(&mut self) -> Result<String, SessionError> {
-        let engine = self.ensure_engine()?;
-        engine.crash();
-        Ok(format!(
-            "crashed (epoch {}): buffered frames dropped, derived state distrusted; \
-             run 'recover' to resume",
-            engine.crash_epoch()
-        ))
+    /// Simulate a crash on the live engine. With a sharded backend,
+    /// `shard` selects one shard to kill (others keep serving); `None`
+    /// crashes everything.
+    pub fn crash(&mut self, shard: Option<usize>) -> Result<String, SessionError> {
+        match (self.ensure_backend()?, shard) {
+            (Backend::Single(engine), None) => {
+                engine.crash();
+                Ok(format!(
+                    "crashed (epoch {}): buffered frames dropped, derived state distrusted; \
+                     run 'recover' to resume",
+                    engine.crash_epoch()
+                ))
+            }
+            (Backend::Single(_), Some(_)) => {
+                Err("not sharded; use plain 'crash' (or 'shards N' first)".to_string())
+            }
+            (Backend::Sharded(sharded), sel) => {
+                if let Some(s) = sel {
+                    if s >= sharded.shards() {
+                        return Err(format!("shard {s} out of range (0..{})", sharded.shards()));
+                    }
+                }
+                sharded.crash(sel);
+                Ok(match sel {
+                    Some(s) => format!(
+                        "shard {s} crashed: its frames dropped, its derived state \
+                         distrusted; other shards keep serving. run 'recover {s}' to resume"
+                    ),
+                    None => format!(
+                        "all {} shards crashed; run 'recover' to resume",
+                        sharded.shards()
+                    ),
+                })
+            }
+        }
     }
 
-    /// Run crash recovery on the live engine and report what it did.
-    pub fn recover(&mut self) -> Result<String, SessionError> {
-        let engine = self.ensure_engine()?;
-        let rep = engine.recover();
-        Ok(format!(
-            "recovered (epoch {}): {} WAL records ({} bytes) replayed, \
-             {} conservative invalidations, {} rebuilds deferred to first access",
-            rep.crash_epoch,
-            rep.wal_records_replayed,
-            rep.wal_bytes_replayed,
-            rep.conservative_invalidations,
-            rep.rebuilds_pending,
-        ))
+    /// Run crash recovery and report what it did. With a sharded
+    /// backend, `shard` recovers one shard independently.
+    pub fn recover(&mut self, shard: Option<usize>) -> Result<String, SessionError> {
+        match (self.ensure_backend()?, shard) {
+            (Backend::Single(engine), None) => {
+                let rep = engine.recover();
+                Ok(format!(
+                    "recovered (epoch {}): {} WAL records ({} bytes) replayed, \
+                     {} conservative invalidations, {} rebuilds deferred to first access",
+                    rep.crash_epoch,
+                    rep.wal_records_replayed,
+                    rep.wal_bytes_replayed,
+                    rep.conservative_invalidations,
+                    rep.rebuilds_pending,
+                ))
+            }
+            (Backend::Single(_), Some(_)) => {
+                Err("not sharded; use plain 'recover' (or 'shards N' first)".to_string())
+            }
+            (Backend::Sharded(sharded), sel) => {
+                if let Some(s) = sel {
+                    if s >= sharded.shards() {
+                        return Err(format!("shard {s} out of range (0..{})", sharded.shards()));
+                    }
+                }
+                let mut out = String::new();
+                for (s, rep) in sharded.recover(sel) {
+                    out.push_str(&format!(
+                        "shard {s} recovered (epoch {}): {} WAL records ({} bytes) replayed, \
+                         {} conservative invalidations, {} rebuilds deferred to first access\n",
+                        rep.crash_epoch,
+                        rep.wal_records_replayed,
+                        rep.wal_bytes_replayed,
+                        rep.conservative_invalidations,
+                        rep.rebuilds_pending,
+                    ));
+                }
+                Ok(out.trim_end().to_string())
+            }
+        }
     }
 
-    /// Total priced cost accumulated on the live engine's ledger.
+    /// Total priced cost accumulated on the live engine's ledger(s).
     pub fn total_cost_ms(&self) -> f64 {
-        self.engine
-            .as_ref()
-            .map(|e| e.ledger().snapshot().priced(&self.constants))
-            .unwrap_or(0.0)
+        match self.engine.as_ref() {
+            None => 0.0,
+            Some(Backend::Single(e)) => e.ledger().snapshot().priced(&self.constants),
+            Some(Backend::Sharded(sharded)) => (0..sharded.shards())
+                .map(|s| sharded.with_engine(s, |e| e.ledger().snapshot().priced(&self.constants)))
+                .sum(),
+        }
     }
 
     /// Per-procedure workload counters (the `stats` command): accesses,
@@ -520,13 +782,36 @@ impl Session {
                 .map(|r| format!("{r:.2}"))
                 .unwrap_or_else(|| "-".to_string());
             let advice = match (self.engine.as_ref(), obs.conflict_rate(i)) {
-                (Some(engine), Some(rate)) => {
+                (Some(backend), Some(rate)) => {
                     let c = self.constants;
+                    // Full-relation estimates: the single engine's, or
+                    // the sum of each shard's estimate over its slice.
+                    let (recompute_ms, cached_read_ms) = match backend {
+                        Backend::Single(engine) => (
+                            engine.estimate_recompute_ms(i, &c),
+                            engine.estimate_cached_read_ms(i, &c).unwrap_or(c.c2),
+                        ),
+                        Backend::Sharded(sharded) => {
+                            let mut rec = 0.0;
+                            let mut cached = 0.0;
+                            for s in 0..sharded.shards() {
+                                let (r, cr) = sharded.with_engine(s, |e| {
+                                    (
+                                        e.estimate_recompute_ms(i, &c),
+                                        e.estimate_cached_read_ms(i, &c).unwrap_or(c.c2),
+                                    )
+                                });
+                                rec += r;
+                                cached += cr;
+                            }
+                            (rec, cached)
+                        }
+                    };
                     let input = procdb_core::DecisionInput {
-                        recompute_ms: engine.estimate_recompute_ms(i, &c),
+                        recompute_ms,
                         // Always Recompute keeps no cache to measure; a
                         // one-page read stands in for the hypothetical one.
-                        cached_read_ms: engine.estimate_cached_read_ms(i, &c).unwrap_or(c.c2),
+                        cached_read_ms,
                         conflict_rate: rate,
                         // Shell updates re-key one base tuple at a time.
                         tuples_per_conflict: 1.0,
@@ -544,29 +829,115 @@ impl Session {
         if self.views.is_empty() {
             out.push_str("  (no procedures defined)\n");
         }
-        if let Some(e) = self.engine.as_ref() {
-            out.push_str(&format!("recovery: {} crash(es)", e.crash_epoch()));
-            if let Some(rep) = e.last_recovery() {
+        match self.engine.as_ref() {
+            Some(Backend::Single(e)) => {
+                out.push_str(&format!("recovery: {} crash(es)", e.crash_epoch()));
+                if let Some(rep) = e.last_recovery() {
+                    out.push_str(&format!(
+                        "; last recovery replayed {} WAL records ({} bytes), \
+                         {} conservative invalidations",
+                        rep.wal_records_replayed,
+                        rep.wal_bytes_replayed,
+                        rep.conservative_invalidations,
+                    ));
+                }
+                if let Some((log, tail)) = e.wal_stats() {
+                    out.push_str(&format!(
+                        "; validity WAL {log} bytes ({tail} past checkpoint)"
+                    ));
+                }
+                let pending = e.rebuilds_pending();
+                if pending > 0 {
+                    out.push_str(&format!("; {pending} rebuild(s) pending"));
+                }
+                out.push('\n');
+            }
+            Some(Backend::Sharded(sharded)) => {
                 out.push_str(&format!(
-                    "; last recovery replayed {} WAL records ({} bytes), \
-                     {} conservative invalidations",
-                    rep.wal_records_replayed,
-                    rep.wal_bytes_replayed,
-                    rep.conservative_invalidations,
+                    "shards: {} ({} cross-shard moves)\n",
+                    sharded.shards(),
+                    sharded.cross_moves(),
                 ));
+                for st in sharded.shard_stats() {
+                    out.push_str(&format!(
+                        "  shard {}: {} accesses, {} updates, buffer hit ratio {:.2}, \
+                         conflict rate {:.2}, {} R1 rows, crash epoch {}",
+                        st.shard,
+                        st.accesses,
+                        st.updates,
+                        st.hit_ratio(),
+                        st.conflict_rate(),
+                        st.r1_rows,
+                        st.crash_epoch,
+                    ));
+                    if st.rebuilds_pending > 0 {
+                        out.push_str(&format!(", {} rebuild(s) pending", st.rebuilds_pending));
+                    }
+                    if let Some(vf) = st.valid_fraction {
+                        out.push_str(&format!(", valid fraction {vf:.2}"));
+                    }
+                    out.push('\n');
+                }
             }
-            if let Some((log, tail)) = e.wal_stats() {
-                out.push_str(&format!(
-                    "; validity WAL {log} bytes ({tail} past checkpoint)"
-                ));
-            }
-            let pending = e.rebuilds_pending();
-            if pending > 0 {
-                out.push_str(&format!("; {pending} rebuild(s) pending"));
-            }
-            out.push('\n');
+            None => {}
         }
         out
+    }
+
+    /// Machine-parseable per-shard status (the `shards` command): one
+    /// `key=value` line per shard. The single engine renders as a
+    /// one-shard deployment so consumers (loadgen's bench JSON) see the
+    /// same schema either way.
+    pub fn shards_text(&self) -> String {
+        match self.engine.as_ref() {
+            Some(Backend::Sharded(sharded)) => {
+                let mut out = format!("shards: {}\n", sharded.shards());
+                out.push_str(&format!("cross_moves: {}\n", sharded.cross_moves()));
+                for st in sharded.shard_stats() {
+                    out.push_str(&format!(
+                        "shard {}: accesses={} updates={} escalations={} hits={} faults={} \
+                         hit_ratio={:.4} conflict_rate={:.4} crash_epoch={} \
+                         rebuilds_pending={} r1_rows={} access_ms={:.3}\n",
+                        st.shard,
+                        st.accesses,
+                        st.updates,
+                        st.escalations,
+                        st.buffer_hits,
+                        st.buffer_faults,
+                        st.hit_ratio(),
+                        st.conflict_rate(),
+                        st.crash_epoch,
+                        st.rebuilds_pending,
+                        st.r1_rows,
+                        st.access_ms_sum,
+                    ));
+                }
+                out.trim_end().to_string()
+            }
+            Some(Backend::Single(e)) => {
+                let obs = self.observer.lock();
+                let accesses: u64 = (0..self.views.len()).map(|i| obs.stats(i).accesses).sum();
+                let updates = obs.operations.saturating_sub(accesses);
+                let (hits, faults) = e.pager().buffer_stats();
+                let total = hits + faults;
+                let hit_ratio = if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                };
+                let r1_rows = self.tables.first().map(|t| t.rows.len()).unwrap_or(0);
+                format!(
+                    "shards: 1\ncross_moves: 0\n\
+                     shard 0: accesses={accesses} updates={updates} escalations=0 \
+                     hits={hits} faults={faults} hit_ratio={hit_ratio:.4} \
+                     conflict_rate=0.0000 crash_epoch={} rebuilds_pending={} \
+                     r1_rows={r1_rows} access_ms=0.000",
+                    e.crash_epoch(),
+                    e.rebuilds_pending(),
+                )
+            }
+            None => format!("shards: {} (engine not built yet)", self.shards),
+        }
     }
 
     /// Prometheus text exposition of the process-global metric registry,
@@ -574,12 +945,33 @@ impl Session {
     /// refreshed first (the `metrics` command).
     pub fn metrics_text(&self) -> String {
         let reg = procdb_obs::global();
-        if let Some(e) = self.engine.as_ref() {
-            if let Some(vf) = e.valid_fraction() {
-                reg.gauge("procdb_ci_valid_fraction", &[]).set(vf);
+        match self.engine.as_ref() {
+            Some(Backend::Single(e)) => {
+                if let Some(vf) = e.valid_fraction() {
+                    reg.gauge("procdb_ci_valid_fraction", &[]).set(vf);
+                }
+                reg.gauge("procdb_shard_count", &[]).set(1.0);
+                reg.gauge("procdb_session_cost_ms", &[])
+                    .set(e.ledger().snapshot().priced(&self.constants));
             }
-            reg.gauge("procdb_session_cost_ms", &[])
-                .set(e.ledger().snapshot().priced(&self.constants));
+            Some(Backend::Sharded(sharded)) => {
+                reg.gauge("procdb_shard_count", &[])
+                    .set(sharded.shards() as f64);
+                reg.gauge("procdb_session_cost_ms", &[])
+                    .set(self.total_cost_ms());
+                for st in sharded.shard_stats() {
+                    let shard = st.shard.to_string();
+                    let labels = [("shard", shard.as_str())];
+                    reg.gauge("procdb_shard_buffer_hit_ratio", &labels)
+                        .set(st.hit_ratio());
+                    reg.gauge("procdb_shard_conflict_rate", &labels)
+                        .set(st.conflict_rate());
+                    if let Some(vf) = st.valid_fraction {
+                        reg.gauge("procdb_ci_valid_fraction", &labels).set(vf);
+                    }
+                }
+            }
+            None => {}
         }
         reg.render_prometheus()
     }

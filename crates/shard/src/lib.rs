@@ -1,0 +1,39 @@
+//! # procdb-shard
+//!
+//! A partitioned parallel engine over `procdb-core`: hash-partition the
+//! updatable base relation `R1` across `S` shard engines — each owning
+//! its own pager, heap files, i-lock table, AVM state, and Rete
+//! subnetwork — and answer procedure accesses by **scatter-gather**:
+//! fan the access out to every shard on a worker pool, collect the
+//! per-shard partial results (selection partials for `P1`, partitioned
+//! join partials for `P2`), and merge them deterministically.
+//!
+//! Correctness rests on two invariants:
+//!
+//! * **Partitioning** — every `R1` tuple lives on exactly the shard
+//!   [`shard_of`] assigns to its clustering key, so the union of
+//!   per-shard partials is the global answer and no tuple is counted
+//!   twice. Updates that re-key a tuple across the partition boundary
+//!   become a delete on the owning shard plus an insert on the
+//!   receiving shard ([`procdb_core::Engine::apply_delete_take`]).
+//! * **Replication** — inner relations (`R2`, `R3`) are replicated on
+//!   every shard, so each shard's join partial over its `R1` slice is
+//!   exact; inner-relation updates broadcast to all replicas.
+//!
+//! Because every shard runs the *same* strategy machinery the paper
+//! analyzes (AR/CI/AVM/RVM), the sharded engine preserves the exact
+//! delta semantics of the UC strategies, and its merged answers are
+//! byte-identical (as normalized multisets) to a single-engine oracle —
+//! a property test in `tests/shard_equivalence.rs` fuzzes exactly this,
+//! crash/recover cycles included.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod router;
+mod sharded;
+
+pub use pool::WorkerPool;
+pub use router::{shard_of, Router};
+pub use sharded::{ShardStats, ShardedEngine};

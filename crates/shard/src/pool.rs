@@ -1,0 +1,138 @@
+//! A small persistent worker pool for scatter-gather fan-out.
+//!
+//! Spawning a thread per access would dwarf the work being fanned out
+//! (a shard partial is often a few page reads); the pool keeps `T`
+//! long-lived workers pulling jobs off a shared queue. [`WorkerPool::scatter`]
+//! submits one job per shard and blocks until **all** results are in,
+//! returning them in submission order regardless of completion order —
+//! the merge step depends on a stable shard → result mapping.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of worker threads with an ordered scatter primitive.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("shard-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the dequeue, not
+                        // while running the job.
+                        let job = rx.lock().recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run every job on the pool and return their results **in job
+    /// order**. Blocks until all jobs finish. A panicking job does not
+    /// poison the pool: the payload is captured on the worker and
+    /// re-raised here, on the caller.
+    pub fn scatter<R: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = jobs.len();
+        let (rtx, rrx) = channel::<(usize, thread::Result<R>)>();
+        let tx = self.tx.as_ref().expect("pool is alive until dropped");
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            tx.send(Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(job));
+                // The gather side may have bailed on an earlier panic;
+                // a dead receiver is fine.
+                let _ = rtx.send((idx, out));
+            }))
+            .expect("worker queue open");
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<thread::Result<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, out) = rrx.recv().expect("every scattered job reports");
+            slots[idx] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("all result slots filled") {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_returns_results_in_job_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    // Finish out of submission order.
+                    std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 5) as u64));
+                    i * i
+                });
+                f
+            })
+            .collect();
+        let got = pool.scatter(jobs);
+        assert_eq!(got, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let bad: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("job failed")), Box::new(|| 7)];
+        let outcome = catch_unwind(AssertUnwindSafe(|| pool.scatter(bad)));
+        assert!(outcome.is_err(), "panic must surface on the caller");
+        // The pool still works after the panic.
+        let ok: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 1), Box::new(|| 2)];
+        assert_eq!(pool.scatter(ok), vec![1, 2]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The partitioned engine: `S` independent [`Engine`]s behind per-shard
+//! readers-writer locks, a [`Router`] that places every `R1` tuple, and
+//! a [`WorkerPool`] that fans procedure accesses out across shards.
+//!
+//! ## Routing
+//!
+//! * **Accesses** scatter to every shard: each shard computes its
+//!   partial answer over its `R1` slice (shared lock; escalated to
+//!   exclusive only when the shard's strategy must write — refill a
+//!   cache, fold maintenance, rebuild after a crash), and the partials
+//!   merge by sorting schema-encoded rows. Partition disjointness makes
+//!   the merged multiset exactly the single-engine answer.
+//! * **Updates** route to the shard owning the victim key. A re-key
+//!   whose new key hashes elsewhere becomes a *cross-shard move*:
+//!   delete-take on the source, rewrite the key, insert on the
+//!   destination — never holding two shard locks at once, so shard
+//!   locks cannot deadlock.
+//! * **Inner-relation updates** (`R2`/`R3` are replicated) broadcast to
+//!   every shard.
+//!
+//! ## Recovery
+//!
+//! [`ShardedEngine::crash`] and [`ShardedEngine::recover`] take an
+//! optional shard id: one shard can crash and recover while the others
+//! keep serving. An unrecovered shard still answers accesses — its
+//! strategy machinery rebuilds derived state on first access exactly as
+//! a standalone engine does — so a single-shard failure degrades
+//! latency instead of killing the service.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use procdb_core::{Engine, RecoveryReport, StrategyKind};
+use procdb_obs::{Counter, Histogram};
+use procdb_query::{Schema, Tuple, Value};
+use procdb_storage::{CostConstants, Result};
+
+use crate::pool::WorkerPool;
+use crate::router::Router;
+
+/// A boxed per-shard access task handed to the [`WorkerPool`]: runs one
+/// shard's share of a scatter and returns `(partial rows, priced ms)`.
+type AccessJob = Box<dyn FnOnce() -> Result<(Vec<Tuple>, f64)> + Send>;
+
+/// One shard: an engine behind its own readers-writer lock, plus the
+/// shard-labeled service metrics (the engine's own metric series already
+/// carry the `shard` label via `EngineOptions::shard`).
+struct ShardSlot {
+    id: usize,
+    engine: RwLock<Engine>,
+    accesses: Counter,
+    updates: Counter,
+    escalations: Counter,
+    access_ms: Histogram,
+}
+
+impl ShardSlot {
+    fn new(id: usize, engine: Engine) -> ShardSlot {
+        let reg = procdb_obs::global();
+        let id_str = id.to_string();
+        let labels: &[(&str, &str)] = &[("shard", id_str.as_str())];
+        ShardSlot {
+            id,
+            engine: RwLock::new(engine),
+            accesses: reg.counter("procdb_shard_accesses_total", labels),
+            updates: reg.counter("procdb_shard_updates_total", labels),
+            escalations: reg.counter("procdb_shard_escalations_total", labels),
+            access_ms: reg.histogram("procdb_shard_access_ms", labels),
+        }
+    }
+}
+
+/// A point-in-time summary of one shard, for `stats`/`metrics`
+/// reporting and the per-shard bench section.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard id (dense, `0..shards`).
+    pub shard: usize,
+    /// Procedure accesses this shard served (partials count once each).
+    pub accesses: u64,
+    /// Update transactions routed to (or broadcast through) this shard.
+    pub updates: u64,
+    /// Accesses that could not finish under the shared lock and
+    /// re-ran under the exclusive one (lock-conflict proxy).
+    pub escalations: u64,
+    /// Buffer-pool hits on this shard's private pager.
+    pub buffer_hits: u64,
+    /// Buffer-pool faults (misses) on this shard's private pager.
+    pub buffer_faults: u64,
+    /// Crashes simulated on this shard so far.
+    pub crash_epoch: u64,
+    /// Derived-state rebuilds still deferred to first access.
+    pub rebuilds_pending: usize,
+    /// Fraction of caches currently valid (CI only).
+    pub valid_fraction: Option<f64>,
+    /// `R1` tuples this shard owns.
+    pub r1_rows: u64,
+    /// Total wall-clock milliseconds spent in accesses on this shard.
+    pub access_ms_sum: f64,
+}
+
+impl ShardStats {
+    /// Buffer hit ratio on this shard's pager (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_faults;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of accesses that escalated to the exclusive lock.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.escalations as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// `S` hash-partitioned engines with scatter-gather procedure access.
+///
+/// All methods take `&self`: concurrency control is per shard, not
+/// global. Two updates to different shards run in parallel; an access
+/// shares each shard's lock with other accesses and only excludes the
+/// updates touching the same shard.
+pub struct ShardedEngine {
+    slots: Vec<Arc<ShardSlot>>,
+    router: Router,
+    pool: WorkerPool,
+    r1: String,
+    key_field: usize,
+    n_procs: usize,
+    kind: StrategyKind,
+    cross_moves: Counter,
+}
+
+impl ShardedEngine {
+    /// Build `shards` engines via `build(shard_id)` — the builder loads
+    /// each engine's catalog with exactly the `R1` rows
+    /// [`Router::shard_of`] assigns to that shard (use
+    /// [`Router::partition_rows`]) and full replicas of the inner
+    /// relations. Every engine must share the strategy, `R1` name, key
+    /// field, and procedure list; this is asserted, not trusted.
+    /// Generic over the builder's error type so callers keep their own
+    /// error domain.
+    pub fn new<E>(
+        shards: usize,
+        mut build: impl FnMut(usize) -> std::result::Result<Engine, E>,
+    ) -> std::result::Result<Self, E> {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        let mut slots = Vec::with_capacity(shards);
+        for id in 0..shards {
+            slots.push(Arc::new(ShardSlot::new(id, build(id)?)));
+        }
+        let (r1, key_field, n_procs, kind) = {
+            let eng = slots[0].engine.read();
+            (
+                eng.options().r1.clone(),
+                eng.options().r1_key_field,
+                eng.procedures().len(),
+                eng.strategy(),
+            )
+        };
+        for slot in &slots[1..] {
+            let eng = slot.engine.read();
+            assert_eq!(eng.options().r1, r1, "shards must agree on R1");
+            assert_eq!(
+                eng.options().r1_key_field,
+                key_field,
+                "shards must agree on the partition key field"
+            );
+            assert_eq!(
+                eng.procedures().len(),
+                n_procs,
+                "shards must register identical procedures"
+            );
+            assert_eq!(eng.strategy(), kind, "shards must share the strategy");
+        }
+        Ok(ShardedEngine {
+            pool: WorkerPool::new(shards),
+            router: Router::new(shards),
+            slots,
+            r1,
+            key_field,
+            n_procs,
+            kind,
+            cross_moves: procdb_obs::global().counter("procdb_shard_cross_moves_total", &[]),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of registered procedures (identical on every shard).
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// The strategy every shard runs.
+    pub fn strategy(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The placement policy (stable hash of the `R1` key).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// `R1` re-keys that moved a tuple across the partition boundary.
+    pub fn cross_moves(&self) -> u64 {
+        self.cross_moves.get()
+    }
+
+    /// Run `f` against one shard's engine under the shared lock.
+    pub fn with_engine<R>(&self, shard: usize, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.slots[shard].engine.read())
+    }
+
+    /// Run `f` against one shard's engine under the exclusive lock.
+    pub fn with_engine_mut<R>(&self, shard: usize, f: impl FnOnce(&mut Engine) -> R) -> R {
+        f(&mut self.slots[shard].engine.write())
+    }
+
+    fn output_schema(&self, i: usize) -> Schema {
+        let eng = self.slots[0].engine.read();
+        eng.procedures()[i].view.output_schema(eng.catalog())
+    }
+
+    /// Merge per-shard partials deterministically: partition
+    /// disjointness means concatenation is the right multiset, and
+    /// sorting by the schema encoding fixes the order regardless of
+    /// which shard reported first.
+    fn merge(&self, schema: &Schema, partials: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+        let mut rows: Vec<Tuple> = partials.into_iter().flatten().collect();
+        rows.sort_by_cached_key(|r| schema.encode(r));
+        rows
+    }
+
+    /// Access procedure `i`: scatter to every shard on the worker pool,
+    /// merge the partials, and return `(rows, priced_ms)` where the cost
+    /// sums each shard's ledger delta — the work a serial engine would
+    /// have done, even though wall-clock overlaps it.
+    ///
+    /// Each shard first tries [`Engine::access_shared`] under the shared
+    /// lock; only a shard whose strategy must write (cache refill,
+    /// deferred maintenance, post-crash rebuild) escalates to its
+    /// exclusive lock, and only that shard serializes against updates.
+    pub fn access(&self, i: usize, c: &CostConstants) -> Result<(Vec<Tuple>, f64)> {
+        assert!(i < self.n_procs, "procedure index out of range");
+        let schema = self.output_schema(i);
+        let c = *c;
+        let jobs: Vec<AccessJob> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let slot = Arc::clone(slot);
+                let job: AccessJob = Box::new(move || {
+                    let start = Instant::now();
+                    {
+                        let eng = slot.engine.read();
+                        let before = eng.ledger().snapshot();
+                        if let Some(rows) = eng.access_shared(i)? {
+                            let ms = eng.ledger().snapshot().since(&before).priced(&c);
+                            slot.accesses.inc();
+                            slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                            return Ok((rows, ms));
+                        }
+                    }
+                    // This shard must write to answer; take its
+                    // exclusive lock and re-run.
+                    slot.escalations.inc();
+                    let mut eng = slot.engine.write();
+                    let before = eng.ledger().snapshot();
+                    let rows = eng.access(i)?;
+                    let ms = eng.ledger().snapshot().since(&before).priced(&c);
+                    slot.accesses.inc();
+                    slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                    Ok((rows, ms))
+                });
+                job
+            })
+            .collect();
+        let mut partials = Vec::with_capacity(self.slots.len());
+        let mut total_ms = 0.0;
+        for out in self.pool.scatter(jobs) {
+            let (rows, ms) = out?;
+            partials.push(rows);
+            total_ms += ms;
+        }
+        Ok((self.merge(&schema, partials), total_ms))
+    }
+
+    /// Apply one `R1` update transaction, routing each `(victim,
+    /// new_key)` re-key to the shard owning the victim. Pairs apply in
+    /// order, so a later pair observes an earlier pair's effect exactly
+    /// as in a single engine. Returns `(tuples_modified, priced_ms)`.
+    pub fn apply_update(
+        &self,
+        modifications: &[(i64, i64)],
+        c: &CostConstants,
+    ) -> Result<(usize, f64)> {
+        let mut modified = 0;
+        let mut total_ms = 0.0;
+        for &(victim, new_key) in modifications {
+            let src = self.router.shard_of(victim);
+            let dst = self.router.shard_of(new_key);
+            if src == dst {
+                let slot = &self.slots[src];
+                let mut eng = slot.engine.write();
+                let before = eng.ledger().snapshot();
+                modified += eng.apply_update(&[(victim, new_key)])?;
+                total_ms += eng.ledger().snapshot().since(&before).priced(c);
+                slot.updates.inc();
+            } else {
+                // Cross-shard move. One lock at a time: delete-take on
+                // the source, then insert on the destination.
+                let taken = {
+                    let slot = &self.slots[src];
+                    let mut eng = slot.engine.write();
+                    let before = eng.ledger().snapshot();
+                    let taken = eng.apply_delete_take(&[victim])?;
+                    total_ms += eng.ledger().snapshot().since(&before).priced(c);
+                    slot.updates.inc();
+                    taken
+                };
+                if let Some(mut row) = taken.into_iter().next() {
+                    row[self.key_field] = Value::Int(new_key);
+                    let slot = &self.slots[dst];
+                    let mut eng = slot.engine.write();
+                    let before = eng.ledger().snapshot();
+                    eng.apply_insert(std::slice::from_ref(&row))?;
+                    total_ms += eng.ledger().snapshot().since(&before).priced(c);
+                    slot.updates.inc();
+                    self.cross_moves.inc();
+                    modified += 1;
+                }
+            }
+        }
+        Ok((modified, total_ms))
+    }
+
+    /// Insert new `R1` tuples, each on the shard owning its key.
+    pub fn apply_insert(&self, rows: &[Tuple], c: &CostConstants) -> Result<(usize, f64)> {
+        let parts = self.router.partition_rows(rows, self.key_field);
+        let mut inserted = 0;
+        let mut total_ms = 0.0;
+        for (s, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let slot = &self.slots[s];
+            let mut eng = slot.engine.write();
+            let before = eng.ledger().snapshot();
+            inserted += eng.apply_insert(part)?;
+            total_ms += eng.ledger().snapshot().since(&before).priced(c);
+            slot.updates.inc();
+        }
+        Ok((inserted, total_ms))
+    }
+
+    /// Delete (up to) one `R1` tuple per listed key, each on its owning
+    /// shard. Duplicates of a key all live on one shard in insertion
+    /// order, so the tuple removed matches the single-engine choice.
+    pub fn apply_delete(&self, keys: &[i64], c: &CostConstants) -> Result<(usize, f64)> {
+        let mut per_shard: Vec<Vec<i64>> = vec![Vec::new(); self.slots.len()];
+        for &k in keys {
+            per_shard[self.router.shard_of(k)].push(k);
+        }
+        let mut deleted = 0;
+        let mut total_ms = 0.0;
+        for (s, part) in per_shard.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let slot = &self.slots[s];
+            let mut eng = slot.engine.write();
+            let before = eng.ledger().snapshot();
+            deleted += eng.apply_delete(part)?;
+            total_ms += eng.ledger().snapshot().since(&before).priced(c);
+            slot.updates.inc();
+        }
+        Ok((deleted, total_ms))
+    }
+
+    /// Update any relation by name. `R1` routes through
+    /// [`ShardedEngine::apply_update`]; an inner relation is replicated,
+    /// so the transaction broadcasts to every shard and the modified
+    /// count (identical on each replica) is reported once.
+    pub fn apply_update_to(
+        &self,
+        relation: &str,
+        modifications: &[(i64, i64)],
+        c: &CostConstants,
+    ) -> Result<(usize, f64)> {
+        if relation == self.r1 {
+            return self.apply_update(modifications, c);
+        }
+        let mut modified = 0;
+        let mut total_ms = 0.0;
+        for (s, slot) in self.slots.iter().enumerate() {
+            let mut eng = slot.engine.write();
+            let before = eng.ledger().snapshot();
+            let n = eng.apply_update_to(relation, modifications)?;
+            total_ms += eng.ledger().snapshot().since(&before).priced(c);
+            slot.updates.inc();
+            if s == 0 {
+                modified = n;
+            }
+        }
+        Ok((modified, total_ms))
+    }
+
+    /// Crash one shard (or all, with `None`). Other shards keep serving.
+    pub fn crash(&self, shard: Option<usize>) {
+        match shard {
+            Some(s) => self.slots[s].engine.write().crash(),
+            None => {
+                for slot in &self.slots {
+                    slot.engine.write().crash();
+                }
+            }
+        }
+    }
+
+    /// Recover one shard (or all, with `None`); returns each recovered
+    /// shard's report.
+    pub fn recover(&self, shard: Option<usize>) -> Vec<(usize, RecoveryReport)> {
+        match shard {
+            Some(s) => vec![(s, self.slots[s].engine.write().recover())],
+            None => self
+                .slots
+                .iter()
+                .map(|slot| (slot.id, slot.engine.write().recover()))
+                .collect(),
+        }
+    }
+
+    /// Warm every shard's caches (uncharged), so first measured accesses
+    /// are steady-state — the sharded analogue of [`Engine::warm_up`].
+    pub fn warm_up(&self) -> Result<()> {
+        for slot in &self.slots {
+            slot.engine.write().warm_up()?;
+        }
+        Ok(())
+    }
+
+    /// Reference answer for procedure `i`: every shard's uncharged fresh
+    /// recompute, merged. Test/verification support.
+    pub fn expected_rows(&self, i: usize) -> Result<Vec<Tuple>> {
+        let schema = self.output_schema(i);
+        let mut partials = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            partials.push(slot.engine.read().expected_rows(i)?);
+        }
+        Ok(self.merge(&schema, partials))
+    }
+
+    /// Normalize rows for multiset comparison (encode + sort), using the
+    /// same schema encoding as the single-engine oracle.
+    pub fn normalize(&self, i: usize, rows: &[Tuple]) -> Vec<Vec<u8>> {
+        self.slots[0].engine.read().normalize(i, rows)
+    }
+
+    /// All `R1` tuples across shards, uncharged, in a deterministic
+    /// (schema-encoded) order. Used to resync a session's schema mirror
+    /// after updates.
+    pub fn scan_r1(&self) -> Result<Vec<Tuple>> {
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut schema: Option<Schema> = None;
+        for slot in &self.slots {
+            let eng = slot.engine.read();
+            let pager = eng.pager().clone();
+            let was = pager.is_charging();
+            pager.set_charging(false);
+            let table = eng.catalog().get(&self.r1).expect("R1 exists on shards");
+            if schema.is_none() {
+                schema = Some(table.schema().clone());
+            }
+            let scanned = table.scan_all();
+            pager.set_charging(was);
+            rows.extend(scanned?);
+        }
+        let schema = schema.expect("at least one shard");
+        rows.sort_by_cached_key(|r| schema.encode(r));
+        Ok(rows)
+    }
+
+    /// Point-in-time per-shard summaries (allocation-free on the hot
+    /// path: counters are relaxed atomics, the engine is read-locked
+    /// only to read sizes).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                let eng = slot.engine.read();
+                let (hits, faults) = eng.pager().buffer_stats();
+                ShardStats {
+                    shard: slot.id,
+                    accesses: slot.accesses.get(),
+                    updates: slot.updates.get(),
+                    escalations: slot.escalations.get(),
+                    buffer_hits: hits,
+                    buffer_faults: faults,
+                    crash_epoch: eng.crash_epoch(),
+                    rebuilds_pending: eng.rebuilds_pending(),
+                    valid_fraction: eng.valid_fraction(),
+                    r1_rows: eng
+                        .catalog()
+                        .get(&self.r1)
+                        .map(|t| t.len())
+                        .unwrap_or_default(),
+                    access_ms_sum: slot.access_ms.sum(),
+                }
+            })
+            .collect()
+    }
+}

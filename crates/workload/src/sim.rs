@@ -97,6 +97,7 @@ pub fn run_strategy_with_buffer(
             rvm_base_probe_field: r1::A,
             rvm_update_frequencies: None,
             clear_buffer_between_ops: clear_between_ops,
+            shard: None,
         },
     )?;
     engine.warm_up()?;

@@ -97,6 +97,32 @@ pub fn generate_stream(spec: &StreamSpec, n_procs: usize, key_space: i64) -> Vec
     out
 }
 
+/// Split one global stream across `parts` clients **deterministically**:
+/// a single seeded RNG generates the complete `spec.ops`-operation
+/// sequence (exactly [`generate_stream`]'s), and operation `t` is dealt
+/// to part `t mod parts`. The union of the parts — interleaved back in
+/// round-robin order — is therefore the *identical* global
+/// update/access sequence whatever `parts` is. This is the fix for the
+/// naive per-client seeding (`seed + client_id * prime`), which gave a
+/// partitioned run `parts` independent RNGs and a different global
+/// workload than the single-client baseline it is benchmarked against.
+pub fn split_stream(
+    spec: &StreamSpec,
+    n_procs: usize,
+    key_space: i64,
+    parts: usize,
+) -> Vec<Vec<Op>> {
+    assert!(parts > 0, "need at least one part");
+    let mut out: Vec<Vec<Op>> = vec![Vec::with_capacity(spec.ops / parts + 1); parts];
+    for (t, op) in generate_stream(spec, n_procs, key_space)
+        .into_iter()
+        .enumerate()
+    {
+        out[t % parts].push(op);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +201,30 @@ mod tests {
             Op::Update(vec![(5, 99), (7, 3)]).to_wire_lines(&names),
             vec!["update 5 -> 99", "update 7 -> 3"]
         );
+    }
+
+    #[test]
+    fn split_union_is_the_single_client_stream() {
+        let spec = StreamSpec {
+            ops: 97, // deliberately not a multiple of any part count
+            ..StreamSpec::default()
+        };
+        let global = generate_stream(&spec, 10, 500);
+        for parts in 1..=6 {
+            let split = split_stream(&spec, 10, 500, parts);
+            assert_eq!(split.len(), parts);
+            // Re-interleave round-robin and compare with the global
+            // sequence: same ops, same order, for every part count.
+            let mut rebuilt = Vec::with_capacity(global.len());
+            let mut cursors = vec![0usize; parts];
+            for t in 0..global.len() {
+                let p = t % parts;
+                rebuilt.push(split[p][cursors[p]].clone());
+                cursors[p] += 1;
+            }
+            assert_eq!(rebuilt, global, "parts={parts}");
+            assert!(cursors.iter().zip(&split).all(|(&c, part)| c == part.len()));
+        }
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn main() {
             rvm_base_probe_field: 2, // EMP.dept, the join attribute
             rvm_update_frequencies: None,
             clear_buffer_between_ops: true,
+            shard: None,
         },
     )
     .unwrap();

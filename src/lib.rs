@@ -29,6 +29,7 @@
 //! | [`avm`] | algebraic (non-shared) view maintenance |
 //! | [`rete`] | the shared Rete network |
 //! | [`core`] | the procedure engine with the four strategies |
+//! | [`shard`] | hash-partitioned parallel engines, scatter-gather access |
 //! | [`workload`] | database/procedure/stream generators + simulator |
 //!
 //! ## Quick start
@@ -80,5 +81,6 @@ pub use procdb_index as index;
 pub use procdb_obs as obs;
 pub use procdb_query as query;
 pub use procdb_rete as rete;
+pub use procdb_shard as shard;
 pub use procdb_storage as storage;
 pub use procdb_workload as workload;

@@ -41,6 +41,7 @@ fn engine_for(kind: StrategyKind) -> Engine {
             rvm_update_frequencies: None,
             // The estimator prices cold reads, so observe cold reads.
             clear_buffer_between_ops: true,
+            shard: None,
         },
     )
     .unwrap();
