@@ -166,6 +166,43 @@ pub struct RecoveryReport {
     pub rebuilds_pending: usize,
 }
 
+/// The typed result of one [`Engine::recover`] call.
+///
+/// Recovery is idempotent at the call level: a `recover` against an
+/// engine that is not crashed (never crashed, or already recovered)
+/// does **no** work and reports [`RecoveryOutcome::NotCrashed`] instead
+/// of silently re-running WAL replay and re-counting recovery metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The engine was crashed; this pass recovered it.
+    Recovered(RecoveryReport),
+    /// The engine was not crashed; nothing was done.
+    NotCrashed,
+}
+
+impl RecoveryOutcome {
+    /// The report, if this pass actually recovered.
+    pub fn report(&self) -> Option<&RecoveryReport> {
+        match self {
+            RecoveryOutcome::Recovered(r) => Some(r),
+            RecoveryOutcome::NotCrashed => None,
+        }
+    }
+
+    /// Consume into the report, if this pass actually recovered.
+    pub fn into_report(self) -> Option<RecoveryReport> {
+        match self {
+            RecoveryOutcome::Recovered(r) => Some(r),
+            RecoveryOutcome::NotCrashed => None,
+        }
+    }
+
+    /// Did this pass perform recovery work?
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, RecoveryOutcome::Recovered(_))
+    }
+}
+
 /// The database-procedure engine.
 pub struct Engine {
     pager: Arc<Pager>,
@@ -177,10 +214,18 @@ pub struct Engine {
     metrics: EngineMetrics,
     /// Crashes simulated so far.
     crash_epoch: u64,
+    /// Crashed and not yet recovered ([`Engine::crash`] sets it,
+    /// [`Engine::recover`] clears it).
+    crashed: bool,
     /// CI procedures whose validity records were unforced at crash time
     /// (captured by [`Engine::crash`], consumed by [`Engine::recover`]).
     pending_suspect: Vec<ProcId>,
     last_recovery: Option<RecoveryReport>,
+    /// Replication log-sequence number of the last delta this engine
+    /// applied (0 = none). Maintained by the replication layer via
+    /// [`Engine::note_applied_lsn`]; a rejoining replica replays the
+    /// shard's delta log from here.
+    applied_lsn: u64,
 }
 
 /// Checkpoint the CI validity WAL after this many forced bytes (32
@@ -220,8 +265,10 @@ impl Engine {
             state: StrategyState::Recompute,
             metrics,
             crash_epoch: 0,
+            crashed: false,
             pending_suspect: Vec::new(),
             last_recovery: None,
+            applied_lsn: 0,
         };
         let was_charging = engine.pager.is_charging();
         engine.pager.set_charging(false);
@@ -371,6 +418,7 @@ impl Engine {
     /// [`Engine::recover`].
     pub fn crash(&mut self) {
         self.crash_epoch += 1;
+        self.crashed = true;
         self.metrics.crashes.inc();
         self.pager.drop_frames();
         match &mut self.state {
@@ -410,9 +458,13 @@ impl Engine {
     ///   recompute-on-first-access; this pass only reports the debt.
     ///
     /// Also clears the fault injector's crash latch so transfers flow
-    /// again. Idempotent: calling it twice without a new crash yields the
-    /// same state.
-    pub fn recover(&mut self) -> RecoveryReport {
+    /// again. Idempotent: against an engine that is not crashed (never
+    /// crashed, or already recovered) this does **no** work and returns
+    /// [`RecoveryOutcome::NotCrashed`].
+    pub fn recover(&mut self) -> RecoveryOutcome {
+        if !self.is_crashed() {
+            return RecoveryOutcome::NotCrashed;
+        }
         if let Some(inj) = self.pager.fault_injector() {
             inj.clear_crash();
         }
@@ -444,12 +496,20 @@ impl Engine {
             .recovery_conservative
             .add(report.conservative_invalidations as u64);
         self.last_recovery = Some(report);
-        report
+        self.crashed = false;
+        RecoveryOutcome::Recovered(report)
     }
 
     /// Crashes simulated so far (0 = never crashed).
     pub fn crash_epoch(&self) -> u64 {
         self.crash_epoch
+    }
+
+    /// Is this engine currently crashed (a [`Engine::crash`] without a
+    /// matching [`Engine::recover`], or a fault injector whose kill
+    /// latch has fired and not been cleared)?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed || self.pager.fault_injector().is_some_and(|inj| inj.crashed())
     }
 
     /// The most recent [`Engine::recover`] report, if any.
@@ -720,9 +780,16 @@ impl Engine {
     /// the shard that owns the victim key, rewrite the key, and re-insert
     /// on the shard that owns the new one. Maintenance is charged on this
     /// engine exactly as for `apply_delete`.
-    pub fn apply_delete_take(&mut self, keys: &[i64]) -> Result<Vec<Tuple>> {
+    ///
+    /// The taken rows are returned **even when maintenance fails**: the
+    /// base deletion is uncharged and durable by the time charged
+    /// maintenance runs, so on `Err` the tuples are already gone from
+    /// this engine — a router that dropped them here would lose the row
+    /// (the destination insert of a cross-shard move must still happen).
+    /// The maintenance outcome rides alongside in the second slot.
+    pub fn apply_delete_take(&mut self, keys: &[i64]) -> (Vec<Tuple>, Result<usize>) {
         let mut taken: Vec<Tuple> = Vec::new();
-        self.mutate_r1(|r1, delta| {
+        let res = self.mutate_r1(|r1, delta| {
             for &k in keys {
                 if let Some(old) = r1.delete_where(k, |_| true)? {
                     taken.push(old.clone());
@@ -730,8 +797,8 @@ impl Engine {
                 }
             }
             Ok(())
-        })?;
-        Ok(taken)
+        });
+        (taken, res)
     }
 
     /// Shared transaction skeleton: run `mutate` against `R1` uncharged,
@@ -1069,6 +1136,86 @@ impl Engine {
                 self.estimate_cached_read_ms(i, c).unwrap_or(0.0)
             }
         }
+    }
+
+    /// Apply one replicated [`DeltaOp`] through this engine's own
+    /// strategy machinery — the follower-side half of replication. The
+    /// base mutation and maintenance semantics (and charging) are
+    /// identical to the corresponding direct call.
+    ///
+    /// [`DeltaOp`]: crate::replication::DeltaOp
+    pub fn apply_delta_op(&mut self, op: &crate::replication::DeltaOp) -> Result<usize> {
+        use crate::replication::DeltaOp;
+        match op {
+            DeltaOp::Rekey(mods) => self.apply_update(mods),
+            DeltaOp::Insert(rows) => self.apply_insert(rows),
+            DeltaOp::Delete(keys) => self.apply_delete(keys),
+            DeltaOp::RekeyIn { relation, mods } => self.apply_update_to(relation, mods),
+        }
+    }
+
+    /// Replication LSN of the last delta applied here (0 = none).
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// Record that the delta stamped `lsn` has been applied here.
+    /// Monotonic: a lower LSN than already recorded is ignored.
+    pub fn note_applied_lsn(&mut self, lsn: u64) {
+        self.applied_lsn = self.applied_lsn.max(lsn);
+    }
+
+    /// Conservative full resync: replace this engine's entire `R1`
+    /// content with an authoritative snapshot (the current primary's
+    /// slice), then distrust **all** derived state — CI validity
+    /// invalidated, AVM views and the Rete network marked dirty — so
+    /// every strategy rebuilds from the fresh base on first access.
+    ///
+    /// The base rewrite is uncharged (it is resync plumbing, not the
+    /// paper's priced maintenance); the deferred rebuilds it forces are
+    /// charged when they happen, exactly like post-crash recovery work.
+    /// Returns the number of rows installed.
+    pub fn install_r1_snapshot(&mut self, rows: &[Tuple]) -> Result<usize> {
+        let was = self.pager.is_charging();
+        self.pager.set_charging(false);
+        let key_field = self.opts.r1_key_field;
+        let installed = {
+            let r1 = self
+                .catalog
+                .get_mut(&self.opts.r1)
+                .unwrap_or_else(|| panic!("unknown base relation"));
+            let existing = r1.scan_all()?;
+            for row in &existing {
+                r1.delete_where(row[key_field].as_int(), |_| true)?;
+            }
+            let mut n = 0;
+            for row in rows {
+                let row = r1.schema().normalize(row);
+                r1.insert(&row)?;
+                n += 1;
+            }
+            n
+        };
+        if self.pager.mode() == AccountingMode::Physical {
+            self.pager.clear_buffer()?;
+        }
+        self.pager.set_charging(was);
+        match &mut self.state {
+            StrategyState::Recompute => {}
+            StrategyState::CacheInval { validity, .. } => {
+                for i in 0..self.procs.len() {
+                    validity.invalidate(ProcId(i as u32));
+                }
+            }
+            StrategyState::Avm { dirty, .. } => {
+                for d in dirty.iter_mut() {
+                    *d = true;
+                }
+            }
+            StrategyState::Rvm { dirty, .. } => *dirty = true,
+        }
+        self.force_validity();
+        Ok(installed)
     }
 
     /// Fraction of Cache-and-Invalidate caches currently valid (CI only).
@@ -1411,7 +1558,8 @@ mod tests {
         for kind in StrategyKind::ALL {
             let mut e = engine_with(kind, vec![p1(0, 10, 29)]);
             e.warm_up().unwrap();
-            let taken = e.apply_delete_take(&[15, 9999]).unwrap();
+            let (taken, res) = e.apply_delete_take(&[15, 9999]);
+            res.unwrap();
             assert_eq!(taken.len(), 1, "{kind}: one victim exists, one missing");
             assert_eq!(taken[0][0], Value::Int(15));
             assert_matches_expected(&mut e, 0);
@@ -1633,7 +1781,7 @@ mod tests {
                 e.apply_update(&[(100 + cycle, 15), (40 + cycle, 160 + cycle)])
                     .unwrap();
                 e.crash();
-                let rep = e.recover();
+                let rep = e.recover().into_report().expect("crashed engine recovers");
                 assert_eq!(rep.crash_epoch, (cycle + 1) as u64, "{}", e.strategy());
                 for i in 0..2 {
                     assert_matches_expected(&mut e, i);
@@ -1648,7 +1796,7 @@ mod tests {
         e.warm_up().unwrap();
         e.apply_update(&[(100, 15)]).unwrap();
         e.crash();
-        let rep = e.recover();
+        let rep = e.recover().into_report().expect("crashed engine recovers");
         assert_eq!(rep.wal_records_replayed, 0, "AR replays no WAL (§3)");
         assert_eq!(rep.wal_bytes_replayed, 0);
         assert_eq!(rep.conservative_invalidations, 0);
@@ -1664,7 +1812,7 @@ mod tests {
             e.warm_up().unwrap();
             e.apply_update(&[(100, 15)]).unwrap();
             e.crash();
-            let rep = e.recover();
+            let rep = e.recover().into_report().expect("crashed engine recovers");
             assert!(rep.rebuilds_pending >= 1, "{}: {rep:?}", e.strategy());
             assert_eq!(rep.wal_records_replayed, 0, "UC replays no validity WAL");
             assert!(
@@ -1683,7 +1831,7 @@ mod tests {
         e.warm_up().unwrap();
         e.apply_update(&[(100, 15)]).unwrap(); // invalidate, forced
         e.crash();
-        let rep = e.recover();
+        let rep = e.recover().into_report().expect("crashed engine recovers");
         assert!(
             rep.wal_records_replayed > 0,
             "validity state comes back from the log: {rep:?}"
@@ -1693,9 +1841,61 @@ mod tests {
             "everything was forced at the boundary"
         );
         assert_matches_expected(&mut e, 0);
-        // Recovery is idempotent: a second pass with no new crash.
-        let rep2 = e.recover();
-        assert_eq!(rep2.conservative_invalidations, 0);
+        // Recovery is idempotent: a second pass with no new crash is a
+        // typed no-op.
+        assert_eq!(e.recover(), RecoveryOutcome::NotCrashed);
+        assert_matches_expected(&mut e, 0);
+    }
+
+    /// Satellite regression: `recover` is a typed no-op unless the
+    /// engine is actually crashed — never crashed, and already
+    /// recovered, both report `NotCrashed` without re-running recovery
+    /// work (visible as an unchanged pass counter).
+    #[test]
+    fn recover_is_idempotent_and_typed() {
+        for kind in StrategyKind::ALL {
+            let (_pg, mut e) = engine_physical(kind, vec![p1(0, 10, 29)]);
+            e.warm_up().unwrap();
+            // recover-without-crash: nothing to do.
+            assert!(!e.is_crashed());
+            assert_eq!(e.recover(), RecoveryOutcome::NotCrashed, "{kind}");
+            assert!(e.last_recovery().is_none(), "{kind}: no pass may run");
+            e.apply_update(&[(100, 15)]).unwrap();
+            e.crash();
+            assert!(e.is_crashed());
+            let first = e.recover();
+            assert!(first.is_recovered(), "{kind}");
+            assert!(!e.is_crashed());
+            // double-recover: the second call does no work — the pass
+            // counter (strategy-labeled, process-global) must not move.
+            let reg = procdb_obs::global();
+            let passes = reg.counter(
+                "procdb_recovery_passes_total",
+                &[("strategy", kind.metric_label())],
+            );
+            let before = passes.get();
+            assert_eq!(e.recover(), RecoveryOutcome::NotCrashed, "{kind}");
+            assert_eq!(passes.get(), before, "{kind}: no silent re-recovery");
+            assert_eq!(
+                e.last_recovery(),
+                first.into_report(),
+                "{kind}: the recorded report is the real pass's"
+            );
+            assert_matches_expected(&mut e, 0);
+        }
+    }
+
+    /// A fault injector's kill latch alone (no explicit `crash`) also
+    /// counts as crashed: `recover` clears it and transfers flow again.
+    #[test]
+    fn kill_latch_alone_is_recoverable() {
+        let (pg, mut e) = engine_physical(StrategyKind::AlwaysRecompute, vec![p1(0, 10, 29)]);
+        e.warm_up().unwrap();
+        pg.install_faults(procdb_storage::FaultPlan::new(9).kill_at(1));
+        assert!(e.access(0).is_err(), "the kill-point must fire");
+        assert!(e.is_crashed(), "the latch counts as crashed");
+        assert!(e.recover().is_recovered());
+        assert!(!e.is_crashed());
         assert_matches_expected(&mut e, 0);
     }
 
@@ -1720,7 +1920,7 @@ mod tests {
         let err = e.access(0).unwrap_err();
         assert_eq!(err, procdb_storage::StorageError::Crashed);
         e.crash();
-        let rep = e.recover();
+        let rep = e.recover().into_report().expect("crashed engine recovers");
         assert_eq!(
             rep.conservative_invalidations, 1,
             "the unforced mark_valid must be distrusted: {rep:?}"

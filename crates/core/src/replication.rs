@@ -1,0 +1,96 @@
+//! Routed replication deltas.
+//!
+//! A replica group keeps `R` engines in lockstep by shipping every base
+//! mutation to each live follower as a [`DeltaOp`] — the *logical*
+//! operation, not the physical pages. Each follower runs the op through
+//! its own strategy machinery ([`Engine::apply_delta_op`]), so an AVM or
+//! Rete follower maintains its own view state and a Cache & Invalidate
+//! follower maintains its own i-locks: failover preserves each
+//! strategy's §3 recovery class instead of flattening everything to a
+//! page-shipped cache.
+//!
+//! Ops are stamped with a log-sequence number (LSN) by the shard's delta
+//! log; an engine remembers the last LSN it applied
+//! ([`Engine::applied_lsn`]) so a rejoining replica can catch up by
+//! replaying the log tail — or, when the log has been truncated past its
+//! position (or its last apply was ambiguous), fall back to the
+//! conservative path: [`Engine::install_r1_snapshot`] from the current
+//! primary plus full derived-state invalidation, the same marks a crash
+//! leaves (Łopuszański-style: a cache whose update feed has gaps must be
+//! distrusted wholesale).
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`Engine::apply_delta_op`]: crate::engine::Engine::apply_delta_op
+//! [`Engine::applied_lsn`]: crate::engine::Engine::applied_lsn
+//! [`Engine::install_r1_snapshot`]: crate::engine::Engine::install_r1_snapshot
+
+use procdb_query::Tuple;
+
+/// One routed base-relation mutation, in replayable logical form.
+///
+/// This is exactly the granularity the sharded router already works at:
+/// a same-shard re-key, a partitioned insert/delete slice, or a
+/// broadcast inner-relation update. Cross-shard moves decompose into a
+/// `Delete` on the source group and an `Insert` on the destination
+/// group, so each shard's log stays self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Re-key `R1` tuples in place: `(victim_key, new_key)` pairs.
+    Rekey(Vec<(i64, i64)>),
+    /// Insert new `R1` tuples.
+    Insert(Vec<Tuple>),
+    /// Delete (up to) one `R1` tuple per listed key.
+    Delete(Vec<i64>),
+    /// Re-key tuples of a (replicated) inner relation by name.
+    RekeyIn {
+        /// Inner-relation name (`R2`/`R3`).
+        relation: String,
+        /// `(victim_key, new_key)` pairs.
+        mods: Vec<(i64, i64)>,
+    },
+}
+
+impl DeltaOp {
+    /// Short tag for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeltaOp::Rekey(_) => "rekey",
+            DeltaOp::Insert(_) => "insert",
+            DeltaOp::Delete(_) => "delete",
+            DeltaOp::RekeyIn { .. } => "rekey_in",
+        }
+    }
+
+    /// Number of tuples (or pairs) the op carries.
+    pub fn len(&self) -> usize {
+        match self {
+            DeltaOp::Rekey(mods) => mods.len(),
+            DeltaOp::Insert(rows) => rows.len(),
+            DeltaOp::Delete(keys) => keys.len(),
+            DeltaOp::RekeyIn { mods, .. } => mods.len(),
+        }
+    }
+
+    /// Is the op empty (applies to no tuple)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procdb_query::Value;
+
+    #[test]
+    fn kinds_and_lengths() {
+        assert_eq!(DeltaOp::Rekey(vec![(1, 2)]).kind(), "rekey");
+        assert_eq!(DeltaOp::Insert(vec![vec![Value::Int(1)]]).len(), 1);
+        assert!(DeltaOp::Delete(vec![]).is_empty());
+        let op = DeltaOp::RekeyIn {
+            relation: "R2".into(),
+            mods: vec![(3, 4), (5, 6)],
+        };
+        assert_eq!((op.kind(), op.len()), ("rekey_in", 2));
+    }
+}

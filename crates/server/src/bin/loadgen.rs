@@ -8,6 +8,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
+//!         [--shards S] [--replicas R] [--chaos]
 //!         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]
 //!         [--max-in-flight N]
 //! ```
@@ -51,6 +52,14 @@ struct Config {
     /// Partition `R1` across this many shard engines (`shards N` over
     /// the wire); 1 keeps the classic single-engine backend.
     shards: usize,
+    /// Run each shard as a replica group of this many engines
+    /// (`replicas R` over the wire); 1 keeps shards unreplicated.
+    replicas: usize,
+    /// Drive a chaos schedule concurrent with every measured run: crash
+    /// shard 0's primary (a follower is promoted in-line), rejoin the
+    /// ex-primary, then force one extra promotion. Requires
+    /// `--replicas >= 2` — failover should be invisible to clients.
+    chaos: bool,
     strategies: Vec<(String, String)>, // (label, wire name)
     json: Option<String>,
     metrics_json: bool,
@@ -73,6 +82,8 @@ impl Default for Config {
             z: 0.25,
             seed: 1,
             shards: 1,
+            replicas: 1,
+            chaos: false,
             strategies: all_strategies(),
             json: None,
             metrics_json: false,
@@ -101,8 +112,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
-         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json] \
-         [--max-in-flight N]"
+         [--replicas R] [--chaos] [--strategies ar,ci,avm,rvm] [--json PATH] \
+         [--metrics-json] [--max-in-flight N]"
     );
     std::process::exit(2);
 }
@@ -138,6 +149,13 @@ fn parse_args() -> Config {
                     usage();
                 }
             }
+            "--replicas" => {
+                cfg.replicas = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if cfg.replicas == 0 {
+                    usage();
+                }
+            }
+            "--chaos" => cfg.chaos = true,
             "--strategies" => {
                 cfg.strategies = val(&mut args)
                     .split(',')
@@ -164,6 +182,10 @@ fn parse_args() -> Config {
         eprintln!("loadgen: --metrics-json requires --json PATH");
         std::process::exit(2);
     }
+    if cfg.chaos && cfg.replicas < 2 {
+        eprintln!("loadgen: --chaos needs --replicas >= 2 (a lone primary cannot fail over)");
+        std::process::exit(2);
+    }
     cfg
 }
 
@@ -177,9 +199,31 @@ const MAX_RETRIES_PER_CMD: usize = 50;
 /// Give up connecting after this many refusals.
 const MAX_CONNECT_RETRIES: usize = 200;
 
-fn backoff_step(backoff: &mut Duration) {
-    std::thread::sleep(*backoff);
+/// splitmix64: cheap seeded PRNG for backoff jitter (no rand crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Pick this step's jittered delay — uniform in `[cap/2, cap]` — and
+/// double the cap toward [`MAX_BACKOFF`]. Without jitter every client
+/// shed by the same `BUSY` burst sleeps the identical doubling sequence
+/// and the whole cohort retries in lockstep, re-creating the burst it
+/// backed off from; the half-cap floor keeps the expected wait within
+/// 2x of the unjittered schedule.
+fn backoff_delay(backoff: &mut Duration, rng: &mut u64) -> Duration {
+    let cap = backoff.as_nanos() as u64;
+    let floor = cap / 2;
+    let delay = Duration::from_nanos(floor + splitmix64(rng) % (cap - floor + 1));
     *backoff = (*backoff * 2).min(MAX_BACKOFF);
+    delay
+}
+
+fn backoff_step(backoff: &mut Duration, rng: &mut u64) {
+    std::thread::sleep(backoff_delay(backoff, rng));
 }
 
 /// One wire-protocol client connection.
@@ -244,9 +288,10 @@ impl Client {
         Ok(())
     }
 
-    /// Connect, retrying refused/busy attempts with exponential backoff.
-    /// Returns the client and how many retries it took.
-    fn connect_with_retry(addr: &str) -> Result<(Client, usize), String> {
+    /// Connect, retrying refused/busy attempts with jittered
+    /// exponential backoff. Returns the client and how many retries it
+    /// took.
+    fn connect_with_retry(addr: &str, rng: &mut u64) -> Result<(Client, usize), String> {
         let mut backoff = BASE_BACKOFF;
         let mut retries = 0usize;
         loop {
@@ -257,7 +302,7 @@ impl Client {
                     if retries >= MAX_CONNECT_RETRIES {
                         return Err(format!("giving up after {retries} connect retries: {e}"));
                     }
-                    backoff_step(&mut backoff);
+                    backoff_step(&mut backoff, rng);
                 }
             }
         }
@@ -289,6 +334,9 @@ fn setup_schema(control: &mut Client, cfg: &Config) -> Result<(), String> {
     if cfg.shards > 1 {
         control.expect_ok(&format!("shards {}", cfg.shards))?;
     }
+    if cfg.replicas > 1 {
+        control.expect_ok(&format!("replicas {}", cfg.replicas))?;
+    }
     Ok(())
 }
 
@@ -303,6 +351,14 @@ struct ShardSnapshot {
     faults: f64,
     access_ms: f64,
     r1_rows: f64,
+    /// Replica-group size (level; 1 on an unreplicated backend).
+    replicas: f64,
+    /// Live replicas right now (level).
+    live: f64,
+    /// Largest follower lag behind the shard's delta-log head (level).
+    max_lag: f64,
+    /// Primary promotions on this shard (counter).
+    failovers: f64,
 }
 
 impl ShardSnapshot {
@@ -323,7 +379,8 @@ impl ShardSnapshot {
         }
     }
 
-    /// Per-run counter deltas; rows are a level, not a counter.
+    /// Per-run counter deltas; rows, replica counts, and lag are
+    /// levels, not counters.
     fn since(&self, before: &ShardSnapshot) -> ShardSnapshot {
         ShardSnapshot {
             shard: self.shard,
@@ -334,6 +391,10 @@ impl ShardSnapshot {
             faults: self.faults - before.faults,
             access_ms: self.access_ms - before.access_ms,
             r1_rows: self.r1_rows,
+            replicas: self.replicas,
+            live: self.live,
+            max_lag: self.max_lag,
+            failovers: self.failovers - before.failovers,
         }
     }
 }
@@ -373,6 +434,10 @@ fn fetch_shards(control: &mut Client) -> Result<Vec<ShardSnapshot>, String> {
                 "faults" => snap.faults = v,
                 "access_ms" => snap.access_ms = v,
                 "r1_rows" => snap.r1_rows = v,
+                "replicas" => snap.replicas = v,
+                "live" => snap.live = v,
+                "max_lag" => snap.max_lag = v,
+                "failovers" => snap.failovers = v,
                 _ => {}
             }
         }
@@ -439,8 +504,9 @@ type ClientRun = Result<(Vec<f64>, Duration, ClientCounters), String>;
 /// sheds are retried with exponential backoff (they are flow control,
 /// not failures); the retry wait is included in the command's latency,
 /// which is what a caller of a shedding server actually experiences.
-fn run_client(addr: &str, lines: &[String], barrier: &Barrier) -> ClientRun {
-    let (mut client, connect_retries) = Client::connect_with_retry(addr)?;
+fn run_client(addr: &str, lines: &[String], barrier: &Barrier, seed: u64) -> ClientRun {
+    let mut rng = seed;
+    let (mut client, connect_retries) = Client::connect_with_retry(addr, &mut rng)?;
     let mut latencies = Vec::with_capacity(lines.len());
     let mut counters = ClientCounters {
         retries: connect_retries,
@@ -475,13 +541,52 @@ fn run_client(addr: &str, lines: &[String], barrier: &Barrier) -> ClientRun {
                 break;
             }
             counters.retries += 1;
-            backoff_step(&mut backoff);
+            backoff_step(&mut backoff, &mut rng);
         }
         latencies.push(t.elapsed().as_secs_f64() * 1e6);
     }
     let elapsed = start.elapsed();
     let _ = client.cmd("quit");
     Ok((latencies, elapsed, counters))
+}
+
+/// Run a control-plane command that must eventually succeed, retrying
+/// `BUSY`/`DEADLINE` sheds like a regular client would.
+fn cmd_ok_with_retry(client: &mut Client, line: &str, rng: &mut u64) -> Result<(), String> {
+    let mut backoff = BASE_BACKOFF;
+    for _ in 0..MAX_RETRIES_PER_CMD {
+        let (_, term) = client.cmd(line)?;
+        if term.starts_with("err BUSY") || term.starts_with("err DEADLINE") {
+            backoff_step(&mut backoff, rng);
+            continue;
+        }
+        if term.starts_with("err") {
+            return Err(format!("{line:?} failed: {term}"));
+        }
+        return Ok(());
+    }
+    Err(format!(
+        "{line:?} still shed after {MAX_RETRIES_PER_CMD} retries"
+    ))
+}
+
+/// The chaos schedule driven concurrently with a measured run: crash
+/// shard 0's primary (a live follower is promoted in-line by the
+/// engine), rejoin the ex-primary via `recover`, then force one extra
+/// promotion. With `--replicas >= 2` every client operation must still
+/// succeed — failover is supposed to be invisible to the workload.
+fn chaos_schedule(addr: &str) -> Result<(), String> {
+    let mut rng = 0xC0FFEE;
+    let (mut client, _) = Client::connect_with_retry(addr, &mut rng)?;
+    let pause = Duration::from_millis(20);
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(&mut client, "crash 0", &mut rng)?;
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(&mut client, "recover 0", &mut rng)?;
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(&mut client, "promote 0", &mut rng)?;
+    let _ = client.cmd("quit");
+    Ok(())
 }
 
 /// Scrape the server's `metrics` exposition into (name{labels}, value)
@@ -573,19 +678,36 @@ fn run_one(
     };
     let shards_before = fetch_shards(control)?;
     let barrier = Barrier::new(n_clients);
-    let results: Vec<ClientRun> = std::thread::scope(|s| {
-        let handles: Vec<_> = streams
-            .iter()
-            .map(|lines| s.spawn(|| run_client(addr, lines, &barrier)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
+    let (results, chaos_result): (Vec<ClientRun>, Option<Result<(), String>>) =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(c, lines)| {
+                    let barrier = &barrier;
+                    // Distinct per-client seeds decorrelate the backoff
+                    // jitter; the workload itself is already dealt.
+                    let seed = cfg.seed.wrapping_add(1 + c as u64);
+                    s.spawn(move || run_client(addr, lines, barrier, seed))
+                })
+                .collect();
+            let chaos = cfg.chaos.then(|| s.spawn(|| chaos_schedule(addr)));
+            let results = handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+                })
+                .collect();
+            let chaos_result = chaos.map(|h| {
                 h.join()
-                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
-            })
-            .collect()
-    });
+                    .unwrap_or_else(|_| Err("chaos thread panicked".to_string()))
+            });
+            (results, chaos_result)
+        });
+    if let Some(r) = chaos_result {
+        r.map_err(|e| format!("chaos schedule: {e}"))?;
+    }
     let mut all_latencies = Vec::new();
     let mut max_elapsed = Duration::ZERO;
     let mut commands = 0usize;
@@ -634,8 +756,18 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
     out.push_str("  \"benchmark\": \"procdb-server loadgen (closed loop)\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
-         \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}}},\n",
-        cfg.ops, cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.seed, cfg.shards
+         \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}, \
+         \"replicas\": {}, \"chaos\": {}}},\n",
+        cfg.ops,
+        cfg.rows,
+        cfg.views,
+        cfg.p_update,
+        cfg.l,
+        cfg.z,
+        cfg.seed,
+        cfg.shards,
+        cfg.replicas,
+        cfg.chaos
     ));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -688,7 +820,9 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
                 "{{\"shard\": {}, \"accesses\": {}, \"updates\": {}, \
                  \"escalations\": {}, \"buffer_hits\": {}, \"buffer_faults\": {}, \
                  \"hit_ratio\": {:.4}, \"conflict_rate\": {:.4}, \
-                 \"ops_per_s\": {:.1}, \"access_ms\": {:.3}, \"r1_rows\": {}}}{}",
+                 \"ops_per_s\": {:.1}, \"access_ms\": {:.3}, \"r1_rows\": {}, \
+                 \"replicas\": {}, \"live_replicas\": {}, \"max_replica_lag\": {}, \
+                 \"failovers\": {}}}{}",
                 sh.shard,
                 sh.accesses,
                 sh.updates,
@@ -700,6 +834,10 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
                 ops / r.elapsed.as_secs_f64().max(1e-9),
                 sh.access_ms,
                 sh.r1_rows,
+                sh.replicas,
+                sh.live,
+                sh.max_lag,
+                sh.failovers,
                 if j + 1 == r.shards.len() { "" } else { ", " }
             ));
         }
@@ -743,8 +881,18 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
     let mut control = Client::connect(&addr)?;
     setup_schema(&mut control, cfg)?;
     println!(
-        "loadgen: {} rows, {} views, P={}, l={}, Z={}, {} ops/client, {} shard(s) @ {}",
-        cfg.rows, cfg.views, cfg.p_update, cfg.l, cfg.z, cfg.ops, cfg.shards, addr
+        "loadgen: {} rows, {} views, P={}, l={}, Z={}, {} ops/client, {} shard(s) x {} \
+         replica(s){} @ {}",
+        cfg.rows,
+        cfg.views,
+        cfg.p_update,
+        cfg.l,
+        cfg.z,
+        cfg.ops,
+        cfg.shards,
+        cfg.replicas,
+        if cfg.chaos { " [chaos]" } else { "" },
+        addr
     );
     println!(
         "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -778,17 +926,26 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
                 r.latency.p999_us,
                 r.latency.max_us
             );
-            if cfg.shards > 1 {
+            if cfg.shards > 1 || cfg.replicas > 1 {
                 for sh in &r.shards {
+                    let replica_note = if cfg.replicas > 1 {
+                        format!(
+                            ", {}/{} live, {} failover(s), lag {}",
+                            sh.live, sh.replicas, sh.failovers, sh.max_lag
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
                         "          shard {}: {} accesses ({} escalated), {} updates, \
-                         hit ratio {:.2}, {:.1} ops/s",
+                         hit ratio {:.2}, {:.1} ops/s{}",
                         sh.shard,
                         sh.accesses,
                         sh.escalations,
                         sh.updates,
                         sh.hit_ratio(),
                         (sh.accesses + sh.updates) / r.elapsed.as_secs_f64().max(1e-9),
+                        replica_note,
                     );
                 }
             }
@@ -819,5 +976,52 @@ fn main() {
             eprintln!("loadgen: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite check for the jittered backoff: each delay stays in
+    /// `[cap/2, cap]`, the cap still doubles to the ceiling, and two
+    /// clients seeded differently do not sleep in lockstep.
+    #[test]
+    fn backoff_jitter_spreads_and_still_doubles() {
+        let mut rng = 42u64;
+        let mut backoff = BASE_BACKOFF;
+        let mut caps = Vec::new();
+        for _ in 0..32 {
+            let cap = backoff;
+            let d = backoff_delay(&mut backoff, &mut rng);
+            assert!(
+                d >= cap / 2 && d <= cap,
+                "delay {d:?} outside [{:?}, {cap:?}]",
+                cap / 2
+            );
+            caps.push(cap);
+        }
+        assert_eq!(caps[0], BASE_BACKOFF);
+        assert_eq!(caps[1], BASE_BACKOFF * 2);
+        assert_eq!(*caps.last().unwrap(), MAX_BACKOFF);
+
+        // Fixed cap, many draws: the jitter must actually spread...
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = seed;
+            (0..16)
+                .map(|_| {
+                    let mut b = MAX_BACKOFF;
+                    backoff_delay(&mut b, &mut rng)
+                })
+                .collect()
+        };
+        let a = schedule(1);
+        assert!(
+            a.iter().collect::<std::collections::BTreeSet<_>>().len() > 4,
+            "jitter collapsed onto too few distinct delays: {a:?}"
+        );
+        // ...and distinct seeds must decorrelate the schedules, else a
+        // shed cohort thunders back in step.
+        assert_ne!(a, schedule(2), "seeds must decorrelate backoff");
     }
 }

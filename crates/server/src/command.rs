@@ -82,6 +82,15 @@ pub enum Command {
     /// `shards N` — partition `R1` across `N` shard engines;
     /// bare `shards` reports per-shard status counters.
     Shards(Option<usize>),
+    /// `replicas R` — run each shard as a replica group of `R` engines
+    /// (primary + followers); bare `replicas` reports the current count.
+    Replicas(Option<usize>),
+    /// `promote SHARD` — force shard `SHARD` to fail over to its
+    /// freshest live follower (the old primary is marked suspect).
+    Promote(usize),
+    /// `resync [SHARD]` — rejoin every down replica (of one shard or
+    /// all) by delta-log replay, falling back to a full rebuild.
+    Resync(Option<usize>),
     /// `serve [--port P] [--max-conns N]` — turn the session into a
     /// TCP server (interactive shell only).
     Serve {
@@ -125,6 +134,9 @@ commands:
   crash [SHARD]                         -- simulate a crash (one shard or all)
   recover [SHARD]                       -- run crash recovery (one shard or all)
   shards N | shards                     -- partition R1 N ways / show shard status
+  replicas R | replicas                 -- R engines per shard / show the count
+  promote SHARD                         -- fail a shard over to its freshest follower
+  resync [SHARD]                        -- rejoin down replicas by delta-log replay
   serve [--port P] [--max-conns N]      -- expose this session over TCP
   help, quit";
 
@@ -348,6 +360,21 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         return parse_opt_shard(&lower["shards".len()..], "shards")
             .map(|s| Some(Command::Shards(s)));
     }
+    if lower == "replicas" || lower.starts_with("replicas ") {
+        return parse_opt_shard(&lower["replicas".len()..], "replicas")
+            .map(|s| Some(Command::Replicas(s)));
+    }
+    if lower == "promote" || lower.starts_with("promote ") {
+        let rest = lower["promote".len()..].trim();
+        return rest
+            .parse()
+            .map(|s| Some(Command::Promote(s)))
+            .map_err(|_| format!("expected: promote SHARD, got {rest:?}"));
+    }
+    if lower == "resync" || lower.starts_with("resync ") {
+        return parse_opt_shard(&lower["resync".len()..], "resync")
+            .map(|s| Some(Command::Resync(s)));
+    }
     if lower == "fault" || lower.starts_with("fault ") {
         return parse_fault(&lower["fault".len()..]).map(Some);
     }
@@ -547,6 +574,18 @@ mod tests {
         assert_eq!(parse("shards").unwrap(), Some(Command::Shards(None)));
         assert_eq!(parse("shards 4").unwrap(), Some(Command::Shards(Some(4))));
         assert!(parse("shards many").is_err());
+        assert_eq!(parse("replicas").unwrap(), Some(Command::Replicas(None)));
+        assert_eq!(
+            parse("replicas 2").unwrap(),
+            Some(Command::Replicas(Some(2)))
+        );
+        assert!(parse("replicas lots").is_err());
+        assert_eq!(parse("promote 1").unwrap(), Some(Command::Promote(1)));
+        assert!(parse("promote").is_err());
+        assert!(parse("promote best").is_err());
+        assert_eq!(parse("resync").unwrap(), Some(Command::Resync(None)));
+        assert_eq!(parse("RESYNC 3").unwrap(), Some(Command::Resync(Some(3))));
+        assert!(parse("resync -1").is_err());
         assert_eq!(parse("fault off").unwrap(), Some(Command::FaultOff));
         assert_eq!(parse("fault status").unwrap(), Some(Command::FaultStatus));
         let c = parse("fault inject --seed 42 --io-reads 0.1 --io-writes 0.2 --torn 0.3")

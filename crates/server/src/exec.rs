@@ -117,6 +117,17 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
             ))
         }
         Command::Shards(None) => Outcome::Text(session.shards_text()),
+        Command::Replicas(Some(r)) => {
+            session.set_replicas(r)?;
+            Outcome::text(format!(
+                "replicas set to {r} per shard (engine rebuilds on next access)"
+            ))
+        }
+        Command::Replicas(None) => {
+            Outcome::text(format!("replicas: {} per shard", session.replicas()))
+        }
+        Command::Promote(shard) => Outcome::Text(session.promote(shard)?),
+        Command::Resync(shard) => Outcome::Text(session.resync(shard)?),
         Command::Serve { .. } => {
             return Err("serve is only available from the interactive shell".to_string())
         }
@@ -273,6 +284,92 @@ mod tests {
         // Out-of-range shard selection is an error, not a panic.
         assert!(run(&mut s, "crash 9").is_err());
         assert!(run(&mut s, "recover 9").is_err());
+    }
+
+    #[test]
+    fn replicated_script_through_executor() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        for i in 0..20 {
+            run(&mut s, &format!("insert EMP ({i}, 0)")).unwrap();
+        }
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 9",
+        )
+        .unwrap();
+        run(&mut s, "shards 2").unwrap();
+        let Outcome::Text(t) = run(&mut s, "replicas 2").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("replicas set to 2"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "replicas").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("replicas: 2 per shard"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("8 rows"), "{t}");
+        run(&mut s, "update 3 -> 99").unwrap();
+        // Primary crash is survived by promotion: the very next access
+        // answers without any recover step in between.
+        let Outcome::Text(t) = run(&mut s, "crash 0").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("promoted"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("7 rows"), "{t}"); // 3 re-keyed out of range
+                                              // The ex-primary rejoins via recover (which resyncs it).
+        let Outcome::Text(t) = run(&mut s, "recover 0").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("shard 0"), "{t}");
+        // A forced promotion fails back over; service continues.
+        let Outcome::Text(t) = run(&mut s, "promote 0").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("promoted"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "resync 0").unwrap() else {
+            panic!()
+        };
+        assert!(
+            t.contains("replayed") || t.contains("full rebuild") || t.contains("nothing to resync"),
+            "{t}"
+        );
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("7 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "stats").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("replicas: 2 per shard"), "{t}");
+        assert!(t.contains("primary"), "{t}");
+        assert!(t.contains("lag"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "shards").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("replicas=2"), "{t}");
+        assert!(t.contains("failovers="), "{t}");
+        assert!(t.contains("replica 0.0:"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "metrics").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("procdb_replica_count 2"), "{t}");
+        assert!(t.contains("procdb_failover_total"), "{t}");
+        // Promotion/resync on an unreplicated session is an error.
+        let mut single = Session::new();
+        run(
+            &mut single,
+            "create table EMP (eid int, dept int) btree eid",
+        )
+        .unwrap();
+        assert!(run(&mut single, "promote 0").is_err());
+        assert!(run(&mut single, "resync").is_err());
+        assert!(run(&mut single, "replicas 0").is_err());
     }
 
     #[test]

@@ -16,14 +16,20 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use procdb_core::{
-    parse_define_view, Engine, EngineOptions, ProcedureDef, StrategyKind, WorkloadObserver,
+    parse_define_view, Engine, EngineOptions, ProcedureDef, RecoveryOutcome, StrategyKind,
+    WorkloadObserver,
 };
 use procdb_query::{Catalog, FieldType, Organization, Schema, Table, Tuple, Value};
 use procdb_shard::{Router, ShardedEngine};
 use procdb_storage::{CostConstants, FaultPlan, Pager, PagerConfig};
+
+/// Health-check cadence of the replica supervisor the session starts
+/// when a replicated backend is built.
+const SUPERVISOR_INTERVAL: Duration = Duration::from_millis(20);
 
 /// The session's engine: one instance, or `S` hash-partitioned shard
 /// engines behind per-shard locks ([`procdb_shard::ShardedEngine`]).
@@ -63,6 +69,8 @@ pub struct Session {
     page_size: usize,
     /// Shard count the next engine build partitions into (1 = single).
     shards: usize,
+    /// Replica-group size per shard the next build creates (1 = none).
+    replicas: usize,
     /// Set when sharded updates ran through `&self` and the in-memory
     /// row mirror no longer matches the engine; resynced (from the
     /// engine, which is authoritative) before the mirror is next used.
@@ -83,6 +91,7 @@ impl Session {
             engine: None,
             page_size: 4000,
             shards: 1,
+            replicas: 1,
             mirror_stale: AtomicBool::new(false),
             observer: Mutex::new(WorkloadObserver::new(0)),
         }
@@ -158,6 +167,27 @@ impl Session {
     /// into; 1 = single engine).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Replicate each shard `n` ways on the next build (1 disables
+    /// replication). `n >= 2` makes every shard a primary + followers
+    /// group with supervised failover; the sharded backend is used even
+    /// with `shards 1`, since replication rides on it.
+    pub fn set_replicas(&mut self, n: usize) -> Result<(), SessionError> {
+        if n == 0 {
+            return Err("replicas must be at least 1".to_string());
+        }
+        if n > 8 {
+            return Err(format!("replicas capped at 8, got {n}"));
+        }
+        self.replicas = n;
+        self.dirty();
+        Ok(())
+    }
+
+    /// Configured replica-group size per shard (1 = unreplicated).
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// Declare a table.
@@ -374,7 +404,7 @@ impl Session {
 
     fn ensure_backend(&mut self) -> Result<&mut Backend, SessionError> {
         if self.engine.is_none() {
-            if self.shards == 1 {
+            if self.shards == 1 && self.replicas == 1 {
                 let mut engine = self.build_engine(None)?;
                 engine.warm_up().map_err(|e| e.to_string())?;
                 self.engine = Some(Backend::Single(engine));
@@ -388,10 +418,18 @@ impl Session {
                     _ => return Err("the first table must be B-tree organized".to_string()),
                 };
                 let parts = Router::new(self.shards).partition_rows(&base.rows, key_field);
-                let sharded = ShardedEngine::new(self.shards, |sid| {
-                    self.build_engine(Some((sid as u32, &parts[sid])))
-                })?;
+                let sharded =
+                    ShardedEngine::new_replicated(self.shards, self.replicas, |sid, _| {
+                        self.build_engine(Some((sid as u32, &parts[sid])))
+                    })?;
                 sharded.warm_up().map_err(|e| e.to_string())?;
+                if self.replicas > 1 {
+                    // With followers available, contended reads may hedge
+                    // and a crashed primary is promoted away from even
+                    // when no traffic touches the failed shard.
+                    sharded.set_hedged_reads(true);
+                    sharded.start_supervisor(SUPERVISOR_INTERVAL);
+                }
                 self.engine = Some(Backend::Sharded(sharded));
             }
         }
@@ -701,10 +739,21 @@ impl Session {
                     }
                 }
                 sharded.crash(sel);
+                let replicated = sharded.replicas() > 1;
                 Ok(match sel {
+                    Some(s) if replicated => format!(
+                        "shard {s} primary crashed; replica {} promoted, service continues. \
+                         run 'recover {s}' (or 'resync {s}') to rejoin the ex-primary",
+                        sharded.primary_of(s)
+                    ),
                     Some(s) => format!(
                         "shard {s} crashed: its frames dropped, its derived state \
                          distrusted; other shards keep serving. run 'recover {s}' to resume"
+                    ),
+                    None if replicated => format!(
+                        "all {} shard primaries crashed; each promoted a live follower, \
+                         service continues. run 'recover' to rejoin the ex-primaries",
+                        sharded.shards()
                     ),
                     None => format!(
                         "all {} shards crashed; run 'recover' to resume",
@@ -719,9 +768,8 @@ impl Session {
     /// backend, `shard` recovers one shard independently.
     pub fn recover(&mut self, shard: Option<usize>) -> Result<String, SessionError> {
         match (self.ensure_backend()?, shard) {
-            (Backend::Single(engine), None) => {
-                let rep = engine.recover();
-                Ok(format!(
+            (Backend::Single(engine), None) => match engine.recover() {
+                RecoveryOutcome::Recovered(rep) => Ok(format!(
                     "recovered (epoch {}): {} WAL records ({} bytes) replayed, \
                      {} conservative invalidations, {} rebuilds deferred to first access",
                     rep.crash_epoch,
@@ -729,8 +777,9 @@ impl Session {
                     rep.wal_bytes_replayed,
                     rep.conservative_invalidations,
                     rep.rebuilds_pending,
-                ))
-            }
+                )),
+                RecoveryOutcome::NotCrashed => Ok("not crashed; nothing to recover".to_string()),
+            },
             (Backend::Single(_), Some(_)) => {
                 Err("not sharded; use plain 'recover' (or 'shards N' first)".to_string())
             }
@@ -741,15 +790,79 @@ impl Session {
                     }
                 }
                 let mut out = String::new();
-                for (s, rep) in sharded.recover(sel) {
+                for (s, outcome) in sharded.recover(sel) {
+                    match outcome {
+                        RecoveryOutcome::Recovered(rep) => out.push_str(&format!(
+                            "shard {s} recovered (epoch {}): {} WAL records ({} bytes) \
+                             replayed, {} conservative invalidations, {} rebuilds deferred \
+                             to first access\n",
+                            rep.crash_epoch,
+                            rep.wal_records_replayed,
+                            rep.wal_bytes_replayed,
+                            rep.conservative_invalidations,
+                            rep.rebuilds_pending,
+                        )),
+                        RecoveryOutcome::NotCrashed => out.push_str(&format!(
+                            "shard {s}: primary not crashed; replicas resynced\n"
+                        )),
+                    }
+                }
+                Ok(out.trim_end().to_string())
+            }
+        }
+    }
+
+    /// Force a failover drill: promote the freshest live follower of
+    /// `shard` to primary (the `promote N` command).
+    pub fn promote(&mut self, shard: usize) -> Result<String, SessionError> {
+        match self.ensure_backend()? {
+            Backend::Single(_) => {
+                Err("not replicated; use 'replicas R' (R >= 2) first".to_string())
+            }
+            Backend::Sharded(sharded) => {
+                if shard >= sharded.shards() {
+                    return Err(format!(
+                        "shard {shard} out of range (0..{})",
+                        sharded.shards()
+                    ));
+                }
+                let new = sharded.promote(shard)?;
+                Ok(format!("shard {shard}: replica {new} promoted to primary"))
+            }
+        }
+    }
+
+    /// Resync lagging or dead replicas of one shard (or all shards):
+    /// delta-log replay past each replica's last applied LSN, with a
+    /// conservative full rebuild when the log was truncated past its
+    /// position (the `resync [N]` command).
+    pub fn resync(&mut self, shard: Option<usize>) -> Result<String, SessionError> {
+        match self.ensure_backend()? {
+            Backend::Single(_) => {
+                Err("not replicated; use 'replicas R' (R >= 2) first".to_string())
+            }
+            Backend::Sharded(sharded) => {
+                if let Some(s) = shard {
+                    if s >= sharded.shards() {
+                        return Err(format!("shard {s} out of range (0..{})", sharded.shards()));
+                    }
+                }
+                let reports = sharded.resync(shard).map_err(|e| e.to_string())?;
+                if reports.is_empty() {
+                    return Ok("all replicas live and caught up; nothing to resync".to_string());
+                }
+                let mut out = String::new();
+                for r in reports {
                     out.push_str(&format!(
-                        "shard {s} recovered (epoch {}): {} WAL records ({} bytes) replayed, \
-                         {} conservative invalidations, {} rebuilds deferred to first access\n",
-                        rep.crash_epoch,
-                        rep.wal_records_replayed,
-                        rep.wal_bytes_replayed,
-                        rep.conservative_invalidations,
-                        rep.rebuilds_pending,
+                        "shard {} replica {}: {}\n",
+                        r.shard,
+                        r.replica,
+                        if r.full_rebuild {
+                            "conservative full rebuild (log truncated or position ambiguous)"
+                                .to_string()
+                        } else {
+                            format!("replayed {} delta op(s)", r.replayed)
+                        }
                     ));
                 }
                 Ok(out.trim_end().to_string())
@@ -858,6 +971,14 @@ impl Session {
                     sharded.shards(),
                     sharded.cross_moves(),
                 ));
+                if sharded.replicas() > 1 {
+                    out.push_str(&format!(
+                        "replicas: {} per shard, {} failover(s), {} hedged read(s)\n",
+                        sharded.replicas(),
+                        sharded.failovers(),
+                        sharded.hedged_read_count(),
+                    ));
+                }
                 for st in sharded.shard_stats() {
                     out.push_str(&format!(
                         "  shard {}: {} accesses, {} updates, buffer hit ratio {:.2}, \
@@ -877,6 +998,14 @@ impl Session {
                         out.push_str(&format!(", valid fraction {vf:.2}"));
                     }
                     out.push('\n');
+                    if st.replicas > 1 {
+                        for rs in &st.replica_status {
+                            out.push_str(&format!(
+                                "    replica {}: {}, applied lsn {} (lag {})\n",
+                                rs.replica, rs.role, rs.applied_lsn, rs.lag,
+                            ));
+                        }
+                    }
                 }
             }
             None => {}
@@ -893,11 +1022,13 @@ impl Session {
             Some(Backend::Sharded(sharded)) => {
                 let mut out = format!("shards: {}\n", sharded.shards());
                 out.push_str(&format!("cross_moves: {}\n", sharded.cross_moves()));
+                out.push_str(&format!("replicas: {}\n", sharded.replicas()));
                 for st in sharded.shard_stats() {
                     out.push_str(&format!(
                         "shard {}: accesses={} updates={} escalations={} hits={} faults={} \
                          hit_ratio={:.4} conflict_rate={:.4} crash_epoch={} \
-                         rebuilds_pending={} r1_rows={} access_ms={:.3}\n",
+                         rebuilds_pending={} r1_rows={} access_ms={:.3} \
+                         replicas={} live={} primary={} last_lsn={} max_lag={} failovers={}\n",
                         st.shard,
                         st.accesses,
                         st.updates,
@@ -910,7 +1041,21 @@ impl Session {
                         st.rebuilds_pending,
                         st.r1_rows,
                         st.access_ms_sum,
+                        st.replicas,
+                        st.live_replicas,
+                        st.primary_replica,
+                        st.last_lsn,
+                        st.max_replica_lag,
+                        st.failovers,
                     ));
+                    if st.replicas > 1 {
+                        for rs in &st.replica_status {
+                            out.push_str(&format!(
+                                "replica {}.{}: role={} applied_lsn={} lag={}\n",
+                                st.shard, rs.replica, rs.role, rs.applied_lsn, rs.lag,
+                            ));
+                        }
+                    }
                 }
                 out.trim_end().to_string()
             }
@@ -927,11 +1072,12 @@ impl Session {
                 };
                 let r1_rows = self.tables.first().map(|t| t.rows.len()).unwrap_or(0);
                 format!(
-                    "shards: 1\ncross_moves: 0\n\
+                    "shards: 1\ncross_moves: 0\nreplicas: 1\n\
                      shard 0: accesses={accesses} updates={updates} escalations=0 \
                      hits={hits} faults={faults} hit_ratio={hit_ratio:.4} \
                      conflict_rate=0.0000 crash_epoch={} rebuilds_pending={} \
-                     r1_rows={r1_rows} access_ms=0.000",
+                     r1_rows={r1_rows} access_ms=0.000 \
+                     replicas=1 live=1 primary=0 last_lsn=0 max_lag=0 failovers=0",
                     e.crash_epoch(),
                     e.rebuilds_pending(),
                 )
@@ -957,6 +1103,8 @@ impl Session {
             Some(Backend::Sharded(sharded)) => {
                 reg.gauge("procdb_shard_count", &[])
                     .set(sharded.shards() as f64);
+                reg.gauge("procdb_replica_count", &[])
+                    .set(sharded.replicas() as f64);
                 reg.gauge("procdb_session_cost_ms", &[])
                     .set(self.total_cost_ms());
                 for st in sharded.shard_stats() {
@@ -966,6 +1114,12 @@ impl Session {
                         .set(st.hit_ratio());
                     reg.gauge("procdb_shard_conflict_rate", &labels)
                         .set(st.conflict_rate());
+                    reg.gauge("procdb_replica_live", &labels)
+                        .set(st.live_replicas as f64);
+                    reg.gauge("procdb_replica_primary", &labels)
+                        .set(st.primary_replica as f64);
+                    reg.gauge("procdb_replica_max_lag", &labels)
+                        .set(st.max_replica_lag as f64);
                     if let Some(vf) = st.valid_fraction {
                         reg.gauge("procdb_ci_valid_fraction", &labels).set(vf);
                     }

@@ -26,14 +26,32 @@
 //! byte-identical (as normalized multisets) to a single-engine oracle —
 //! a property test in `tests/shard_equivalence.rs` fuzzes exactly this,
 //! crash/recover cycles included.
+//!
+//! ## Per-shard replication
+//!
+//! Each shard can additionally be a **replica group** of `R` engines
+//! (primary + followers, [`ShardedEngine::new_replicated`]): every
+//! routed mutation applies to the primary and ships as a logical
+//! [`procdb_core::DeltaOp`] to each live follower, so every replica
+//! maintains its *own* derived state and failover preserves each
+//! strategy's recovery class. A crashed primary is promoted away from
+//! — synchronously by the failing access/update, immediately by
+//! `crash`, by an operator [`ShardedEngine::promote`], or by the
+//! background supervisor — and rejoining replicas resync by delta-log
+//! replay with a conservative full-rebuild fallback
+//! ([`ShardedEngine::resync`]). `tests/replica_failover.rs` fuzzes
+//! oracle equivalence under injected primary crashes, promotions, and
+//! resyncs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod pool;
+mod replica;
 mod router;
 mod sharded;
 
 pub use pool::WorkerPool;
+pub use replica::{ReplicaRole, ReplicaStatus, ResyncReport};
 pub use router::{shard_of, Router};
 pub use sharded::{ShardStats, ShardedEngine};

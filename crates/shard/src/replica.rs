@@ -1,0 +1,236 @@
+//! Replica groups: the per-shard building blocks of replication.
+//!
+//! Each shard of a replicated [`ShardedEngine`] is a group of `R`
+//! engines — one **primary** plus followers — kept in lockstep by
+//! shipping every routed base mutation to each live follower as a
+//! [`DeltaOp`] (see [`procdb_core::replication`]). The group's
+//! [`DeltaLog`] stamps every shipped op with a log-sequence number; a
+//! rejoining replica catches up by replaying the tail past its last
+//! applied LSN, or — when the log has been truncated past its position,
+//! or its last apply was ambiguous — by a conservative full resync from
+//! the current primary's slice.
+//!
+//! [`ShardedEngine`]: crate::ShardedEngine
+//! [`DeltaOp`]: procdb_core::DeltaOp
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use procdb_core::{DeltaOp, Engine};
+
+/// One member of a shard's replica group.
+///
+/// `alive`/`applied`/`needs_full_resync` mirror engine state as relaxed
+/// atomics so promotion decisions and lag reporting never need the
+/// engine lock (the engine's own [`Engine::applied_lsn`] stays the
+/// authoritative value for resync).
+pub(crate) struct Replica {
+    /// Stable index of this replica within its group (0 = the initial
+    /// primary).
+    pub idx: usize,
+    pub engine: RwLock<Engine>,
+    /// Serving? Cleared when a replica is dropped from the group after a
+    /// failed apply or a primary failover; set again by resync.
+    pub alive: AtomicBool,
+    /// Last delta LSN applied (mirror of the engine's counter).
+    pub applied: AtomicU64,
+    /// The replica's position in the delta stream is ambiguous (it died
+    /// mid-apply): log replay could double-apply, so resync must take
+    /// the conservative snapshot path.
+    pub needs_full_resync: AtomicBool,
+}
+
+impl Replica {
+    pub fn new(idx: usize, engine: Engine) -> Replica {
+        Replica {
+            idx,
+            engine: RwLock::new(engine),
+            alive: AtomicBool::new(true),
+            applied: AtomicU64::new(0),
+            needs_full_resync: AtomicBool::new(false),
+        }
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Drop this replica from the group at a clean op boundary: its
+    /// last applied LSN is exact, so a later resync may catch up by
+    /// delta-log replay.
+    pub fn mark_down(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Mark this replica dead with an **ambiguous** stream position (it
+    /// died mid-apply, so the base effect of its in-flight op may have
+    /// landed without the LSN being noted): replay could double-apply,
+    /// forcing resync down the conservative snapshot path.
+    pub fn mark_suspect(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        self.needs_full_resync.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bounded in-memory delta log: `(lsn, op)` pairs, LSNs dense from 1.
+///
+/// The cap models log truncation: once more than `cap` ops are retained
+/// the oldest are discarded, and a replica whose last applied LSN falls
+/// before the retained window can no longer catch up by replay —
+/// [`DeltaLog::tail_after`] reports the gap and the caller falls back to
+/// a full resync.
+pub(crate) struct DeltaLog {
+    entries: VecDeque<(u64, DeltaOp)>,
+    next_lsn: u64,
+    cap: usize,
+}
+
+/// Default retained-ops cap: large enough that a promptly-resynced
+/// replica always replays, small enough that tests can outrun it.
+pub(crate) const DEFAULT_LOG_CAP: usize = 256;
+
+impl DeltaLog {
+    pub fn new(cap: usize) -> DeltaLog {
+        DeltaLog {
+            entries: VecDeque::new(),
+            next_lsn: 1,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Stamp and retain one op; returns its LSN.
+    pub fn append(&mut self, op: DeltaOp) -> u64 {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.entries.push_back((lsn, op));
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+        lsn
+    }
+
+    /// Highest LSN stamped so far (0 = empty log).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Change the retention cap (truncating immediately if lower).
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Every retained op with `lsn > after`, oldest first — or `None`
+    /// when the log has been truncated past `after` (the gap means
+    /// replay cannot reconstruct the stream; full resync required).
+    pub fn tail_after(&self, after: u64) -> Option<Vec<(u64, DeltaOp)>> {
+        if after >= self.last_lsn() {
+            return Some(Vec::new());
+        }
+        let oldest_retained = self.entries.front().map(|(l, _)| *l)?;
+        if after + 1 < oldest_retained {
+            return None; // truncated: ops (after, oldest_retained) are gone
+        }
+        Some(
+            self.entries
+                .iter()
+                .filter(|(l, _)| *l > after)
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// A replica's role within its group, as reported by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Currently serving reads and taking writes first.
+    Primary,
+    /// Live, applying the primary's delta stream.
+    Follower,
+    /// Dropped from the group; needs resync to rejoin.
+    Down,
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplicaRole::Primary => "primary",
+            ReplicaRole::Follower => "follower",
+            ReplicaRole::Down => "down",
+        })
+    }
+}
+
+/// Point-in-time status of one replica (for `stats` role/lag columns).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaStatus {
+    /// Replica index within its shard's group.
+    pub replica: usize,
+    /// Role right now.
+    pub role: ReplicaRole,
+    /// Last delta LSN this replica applied.
+    pub applied_lsn: u64,
+    /// How many deltas behind the shard's log head (0 = fresh).
+    pub lag: u64,
+}
+
+/// What one replica's resync did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// Shard the replica belongs to.
+    pub shard: usize,
+    /// Replica index within the group.
+    pub replica: usize,
+    /// Ops replayed from the delta log (anti-entropy catch-up).
+    pub replayed: usize,
+    /// Fell back to the conservative snapshot install (log truncated,
+    /// or the replica's stream position was ambiguous).
+    pub full_rebuild: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_stamps_dense_lsns_and_replays_tails() {
+        let mut log = DeltaLog::new(8);
+        assert_eq!(log.last_lsn(), 0);
+        for i in 0..5 {
+            assert_eq!(log.append(DeltaOp::Delete(vec![i])), (i + 1) as u64);
+        }
+        let tail = log.tail_after(2).expect("retained");
+        assert_eq!(
+            tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert!(log.tail_after(5).expect("caught up").is_empty());
+        assert!(log
+            .tail_after(9)
+            .expect("ahead of head is vacuous")
+            .is_empty());
+    }
+
+    #[test]
+    fn truncation_surfaces_as_a_gap() {
+        let mut log = DeltaLog::new(3);
+        for i in 0..10i64 {
+            log.append(DeltaOp::Delete(vec![i]));
+        }
+        // Retained: LSNs 8..=10. A replica at LSN 7 can still replay...
+        assert_eq!(log.tail_after(7).expect("contiguous").len(), 3);
+        // ...but one at LSN 4 cannot: ops 5..=7 are gone.
+        assert!(log.tail_after(4).is_none(), "gap must force full resync");
+        log.set_cap(1);
+        assert!(log.tail_after(8).is_none(), "cap shrink truncates");
+        assert_eq!(log.tail_after(9).expect("head retained").len(), 1);
+    }
+}

@@ -1,74 +1,227 @@
-//! The partitioned engine: `S` independent [`Engine`]s behind per-shard
-//! readers-writer locks, a [`Router`] that places every `R1` tuple, and
-//! a [`WorkerPool`] that fans procedure accesses out across shards.
+//! The partitioned engine: `S` shards — each a **replica group** of `R`
+//! independent [`Engine`]s behind per-replica readers-writer locks — a
+//! [`Router`] that places every `R1` tuple, and a [`WorkerPool`] that
+//! fans procedure accesses out across shards.
 //!
 //! ## Routing
 //!
-//! * **Accesses** scatter to every shard: each shard computes its
-//!   partial answer over its `R1` slice (shared lock; escalated to
-//!   exclusive only when the shard's strategy must write — refill a
-//!   cache, fold maintenance, rebuild after a crash), and the partials
-//!   merge by sorting schema-encoded rows. Partition disjointness makes
-//!   the merged multiset exactly the single-engine answer.
-//! * **Updates** route to the shard owning the victim key. A re-key
+//! * **Accesses** scatter to every shard: each shard's *primary*
+//!   computes its partial answer over its `R1` slice (shared lock;
+//!   escalated to exclusive only when the shard's strategy must write —
+//!   refill a cache, fold maintenance, rebuild after a crash), and the
+//!   partials merge by sorting schema-encoded rows. Partition
+//!   disjointness makes the merged multiset exactly the single-engine
+//!   answer.
+//! * **Updates** route to the shard owning the victim key; the shard's
+//!   primary applies the mutation first, then the same routed
+//!   [`DeltaOp`] ships synchronously to each live follower (each
+//!   follower runs its *own* strategy maintenance — AVM/Rete followers
+//!   keep their own view state, CI followers their own i-locks — so
+//!   failover preserves each strategy's §3 recovery class). A re-key
 //!   whose new key hashes elsewhere becomes a *cross-shard move*:
-//!   delete-take on the source, rewrite the key, insert on the
-//!   destination — never holding two shard locks at once, so shard
-//!   locks cannot deadlock.
+//!   delete-take on the source group, rewrite the key, insert on the
+//!   destination group — never holding two shard groups' mutation locks
+//!   at once, so shard locks cannot deadlock.
 //! * **Inner-relation updates** (`R2`/`R3` are replicated) broadcast to
-//!   every shard.
+//!   every shard group.
 //!
-//! ## Recovery
+//! ## Failover & resync
 //!
-//! [`ShardedEngine::crash`] and [`ShardedEngine::recover`] take an
-//! optional shard id: one shard can crash and recover while the others
-//! keep serving. An unrecovered shard still answers accesses — its
-//! strategy machinery rebuilds derived state on first access exactly as
-//! a standalone engine does — so a single-shard failure degrades
-//! latency instead of killing the service.
+//! A crashed primary (an injected kill-point latch, or an operator
+//! `crash N`) is **promoted away from**: the freshest live follower (by
+//! last-applied delta LSN; synchronous fan-out keeps live followers at
+//! the head) becomes primary, the scatter-gather paths re-point, and
+//! the in-flight operation retries on the new primary — so with
+//! `replicas ≥ 2` a primary failure costs latency, not availability.
+//! Promotion is triggered synchronously by the failing access/update
+//! path, immediately by [`ShardedEngine::crash`], by an operator
+//! [`ShardedEngine::promote`], or by the optional background
+//! *supervisor* thread that health-checks primaries. The demoted
+//! ex-primary is marked suspect: it may have applied half an operation,
+//! so its position in the delta stream is ambiguous.
+//!
+//! A rejoining replica ([`ShardedEngine::resync`], also run by
+//! [`ShardedEngine::recover`]) first recovers its engine, then catches
+//! up by replaying the shard's delta log past its last applied LSN;
+//! when the log has been truncated past its position — or its stream
+//! position is ambiguous — it falls back to the conservative path: a
+//! full `R1` snapshot install from the current primary plus whole
+//! derived-state invalidation, which each strategy then repairs on
+//! first access exactly as post-crash recovery does.
+//!
+//! Optional **hedged reads** ([`ShardedEngine::set_hedged_reads`]) let
+//! an access whose primary lock is contended serve from a live follower
+//! instead of waiting — safe because live followers are synchronously
+//! fresh.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
-use procdb_core::{Engine, RecoveryReport, StrategyKind};
+use parking_lot::Mutex;
+use procdb_core::{DeltaOp, Engine, RecoveryOutcome, StrategyKind};
 use procdb_obs::{Counter, Histogram};
 use procdb_query::{Schema, Tuple, Value};
 use procdb_storage::{CostConstants, Result};
 
 use crate::pool::WorkerPool;
+use crate::replica::{
+    DeltaLog, Replica, ReplicaRole, ReplicaStatus, ResyncReport, DEFAULT_LOG_CAP,
+};
 use crate::router::Router;
 
 /// A boxed per-shard access task handed to the [`WorkerPool`]: runs one
 /// shard's share of a scatter and returns `(partial rows, priced ms)`.
 type AccessJob = Box<dyn FnOnce() -> Result<(Vec<Tuple>, f64)> + Send>;
 
-/// One shard: an engine behind its own readers-writer lock, plus the
-/// shard-labeled service metrics (the engine's own metric series already
-/// carry the `shard` label via `EngineOptions::shard`).
+/// Total time an access job may spend retrying one shard through
+/// failovers before surfacing the error (the bounded failover window).
+const FAILOVER_WINDOW: Duration = Duration::from_secs(2);
+
+/// One shard: a replica group behind per-replica readers-writer locks,
+/// a mutation mutex that orders the shard's delta stream, the delta
+/// log, and the shard-labeled service metrics (each engine's own
+/// metric series already carry the `shard` label via
+/// `EngineOptions::shard`; replicas of one shard share that label).
 struct ShardSlot {
     id: usize,
-    engine: RwLock<Engine>,
+    replicas: Vec<Arc<Replica>>,
+    /// Index into `replicas` of the current primary.
+    primary: AtomicUsize,
+    /// Orders mutations (and their log appends + fan-out) per shard.
+    mutation: Mutex<()>,
+    log: Mutex<DeltaLog>,
     accesses: Counter,
     updates: Counter,
     escalations: Counter,
     access_ms: Histogram,
+    failovers: Counter,
+    replica_applied: Counter,
+    replica_drops: Counter,
+    resync_replayed: Counter,
+    resync_full: Counter,
+    hedged: Counter,
 }
 
 impl ShardSlot {
-    fn new(id: usize, engine: Engine) -> ShardSlot {
+    fn new(id: usize, engines: Vec<Engine>) -> ShardSlot {
         let reg = procdb_obs::global();
         let id_str = id.to_string();
         let labels: &[(&str, &str)] = &[("shard", id_str.as_str())];
         ShardSlot {
             id,
-            engine: RwLock::new(engine),
+            replicas: engines
+                .into_iter()
+                .enumerate()
+                .map(|(r, e)| Arc::new(Replica::new(r, e)))
+                .collect(),
+            primary: AtomicUsize::new(0),
+            mutation: Mutex::new(()),
+            log: Mutex::new(DeltaLog::new(DEFAULT_LOG_CAP)),
             accesses: reg.counter("procdb_shard_accesses_total", labels),
             updates: reg.counter("procdb_shard_updates_total", labels),
             escalations: reg.counter("procdb_shard_escalations_total", labels),
             access_ms: reg.histogram("procdb_shard_access_ms", labels),
+            failovers: reg.counter("procdb_failover_total", labels),
+            replica_applied: reg.counter("procdb_replica_applied_total", labels),
+            replica_drops: reg.counter("procdb_replica_drops_total", labels),
+            resync_replayed: reg.counter("procdb_replica_resync_replayed_total", labels),
+            resync_full: reg.counter("procdb_replica_resync_full_total", labels),
+            hedged: reg.counter("procdb_replica_hedged_reads_total", labels),
         }
     }
+
+    fn primary_idx(&self) -> usize {
+        self.primary.load(Ordering::Relaxed)
+    }
+
+    fn has_live_follower(&self, of: usize) -> bool {
+        self.replicas.iter().any(|r| r.idx != of && r.is_alive())
+    }
+}
+
+/// Promote the freshest live follower away from `from`, dropping `from`
+/// from the group at what the *caller* judged to be an op boundary (an
+/// operator crash or a read-path failure never moves the delta stream,
+/// so `from`'s applied LSN stays exact and resync may replay; a caller
+/// that watched `from` die **mid-apply** marks it suspect itself before
+/// failing over). Lock-free against concurrent promotions: the primary
+/// pointer swaps by compare-exchange, and a lost race returns whoever
+/// won. `None` when no live follower exists.
+fn failover(slot: &ShardSlot, from: usize) -> Option<usize> {
+    let cur = slot.primary_idx();
+    if cur != from {
+        return Some(cur); // someone already promoted past `from`
+    }
+    let best = slot
+        .replicas
+        .iter()
+        .filter(|r| r.idx != from && r.is_alive())
+        .max_by_key(|r| r.applied_lsn())?;
+    match slot
+        .primary
+        .compare_exchange(from, best.idx, Ordering::Relaxed, Ordering::Relaxed)
+    {
+        Ok(_) => {
+            slot.replicas[from].mark_down();
+            slot.failovers.inc();
+            Some(best.idx)
+        }
+        Err(now) => Some(now),
+    }
+}
+
+/// Serve one access on one replica: shared path first, escalating to
+/// the exclusive lock when the strategy must write. Returns
+/// `(rows, priced_ms, escalated)`.
+fn serve_on(rep: &Replica, i: usize, c: &CostConstants) -> Result<(Vec<Tuple>, f64, bool)> {
+    {
+        let eng = rep.engine.read();
+        let before = eng.ledger().snapshot();
+        if let Some(rows) = eng.access_shared(i)? {
+            let ms = eng.ledger().snapshot().since(&before).priced(c);
+            return Ok((rows, ms, false));
+        }
+    }
+    let mut eng = rep.engine.write();
+    let before = eng.ledger().snapshot();
+    let rows = eng.access(i)?;
+    let ms = eng.ledger().snapshot().since(&before).priced(c);
+    Ok((rows, ms, true))
+}
+
+/// Hedged read: serve from any live follower whose lock is free, via
+/// the shared (read-only) path. Live followers are synchronously fresh,
+/// so the answer equals the primary's. `Ok(None)` when no follower
+/// could serve without writing.
+fn hedged_read(
+    slot: &ShardSlot,
+    pidx: usize,
+    i: usize,
+    c: &CostConstants,
+) -> Result<Option<(Vec<Tuple>, f64)>> {
+    for rep in &slot.replicas {
+        if rep.idx == pidx || !rep.is_alive() {
+            continue;
+        }
+        if let Some(eng) = rep.engine.try_read() {
+            let before = eng.ledger().snapshot();
+            if let Some(rows) = eng.access_shared(i)? {
+                let ms = eng.ledger().snapshot().since(&before).priced(c);
+                slot.hedged.inc();
+                return Ok(Some((rows, ms)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The background health-checker: promotes away from crashed primaries
+/// so failover is bounded even with no traffic on the failed shard.
+struct Supervisor {
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
 }
 
 /// A point-in-time summary of one shard, for `stats`/`metrics`
@@ -84,20 +237,34 @@ pub struct ShardStats {
     /// Accesses that could not finish under the shared lock and
     /// re-ran under the exclusive one (lock-conflict proxy).
     pub escalations: u64,
-    /// Buffer-pool hits on this shard's private pager.
+    /// Buffer-pool hits on the primary's private pager.
     pub buffer_hits: u64,
-    /// Buffer-pool faults (misses) on this shard's private pager.
+    /// Buffer-pool faults (misses) on the primary's private pager.
     pub buffer_faults: u64,
-    /// Crashes simulated on this shard so far.
+    /// Crashes simulated on the current primary so far.
     pub crash_epoch: u64,
-    /// Derived-state rebuilds still deferred to first access.
+    /// Derived-state rebuilds still deferred to first access (primary).
     pub rebuilds_pending: usize,
-    /// Fraction of caches currently valid (CI only).
+    /// Fraction of caches currently valid (CI only; primary).
     pub valid_fraction: Option<f64>,
-    /// `R1` tuples this shard owns.
+    /// `R1` tuples this shard owns (primary's copy).
     pub r1_rows: u64,
     /// Total wall-clock milliseconds spent in accesses on this shard.
     pub access_ms_sum: f64,
+    /// Replica-group size (1 = unreplicated).
+    pub replicas: usize,
+    /// Replicas currently live (primary included).
+    pub live_replicas: usize,
+    /// Index of the current primary within the group.
+    pub primary_replica: usize,
+    /// Head of the shard's delta log (last stamped LSN).
+    pub last_lsn: u64,
+    /// Worst last-applied-LSN delta among live followers (0 = fresh).
+    pub max_replica_lag: u64,
+    /// Promotions (automatic failovers + operator `promote`) so far.
+    pub failovers: u64,
+    /// Per-replica role and lag, for the `stats` columns.
+    pub replica_status: Vec<ReplicaStatus>,
 }
 
 impl ShardStats {
@@ -121,12 +288,13 @@ impl ShardStats {
     }
 }
 
-/// `S` hash-partitioned engines with scatter-gather procedure access.
+/// `S` hash-partitioned replica groups with scatter-gather procedure
+/// access and supervised failover.
 ///
 /// All methods take `&self`: concurrency control is per shard, not
 /// global. Two updates to different shards run in parallel; an access
-/// shares each shard's lock with other accesses and only excludes the
-/// updates touching the same shard.
+/// shares each shard's primary lock with other accesses and only
+/// excludes the updates touching the same shard.
 pub struct ShardedEngine {
     slots: Vec<Arc<ShardSlot>>,
     router: Router,
@@ -136,28 +304,46 @@ pub struct ShardedEngine {
     n_procs: usize,
     kind: StrategyKind,
     cross_moves: Counter,
+    hedge: AtomicBool,
+    supervisor: Mutex<Option<Supervisor>>,
 }
 
 impl ShardedEngine {
-    /// Build `shards` engines via `build(shard_id)` — the builder loads
-    /// each engine's catalog with exactly the `R1` rows
-    /// [`Router::shard_of`] assigns to that shard (use
-    /// [`Router::partition_rows`]) and full replicas of the inner
-    /// relations. Every engine must share the strategy, `R1` name, key
-    /// field, and procedure list; this is asserted, not trusted.
-    /// Generic over the builder's error type so callers keep their own
-    /// error domain.
+    /// Build `shards` unreplicated engines via `build(shard_id)` —
+    /// identical to [`ShardedEngine::new_replicated`] with one replica
+    /// per shard.
     pub fn new<E>(
         shards: usize,
         mut build: impl FnMut(usize) -> std::result::Result<Engine, E>,
     ) -> std::result::Result<Self, E> {
+        Self::new_replicated(shards, 1, |s, _r| build(s))
+    }
+
+    /// Build `shards` replica groups of `replicas` engines each via
+    /// `build(shard_id, replica_idx)`. Every replica of a shard must
+    /// load the **same** `R1` slice (the rows [`Router::shard_of`]
+    /// assigns to that shard; use [`Router::partition_rows`]) and full
+    /// copies of the inner relations; every engine must share the
+    /// strategy, `R1` name, key field, and procedure list. Replica 0 of
+    /// each shard starts as primary. Generic over the builder's error
+    /// type so callers keep their own error domain.
+    pub fn new_replicated<E>(
+        shards: usize,
+        replicas: usize,
+        mut build: impl FnMut(usize, usize) -> std::result::Result<Engine, E>,
+    ) -> std::result::Result<Self, E> {
         assert!(shards > 0, "a sharded engine needs at least one shard");
+        assert!(replicas > 0, "a replica group needs at least one engine");
         let mut slots = Vec::with_capacity(shards);
         for id in 0..shards {
-            slots.push(Arc::new(ShardSlot::new(id, build(id)?)));
+            let mut engines = Vec::with_capacity(replicas);
+            for r in 0..replicas {
+                engines.push(build(id, r)?);
+            }
+            slots.push(Arc::new(ShardSlot::new(id, engines)));
         }
         let (r1, key_field, n_procs, kind) = {
-            let eng = slots[0].engine.read();
+            let eng = slots[0].replicas[0].engine.read();
             (
                 eng.options().r1.clone(),
                 eng.options().r1_key_field,
@@ -165,20 +351,33 @@ impl ShardedEngine {
                 eng.strategy(),
             )
         };
-        for slot in &slots[1..] {
-            let eng = slot.engine.read();
-            assert_eq!(eng.options().r1, r1, "shards must agree on R1");
-            assert_eq!(
-                eng.options().r1_key_field,
-                key_field,
-                "shards must agree on the partition key field"
-            );
-            assert_eq!(
-                eng.procedures().len(),
-                n_procs,
-                "shards must register identical procedures"
-            );
-            assert_eq!(eng.strategy(), kind, "shards must share the strategy");
+        for slot in &slots {
+            let primary_rows = slot.replicas[0]
+                .engine
+                .read()
+                .catalog()
+                .get(&r1)
+                .map(|t| t.len());
+            for rep in &slot.replicas {
+                let eng = rep.engine.read();
+                assert_eq!(eng.options().r1, r1, "replicas must agree on R1");
+                assert_eq!(
+                    eng.options().r1_key_field,
+                    key_field,
+                    "replicas must agree on the partition key field"
+                );
+                assert_eq!(
+                    eng.procedures().len(),
+                    n_procs,
+                    "replicas must register identical procedures"
+                );
+                assert_eq!(eng.strategy(), kind, "replicas must share the strategy");
+                assert_eq!(
+                    eng.catalog().get(&r1).map(|t| t.len()),
+                    primary_rows,
+                    "replicas of one shard must load the same R1 slice"
+                );
+            }
         }
         Ok(ShardedEngine {
             pool: WorkerPool::new(shards),
@@ -189,12 +388,19 @@ impl ShardedEngine {
             n_procs,
             kind,
             cross_moves: procdb_obs::global().counter("procdb_shard_cross_moves_total", &[]),
+            hedge: AtomicBool::new(false),
+            supervisor: Mutex::new(None),
         })
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Replica-group size (identical on every shard; 1 = unreplicated).
+    pub fn replicas(&self) -> usize {
+        self.slots[0].replicas.len()
     }
 
     /// Number of registered procedures (identical on every shard).
@@ -217,18 +423,123 @@ impl ShardedEngine {
         self.cross_moves.get()
     }
 
-    /// Run `f` against one shard's engine under the shared lock.
-    pub fn with_engine<R>(&self, shard: usize, f: impl FnOnce(&Engine) -> R) -> R {
-        f(&self.slots[shard].engine.read())
+    /// Promotions performed so far, summed over shards.
+    pub fn failovers(&self) -> u64 {
+        self.slots.iter().map(|s| s.failovers.get()).sum()
     }
 
-    /// Run `f` against one shard's engine under the exclusive lock.
+    /// Current primary replica index of one shard.
+    pub fn primary_of(&self, shard: usize) -> usize {
+        self.slots[shard].primary_idx()
+    }
+
+    /// Enable/disable hedged reads: an access whose primary lock is
+    /// contended serves from a live follower instead of waiting. Off by
+    /// default (a follower read can run ahead of a concurrent update's
+    /// fan-out, so strict read-your-writes callers should leave it off).
+    pub fn set_hedged_reads(&self, on: bool) {
+        self.hedge.store(on, Ordering::Relaxed);
+    }
+
+    /// Are hedged reads enabled?
+    pub fn hedged_reads(&self) -> bool {
+        self.hedge.load(Ordering::Relaxed)
+    }
+
+    /// Hedged reads served so far, summed over shards.
+    pub fn hedged_read_count(&self) -> u64 {
+        self.slots.iter().map(|s| s.hedged.get()).sum()
+    }
+
+    /// Cap every shard's delta-log retention at `cap` ops (truncating
+    /// immediately). A replica further behind than the retained window
+    /// resyncs by conservative full rebuild instead of replay.
+    pub fn set_delta_log_cap(&self, cap: usize) {
+        for slot in &self.slots {
+            slot.log.lock().set_cap(cap);
+        }
+    }
+
+    /// Start the supervisor thread: every `interval`, promote away from
+    /// any crashed primary with a live follower. Idempotent.
+    pub fn start_supervisor(&self, interval: Duration) {
+        let mut sup = self.supervisor.lock();
+        if sup.is_some() {
+            return;
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let slots = self.slots.clone();
+        let handle = std::thread::Builder::new()
+            .name("procdb-replica-supervisor".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    for slot in &slots {
+                        let pidx = slot.primary_idx();
+                        // try_read: a held write lock means busy, not dead.
+                        let crashed = slot.replicas[pidx]
+                            .engine
+                            .try_read()
+                            .map(|eng| eng.is_crashed());
+                        if crashed == Some(true) && slot.has_live_follower(pidx) {
+                            failover(slot, pidx);
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn replica supervisor");
+        *sup = Some(Supervisor { shutdown, handle });
+    }
+
+    /// Stop (and join) the supervisor thread, if running.
+    pub fn stop_supervisor(&self) {
+        let sup = self.supervisor.lock().take();
+        if let Some(s) = sup {
+            s.shutdown.store(true, Ordering::Relaxed);
+            let _ = s.handle.join();
+        }
+    }
+
+    /// Run `f` against one shard's **primary** engine under the shared
+    /// lock.
+    pub fn with_engine<R>(&self, shard: usize, f: impl FnOnce(&Engine) -> R) -> R {
+        let slot = &self.slots[shard];
+        f(&slot.replicas[slot.primary_idx()].engine.read())
+    }
+
+    /// Run `f` against one shard's **primary** engine under the
+    /// exclusive lock.
     pub fn with_engine_mut<R>(&self, shard: usize, f: impl FnOnce(&mut Engine) -> R) -> R {
-        f(&mut self.slots[shard].engine.write())
+        let slot = &self.slots[shard];
+        f(&mut slot.replicas[slot.primary_idx()].engine.write())
+    }
+
+    /// Run `f` against one specific replica's engine under the shared
+    /// lock (test/verification support).
+    pub fn with_replica_engine<R>(
+        &self,
+        shard: usize,
+        replica: usize,
+        f: impl FnOnce(&Engine) -> R,
+    ) -> R {
+        f(&self.slots[shard].replicas[replica].engine.read())
+    }
+
+    /// Run `f` against one specific replica's engine under the
+    /// exclusive lock (test/verification support).
+    pub fn with_replica_engine_mut<R>(
+        &self,
+        shard: usize,
+        replica: usize,
+        f: impl FnOnce(&mut Engine) -> R,
+    ) -> R {
+        f(&mut self.slots[shard].replicas[replica].engine.write())
     }
 
     fn output_schema(&self, i: usize) -> Schema {
-        let eng = self.slots[0].engine.read();
+        let slot = &self.slots[0];
+        let eng = slot.replicas[slot.primary_idx()].engine.read();
         eng.procedures()[i].view.output_schema(eng.catalog())
     }
 
@@ -247,14 +558,18 @@ impl ShardedEngine {
     /// sums each shard's ledger delta — the work a serial engine would
     /// have done, even though wall-clock overlaps it.
     ///
-    /// Each shard first tries [`Engine::access_shared`] under the shared
-    /// lock; only a shard whose strategy must write (cache refill,
-    /// deferred maintenance, post-crash rebuild) escalates to its
-    /// exclusive lock, and only that shard serializes against updates.
+    /// Each shard serves from its primary — shared lock first,
+    /// escalating to exclusive only when the strategy must write. A
+    /// crashed primary is promoted away from and the access **retries
+    /// on the new primary** within a bounded failover window, so with
+    /// live followers a dying primary costs latency, not an error. With
+    /// hedged reads on, a merely *contended* primary lock routes the
+    /// read to a live follower.
     pub fn access(&self, i: usize, c: &CostConstants) -> Result<(Vec<Tuple>, f64)> {
         assert!(i < self.n_procs, "procedure index out of range");
         let schema = self.output_schema(i);
         let c = *c;
+        let hedge = self.hedged_reads();
         let jobs: Vec<AccessJob> = self
             .slots
             .iter()
@@ -262,26 +577,40 @@ impl ShardedEngine {
                 let slot = Arc::clone(slot);
                 let job: AccessJob = Box::new(move || {
                     let start = Instant::now();
-                    {
-                        let eng = slot.engine.read();
-                        let before = eng.ledger().snapshot();
-                        if let Some(rows) = eng.access_shared(i)? {
-                            let ms = eng.ledger().snapshot().since(&before).priced(&c);
-                            slot.accesses.inc();
-                            slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
-                            return Ok((rows, ms));
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        let pidx = slot.primary_idx();
+                        if hedge && attempts == 1 && slot.replicas[pidx].engine.try_read().is_none()
+                        {
+                            if let Some((rows, ms)) = hedged_read(&slot, pidx, i, &c)? {
+                                slot.accesses.inc();
+                                slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                                return Ok((rows, ms));
+                            }
+                        }
+                        match serve_on(&slot.replicas[pidx], i, &c) {
+                            Ok((rows, ms, escalated)) => {
+                                if escalated {
+                                    slot.escalations.inc();
+                                }
+                                slot.accesses.inc();
+                                slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                                return Ok((rows, ms));
+                            }
+                            Err(e) => {
+                                let crashed = slot.replicas[pidx].engine.read().is_crashed();
+                                if crashed
+                                    && attempts <= slot.replicas.len()
+                                    && start.elapsed() < FAILOVER_WINDOW
+                                    && failover(&slot, pidx).is_some()
+                                {
+                                    continue; // retry on the promoted follower
+                                }
+                                return Err(e);
+                            }
                         }
                     }
-                    // This shard must write to answer; take its
-                    // exclusive lock and re-run.
-                    slot.escalations.inc();
-                    let mut eng = slot.engine.write();
-                    let before = eng.ledger().snapshot();
-                    let rows = eng.access(i)?;
-                    let ms = eng.ledger().snapshot().since(&before).priced(&c);
-                    slot.accesses.inc();
-                    slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
-                    Ok((rows, ms))
                 });
                 job
             })
@@ -294,6 +623,154 @@ impl ShardedEngine {
             total_ms += ms;
         }
         Ok((self.merge(&schema, partials), total_ms))
+    }
+
+    /// Ship `op` (already applied on the primary and stamped `lsn`) to
+    /// every live follower of `slot`. A follower whose apply fails
+    /// *crashed* is dropped from the group and marked suspect; a
+    /// follower whose maintenance merely faulted keeps serving — its
+    /// base effect is durable and its derived state is dirty-marked,
+    /// self-healing on first access exactly like a standalone engine.
+    fn fan_out(&self, slot: &ShardSlot, op: &DeltaOp, lsn: u64, c: &CostConstants) -> f64 {
+        let pidx = slot.primary_idx();
+        let mut ms = 0.0;
+        for rep in &slot.replicas {
+            if rep.idx == pidx || !rep.is_alive() {
+                continue;
+            }
+            let mut eng = rep.engine.write();
+            let before = eng.ledger().snapshot();
+            let res = eng.apply_delta_op(op);
+            ms += eng.ledger().snapshot().since(&before).priced(c);
+            match res {
+                Err(_) if eng.is_crashed() => {
+                    drop(eng);
+                    rep.mark_suspect();
+                    slot.replica_drops.inc();
+                }
+                _ => {
+                    eng.note_applied_lsn(lsn);
+                    rep.applied.store(lsn, Ordering::Relaxed);
+                    slot.replica_applied.inc();
+                }
+            }
+        }
+        ms
+    }
+
+    /// Apply one routed mutation to a shard's replica group: primary
+    /// first (with promote-and-retry if the primary turns out crashed),
+    /// then log-stamp and fan out to live followers. Returns
+    /// `(modified, priced_ms)`; a maintenance fault on a live primary
+    /// still ships the (durable) base effect to followers before the
+    /// error surfaces.
+    fn replicated_apply(
+        &self,
+        shard: usize,
+        op: DeltaOp,
+        c: &CostConstants,
+    ) -> Result<(usize, f64)> {
+        let slot = &self.slots[shard];
+        let _m = slot.mutation.lock();
+        let mut total_ms = 0.0;
+        let mut attempts = 0;
+        let (n, lsn, maint_err) = loop {
+            attempts += 1;
+            let pidx = slot.primary_idx();
+            let prim = &slot.replicas[pidx];
+            let mut eng = prim.engine.write();
+            let before = eng.ledger().snapshot();
+            let res = eng.apply_delta_op(&op);
+            total_ms += eng.ledger().snapshot().since(&before).priced(c);
+            match res {
+                Ok(n) => {
+                    let lsn = slot.log.lock().append(op.clone());
+                    eng.note_applied_lsn(lsn);
+                    prim.applied.store(lsn, Ordering::Relaxed);
+                    break (n, lsn, None);
+                }
+                Err(e) => {
+                    if eng.is_crashed() {
+                        drop(eng);
+                        // Died mid-apply: its base effect may have landed
+                        // without the LSN being noted — ambiguous position,
+                        // whoever ends up promoting past it.
+                        prim.mark_suspect();
+                        if attempts <= slot.replicas.len() && failover(slot, pidx).is_some() {
+                            continue; // retry the op on the promoted follower
+                        }
+                        return Err(e);
+                    }
+                    // Maintenance fault on a live primary: the uncharged
+                    // base effect is durable and the dirty marks are set,
+                    // so the delta still ships before the error surfaces.
+                    let lsn = slot.log.lock().append(op.clone());
+                    eng.note_applied_lsn(lsn);
+                    prim.applied.store(lsn, Ordering::Relaxed);
+                    break (0, lsn, Some(e));
+                }
+            }
+        };
+        slot.updates.inc();
+        total_ms += self.fan_out(slot, &op, lsn, c);
+        match maint_err {
+            Some(e) => Err(e),
+            None => Ok((n, total_ms)),
+        }
+    }
+
+    /// The delete-take half of a cross-shard move, replicated: the
+    /// primary takes the rows, the followers see the same keyed delete.
+    /// The taken rows are returned **even when maintenance faults** —
+    /// the base deletion is durable, so the move must still complete on
+    /// the destination or the tuple would be lost.
+    fn replicated_delete_take(
+        &self,
+        shard: usize,
+        keys: &[i64],
+        c: &CostConstants,
+    ) -> (Vec<Tuple>, f64, Result<usize>) {
+        let slot = &self.slots[shard];
+        let _m = slot.mutation.lock();
+        let mut total_ms = 0.0;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let pidx = slot.primary_idx();
+            let prim = &slot.replicas[pidx];
+            let mut eng = prim.engine.write();
+            let before = eng.ledger().snapshot();
+            let (taken, res) = eng.apply_delete_take(keys);
+            total_ms += eng.ledger().snapshot().since(&before).priced(c);
+            let crashed = eng.is_crashed();
+            match res {
+                Err(e) if crashed => {
+                    drop(eng);
+                    // The ex-primary's base delete may or may not have
+                    // landed — suspect either way.
+                    prim.mark_suspect();
+                    if attempts <= slot.replicas.len() && failover(slot, pidx).is_some() {
+                        // The promoted follower has not seen this op —
+                        // retry there.
+                        continue;
+                    }
+                    // No follower to fail over to: the rows (if any) are
+                    // gone from this engine; surface them so the caller
+                    // can still complete the move.
+                    slot.updates.inc();
+                    return (taken, total_ms, Err(e));
+                }
+                res => {
+                    let lsn = slot.log.lock().append(DeltaOp::Delete(keys.to_vec()));
+                    eng.note_applied_lsn(lsn);
+                    prim.applied.store(lsn, Ordering::Relaxed);
+                    drop(eng);
+                    slot.updates.inc();
+                    total_ms += self.fan_out(slot, &DeltaOp::Delete(keys.to_vec()), lsn, c);
+                    return (taken, total_ms, res);
+                }
+            }
+        }
     }
 
     /// Apply one `R1` update transaction, routing each `(victim,
@@ -311,34 +788,30 @@ impl ShardedEngine {
             let src = self.router.shard_of(victim);
             let dst = self.router.shard_of(new_key);
             if src == dst {
-                let slot = &self.slots[src];
-                let mut eng = slot.engine.write();
-                let before = eng.ledger().snapshot();
-                modified += eng.apply_update(&[(victim, new_key)])?;
-                total_ms += eng.ledger().snapshot().since(&before).priced(c);
-                slot.updates.inc();
+                let (n, ms) =
+                    self.replicated_apply(src, DeltaOp::Rekey(vec![(victim, new_key)]), c)?;
+                modified += n;
+                total_ms += ms;
             } else {
-                // Cross-shard move. One lock at a time: delete-take on
-                // the source, then insert on the destination.
-                let taken = {
-                    let slot = &self.slots[src];
-                    let mut eng = slot.engine.write();
-                    let before = eng.ledger().snapshot();
-                    let taken = eng.apply_delete_take(&[victim])?;
-                    total_ms += eng.ledger().snapshot().since(&before).priced(c);
-                    slot.updates.inc();
-                    taken
-                };
+                // Cross-shard move. One group's mutation lock at a time:
+                // delete-take on the source, then insert on the
+                // destination. The destination insert happens even when
+                // the source's maintenance faulted — the base delete is
+                // durable, so skipping the insert would lose the row.
+                let (taken, ms, take_res) = self.replicated_delete_take(src, &[victim], c);
+                total_ms += ms;
+                let mut maint_err = take_res.err();
                 if let Some(mut row) = taken.into_iter().next() {
                     row[self.key_field] = Value::Int(new_key);
-                    let slot = &self.slots[dst];
-                    let mut eng = slot.engine.write();
-                    let before = eng.ledger().snapshot();
-                    eng.apply_insert(std::slice::from_ref(&row))?;
-                    total_ms += eng.ledger().snapshot().since(&before).priced(c);
-                    slot.updates.inc();
+                    match self.replicated_apply(dst, DeltaOp::Insert(vec![row]), c) {
+                        Ok((_, ms)) => total_ms += ms,
+                        Err(e) => maint_err = Some(maint_err.unwrap_or(e)),
+                    }
                     self.cross_moves.inc();
                     modified += 1;
+                }
+                if let Some(e) = maint_err {
+                    return Err(e);
                 }
             }
         }
@@ -350,16 +823,13 @@ impl ShardedEngine {
         let parts = self.router.partition_rows(rows, self.key_field);
         let mut inserted = 0;
         let mut total_ms = 0.0;
-        for (s, part) in parts.iter().enumerate() {
+        for (s, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
-            let slot = &self.slots[s];
-            let mut eng = slot.engine.write();
-            let before = eng.ledger().snapshot();
-            inserted += eng.apply_insert(part)?;
-            total_ms += eng.ledger().snapshot().since(&before).priced(c);
-            slot.updates.inc();
+            let (n, ms) = self.replicated_apply(s, DeltaOp::Insert(part), c)?;
+            inserted += n;
+            total_ms += ms;
         }
         Ok((inserted, total_ms))
     }
@@ -374,24 +844,21 @@ impl ShardedEngine {
         }
         let mut deleted = 0;
         let mut total_ms = 0.0;
-        for (s, part) in per_shard.iter().enumerate() {
+        for (s, part) in per_shard.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
-            let slot = &self.slots[s];
-            let mut eng = slot.engine.write();
-            let before = eng.ledger().snapshot();
-            deleted += eng.apply_delete(part)?;
-            total_ms += eng.ledger().snapshot().since(&before).priced(c);
-            slot.updates.inc();
+            let (n, ms) = self.replicated_apply(s, DeltaOp::Delete(part), c)?;
+            deleted += n;
+            total_ms += ms;
         }
         Ok((deleted, total_ms))
     }
 
     /// Update any relation by name. `R1` routes through
     /// [`ShardedEngine::apply_update`]; an inner relation is replicated,
-    /// so the transaction broadcasts to every shard and the modified
-    /// count (identical on each replica) is reported once.
+    /// so the transaction broadcasts to every shard group and the
+    /// modified count (identical on each copy) is reported once.
     pub fn apply_update_to(
         &self,
         relation: &str,
@@ -403,12 +870,13 @@ impl ShardedEngine {
         }
         let mut modified = 0;
         let mut total_ms = 0.0;
-        for (s, slot) in self.slots.iter().enumerate() {
-            let mut eng = slot.engine.write();
-            let before = eng.ledger().snapshot();
-            let n = eng.apply_update_to(relation, modifications)?;
-            total_ms += eng.ledger().snapshot().since(&before).priced(c);
-            slot.updates.inc();
+        for s in 0..self.slots.len() {
+            let op = DeltaOp::RekeyIn {
+                relation: relation.to_string(),
+                mods: modifications.to_vec(),
+            };
+            let (n, ms) = self.replicated_apply(s, op, c)?;
+            total_ms += ms;
             if s == 0 {
                 modified = n;
             }
@@ -416,47 +884,228 @@ impl ShardedEngine {
         Ok((modified, total_ms))
     }
 
-    /// Crash one shard (or all, with `None`). Other shards keep serving.
+    /// Crash one shard's **primary** (or every shard's, with `None`).
+    /// When the group has a live follower, the freshest one is promoted
+    /// immediately — the supervised-failover path for an operator-
+    /// injected crash — and the service keeps answering; the crashed
+    /// ex-primary rejoins on [`ShardedEngine::recover`].
     pub fn crash(&self, shard: Option<usize>) {
-        match shard {
-            Some(s) => self.slots[s].engine.write().crash(),
-            None => {
-                for slot in &self.slots {
-                    slot.engine.write().crash();
-                }
+        let ids: Vec<usize> = match shard {
+            Some(s) => vec![s],
+            None => (0..self.slots.len()).collect(),
+        };
+        for s in ids {
+            let slot = &self.slots[s];
+            let pidx = slot.primary_idx();
+            slot.replicas[pidx].engine.write().crash();
+            if slot.has_live_follower(pidx) {
+                failover(slot, pidx);
             }
         }
     }
 
-    /// Recover one shard (or all, with `None`); returns each recovered
-    /// shard's report.
-    pub fn recover(&self, shard: Option<usize>) -> Vec<(usize, RecoveryReport)> {
-        match shard {
-            Some(s) => vec![(s, self.slots[s].engine.write().recover())],
-            None => self
-                .slots
-                .iter()
-                .map(|slot| (slot.id, slot.engine.write().recover()))
-                .collect(),
+    /// Operator promotion: make the freshest live follower of `shard`
+    /// the primary (a forced failover drill). The demoted ex-primary
+    /// stays a live follower when healthy; a crashed one is marked
+    /// suspect for resync. Errors when no live follower exists.
+    pub fn promote(&self, shard: usize) -> std::result::Result<usize, String> {
+        assert!(shard < self.slots.len(), "shard index out of range");
+        let slot = &self.slots[shard];
+        let _m = slot.mutation.lock();
+        let pidx = slot.primary_idx();
+        let Some(best) = slot
+            .replicas
+            .iter()
+            .filter(|r| r.idx != pidx && r.is_alive())
+            .max_by_key(|r| r.applied_lsn())
+        else {
+            return Err(format!("shard {shard} has no live follower to promote"));
+        };
+        let old_crashed = slot.replicas[pidx].engine.read().is_crashed();
+        slot.primary.store(best.idx, Ordering::Relaxed);
+        if old_crashed {
+            // An operator crash is an op-boundary crash: position exact,
+            // so the drop stays replayable (a mid-apply death was already
+            // marked suspect by the mutation path that observed it).
+            slot.replicas[pidx].mark_down();
         }
+        slot.failovers.inc();
+        Ok(best.idx)
     }
 
-    /// Warm every shard's caches (uncharged), so first measured accesses
-    /// are steady-state — the sharded analogue of [`Engine::warm_up`].
+    /// Recover one shard's replica group (or every group, with `None`):
+    /// recover each crashed engine, then resync every non-primary
+    /// replica (replay or conservative rebuild) and revive it. Returns
+    /// one outcome per covered shard — the primary's when it actually
+    /// recovered, else the first replica that did, else `NotCrashed`.
+    pub fn recover(&self, shard: Option<usize>) -> Vec<(usize, RecoveryOutcome)> {
+        let ids: Vec<usize> = match shard {
+            Some(s) => vec![s],
+            None => (0..self.slots.len()).collect(),
+        };
+        ids.into_iter()
+            .map(|s| (s, self.recover_group(s)))
+            .collect()
+    }
+
+    fn recover_group(&self, s: usize) -> RecoveryOutcome {
+        let slot = &self.slots[s];
+        let _m = slot.mutation.lock(); // freeze the delta stream during resync
+        let pidx = slot.primary_idx();
+        let prim = &slot.replicas[pidx];
+        let mut outcome = prim.engine.write().recover();
+        // A recovered primary is authoritative for its shard again — it
+        // may have been dropped or marked suspect when every follower
+        // was also dead and no promotion was possible.
+        let prim_was_suspect = prim.needs_full_resync.load(Ordering::Relaxed);
+        prim.applied
+            .store(prim.engine.read().applied_lsn(), Ordering::Relaxed);
+        prim.needs_full_resync.store(false, Ordering::Relaxed);
+        prim.alive.store(true, Ordering::Relaxed);
+        for rep in &slot.replicas {
+            if rep.idx == pidx {
+                continue;
+            }
+            let o = rep.engine.write().recover();
+            if o.is_recovered() && !outcome.is_recovered() {
+                outcome = o;
+            }
+            if prim_was_suspect {
+                // A suspect primary died mid-apply: its durable base may
+                // hold an op the log never stamped, so replay cannot
+                // reconstruct it — every follower must snapshot instead.
+                rep.needs_full_resync.store(true, Ordering::Relaxed);
+            }
+            // A replica whose resync fails stays down (visible in stats);
+            // conservative by construction.
+            let _ = self.resync_replica(slot, rep);
+        }
+        outcome
+    }
+
+    /// Resync every non-primary replica of `shard` (or of every shard,
+    /// with `None`) that is down or lagging: recover its engine if
+    /// crashed, then replay the delta-log tail past its last applied
+    /// LSN — or conservatively reinstall the primary's `R1` snapshot
+    /// (full derived-state invalidation) when the log has been
+    /// truncated past its position or its stream position is ambiguous.
+    /// Returns one report per replica resynced.
+    pub fn resync(&self, shard: Option<usize>) -> Result<Vec<ResyncReport>> {
+        let ids: Vec<usize> = match shard {
+            Some(s) => vec![s],
+            None => (0..self.slots.len()).collect(),
+        };
+        let mut reports = Vec::new();
+        for s in ids {
+            let slot = &self.slots[s];
+            let _m = slot.mutation.lock();
+            let pidx = slot.primary_idx();
+            let target = slot.log.lock().last_lsn();
+            for rep in &slot.replicas {
+                if rep.idx == pidx {
+                    continue;
+                }
+                let needs = !rep.is_alive() || rep.applied_lsn() < target;
+                if !needs {
+                    continue;
+                }
+                {
+                    let mut eng = rep.engine.write();
+                    let _ = eng.recover();
+                }
+                reports.push(self.resync_replica(slot, rep)?);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Catch one replica up to the shard's log head. Caller holds the
+    /// shard's mutation lock and has already recovered the engine.
+    fn resync_replica(&self, slot: &ShardSlot, rep: &Arc<Replica>) -> Result<ResyncReport> {
+        let target = slot.log.lock().last_lsn();
+        let mut replayed = 0usize;
+        let mut full = rep.needs_full_resync.load(Ordering::Relaxed);
+        if !full {
+            let from = rep.engine.read().applied_lsn();
+            match slot.log.lock().tail_after(from) {
+                Some(tail) => {
+                    let mut eng = rep.engine.write();
+                    for (lsn, op) in &tail {
+                        let res = eng.apply_delta_op(op);
+                        if res.is_err() && eng.is_crashed() {
+                            // Died mid-replay: position ambiguous again.
+                            let _ = eng.recover();
+                            full = true;
+                            break;
+                        }
+                        // A plain maintenance fault leaves the base effect
+                        // durable and the derived state dirty-marked —
+                        // the replay position is still exact.
+                        eng.note_applied_lsn(*lsn);
+                        replayed += 1;
+                    }
+                }
+                None => full = true, // truncated past this replica
+            }
+        }
+        if full {
+            let snapshot = {
+                let prim = &slot.replicas[slot.primary_idx()];
+                let eng = prim.engine.read();
+                let pager = eng.pager().clone();
+                let was = pager.is_charging();
+                pager.set_charging(false);
+                let rows = eng
+                    .catalog()
+                    .get(&self.r1)
+                    .expect("R1 exists on shards")
+                    .scan_all();
+                pager.set_charging(was);
+                rows?
+            };
+            let mut eng = rep.engine.write();
+            eng.install_r1_snapshot(&snapshot)?;
+            eng.note_applied_lsn(target);
+            slot.resync_full.inc();
+        } else {
+            slot.resync_replayed.add(replayed as u64);
+        }
+        rep.applied
+            .store(rep.engine.read().applied_lsn(), Ordering::Relaxed);
+        rep.needs_full_resync.store(false, Ordering::Relaxed);
+        rep.alive.store(true, Ordering::Relaxed);
+        Ok(ResyncReport {
+            shard: slot.id,
+            replica: rep.idx,
+            replayed,
+            full_rebuild: full,
+        })
+    }
+
+    /// Warm every replica's caches (uncharged), so first measured
+    /// accesses are steady-state — the sharded analogue of
+    /// [`Engine::warm_up`].
     pub fn warm_up(&self) -> Result<()> {
         for slot in &self.slots {
-            slot.engine.write().warm_up()?;
+            for rep in &slot.replicas {
+                rep.engine.write().warm_up()?;
+            }
         }
         Ok(())
     }
 
-    /// Reference answer for procedure `i`: every shard's uncharged fresh
-    /// recompute, merged. Test/verification support.
+    /// Reference answer for procedure `i`: every shard primary's
+    /// uncharged fresh recompute, merged. Test/verification support.
     pub fn expected_rows(&self, i: usize) -> Result<Vec<Tuple>> {
         let schema = self.output_schema(i);
         let mut partials = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
-            partials.push(slot.engine.read().expected_rows(i)?);
+            partials.push(
+                slot.replicas[slot.primary_idx()]
+                    .engine
+                    .read()
+                    .expected_rows(i)?,
+            );
         }
         Ok(self.merge(&schema, partials))
     }
@@ -464,17 +1113,19 @@ impl ShardedEngine {
     /// Normalize rows for multiset comparison (encode + sort), using the
     /// same schema encoding as the single-engine oracle.
     pub fn normalize(&self, i: usize, rows: &[Tuple]) -> Vec<Vec<u8>> {
-        self.slots[0].engine.read().normalize(i, rows)
+        let slot = &self.slots[0];
+        let eng = slot.replicas[slot.primary_idx()].engine.read();
+        eng.normalize(i, rows)
     }
 
-    /// All `R1` tuples across shards, uncharged, in a deterministic
-    /// (schema-encoded) order. Used to resync a session's schema mirror
-    /// after updates.
+    /// All `R1` tuples across shard primaries, uncharged, in a
+    /// deterministic (schema-encoded) order. Used to resync a session's
+    /// schema mirror after updates.
     pub fn scan_r1(&self) -> Result<Vec<Tuple>> {
         let mut rows: Vec<Tuple> = Vec::new();
         let mut schema: Option<Schema> = None;
         for slot in &self.slots {
-            let eng = slot.engine.read();
+            let eng = slot.replicas[slot.primary_idx()].engine.read();
             let pager = eng.pager().clone();
             let was = pager.is_charging();
             pager.set_charging(false);
@@ -491,14 +1142,43 @@ impl ShardedEngine {
         Ok(rows)
     }
 
-    /// Point-in-time per-shard summaries (allocation-free on the hot
-    /// path: counters are relaxed atomics, the engine is read-locked
-    /// only to read sizes).
+    /// Point-in-time per-shard summaries (allocation-light on the hot
+    /// path: counters are relaxed atomics, the primary engine is
+    /// read-locked only to read sizes).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.slots
             .iter()
             .map(|slot| {
-                let eng = slot.engine.read();
+                let pidx = slot.primary_idx();
+                let last_lsn = slot.log.lock().last_lsn();
+                let replica_status: Vec<ReplicaStatus> = slot
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        let role = if r.idx == pidx {
+                            ReplicaRole::Primary
+                        } else if r.is_alive() {
+                            ReplicaRole::Follower
+                        } else {
+                            ReplicaRole::Down
+                        };
+                        let applied = r.applied_lsn();
+                        ReplicaStatus {
+                            replica: r.idx,
+                            role,
+                            applied_lsn: applied,
+                            lag: last_lsn.saturating_sub(applied),
+                        }
+                    })
+                    .collect();
+                let max_replica_lag = replica_status
+                    .iter()
+                    .filter(|st| st.role == ReplicaRole::Follower)
+                    .map(|st| st.lag)
+                    .max()
+                    .unwrap_or(0);
+                let live_replicas = slot.replicas.iter().filter(|r| r.is_alive()).count();
+                let eng = slot.replicas[pidx].engine.read();
                 let (hits, faults) = eng.pager().buffer_stats();
                 ShardStats {
                     shard: slot.id,
@@ -516,8 +1196,21 @@ impl ShardedEngine {
                         .map(|t| t.len())
                         .unwrap_or_default(),
                     access_ms_sum: slot.access_ms.sum(),
+                    replicas: slot.replicas.len(),
+                    live_replicas,
+                    primary_replica: pidx,
+                    last_lsn,
+                    max_replica_lag,
+                    failovers: slot.failovers.get(),
+                    replica_status,
                 }
             })
             .collect()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.stop_supervisor();
     }
 }

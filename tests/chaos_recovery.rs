@@ -188,7 +188,7 @@ fn run_chaos(kind: StrategyKind, seed: u64) {
             }
         }
         e.crash();
-        let rep = e.recover();
+        let rep = e.recover().into_report().expect("crashed, so it recovers");
         assert_eq!(rep.crash_epoch, cycle + 1, "{kind} seed {seed}");
         if kind == StrategyKind::AlwaysRecompute {
             assert_eq!(rep.wal_records_replayed, 0, "AR replays no WAL (§3)");
@@ -196,13 +196,12 @@ fn run_chaos(kind: StrategyKind, seed: u64) {
             assert_eq!(rep.conservative_invalidations, 0);
             assert_eq!(rep.rebuilds_pending, 0);
         }
-        // Recovery is idempotent: a second pass reports the same epoch and
-        // does no additional replay.
-        let again = e.recover();
-        assert_eq!(again.crash_epoch, rep.crash_epoch);
+        // Recovery is idempotent: a second pass is a typed no-op rather
+        // than a repeat replay.
         assert_eq!(
-            again.wal_records_replayed, 0,
-            "{kind}: replay must not repeat"
+            e.recover(),
+            procdb::core::RecoveryOutcome::NotCrashed,
+            "{kind}: recovering a running engine must be a typed no-op"
         );
         // Fault-free verification of the recovered engine.
         pg.clear_faults();
@@ -312,7 +311,7 @@ fn kill_point_crash_recover_cycle_matches_oracle() {
         }
         assert!(killed, "{kind}: the kill-point never fired");
         e.crash();
-        let rep = e.recover();
+        let rep = e.recover().into_report().expect("crashed, so it recovers");
         assert_eq!(rep.crash_epoch, 1);
         pg.clear_faults();
         for i in 0..2 {
