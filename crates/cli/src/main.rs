@@ -10,11 +10,21 @@
 //! command promotes the current session to a TCP server (same grammar
 //! over the wire); when the server is shut down, the session — with any
 //! changes clients made — returns to the prompt.
+//!
+//! ```text
+//! procdb-cli --v2 HOST:PORT
+//! ```
+//!
+//! connects as a **wire protocol v2** client instead: the same command
+//! grammar is typed at the prompt, but every line travels as a binary
+//! frame, and `call PROC(args…)` lines use the typed `CALL` opcode — OUT
+//! parameters and result rows come back typed and are rendered locally.
 
 use std::io::{BufRead, Write};
 
 use procdb_cli::{execute, parse, Command, Outcome, Session};
 use procdb_server::{Server, ServerConfig};
+use procdb_wire::{Request, Response, WireClient};
 
 /// Run one command against the session; `Ok(false)` ends the REPL.
 fn run_command(session: &mut Session, cmd: Command) -> Result<bool, String> {
@@ -50,7 +60,131 @@ fn run_command(session: &mut Session, cmd: Command) -> Result<bool, String> {
     }
 }
 
+/// Render one typed value the way the shell prints tuple fields.
+fn render_value(v: &procdb_query::Value) -> String {
+    match v {
+        procdb_query::Value::Int(i) => i.to_string(),
+        procdb_query::Value::Bytes(b) => format!("{:?}", String::from_utf8_lossy(b)),
+    }
+}
+
+/// Print a v2 response the way the v1 shell would, plus the typed parts
+/// (`out NAME = VALUE` lines, rendered rows) a `CALL` carries.
+fn print_v2_response(resp: &Response) {
+    match resp {
+        Response::OkText { text } => {
+            if !text.is_empty() {
+                println!("{text}");
+            }
+            println!("ok");
+        }
+        Response::CallOk { text, out, rows } => {
+            if !text.is_empty() {
+                println!("{text}");
+            }
+            for (name, v) in out {
+                println!("out {name} = {}", render_value(v));
+            }
+            if !rows.is_empty() {
+                println!("{} row(s):", rows.len());
+                for row in rows {
+                    let fields: Vec<String> = row.iter().map(render_value).collect();
+                    println!("  ({})", fields.join(", "));
+                }
+            }
+            println!("ok");
+        }
+        Response::Error { code, message } => println!("err [{code}] {message}"),
+        Response::Bye => println!("ok bye"),
+        other => println!("err unexpected response opcode {:#04x}", other.opcode()),
+    }
+}
+
+/// The remote v2 REPL: parse each line with the usual grammar so syntax
+/// errors stay local, then ship it framed — `call` lines as the typed
+/// `CALL` opcode, everything else as a framed command line.
+fn run_v2(addr: &str) {
+    let mut client = match WireClient::connect(addr, 16) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", client.greeting());
+    println!("connected: {} (v2 framed)", client.banner());
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("procdb(v2)> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        if !interactive && !line.trim().is_empty() && !line.trim_start().starts_with('#') {
+            println!("procdb(v2)> {}", line.trim_end());
+        }
+        // `shutdown` is a server-level verb the local grammar does not
+        // know; ship it raw like a v1 client would.
+        if line.trim().eq_ignore_ascii_case("shutdown") {
+            match client.roundtrip(&Request::Command {
+                line: "shutdown".to_string(),
+            }) {
+                Ok(resp) => print_v2_response(&resp),
+                Err(e) => eprintln!("wire error: {e}"),
+            }
+            return;
+        }
+        let req = match parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(Command::Quit)) => break,
+            Ok(Some(Command::Call { name, args })) => Request::Call { name, args },
+            Ok(Some(_)) => Request::Command {
+                line: line.trim().to_string(),
+            },
+            Err(msg) => {
+                println!("error: {msg}");
+                continue;
+            }
+        };
+        match client.roundtrip(&req) {
+            Ok(resp) => {
+                let done = matches!(resp, Response::Bye);
+                print_v2_response(&resp);
+                if done {
+                    return; // server closed (quit/shutdown)
+                }
+            }
+            Err(e) => {
+                eprintln!("wire error: {e}");
+                break;
+            }
+        }
+    }
+    let _ = client.close();
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {}
+        [flag, addr] if flag == "--v2" => {
+            run_v2(addr);
+            return;
+        }
+        _ => {
+            eprintln!("usage: procdb-cli [--v2 HOST:PORT]");
+            std::process::exit(2);
+        }
+    }
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     let mut session = Session::new();

@@ -9,9 +9,17 @@
 //! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
 //!         [--shards S] [--replicas R] [--chaos]
-//!         [--strategies ar,ci,avm,rvm] [--json PATH] [--metrics-json]
-//!         [--max-in-flight N]
+//!         [--strategies ar,ci,avm,rvm] [--proto v1,v2] [--pipeline N]
+//!         [--json PATH] [--metrics-json] [--max-in-flight N]
 //! ```
+//!
+//! `--proto` selects the wire protocol(s) to measure: `v1` is the
+//! classic line protocol (one command per round-trip), `v2` the binary
+//! framed protocol driven **pipelined** — each client keeps up to
+//! `--pipeline` requests in flight and matches responses by request id
+//! in whatever order the server's demultiplexer completes them. Both
+//! protocols replay the identical dealt workload, so a v2-vs-v1 row
+//! pair isolates the protocol cost.
 //!
 //! With `--metrics-json` (requires `--json`), the server's `metrics`
 //! exposition is scraped before and after every run and the per-run
@@ -29,6 +37,7 @@
 //! the in-process server's admission bound (set it below the client
 //! count to exercise the shed/backoff path).
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Barrier;
@@ -36,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use procdb_bench::LatencySummary;
 use procdb_server::{Server, ServerConfig, Session};
+use procdb_wire::{errcode, Request, Response, WireClient};
 use procdb_workload::{split_stream, StreamSpec};
 
 #[derive(Debug, Clone)]
@@ -61,6 +71,10 @@ struct Config {
     /// `--replicas >= 2` — failover should be invisible to clients.
     chaos: bool,
     strategies: Vec<(String, String)>, // (label, wire name)
+    /// Wire protocols to measure (`v1` line, `v2` framed pipelined).
+    protos: Vec<String>,
+    /// Pipeline depth per v2 client (ignored for v1 runs).
+    pipeline: usize,
     json: Option<String>,
     metrics_json: bool,
     /// Admission bound for the in-process server (ignored with `--addr`);
@@ -85,6 +99,8 @@ impl Default for Config {
             replicas: 1,
             chaos: false,
             strategies: all_strategies(),
+            protos: vec!["v1".to_string()],
+            pipeline: 16,
             json: None,
             metrics_json: false,
             max_in_flight: None,
@@ -112,8 +128,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
-         [--replicas R] [--chaos] [--strategies ar,ci,avm,rvm] [--json PATH] \
-         [--metrics-json] [--max-in-flight N]"
+         [--replicas R] [--chaos] [--strategies ar,ci,avm,rvm] [--proto v1,v2] \
+         [--pipeline N] [--json PATH] [--metrics-json] [--max-in-flight N]"
     );
     std::process::exit(2);
 }
@@ -161,6 +177,18 @@ fn parse_args() -> Config {
                     .split(',')
                     .map(|s| strategy_by_label(s).unwrap_or_else(|| usage()))
                     .collect();
+            }
+            "--proto" => {
+                cfg.protos = val(&mut args).split(',').map(|s| s.to_string()).collect();
+                if cfg.protos.is_empty() || cfg.protos.iter().any(|p| p != "v1" && p != "v2") {
+                    usage();
+                }
+            }
+            "--pipeline" => {
+                cfg.pipeline = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if cfg.pipeline == 0 {
+                    usage();
+                }
             }
             "--json" => cfg.json = Some(val(&mut args)),
             "--metrics-json" => cfg.metrics_json = true,
@@ -452,6 +480,10 @@ fn fetch_shards(control: &mut Client) -> Result<Vec<ShardSnapshot>, String> {
 #[derive(Debug, Clone)]
 struct RunResult {
     strategy: String,
+    /// Wire protocol this run measured (`v1` line, `v2` framed).
+    proto: String,
+    /// In-flight window per client (always 1 for v1).
+    pipeline: usize,
     clients: usize,
     commands: usize,
     counters: ClientCounters,
@@ -547,6 +579,110 @@ fn run_client(addr: &str, lines: &[String], barrier: &Barrier, seed: u64) -> Cli
     }
     let elapsed = start.elapsed();
     let _ = client.cmd("quit");
+    Ok((latencies, elapsed, counters))
+}
+
+/// One client's **pipelined** v2 loop: keep up to `window` framed
+/// commands in flight, match responses by request id in completion
+/// order, and re-enqueue `BUSY`/`DEADLINE` sheds. A command's latency
+/// runs from its *first* send to its final response — the same
+/// retry-inclusive semantics as the v1 loop — so v1/v2 latency columns
+/// compare like for like.
+fn run_client_v2(
+    addr: &str,
+    lines: &[String],
+    barrier: &Barrier,
+    seed: u64,
+    window: usize,
+) -> ClientRun {
+    let mut rng = seed;
+    let mut client = {
+        let mut backoff = BASE_BACKOFF;
+        let mut retries = 0usize;
+        loop {
+            match WireClient::connect(addr, window as u32) {
+                Ok(c) => break c,
+                Err(e) => {
+                    retries += 1;
+                    if retries >= MAX_CONNECT_RETRIES {
+                        return Err(format!("giving up after {retries} connect retries: {e}"));
+                    }
+                    backoff_step(&mut backoff, &mut rng);
+                }
+            }
+        }
+    };
+    let mut counters = ClientCounters::default();
+    let mut latencies = vec![0.0f64; lines.len()];
+    let mut started: Vec<Option<Instant>> = vec![None; lines.len()];
+    let mut attempts = vec![0usize; lines.len()];
+    // Work queue of line indices; `pending` maps in-flight request ids
+    // back to them.
+    let mut queue: VecDeque<usize> = (0..lines.len()).collect();
+    let mut pending: HashMap<u64, usize> = HashMap::new();
+    barrier.wait();
+    let start = Instant::now();
+    while !queue.is_empty() || !pending.is_empty() {
+        while pending.len() < window {
+            let Some(idx) = queue.pop_front() else { break };
+            let id = client
+                .send(&Request::Command {
+                    line: lines[idx].clone(),
+                })
+                .map_err(|e| format!("send: {e}"))?;
+            started[idx].get_or_insert_with(Instant::now);
+            pending.insert(id, idx);
+        }
+        let (id, resp) = client.recv().map_err(|e| format!("recv: {e}"))?;
+        let idx = pending
+            .remove(&id)
+            .ok_or_else(|| format!("response for unknown request id {id}"))?;
+        let shed = match resp {
+            Response::OkText { .. } => false,
+            Response::Error { code, .. } if code == errcode::BUSY => {
+                counters.busy_sheds += 1;
+                true
+            }
+            Response::Error { code, .. } if code == errcode::DEADLINE => {
+                counters.deadline_expiries += 1;
+                true
+            }
+            Response::Error { .. } => {
+                counters.errors += 1;
+                false
+            }
+            other => {
+                return Err(format!(
+                    "unexpected response opcode {:#04x}",
+                    other.opcode()
+                ))
+            }
+        };
+        if shed {
+            attempts[idx] += 1;
+            if attempts[idx] >= MAX_RETRIES_PER_CMD {
+                counters.errors += 1;
+            } else {
+                counters.retries += 1;
+                queue.push_back(idx);
+                // Only stall for backoff when nothing else is in flight;
+                // otherwise keep draining responses — the re-enqueued
+                // command naturally waits its turn behind the window.
+                if pending.is_empty() {
+                    let mut backoff = BASE_BACKOFF;
+                    backoff_step(&mut backoff, &mut rng);
+                }
+                continue;
+            }
+        }
+        latencies[idx] = started[idx]
+            .expect("completed command was never started")
+            .elapsed()
+            .as_secs_f64()
+            * 1e6;
+    }
+    let elapsed = start.elapsed();
+    let _ = client.close();
     Ok((latencies, elapsed, counters))
 }
 
@@ -646,6 +782,7 @@ fn run_one(
     cfg: &Config,
     label: &str,
     wire: &str,
+    proto: &str,
     n_clients: usize,
 ) -> Result<RunResult, String> {
     control.expect_ok(&format!("strategy {wire}"))?;
@@ -688,7 +825,14 @@ fn run_one(
                     // Distinct per-client seeds decorrelate the backoff
                     // jitter; the workload itself is already dealt.
                     let seed = cfg.seed.wrapping_add(1 + c as u64);
-                    s.spawn(move || run_client(addr, lines, barrier, seed))
+                    let pipeline = cfg.pipeline;
+                    s.spawn(move || {
+                        if proto == "v2" {
+                            run_client_v2(addr, lines, barrier, seed, pipeline)
+                        } else {
+                            run_client(addr, lines, barrier, seed)
+                        }
+                    })
                 })
                 .collect();
             let chaos = cfg.chaos.then(|| s.spawn(|| chaos_schedule(addr)));
@@ -741,6 +885,8 @@ fn run_one(
         .collect();
     Ok(RunResult {
         strategy: label.to_string(),
+        proto: proto.to_string(),
+        pipeline: if proto == "v2" { cfg.pipeline } else { 1 },
         clients: n_clients,
         commands,
         counters,
@@ -757,7 +903,7 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
     out.push_str(&format!(
         "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
          \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}, \
-         \"replicas\": {}, \"chaos\": {}}},\n",
+         \"replicas\": {}, \"chaos\": {}, \"protos\": [{}], \"pipeline\": {}}},\n",
         cfg.ops,
         cfg.rows,
         cfg.views,
@@ -767,18 +913,27 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
         cfg.seed,
         cfg.shards,
         cfg.replicas,
-        cfg.chaos
+        cfg.chaos,
+        cfg.protos
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.pipeline
     ));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"clients\": {}, \"commands\": {}, \
+            "    {{\"strategy\": \"{}\", \"proto\": \"{}\", \"pipeline\": {}, \
+             \"clients\": {}, \"commands\": {}, \
              \"errors\": {}, \"retries\": {}, \"busy_sheds\": {}, \
              \"deadline_expiries\": {}, \
              \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
              \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \
              \"p999\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}",
             r.strategy,
+            r.proto,
+            r.pipeline,
             r.clients,
             r.commands,
             r.counters.errors,
@@ -895,8 +1050,10 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         addr
     );
     println!(
-        "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:>9} {:>6} {:>5} {:>8} {:>9} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "strategy",
+        "proto",
+        "pipe",
         "clients",
         "commands",
         "errors",
@@ -910,46 +1067,51 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
     );
     let mut runs = Vec::new();
     for (label, wire) in &cfg.strategies {
-        for &n in &cfg.clients {
-            let r = run_one(&addr, &mut control, cfg, label, wire, n)?;
-            println!(
-                "{:>9} {:>8} {:>9} {:>7} {:>8} {:>11.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
-                r.strategy,
-                r.clients,
-                r.commands,
-                r.counters.errors,
-                r.counters.retries,
-                r.throughput(),
-                r.latency.p50_us,
-                r.latency.p95_us,
-                r.latency.p99_us,
-                r.latency.p999_us,
-                r.latency.max_us
-            );
-            if cfg.shards > 1 || cfg.replicas > 1 {
-                for sh in &r.shards {
-                    let replica_note = if cfg.replicas > 1 {
-                        format!(
-                            ", {}/{} live, {} failover(s), lag {}",
-                            sh.live, sh.replicas, sh.failovers, sh.max_lag
-                        )
-                    } else {
-                        String::new()
-                    };
-                    println!(
-                        "          shard {}: {} accesses ({} escalated), {} updates, \
+        for proto in &cfg.protos {
+            for &n in &cfg.clients {
+                let r = run_one(&addr, &mut control, cfg, label, wire, proto, n)?;
+                println!(
+                    "{:>9} {:>6} {:>5} {:>8} {:>9} {:>7} {:>8} {:>11.1} {:>9.0} {:>9.0} {:>9.0} \
+                 {:>9.0} {:>9.0}",
+                    r.strategy,
+                    r.proto,
+                    r.pipeline,
+                    r.clients,
+                    r.commands,
+                    r.counters.errors,
+                    r.counters.retries,
+                    r.throughput(),
+                    r.latency.p50_us,
+                    r.latency.p95_us,
+                    r.latency.p99_us,
+                    r.latency.p999_us,
+                    r.latency.max_us
+                );
+                if cfg.shards > 1 || cfg.replicas > 1 {
+                    for sh in &r.shards {
+                        let replica_note = if cfg.replicas > 1 {
+                            format!(
+                                ", {}/{} live, {} failover(s), lag {}",
+                                sh.live, sh.replicas, sh.failovers, sh.max_lag
+                            )
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "          shard {}: {} accesses ({} escalated), {} updates, \
                          hit ratio {:.2}, {:.1} ops/s{}",
-                        sh.shard,
-                        sh.accesses,
-                        sh.escalations,
-                        sh.updates,
-                        sh.hit_ratio(),
-                        (sh.accesses + sh.updates) / r.elapsed.as_secs_f64().max(1e-9),
-                        replica_note,
-                    );
+                            sh.shard,
+                            sh.accesses,
+                            sh.escalations,
+                            sh.updates,
+                            sh.hit_ratio(),
+                            (sh.accesses + sh.updates) / r.elapsed.as_secs_f64().max(1e-9),
+                            replica_note,
+                        );
+                    }
                 }
+                runs.push(r);
             }
-            runs.push(r);
         }
     }
     let _ = control.cmd("quit");

@@ -91,6 +91,15 @@ pub enum Command {
     /// `resync [SHARD]` — rejoin every down replica (of one shard or
     /// all) by delta-log replay, falling back to a full rebuild.
     Resync(Option<usize>),
+    /// `call PROC(args...)` — invoke a registered stored procedure
+    /// (`call P1(0, 5000)`, `call db.procedures()`). The v2 wire
+    /// protocol carries the same call as a typed `CALL` frame.
+    Call {
+        /// Procedure name (case-insensitive; may contain dots).
+        name: String,
+        /// IN arguments, positionally.
+        args: Vec<Value>,
+    },
     /// `serve [--port P] [--max-conns N]` — turn the session into a
     /// TCP server (interactive shell only).
     Serve {
@@ -137,6 +146,8 @@ commands:
   replicas R | replicas                 -- R engines per shard / show the count
   promote SHARD                         -- fail a shard over to its freshest follower
   resync [SHARD]                        -- rejoin down replicas by delta-log replay
+  call PROC(args...)                    -- invoke a stored procedure
+                                           (list them: call db.procedures())
   serve [--port P] [--max-conns N]      -- expose this session over TCP
   help, quit";
 
@@ -303,6 +314,40 @@ fn parse_fault(rest: &str) -> Result<Command, String> {
     }
 }
 
+fn parse_call(rest: &str) -> Result<Command, String> {
+    let rest = rest.trim();
+    // Procedure names may contain dots (`db.procedures`), so the scan is
+    // wider than `split_ident`'s.
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_' && *c != '.')
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return Err("expected: call PROC(args...)".to_string());
+    }
+    let name = rest[..end].to_string();
+    let tail = rest[end..].trim();
+    if tail.is_empty() {
+        // Bare `call P1` is allowed for zero-argument procedures.
+        return Ok(Command::Call {
+            name,
+            args: Vec::new(),
+        });
+    }
+    let open = tail
+        .strip_prefix('(')
+        .ok_or_else(|| "expected '(' after the procedure name".to_string())?;
+    let close = open
+        .rfind(')')
+        .ok_or_else(|| "expected ')' closing the argument list".to_string())?;
+    if !open[close + 1..].trim().is_empty() {
+        return Err("unexpected text after ')'".to_string());
+    }
+    let args = parse_values(&open[..close])?;
+    Ok(Command::Call { name, args })
+}
+
 /// Parse one input line (blank lines and `#` comments yield `None`).
 pub fn parse(line: &str) -> Result<Option<Command>, String> {
     let line = line.trim();
@@ -377,6 +422,9 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     }
     if lower == "fault" || lower.starts_with("fault ") {
         return parse_fault(&lower["fault".len()..]).map(Some);
+    }
+    if lower == "call" || lower.starts_with("call ") {
+        return parse_call(&line["call".len()..]).map(Some);
     }
     if lower.starts_with("define view") || lower.starts_with("retrieve") {
         return Ok(Some(Command::DefineView(line.to_string())));
@@ -624,6 +672,44 @@ mod tests {
     }
 
     #[test]
+    fn call_forms() {
+        assert_eq!(
+            parse("call P1(0, 5000)").unwrap(),
+            Some(Command::Call {
+                name: "P1".into(),
+                args: vec![Value::Int(0), Value::Int(5000)],
+            })
+        );
+        assert_eq!(
+            parse("call db.procedures()").unwrap(),
+            Some(Command::Call {
+                name: "db.procedures".into(),
+                args: vec![],
+            })
+        );
+        // Bare form for zero-argument procedures; name case preserved.
+        assert_eq!(
+            parse("CALL db.stats").unwrap(),
+            Some(Command::Call {
+                name: "db.stats".into(),
+                args: vec![],
+            })
+        );
+        let c = parse(r#"call P9("abc", -3)"#).unwrap().unwrap();
+        let Command::Call { name, args } = c else {
+            panic!()
+        };
+        assert_eq!(name, "P9");
+        assert_eq!(args[0], Value::Bytes(b"abc".to_vec()));
+        assert_eq!(args[1], Value::Int(-3));
+        assert!(parse("call").is_err());
+        assert!(parse("call (1, 2)").is_err());
+        assert!(parse("call P1(1, 2").is_err());
+        assert!(parse("call P1(1) trailing").is_err());
+        assert!(parse("call P1(nope)").is_err());
+    }
+
+    #[test]
     fn define_view_passthrough() {
         let src = "define view V (EMP.all) where EMP.eid >= 3";
         assert_eq!(
@@ -676,6 +762,14 @@ mod tests {
             "fault inject --io-reads NaN",
             "fault inject --kill-at 99999999999999999999",
             "crash now",
+            "call",
+            "call (",
+            "call P1(",
+            "call P1(\"",
+            "call P1(,,,,)",
+            "call ...(1)",
+            "call P1(1))",
+            "call P1(99999999999999999999999999)",
             "\u{0}\u{1}\u{2}",
             "créate tàble ünïcode (x int) btree x",
             "update \u{FFFD} -> \u{FFFD}",

@@ -126,6 +126,11 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         Command::Replicas(None) => {
             Outcome::text(format!("replicas: {} per shard", session.replicas()))
         }
+        Command::Call { name, args } => {
+            let outcome =
+                crate::procedures::ProcedureRegistry::global().call(session, &name, &args)?;
+            Outcome::Text(outcome.render(session))
+        }
         Command::Promote(shard) => Outcome::Text(session.promote(shard)?),
         Command::Resync(shard) => Outcome::Text(session.resync(shard)?),
         Command::Serve { .. } => {

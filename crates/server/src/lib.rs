@@ -39,10 +39,13 @@
 
 pub mod command;
 pub mod exec;
+pub mod procedures;
 pub mod server;
 pub mod session;
+pub mod wire_server;
 
 pub use command::{parse, Command, HELP};
 pub use exec::{execute, Outcome};
+pub use procedures::{CallOutcome, ProcedureRegistry};
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionError, TableSpec};

@@ -28,7 +28,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::command::{parse, Command};
 use crate::exec::{execute, Outcome};
+use crate::procedures::{CallOutcome, ProcedureRegistry};
 use crate::session::Session;
+use crate::wire_server::{self, WireMetrics};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -71,22 +73,26 @@ const POLL: Duration = Duration::from_millis(25);
 /// has no timed acquire, so the deadline is a try-loop at this cadence.
 const LOCK_RETRY: Duration = Duration::from_millis(1);
 
-struct Shared {
-    session: RwLock<Session>,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    max_conns: usize,
+pub(crate) struct Shared {
+    pub(crate) session: RwLock<Session>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) max_conns: usize,
     /// Commands currently admitted past the gate.
-    in_flight: AtomicUsize,
-    max_in_flight: usize,
-    deadline: Duration,
-    m_busy: procdb_obs::Counter,
-    m_deadline: procdb_obs::Counter,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) max_in_flight: usize,
+    pub(crate) deadline: Duration,
+    pub(crate) m_busy: procdb_obs::Counter,
+    pub(crate) m_deadline: procdb_obs::Counter,
+    /// Wire-protocol counters (per-proto connections, per-opcode
+    /// requests, pipeline depth) — created eagerly at startup so the
+    /// `metrics` exposition always carries them.
+    pub(crate) wire: WireMetrics,
 }
 
 /// Releases one admission-gate slot when a command finishes, however it
 /// finishes.
-struct GateGuard<'a>(&'a Shared);
+pub(crate) struct GateGuard<'a>(pub(crate) &'a Shared);
 
 impl Drop for GateGuard<'_> {
     fn drop(&mut self) {
@@ -119,6 +125,7 @@ impl Server {
             deadline: cfg.deadline,
             m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
             m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
+            wire: WireMetrics::new(reg),
         });
         let accept_shared = shared.clone();
         let accept = thread::Builder::new()
@@ -235,6 +242,8 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // Every connection is greeted in v1 text first (v1 clients block on
+    // it); the protocol is then sniffed from the first *client* byte.
     if writeln!(
         writer,
         "procdb-server: database procedures over TCP (type 'help')\nok ready"
@@ -243,11 +252,46 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     {
         return;
     }
+    // First-bytes detection: 0xAF (the v2 frame magic's first byte, a
+    // UTF-8 continuation byte that can never start a text command)
+    // routes the connection to the binary demultiplexer; anything else
+    // stays on the v1 line protocol.
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return, // client hung up before its first byte
+            Ok(buf) if buf[0] == procdb_wire::MAGIC[0] => {
+                wire_server::serve_v2(reader, writer, shared);
+                return;
+            }
+            Ok(_) => break, // v1 text
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = writeln!(writer, "err server shutting down");
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+    let _active = shared.wire.conn_open(false);
     let mut line = String::new();
     loop {
         match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
-            Ok(_) => {}
+            Ok(0) => return, // client hung up between commands
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // EOF mid-command: the client died partway through a
+                    // line. Never execute a truncated command (a cut-off
+                    // `update 5 -> 99` would apply a *different* update);
+                    // just close quietly.
+                    return;
+                }
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
@@ -313,7 +357,7 @@ fn respond(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> io::Resu
     }
 }
 
-enum Response {
+pub(crate) enum Response {
     /// Data lines to print before the bare `ok` terminator.
     Data(String),
     /// Nothing to print; respond `ok`.
@@ -325,7 +369,7 @@ enum Response {
 }
 
 /// Acquire the session read lock before `deadline`, or give up.
-fn read_by(
+pub(crate) fn read_by(
     shared: &Shared,
     deadline: Instant,
 ) -> Option<parking_lot::RwLockReadGuard<'_, Session>> {
@@ -356,7 +400,7 @@ fn write_by(
     }
 }
 
-fn deadline_expired(shared: &Shared) -> Response {
+pub(crate) fn deadline_expired(shared: &Shared) -> Response {
     shared.m_deadline.inc();
     Response::Error(format!(
         "DEADLINE (no session lock within {}ms; retry)",
@@ -364,7 +408,38 @@ fn deadline_expired(shared: &Shared) -> Response {
     ))
 }
 
-fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
+/// Run one procedure call under the admission gate and the shared read
+/// lock (handlers are read-only). Returns the typed outcome *and* its
+/// text rendering (done under the lock, where the session is at hand) —
+/// the v1 path sends the text, the v2 path sends the typed parts.
+pub(crate) fn run_call(
+    shared: &Arc<Shared>,
+    name: &str,
+    args: &[procdb_query::Value],
+) -> Result<(CallOutcome, String), Response> {
+    let admitted = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    let _gate = GateGuard(shared);
+    if admitted > shared.max_in_flight {
+        shared.m_busy.inc();
+        return Err(Response::Error(format!(
+            "BUSY ({admitted} commands in flight, limit {}; retry with backoff)",
+            shared.max_in_flight
+        )));
+    }
+    let deadline = Instant::now() + shared.deadline;
+    let Some(session) = read_by(shared, deadline) else {
+        return Err(deadline_expired(shared));
+    };
+    match ProcedureRegistry::global().call(&session, name, args) {
+        Ok(outcome) => {
+            let text = outcome.render(&session);
+            Ok((outcome, text))
+        }
+        Err(msg) => Err(Response::Error(msg)),
+    }
+}
+
+pub(crate) fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
     let cmd = match parse(line) {
         Ok(None) => return Response::Silent,
         Ok(Some(cmd)) => cmd,
@@ -376,6 +451,15 @@ fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
         Command::Quit => return Response::Closed,
         Command::Help => return Response::Data(crate::command::HELP.to_string()),
         _ => {}
+    }
+    // Procedure calls gate and lock inside `run_call` (shared with the
+    // v2 wire path, which wants the typed outcome, not text).
+    if let Command::Call { name, args } = &cmd {
+        return match run_call(shared, name, args) {
+            Ok((_, text)) if text.is_empty() => Response::Silent,
+            Ok((_, text)) => Response::Data(text),
+            Err(resp) => resp,
+        };
     }
     // Admission gate: bounded in-flight work. Above the bound, shed with
     // BUSY instead of queueing on the lock — the client retries with
@@ -442,18 +526,24 @@ fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
         };
         return Response::Data(text.trim_end().to_string());
     }
+    let is_stats = matches!(cmd, Command::Stats);
     let Some(mut session) = write_by(shared, deadline) else {
         return deadline_expired(shared);
     };
     match execute(&mut session, cmd) {
         Ok(Outcome::Quit) => Response::Closed,
         Ok(Outcome::Text(t)) if t.is_empty() => Response::Silent,
+        Ok(Outcome::Text(t)) if is_stats => {
+            // `stats` also reports the wire-protocol mix: connections
+            // per protocol version and per-opcode request counts.
+            Response::Data(format!("{t}\n{}", shared.wire.mix_text()))
+        }
         Ok(Outcome::Text(t)) => Response::Data(t),
         Err(msg) => Response::Error(msg),
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -650,6 +740,7 @@ mod tests {
             deadline,
             m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
             m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
+            wire: WireMetrics::new(reg),
         })
     }
 

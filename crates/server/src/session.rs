@@ -112,6 +112,41 @@ impl Session {
         self.views.iter().map(|(n, _)| n.as_str())
     }
 
+    /// Defined views with their definitions, in definition order.
+    pub fn view_defs(&self) -> &[(String, procdb_avm::ViewDef)] {
+        &self.views
+    }
+
+    /// Key field index of the first-declared (updatable) base table.
+    pub fn base_key_field(&self) -> Result<usize, SessionError> {
+        let base = self
+            .tables
+            .first()
+            .ok_or_else(|| "no tables declared".to_string())?;
+        match base.org {
+            Organization::BTree { key_field } | Organization::Hash { key_field } => Ok(key_field),
+            Organization::Heap => Ok(0),
+        }
+    }
+
+    /// Snapshot of the base table's current rows, readable through
+    /// `&self`. When a sharded backend has applied updates since the
+    /// in-memory mirror was last synced, the rows come from the engine
+    /// (authoritative); otherwise the mirror is exact and no engine
+    /// access is needed.
+    pub fn scan_base(&self) -> Result<Vec<Tuple>, SessionError> {
+        let base = self
+            .tables
+            .first()
+            .ok_or_else(|| "no tables declared".to_string())?;
+        if self.mirror_stale.load(Ordering::SeqCst) {
+            if let Some(Backend::Sharded(sharded)) = self.engine.as_ref() {
+                return sharded.scan_r1().map_err(|e| e.to_string());
+            }
+        }
+        Ok(base.rows.clone())
+    }
+
     fn table_mut(&mut self, name: &str) -> Result<&mut TableSpec, SessionError> {
         self.tables
             .iter_mut()

@@ -1,0 +1,177 @@
+//! The v2 client: connect, consume the v1 text greeting, handshake, and
+//! then speak framed requests — one at a time or pipelined.
+//!
+//! The server greets every connection in the v1 text protocol (so v1
+//! clients that block on the greeting keep working); a v2 client reads
+//! greeting lines until the `ok ready` terminator and only then sends
+//! its first frame. The server sniffs that first byte (`0xAF`, never a
+//! legal line-protocol start) to route the connection to the v2 path.
+//!
+//! Pipelining: [`WireClient::send`] queues a request and returns its id
+//! without waiting; [`WireClient::recv`] returns the next response off
+//! the wire, **in whatever order the server completed them**, tagged
+//! with the request id. [`WireClient::roundtrip`] is the simple
+//! one-at-a-time form.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::codec::{Request, Response};
+use crate::frame::{read_frame, write_frame, WireError};
+
+/// A connected protocol-v2 client.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    greeting: String,
+    banner: String,
+    max_pipeline: u32,
+}
+
+impl WireClient {
+    /// Connect, drain the text greeting, and perform the v2 handshake.
+    /// `pipeline` is the depth this client intends to keep in flight
+    /// (advisory, echoed back capped by the server).
+    pub fn connect(addr: impl ToSocketAddrs, pipeline: u32) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        // The server speaks first, in v1 text: read lines until the
+        // `ok`/`err` greeting terminator before sending any frame.
+        let mut greeting = String::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(WireError::Closed);
+            }
+            let trimmed = line.trim_end();
+            if trimmed.starts_with("err") {
+                return Err(WireError::Unexpected(format!("server refused: {trimmed}")));
+            }
+            let done = trimmed == "ok" || trimmed.starts_with("ok ");
+            if !done {
+                if !greeting.is_empty() {
+                    greeting.push('\n');
+                }
+                greeting.push_str(trimmed);
+            }
+            if done {
+                break;
+            }
+        }
+        let mut client = WireClient {
+            reader,
+            writer,
+            next_id: 1,
+            greeting,
+            banner: String::new(),
+            max_pipeline: 0,
+        };
+        let resp = client.roundtrip(&Request::Hello {
+            client: "procdb-wire".to_string(),
+            pipeline,
+        })?;
+        match resp {
+            Response::HelloAck {
+                banner,
+                max_pipeline,
+            } => {
+                client.banner = banner;
+                client.max_pipeline = max_pipeline;
+                Ok(client)
+            }
+            other => Err(WireError::Unexpected(format!(
+                "expected HelloAck, got opcode {:#04x}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// The v1 text greeting the server sent before the handshake.
+    pub fn greeting(&self) -> &str {
+        &self.greeting
+    }
+
+    /// The server banner from the handshake.
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Largest pipeline depth the server tracks for this connection.
+    pub fn max_pipeline(&self) -> u32 {
+        self.max_pipeline
+    }
+
+    /// Queue one request; returns its id immediately. Buffered — call
+    /// [`WireClient::flush`] (or [`WireClient::recv`], which flushes)
+    /// before blocking on responses.
+    pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, req.opcode(), id, &req.encode_payload())?;
+        Ok(id)
+    }
+
+    /// Push buffered frames to the socket.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Block for the next response frame, whatever request it answers.
+    /// Responses may arrive out of submission order; match them to
+    /// requests by the returned id.
+    pub fn recv(&mut self) -> Result<(u64, Response), WireError> {
+        self.flush()?;
+        let frame = read_frame(&mut self.reader)?;
+        let resp = Response::decode(&frame)?;
+        Ok((frame.request_id, resp))
+    }
+
+    /// Send one request and block for its response (no pipelining).
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, WireError> {
+        let id = self.send(req)?;
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(WireError::Unexpected(format!(
+                "response for request {got}, expected {id} (pipelining mismatch)"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Convenience: run one command line.
+    pub fn command(&mut self, line: &str) -> Result<Response, WireError> {
+        self.roundtrip(&Request::Command {
+            line: line.to_string(),
+        })
+    }
+
+    /// Convenience: call a registered procedure.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: Vec<procdb_query::Value>,
+    ) -> Result<Response, WireError> {
+        self.roundtrip(&Request::Call {
+            name: name.to_string(),
+            args,
+        })
+    }
+
+    /// Graceful close: `Goodbye`, wait for `Bye` (out-of-order responses
+    /// to earlier pipelined requests are drained along the way).
+    pub fn close(mut self) -> Result<(), WireError> {
+        let id = self.send(&Request::Goodbye)?;
+        loop {
+            match self.recv() {
+                Ok((got, Response::Bye)) if got == id => return Ok(()),
+                Ok(_) => continue,
+                Err(WireError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! Codec layer: typed [`Request`]/[`Response`] messages over
+//! [`RawFrame`]s.
+//!
+//! Payload grammar (all integers little-endian):
+//!
+//! ```text
+//! string  := u32 length, UTF-8 bytes
+//! value   := 0x00 i64            (int)
+//!          | 0x01 u32 length, bytes
+//! values  := u16 count, value*
+//! row     := u16 arity, value*
+//! rows    := u32 count, row*
+//! ```
+//!
+//! Every decoder is total: malformed payloads yield
+//! [`WireError::Malformed`] (recoverable — the frame layer already
+//! consumed the payload, so the stream stays in sync), never a panic.
+//! Length fields are validated against the bytes actually present
+//! before any allocation, so a hostile length cannot balloon memory.
+
+use procdb_query::{Tuple, Value};
+
+use crate::frame::{RawFrame, WireError, PROTOCOL_VERSION};
+
+/// Request and response opcodes. Requests use the low range, responses
+/// set the high bit; [`opcode::ERROR`] answers any request.
+pub mod opcode {
+    /// Session handshake (first frame after the text greeting).
+    pub const HELLO: u8 = 0x01;
+    /// One v1 command line, framed.
+    pub const COMMAND: u8 = 0x02;
+    /// Call a registered procedure by name with typed IN arguments.
+    pub const CALL: u8 = 0x03;
+    /// Register a command template with `?` placeholders.
+    pub const PREPARE: u8 = 0x04;
+    /// Execute a prepared template with positional arguments.
+    pub const EXECUTE: u8 = 0x05;
+    /// Liveness probe.
+    pub const PING: u8 = 0x06;
+    /// Graceful close.
+    pub const GOODBYE: u8 = 0x07;
+
+    /// Handshake accepted.
+    pub const HELLO_ACK: u8 = 0x81;
+    /// Successful command: rendered text.
+    pub const OK_TEXT: u8 = 0x82;
+    /// Successful procedure call: OUT parameters + rows + text.
+    pub const CALL_OK: u8 = 0x84;
+    /// Template registered; carries its statement id.
+    pub const PREPARED: u8 = 0x85;
+    /// Answer to [`PING`].
+    pub const PONG: u8 = 0x86;
+    /// Answer to [`GOODBYE`]; the server closes after sending it.
+    pub const BYE: u8 = 0x87;
+    /// Any request can fail with a coded error.
+    pub const ERROR: u8 = 0xC0;
+}
+
+/// Error codes carried by [`Response::Error`].
+pub mod errcode {
+    /// Command text failed to parse.
+    pub const PARSE: u16 = 1;
+    /// The engine rejected the command.
+    pub const EXEC: u16 = 2;
+    /// Admission gate full — retry with backoff.
+    pub const BUSY: u16 = 3;
+    /// Lock deadline expired — retry.
+    pub const DEADLINE: u16 = 4;
+    /// Panic caught while executing (server bug, connection survives).
+    pub const INTERNAL: u16 = 5;
+    /// Recoverable frame problem (bad version / malformed payload).
+    pub const MALFORMED: u16 = 6;
+    /// Checksum-valid frame with an opcode the server does not know.
+    pub const UNKNOWN_OPCODE: u16 = 7;
+    /// `EXECUTE` named a statement id that was never prepared.
+    pub const UNKNOWN_STMT: u16 = 8;
+    /// The server is shutting down.
+    pub const SHUTDOWN: u16 = 9;
+
+    /// Human label for an error code.
+    pub fn label(code: u16) -> &'static str {
+        match code {
+            PARSE => "parse",
+            EXEC => "exec",
+            BUSY => "busy",
+            DEADLINE => "deadline",
+            INTERNAL => "internal",
+            MALFORMED => "malformed",
+            UNKNOWN_OPCODE => "unknown-opcode",
+            UNKNOWN_STMT => "unknown-stmt",
+            SHUTDOWN => "shutdown",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: client identity and the pipeline depth it intends to
+    /// use (advisory).
+    Hello {
+        /// Client software name.
+        client: String,
+        /// Intended max in-flight requests on this connection.
+        pipeline: u32,
+    },
+    /// One v1 command line, framed (same grammar as the line protocol).
+    Command {
+        /// The command text (no trailing newline).
+        line: String,
+    },
+    /// Call a registered procedure with typed IN arguments.
+    Call {
+        /// Procedure name (e.g. `P1`, `db.views`).
+        name: String,
+        /// IN arguments, positionally.
+        args: Vec<Value>,
+    },
+    /// Register a command template with `?` placeholders.
+    Prepare {
+        /// Template text, e.g. `update ? -> ?`.
+        template: String,
+    },
+    /// Execute a prepared template with positional arguments.
+    Execute {
+        /// Statement id from [`Response::Prepared`].
+        stmt: u32,
+        /// One argument per `?` placeholder.
+        args: Vec<Value>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Graceful close: the server answers [`Response::Bye`] and closes.
+    Goodbye,
+}
+
+/// A server-to-client message, tagged with the request id it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloAck {
+        /// Server banner.
+        banner: String,
+        /// Largest pipeline depth the server will track per connection.
+        max_pipeline: u32,
+    },
+    /// Success; the command's rendered text output (possibly empty).
+    OkText {
+        /// Rendered output, `\n`-separated.
+        text: String,
+    },
+    /// A procedure call succeeded.
+    CallOk {
+        /// Free-form preamble (introspection procedures return text).
+        text: String,
+        /// OUT parameters, in signature order.
+        out: Vec<(String, Value)>,
+        /// Result rows.
+        rows: Vec<Tuple>,
+    },
+    /// Template registered.
+    Prepared {
+        /// Statement id to pass to [`Request::Execute`].
+        stmt: u32,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Goodbye`].
+    Bye,
+    /// The request failed.
+    Error {
+        /// One of [`errcode`]'s codes.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+// ---- encoding helpers -------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0x00);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(0x01);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vs: &[Value]) {
+    out.extend_from_slice(&(vs.len() as u16).to_le_bytes());
+    for v in vs {
+        put_value(out, v);
+    }
+}
+
+// ---- decoding helpers -------------------------------------------------
+
+/// Bounds-checked little-endian cursor; every read is total.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str_(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".to_string()))
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0x00 => Ok(Value::Int(self.i64()?)),
+            0x01 => {
+                let len = self.u32()? as usize;
+                Ok(Value::Bytes(self.take(len)?.to_vec()))
+            }
+            tag => Err(WireError::Malformed(format!(
+                "unknown value tag {tag:#04x}"
+            ))),
+        }
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>, WireError> {
+        let n = self.u16()? as usize;
+        // Each value is at least 2 bytes (tag + shortest body is 1+8 or
+        // 1+4); a count beyond what could possibly fit is malformed,
+        // checked before allocation.
+        if n > self.remaining() {
+            return Err(WireError::Malformed(format!(
+                "value count {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    fn rows(&mut self) -> Result<Vec<Tuple>, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Malformed(format!(
+                "row count {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.values()?);
+        }
+        Ok(out)
+    }
+
+    /// All bytes must be consumed: trailing garbage is malformed, so a
+    /// frame means exactly one thing or nothing.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after the payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_version(frame: &RawFrame) -> Result<(), WireError> {
+    if frame.version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(frame.version));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// The opcode this request is framed with.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => opcode::HELLO,
+            Request::Command { .. } => opcode::COMMAND,
+            Request::Call { .. } => opcode::CALL,
+            Request::Prepare { .. } => opcode::PREPARE,
+            Request::Execute { .. } => opcode::EXECUTE,
+            Request::Ping => opcode::PING,
+            Request::Goodbye => opcode::GOODBYE,
+        }
+    }
+
+    /// Serialize the payload (header excluded).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { client, pipeline } => {
+                put_str(&mut out, client);
+                out.extend_from_slice(&pipeline.to_le_bytes());
+            }
+            Request::Command { line } => put_str(&mut out, line),
+            Request::Call { name, args } => {
+                put_str(&mut out, name);
+                put_values(&mut out, args);
+            }
+            Request::Prepare { template } => put_str(&mut out, template),
+            Request::Execute { stmt, args } => {
+                out.extend_from_slice(&stmt.to_le_bytes());
+                put_values(&mut out, args);
+            }
+            Request::Ping | Request::Goodbye => {}
+        }
+        out
+    }
+
+    /// Decode a request from a header-validated frame. Version, opcode,
+    /// and payload failures are recoverable ([`WireError::is_recoverable`]).
+    pub fn decode(frame: &RawFrame) -> Result<Request, WireError> {
+        check_version(frame)?;
+        let mut cur = Cur::new(&frame.payload);
+        let req = match frame.opcode {
+            opcode::HELLO => Request::Hello {
+                client: cur.str_()?,
+                pipeline: cur.u32()?,
+            },
+            opcode::COMMAND => Request::Command { line: cur.str_()? },
+            opcode::CALL => Request::Call {
+                name: cur.str_()?,
+                args: cur.values()?,
+            },
+            opcode::PREPARE => Request::Prepare {
+                template: cur.str_()?,
+            },
+            opcode::EXECUTE => Request::Execute {
+                stmt: cur.u32()?,
+                args: cur.values()?,
+            },
+            opcode::PING => Request::Ping,
+            opcode::GOODBYE => Request::Goodbye,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The opcode this response is framed with.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::HelloAck { .. } => opcode::HELLO_ACK,
+            Response::OkText { .. } => opcode::OK_TEXT,
+            Response::CallOk { .. } => opcode::CALL_OK,
+            Response::Prepared { .. } => opcode::PREPARED,
+            Response::Pong => opcode::PONG,
+            Response::Bye => opcode::BYE,
+            Response::Error { .. } => opcode::ERROR,
+        }
+    }
+
+    /// Serialize the payload (header excluded).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::HelloAck {
+                banner,
+                max_pipeline,
+            } => {
+                put_str(&mut out, banner);
+                out.extend_from_slice(&max_pipeline.to_le_bytes());
+            }
+            Response::OkText { text } => put_str(&mut out, text),
+            Response::CallOk {
+                text,
+                out: outs,
+                rows,
+            } => {
+                put_str(&mut out, text);
+                out.extend_from_slice(&(outs.len() as u16).to_le_bytes());
+                for (name, v) in outs {
+                    put_str(&mut out, name);
+                    put_value(&mut out, v);
+                }
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    put_values(&mut out, row);
+                }
+            }
+            Response::Prepared { stmt } => out.extend_from_slice(&stmt.to_le_bytes()),
+            Response::Pong | Response::Bye => {}
+            Response::Error { code, message } => {
+                out.extend_from_slice(&code.to_le_bytes());
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a response from a header-validated frame.
+    pub fn decode(frame: &RawFrame) -> Result<Response, WireError> {
+        check_version(frame)?;
+        let mut cur = Cur::new(&frame.payload);
+        let resp = match frame.opcode {
+            opcode::HELLO_ACK => Response::HelloAck {
+                banner: cur.str_()?,
+                max_pipeline: cur.u32()?,
+            },
+            opcode::OK_TEXT => Response::OkText { text: cur.str_()? },
+            opcode::CALL_OK => {
+                let text = cur.str_()?;
+                let n = cur.u16()? as usize;
+                if n > cur.remaining() {
+                    return Err(WireError::Malformed(format!(
+                        "out-param count {n} exceeds {} remaining bytes",
+                        cur.remaining()
+                    )));
+                }
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = cur.str_()?;
+                    let v = cur.value()?;
+                    out.push((name, v));
+                }
+                let rows = cur.rows()?;
+                Response::CallOk { text, out, rows }
+            }
+            opcode::PREPARED => Response::Prepared { stmt: cur.u32()? },
+            opcode::PONG => Response::Pong,
+            opcode::BYE => Response::Bye,
+            opcode::ERROR => Response::Error {
+                code: cur.u16()?,
+                message: cur.str_()?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Frame and write one request.
+pub fn write_request(
+    w: &mut impl std::io::Write,
+    request_id: u64,
+    req: &Request,
+) -> Result<(), WireError> {
+    crate::frame::write_frame(w, req.opcode(), request_id, &req.encode_payload())
+}
+
+/// Frame and write one response.
+pub fn write_response(
+    w: &mut impl std::io::Write,
+    request_id: u64,
+    resp: &Response,
+) -> Result<(), WireError> {
+    crate::frame::write_frame(w, resp.opcode(), request_id, &resp.encode_payload())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::read_frame;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, 99, req).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 99);
+        Request::decode(&frame).unwrap()
+    }
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 7, resp).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        Response::decode(&frame).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Hello {
+                client: "t".into(),
+                pipeline: 16,
+            },
+            Request::Command {
+                line: "access V".into(),
+            },
+            Request::Call {
+                name: "P1".into(),
+                args: vec![Value::Int(-3), Value::Bytes(b"x\0y".to_vec())],
+            },
+            Request::Prepare {
+                template: "update ? -> ?".into(),
+            },
+            Request::Execute {
+                stmt: 4,
+                args: vec![Value::Int(5), Value::Int(99)],
+            },
+            Request::Ping,
+            Request::Goodbye,
+        ] {
+            assert_eq!(round_trip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::HelloAck {
+                banner: "procdb".into(),
+                max_pipeline: 64,
+            },
+            Response::OkText {
+                text: "4 rows\n  (1, 2)".into(),
+            },
+            Response::CallOk {
+                text: String::new(),
+                out: vec![
+                    ("matched".into(), Value::Int(4)),
+                    ("scanned".into(), Value::Int(40)),
+                ],
+                rows: vec![
+                    vec![Value::Int(1), Value::Bytes(b"a".to_vec())],
+                    vec![Value::Int(2), Value::Bytes(vec![])],
+                ],
+            },
+            Response::Prepared { stmt: 1 },
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                code: errcode::BUSY,
+                message: "BUSY (33 in flight)".into(),
+            },
+        ] {
+            assert_eq!(round_trip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_bad_version_are_recoverable() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame(&mut buf, 0x5E, 3, b"").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        let err = Request::decode(&frame).unwrap_err();
+        assert!(matches!(err, WireError::UnknownOpcode(0x5E)));
+        assert!(err.is_recoverable());
+
+        let mut frame2 = frame.clone();
+        frame2.version = 3;
+        let err = Request::decode(&frame2).unwrap_err();
+        assert!(matches!(err, WireError::BadVersion(3)));
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_not_panics() {
+        // Truncated string length.
+        let frame = RawFrame {
+            version: PROTOCOL_VERSION,
+            opcode: opcode::COMMAND,
+            request_id: 1,
+            payload: vec![0xFF, 0xFF, 0xFF],
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+        // Length claims more than present: must not allocate 4 GiB.
+        let frame = RawFrame {
+            version: PROTOCOL_VERSION,
+            opcode: opcode::COMMAND,
+            request_id: 1,
+            payload: vec![0xFF, 0xFF, 0xFF, 0xFF, b'x'],
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing garbage after a valid body.
+        let mut payload = Request::Ping.encode_payload();
+        payload.push(0);
+        let frame = RawFrame {
+            version: PROTOCOL_VERSION,
+            opcode: opcode::PING,
+            request_id: 1,
+            payload,
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+        // Non-UTF-8 command text.
+        let frame = RawFrame {
+            version: PROTOCOL_VERSION,
+            opcode: opcode::COMMAND,
+            request_id: 1,
+            payload: vec![2, 0, 0, 0, 0xC3, 0x28],
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # procdb-wire
+//!
+//! Binary wire protocol v2 for `procdb`: length-prefixed frames with a
+//! checksummed header, a typed request/response codec covering every
+//! line-protocol command plus first-class `CALL`/`PREPARE`/`EXECUTE`,
+//! and a client that pipelines N requests per connection with
+//! out-of-order completion.
+//!
+//! ## Layers
+//!
+//! * [`frame`] — the 24-byte header (magic + version + opcode + request
+//!   id + payload length, FNV-1a-32 checksummed) and raw frame I/O,
+//!   with a fatal/recoverable error taxonomy ([`WireError`]).
+//! * [`codec`] — typed [`Request`]/[`Response`] messages and their
+//!   payload encodings; total decoders that return
+//!   [`WireError::Malformed`] instead of panicking.
+//! * [`client`] — [`WireClient`]: greeting drain, handshake, pipelined
+//!   `send`/`recv` and one-shot `roundtrip`.
+//!
+//! ## Coexistence with the v1 line protocol
+//!
+//! The server greets every connection in v1 text first; a v2 client
+//! reads up to the `ok ready` terminator and then sends a binary
+//! `Hello`. The server routes on the connection's first *client* byte:
+//! `0xAF` (the frame magic's first byte, a UTF-8 continuation byte that
+//! can never start a text command) selects v2, anything else stays v1.
+//!
+//! ## Ordering guarantees
+//!
+//! Requests on one connection are *admitted* in submission order, but
+//! may *complete* out of order (reads routed to different shards do not
+//! serialize behind each other). Every response frame carries the
+//! request id it answers; clients must match by id, not by position.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod frame;
+
+pub use client::WireClient;
+pub use codec::{errcode, opcode, write_request, write_response, Request, Response};
+pub use frame::{
+    fnv1a_32, read_frame, write_frame, FrameHeader, RawFrame, WireError, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
+};

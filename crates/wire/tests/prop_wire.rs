@@ -1,0 +1,250 @@
+//! Property tests for the wire-v2 frame and codec layers.
+//!
+//! The satellite contract: fuzzed frames — truncated, oversized,
+//! bad-magic, bad-checksum, unknown-opcode, mutated payloads — must
+//! always produce a *typed* [`WireError`], never a panic, and a
+//! recoverable error must leave the stream in sync so the next valid
+//! frame still decodes.
+
+use proptest::prelude::*;
+
+use procdb_query::Value;
+use procdb_wire::{
+    fnv1a_32, opcode, read_frame, write_request, write_response, Request, Response, WireError,
+    HEADER_LEN, MAX_PAYLOAD,
+};
+
+// ---- strategies -------------------------------------------------------
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        // Build printable-ish but arbitrary UTF-8 (including newlines and
+        // NULs via the replacement of invalid sequences).
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
+
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ]
+    .boxed()
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(arb_value(), 0..6)
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (arb_string(), any::<u32>())
+            .prop_map(|(client, pipeline)| Request::Hello { client, pipeline }),
+        arb_string().prop_map(|line| Request::Command { line }),
+        (arb_string(), arb_values()).prop_map(|(name, args)| Request::Call { name, args }),
+        arb_string().prop_map(|template| Request::Prepare { template }),
+        (any::<u32>(), arb_values()).prop_map(|(stmt, args)| Request::Execute { stmt, args }),
+        Just(Request::Ping),
+        Just(Request::Goodbye),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (arb_string(), any::<u32>()).prop_map(|(banner, max_pipeline)| Response::HelloAck {
+            banner,
+            max_pipeline
+        }),
+        arb_string().prop_map(|text| Response::OkText { text }),
+        (
+            arb_string(),
+            proptest::collection::vec((arb_string(), arb_value()), 0..4),
+            proptest::collection::vec(arb_values(), 0..4),
+        )
+            .prop_map(|(text, out, rows)| Response::CallOk { text, out, rows }),
+        any::<u32>().prop_map(|stmt| Response::Prepared { stmt }),
+        Just(Response::Pong),
+        Just(Response::Bye),
+        (any::<u16>(), arb_string()).prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+    .boxed()
+}
+
+fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_request(&mut buf, id, req).unwrap();
+    buf
+}
+
+fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_response(&mut buf, id, resp).unwrap();
+    buf
+}
+
+// ---- properties -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// decode ∘ encode is the identity for every request shape.
+    #[test]
+    fn request_round_trips(req in arb_request(), id in any::<u64>()) {
+        let buf = encode_request(id, &req);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(frame.request_id, id);
+        prop_assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    /// decode ∘ encode is the identity for every response shape.
+    #[test]
+    fn response_round_trips(resp in arb_response(), id in any::<u64>()) {
+        let buf = encode_response(id, &resp);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(frame.request_id, id);
+        prop_assert_eq!(Response::decode(&frame).unwrap(), resp);
+    }
+
+    /// Truncating an encoded frame at any offset yields a typed error —
+    /// Closed at zero bytes, Truncated inside the frame — never a panic
+    /// or a bogus success.
+    #[test]
+    fn truncation_is_always_typed(req in arb_request(), cut in 0usize..200) {
+        let buf = encode_request(1, &req);
+        let cut = cut % buf.len(); // strictly shorter than the full frame
+        let short = &buf[..cut];
+        match read_frame(&mut &short[..]) {
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0),
+            Err(WireError::Truncated { got, want }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(want > got);
+            }
+            other => prop_assert!(false, "truncated frame gave {:?}", other),
+        }
+    }
+
+    /// Flipping any single byte of a frame never panics: the result is
+    /// either a typed error or — when the flip lands in a length-elastic
+    /// spot of the payload — a clean decode of *something*. A flip in the
+    /// header is always caught by magic or checksum.
+    #[test]
+    fn single_byte_flips_never_panic(
+        req in arb_request(),
+        at in 0usize..200,
+        bit in 0u8..8,
+    ) {
+        let mut buf = encode_request(1, &req);
+        let at = at % buf.len();
+        buf[at] ^= 1 << bit;
+        match read_frame(&mut buf.as_slice()) {
+            Ok(frame) => {
+                // Header survived => flip was in the payload; decoding
+                // must still be total.
+                prop_assert!(at >= HEADER_LEN);
+                let _ = Request::decode(&frame); // must not panic
+            }
+            Err(e) => {
+                prop_assert!(!e.is_recoverable() || at >= HEADER_LEN,
+                    "header flip at {} gave recoverable {:?}", at, e);
+            }
+        }
+    }
+
+    /// A checksum-valid header carrying an unknown opcode is recoverable
+    /// and consumes exactly its payload: the next frame on the stream
+    /// still decodes. This is the no-desync guarantee.
+    #[test]
+    fn unknown_opcode_does_not_desync_the_stream(
+        bad_op in 0x08u8..0x80,
+        junk in proptest::collection::vec(any::<u8>(), 0..32),
+        follow in arb_request(),
+    ) {
+        // 0x08..0x80 avoids every assigned request/response opcode.
+        let mut stream = Vec::new();
+        procdb_wire::write_frame(&mut stream, bad_op, 10, &junk).unwrap();
+        write_request(&mut stream, 11, &follow).unwrap();
+
+        let mut r = stream.as_slice();
+        let first = read_frame(&mut r).unwrap();
+        let err = Request::decode(&first).unwrap_err();
+        prop_assert!(matches!(err, WireError::UnknownOpcode(op) if op == bad_op));
+        prop_assert!(err.is_recoverable());
+
+        let second = read_frame(&mut r).unwrap();
+        prop_assert_eq!(second.request_id, 11);
+        prop_assert_eq!(Request::decode(&second).unwrap(), follow);
+    }
+
+    /// Same no-desync property for a known opcode with a garbage payload:
+    /// Malformed is recoverable and the following frame still decodes.
+    #[test]
+    fn malformed_payload_does_not_desync_the_stream(
+        junk in proptest::collection::vec(any::<u8>(), 0..40),
+        follow in arb_response(),
+    ) {
+        let mut stream = Vec::new();
+        // CALL_OK with random bytes: almost never a valid body.
+        procdb_wire::write_frame(&mut stream, opcode::CALL_OK, 20, &junk).unwrap();
+        write_response(&mut stream, 21, &follow).unwrap();
+
+        let mut r = stream.as_slice();
+        let first = read_frame(&mut r).unwrap();
+        match Response::decode(&first) {
+            Ok(_) => {} // the random bytes happened to be a valid body
+            Err(e) => prop_assert!(e.is_recoverable(), "got fatal {:?}", e),
+        }
+
+        let second = read_frame(&mut r).unwrap();
+        prop_assert_eq!(Response::decode(&second).unwrap(), follow);
+    }
+
+    /// Random byte soup at the head of a stream is rejected with a fatal
+    /// error (bad magic, checksum, truncation) unless it genuinely starts
+    /// with a checksum-valid frame — it never panics or loops.
+    #[test]
+    fn random_bytes_are_rejected_without_panic(
+        soup in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        match read_frame(&mut soup.as_slice()) {
+            Ok(frame) => {
+                // A 1-in-2^32 checksum collision (or an actual frame);
+                // decoding must still be total.
+                let _ = Request::decode(&frame);
+            }
+            Err(e) => prop_assert!(
+                !e.is_recoverable(),
+                "garbage head gave recoverable {:?}", e
+            ),
+        }
+    }
+
+    /// Hostile payload lengths: a header claiming more than MAX_PAYLOAD
+    /// is Oversized (fatal, nothing allocated); a large-but-legal claim
+    /// with missing bytes is Truncated.
+    #[test]
+    fn hostile_lengths_are_typed(extra in 1u32..1024, id in any::<u64>()) {
+        // Over the cap.
+        let mut head = [0u8; HEADER_LEN];
+        head[0..4].copy_from_slice(&procdb_wire::MAGIC);
+        head[4] = procdb_wire::PROTOCOL_VERSION;
+        head[5] = opcode::COMMAND;
+        head[8..16].copy_from_slice(&id.to_le_bytes());
+        head[16..20].copy_from_slice(&(MAX_PAYLOAD + extra).to_le_bytes());
+        let crc = fnv1a_32(&head[0..20]);
+        head[20..24].copy_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(
+            read_frame(&mut &head[..]),
+            Err(WireError::Oversized(_))
+        ));
+
+        // Legal claim, missing body.
+        head[16..20].copy_from_slice(&extra.to_le_bytes());
+        let crc = fnv1a_32(&head[0..20]);
+        head[20..24].copy_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(
+            read_frame(&mut &head[..]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}
