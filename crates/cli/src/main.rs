@@ -100,9 +100,29 @@ fn print_v2_response(resp: &Response) {
     }
 }
 
+/// Send one request carrying an explicit client-chosen trace id and
+/// wait for its response (the REPL is serial, so the next matching id
+/// is ours).
+fn roundtrip_traced(
+    client: &mut WireClient,
+    req: &Request,
+    trace_id: u64,
+) -> Result<Response, procdb_wire::WireError> {
+    let id = client.send_traced(req, trace_id)?;
+    loop {
+        let (rid, resp) = client.recv()?;
+        if rid == id {
+            return Ok(resp);
+        }
+    }
+}
+
 /// The remote v2 REPL: parse each line with the usual grammar so syntax
 /// errors stay local, then ship it framed — `call` lines as the typed
-/// `CALL` opcode, everything else as a framed command line.
+/// `CALL` opcode, everything else as a framed command line. The local
+/// `traced on`/`traced off` toggle stamps every shipped request with a
+/// client-chosen trace id (the v2 TRACED frame flag), printing the id
+/// so the server-side tree can be fetched with `call db.trace(ID)`.
 fn run_v2(addr: &str) {
     let mut client = match WireClient::connect(addr, 16) {
         Ok(c) => c,
@@ -113,6 +133,10 @@ fn run_v2(addr: &str) {
     };
     println!("{}", client.greeting());
     println!("connected: {} (v2 framed)", client.banner());
+    // Client-side trace ids: distinct per process, monotonically
+    // increasing, and well inside the 63-bit id space.
+    let mut traced = false;
+    let mut next_trace_id: u64 = (std::process::id() as u64) << 24 | 1;
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     loop {
@@ -131,6 +155,19 @@ fn run_v2(addr: &str) {
         }
         if !interactive && !line.trim().is_empty() && !line.trim_start().starts_with('#') {
             println!("procdb(v2)> {}", line.trim_end());
+        }
+        match line.trim().to_ascii_lowercase().as_str() {
+            "traced on" => {
+                traced = true;
+                println!("client tracing on: every request ships a trace id");
+                continue;
+            }
+            "traced off" => {
+                traced = false;
+                println!("client tracing off");
+                continue;
+            }
+            _ => {}
         }
         // `shutdown` is a server-level verb the local grammar does not
         // know; ship it raw like a v1 client would.
@@ -155,7 +192,18 @@ fn run_v2(addr: &str) {
                 continue;
             }
         };
-        match client.roundtrip(&req) {
+        let sent = if traced {
+            let tid = next_trace_id;
+            next_trace_id += 1;
+            let r = roundtrip_traced(&mut client, &req, tid);
+            if r.is_ok() {
+                println!("trace id: {tid} — inspect with `call db.trace({tid})`");
+            }
+            r
+        } else {
+            client.roundtrip(&req)
+        };
+        match sent {
             Ok(resp) => {
                 let done = matches!(resp, Response::Bye);
                 print_v2_response(&resp);

@@ -540,6 +540,15 @@ impl Engine {
     /// maintenance pass marked it dirty (UC strategies). Charged: the
     /// rebuild is real recovery work, and pricing it is the point.
     fn rebuild_if_dirty(&mut self, i: usize) -> Result<()> {
+        let _sp = match &self.state {
+            StrategyState::Avm { dirty, .. } if dirty[i] => {
+                Some(procdb_obs::span!(procdb_obs::global(), "rebuild", proc = i))
+            }
+            StrategyState::Rvm { dirty, .. } if *dirty => {
+                Some(procdb_obs::span!(procdb_obs::global(), "rebuild", proc = i))
+            }
+            _ => None,
+        };
         match &mut self.state {
             StrategyState::Avm { views, dirty, .. } if dirty[i] => {
                 views[i].recompute_full(&self.catalog)?;

@@ -103,6 +103,7 @@ impl RecoverableValidity {
     /// May trigger a checkpoint.
     pub fn force(&mut self) {
         let forced = self.buffer.len();
+        let _sp = procdb_obs::span!(procdb_obs::global(), "wal.append", records = forced);
         self.log.append(&mut self.buffer);
         self.forced_since_checkpoint += forced;
         if self.checkpoint_interval > 0 && self.forced_since_checkpoint >= self.checkpoint_interval

@@ -16,7 +16,7 @@
 //! Histograms use fixed log-scale (powers-of-two) buckets, so a latency
 //! distribution costs 32 atomics, not a sample vector.
 //!
-//! ## Spans
+//! ## Spans and request traces
 //!
 //! [`span!`] opens a [`SpanGuard`] that records the span's wall-clock
 //! duration, nesting depth, and any number of named `f64` fields into a
@@ -25,6 +25,15 @@
 //! load — the hot path never pays for dormant tracing. Callers attach
 //! whatever they observed (ledger deltas, predicted costs) as fields;
 //! the buffer is queryable with [`Registry::recent_spans`].
+//!
+//! On top of the flat ring sits request-scoped tracing: a server
+//! installs a [`TraceContext`] per sampled request
+//! ([`Registry::sample_request`], [`Registry::install_context`]) and
+//! every span opened under it — across layers and, via explicit
+//! capture, across worker threads — links into one span tree
+//! ([`TraceTree`]). Trees whose total latency crosses the slow-query
+//! threshold are retained in full ([`Registry::slow_traces`]); the rest
+//! cycle through a bounded recent ring ([`Registry::find_trace`]).
 //!
 //! The crate is dependency-free (std only) so every other `procdb` crate
 //! can instrument itself against [`global()`] without dependency cycles.
@@ -36,7 +45,7 @@ pub mod registry;
 pub mod trace;
 
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Sample};
-pub use trace::{SpanEvent, SpanGuard};
+pub use trace::{BoostGuard, ContextGuard, SpanEvent, SpanGuard, TraceContext, TraceTree};
 
 use std::sync::OnceLock;
 

@@ -11,6 +11,7 @@
 //!         [--shards S] [--replicas R] [--chaos]
 //!         [--strategies ar,ci,avm,rvm] [--proto v1,v2] [--pipeline N]
 //!         [--json PATH] [--metrics-json] [--max-in-flight N]
+//!         [--trace-sample N]
 //! ```
 //!
 //! `--proto` selects the wire protocol(s) to measure: `v1` is the
@@ -81,6 +82,11 @@ struct Config {
     /// lower it below the client count to exercise BUSY shedding + the
     /// clients' exponential backoff.
     max_in_flight: Option<usize>,
+    /// Request-trace sampling: trace 1 in N requests (0 = tracing off).
+    /// When set, every measured run is preceded by an identical
+    /// tracing-off pass and the throughput delta is reported as
+    /// `trace_overhead_pct`.
+    trace_sample: u64,
 }
 
 impl Default for Config {
@@ -104,6 +110,7 @@ impl Default for Config {
             json: None,
             metrics_json: false,
             max_in_flight: None,
+            trace_sample: 0,
         }
     }
 }
@@ -129,7 +136,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
          [--replicas R] [--chaos] [--strategies ar,ci,avm,rvm] [--proto v1,v2] \
-         [--pipeline N] [--json PATH] [--metrics-json] [--max-in-flight N]"
+         [--pipeline N] [--json PATH] [--metrics-json] [--max-in-flight N] \
+         [--trace-sample N]"
     );
     std::process::exit(2);
 }
@@ -198,6 +206,9 @@ fn parse_args() -> Config {
                     usage();
                 }
                 cfg.max_in_flight = Some(n);
+            }
+            "--trace-sample" => {
+                cfg.trace_sample = val(&mut args).parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -497,6 +508,10 @@ struct RunResult {
     /// wire command (one entry per shard; a single-engine backend
     /// reports itself as shard 0).
     shards: Vec<ShardSnapshot>,
+    /// Throughput cost of tracing at `--trace-sample N`: percent drop
+    /// from the tracing-off baseline pass (`None` without the knob).
+    /// Negative values are run-to-run noise.
+    trace_overhead_pct: Option<f64>,
 }
 
 impl RunResult {
@@ -776,45 +791,17 @@ fn metric_deltas(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<(Stri
     deltas
 }
 
-fn run_one(
+/// Drive every client thread (plus the optional chaos schedule) over
+/// the dealt streams and fold the per-client measurements together.
+/// Returns `(latencies µs, wall-clock of the slowest client, command
+/// count, shed/retry counters)`.
+fn drive_clients(
     addr: &str,
-    control: &mut Client,
     cfg: &Config,
-    label: &str,
-    wire: &str,
     proto: &str,
-    n_clients: usize,
-) -> Result<RunResult, String> {
-    control.expect_ok(&format!("strategy {wire}"))?;
-    // Warm exclusively: the first access builds the engine and fills
-    // every cache, so the measured loop sees steady state.
-    for name in view_names(cfg) {
-        control.expect_ok(&format!("access {name}"))?;
-    }
-    let names = view_names(cfg);
-    // One seeded RNG generates the *global* operation sequence and the
-    // ops are dealt round-robin to the clients: every client count (and
-    // shard count) replays the identical global workload, so runs are
-    // comparable. Per-client seeds (`seed + c * prime`) would give each
-    // configuration a different workload.
-    let spec = StreamSpec {
-        p_update: cfg.p_update,
-        l: cfg.l,
-        z: cfg.z,
-        ops: cfg.ops * n_clients,
-        seed: cfg.seed,
-    };
-    let streams: Vec<Vec<String>> = split_stream(&spec, cfg.views, cfg.rows as i64, n_clients)
-        .iter()
-        .map(|ops| ops.iter().flat_map(|op| op.to_wire_lines(&names)).collect())
-        .collect();
-    let metrics_before = if cfg.metrics_json {
-        fetch_metrics(control)?
-    } else {
-        Vec::new()
-    };
-    let shards_before = fetch_shards(control)?;
-    let barrier = Barrier::new(n_clients);
+    streams: &[Vec<String>],
+) -> Result<(Vec<f64>, Duration, usize, ClientCounters), String> {
+    let barrier = Barrier::new(streams.len());
     let (results, chaos_result): (Vec<ClientRun>, Option<Result<(), String>>) =
         std::thread::scope(|s| {
             let handles: Vec<_> = streams
@@ -863,6 +850,62 @@ fn run_one(
         all_latencies.extend(lat);
         max_elapsed = max_elapsed.max(elapsed);
     }
+    Ok((all_latencies, max_elapsed, commands, counters))
+}
+
+fn run_one(
+    addr: &str,
+    control: &mut Client,
+    cfg: &Config,
+    label: &str,
+    wire: &str,
+    proto: &str,
+    n_clients: usize,
+) -> Result<RunResult, String> {
+    control.expect_ok(&format!("strategy {wire}"))?;
+    // Warm exclusively: the first access builds the engine and fills
+    // every cache, so the measured loop sees steady state.
+    for name in view_names(cfg) {
+        control.expect_ok(&format!("access {name}"))?;
+    }
+    let names = view_names(cfg);
+    // One seeded RNG generates the *global* operation sequence and the
+    // ops are dealt round-robin to the clients: every client count (and
+    // shard count) replays the identical global workload, so runs are
+    // comparable. Per-client seeds (`seed + c * prime`) would give each
+    // configuration a different workload.
+    let spec = StreamSpec {
+        p_update: cfg.p_update,
+        l: cfg.l,
+        z: cfg.z,
+        ops: cfg.ops * n_clients,
+        seed: cfg.seed,
+    };
+    let streams: Vec<Vec<String>> = split_stream(&spec, cfg.views, cfg.rows as i64, n_clients)
+        .iter()
+        .map(|ops| ops.iter().flat_map(|op| op.to_wire_lines(&names)).collect())
+        .collect();
+    // Tracing-off baseline pass: same dealt workload, sampling forced
+    // off, so the traced pass right after isolates the tracing cost.
+    let baseline_throughput = if cfg.trace_sample > 0 {
+        control.expect_ok("trace sample 0")?;
+        let (_, elapsed, commands, _) = drive_clients(addr, cfg, proto, &streams)?;
+        control.expect_ok(&format!("trace sample {}", cfg.trace_sample))?;
+        // Threshold 0: every traced request's tree is retained in the
+        // slow log, so the smoke checks have material to inspect.
+        control.expect_ok("trace slow 0")?;
+        Some(commands as f64 / elapsed.as_secs_f64().max(1e-9))
+    } else {
+        None
+    };
+    let metrics_before = if cfg.metrics_json {
+        fetch_metrics(control)?
+    } else {
+        Vec::new()
+    };
+    let shards_before = fetch_shards(control)?;
+    let (mut all_latencies, max_elapsed, commands, counters) =
+        drive_clients(addr, cfg, proto, &streams)?;
     let latency = LatencySummary::from_samples(&mut all_latencies)
         .ok_or_else(|| "no samples recorded".to_string())?;
     let server_metrics = if cfg.metrics_json {
@@ -883,6 +926,10 @@ fn run_one(
         .zip(&shards_before)
         .map(|(a, b)| a.since(b))
         .collect();
+    let trace_overhead_pct = baseline_throughput.map(|base| {
+        let traced = commands as f64 / max_elapsed.as_secs_f64().max(1e-9);
+        (base - traced) / base.max(1e-9) * 100.0
+    });
     Ok(RunResult {
         strategy: label.to_string(),
         proto: proto.to_string(),
@@ -894,10 +941,16 @@ fn run_one(
         latency,
         server_metrics,
         shards,
+        trace_overhead_pct,
     })
 }
 
-fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
+/// Slow-query retention observed in-process after all traced runs:
+/// `(trees retained, deepest tree)`. Only available when the server ran
+/// in this process.
+type TraceStats = (usize, usize);
+
+fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"procdb-server loadgen (closed loop)\",\n");
     out.push_str(&format!(
@@ -921,6 +974,12 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
             .join(", "),
         cfg.pipeline
     ));
+    if let Some((retained, depth)) = trace {
+        out.push_str(&format!(
+            "  \"trace\": {{\"sample\": {}, \"slow_retained\": {retained},              \"max_depth\": {depth}}},\n",
+            cfg.trace_sample
+        ));
+    }
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
@@ -949,6 +1008,9 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
             r.latency.mean_us,
             r.latency.max_us,
         ));
+        if let Some(pct) = r.trace_overhead_pct {
+            out.push_str(&format!(", \"trace_overhead_pct\": {pct:.2}"));
+        }
         if !r.server_metrics.is_empty() {
             out.push_str(", \"server_metrics\": {");
             for (j, (key, v)) in r.server_metrics.iter().enumerate() {
@@ -1006,7 +1068,7 @@ fn render_json(cfg: &Config, runs: &[RunResult]) -> String {
     out
 }
 
-fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
+fn run(cfg: &Config) -> Result<(Vec<RunResult>, Option<TraceStats>), String> {
     // Spawn an in-process server unless pointed at an external one.
     let max_clients = cfg.clients.iter().copied().max().unwrap_or(1);
     let server = match &cfg.addr {
@@ -1115,18 +1177,30 @@ fn run(cfg: &Config) -> Result<Vec<RunResult>, String> {
         }
     }
     let _ = control.cmd("quit");
+    // The in-process server shares this process's span registry, so the
+    // slow-query log can be inspected directly once the runs are done.
+    let trace_stats = (cfg.trace_sample > 0 && cfg.addr.is_none()).then(|| {
+        let slow = procdb_obs::global().slow_traces();
+        let retained = slow.len();
+        let depth = slow.iter().map(|t| t.depth()).max().unwrap_or(0);
+        println!(
+            "tracing: sample 1/{} — {} slow tree(s) retained, max depth {}",
+            cfg.trace_sample, retained, depth
+        );
+        (retained, depth)
+    });
     if let Some(server) = server {
         server.stop();
     }
-    Ok(runs)
+    Ok((runs, trace_stats))
 }
 
 fn main() {
     let cfg = parse_args();
     match run(&cfg) {
-        Ok(runs) => {
+        Ok((runs, trace_stats)) => {
             if let Some(path) = &cfg.json {
-                let json = render_json(&cfg, &runs);
+                let json = render_json(&cfg, &runs, trace_stats);
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("write {path}: {e}");
                     std::process::exit(1);

@@ -55,6 +55,9 @@ pub enum Command {
     Update(i64, i64),
     /// `explain VIEW`
     Explain(String),
+    /// `explain analyze COMMAND` — run the inner command fully traced
+    /// and render its span tree with per-layer timings.
+    ExplainAnalyze(String),
     /// `show`
     Show,
     /// `costs`
@@ -65,6 +68,11 @@ pub enum Command {
     Metrics,
     /// `trace on|off` — toggle span recording (surfaced by `explain`).
     Trace(bool),
+    /// `trace sample N` — trace one request in `N` (0 = off, 1 = all).
+    TraceSample(u64),
+    /// `trace slow MICROS` — retain the full span tree of any sampled
+    /// request at least this slow (0 retains every sampled request).
+    TraceSlow(u64),
     /// `fault inject [--seed S] [--io-reads P] [--io-writes P] [--torn P]
     /// [--kill-at N] [--window START END] [--include-uncharged]` —
     /// install a seeded fault schedule on the engine's pager.
@@ -131,11 +139,14 @@ commands:
   access VIEW                           -- read a procedure's value
   update VICTIM -> NEWKEY               -- re-key one base tuple in place
   explain VIEW                          -- show the precompiled plan
+  explain analyze COMMAND               -- run COMMAND traced, show span tree
   show                                  -- tables, views, strategy
   costs                                 -- total ms charged so far
   stats                                 -- per-procedure workload counters
   metrics                               -- Prometheus text exposition
   trace on|off                          -- record spans (shown by explain)
+  trace sample N                        -- trace 1 request in N (0 = off)
+  trace slow MICROS                     -- slow-query threshold (us, 0 = all)
   fault inject [--seed S] [--io-reads P] [--io-writes P] [--torn P]
                [--kill-at N] [--window START END] [--include-uncharged]
                                         -- inject seeded storage faults
@@ -375,7 +386,22 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     }
     if let Some(rest) = lower.strip_prefix("trace") {
         if rest.is_empty() || rest.starts_with(|c: char| c.is_whitespace()) {
-            return match rest.trim() {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("sample") {
+                return n
+                    .trim()
+                    .parse()
+                    .map(|n| Some(Command::TraceSample(n)))
+                    .map_err(|_| format!("expected: trace sample N, got {rest:?}"));
+            }
+            if let Some(us) = rest.strip_prefix("slow") {
+                return us
+                    .trim()
+                    .parse()
+                    .map(|us| Some(Command::TraceSlow(us)))
+                    .map_err(|_| format!("expected: trace slow MICROS, got {rest:?}"));
+            }
+            return match rest {
                 "on" => Ok(Some(Command::Trace(true))),
                 "off" => Ok(Some(Command::Trace(false))),
                 other => Err(format!("expected 'trace on' or 'trace off', got {other:?}")),
@@ -490,6 +516,16 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
             split_ident(&line["access".len()..]).ok_or_else(|| "expected view name".to_string())?;
         return Ok(Some(Command::Access(view)));
     }
+    if lower.starts_with("explain analyze ") {
+        let inner = line["explain analyze ".len()..].trim();
+        if inner.is_empty() {
+            return Err("expected: explain analyze COMMAND".to_string());
+        }
+        return Ok(Some(Command::ExplainAnalyze(inner.to_string())));
+    }
+    if lower == "explain analyze" {
+        return Err("expected: explain analyze COMMAND".to_string());
+    }
     if lower.starts_with("explain") {
         let (view, _) = split_ident(&line["explain".len()..])
             .ok_or_else(|| "expected view name".to_string())?;
@@ -576,6 +612,18 @@ mod tests {
             parse("explain V").unwrap(),
             Some(Command::Explain("V".into()))
         );
+        assert_eq!(
+            parse("explain analyze access V").unwrap(),
+            Some(Command::ExplainAnalyze("access V".into()))
+        );
+        assert_eq!(
+            // `explain analyze` is keyword-first: a view named
+            // "analyze" still needs plain `explain analyze` to error.
+            parse("EXPLAIN ANALYZE call db.stats()").unwrap(),
+            Some(Command::ExplainAnalyze("call db.stats()".into()))
+        );
+        assert!(parse("explain analyze").is_err());
+        assert!(parse("explain analyze   ").is_err());
         assert_eq!(parse("show").unwrap(), Some(Command::Show));
         assert_eq!(parse("costs").unwrap(), Some(Command::Costs));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
@@ -584,6 +632,21 @@ mod tests {
         assert_eq!(parse("TRACE OFF").unwrap(), Some(Command::Trace(false)));
         assert!(parse("trace").is_err());
         assert!(parse("trace maybe").is_err());
+        assert_eq!(
+            parse("trace sample 64").unwrap(),
+            Some(Command::TraceSample(64))
+        );
+        assert_eq!(
+            parse("trace sample 0").unwrap(),
+            Some(Command::TraceSample(0))
+        );
+        assert_eq!(
+            parse("TRACE SLOW 1500").unwrap(),
+            Some(Command::TraceSlow(1500))
+        );
+        assert!(parse("trace sample").is_err());
+        assert!(parse("trace sample lots").is_err());
+        assert!(parse("trace slow -3").is_err());
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("  # comment").unwrap(), None);
         assert_eq!(parse("").unwrap(), None);

@@ -67,6 +67,7 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         Command::Explain(view) => {
             Outcome::Text(session.explain(&view)?.trim_end_matches('\n').to_string())
         }
+        Command::ExplainAnalyze(inner) => return explain_analyze(session, &inner),
         Command::Show => {
             let mut s = format!("strategy: {}\n", session.strategy());
             for summary in session
@@ -105,6 +106,20 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
                 "tracing off"
             })
         }
+        Command::TraceSample(n) => {
+            procdb_obs::global().set_trace_sample(n);
+            Outcome::text(match n {
+                0 => "request tracing off".to_string(),
+                1 => "tracing every request".to_string(),
+                n => format!("tracing 1 request in {n}"),
+            })
+        }
+        Command::TraceSlow(us) => {
+            procdb_obs::global().set_slow_threshold_us(us as f64);
+            Outcome::text(format!(
+                "slow-query threshold set to {us}us (0 retains every sampled request)"
+            ))
+        }
         Command::FaultInject(plan) => Outcome::Text(session.fault_inject(plan)?),
         Command::FaultOff => Outcome::Text(session.fault_off()?),
         Command::FaultStatus => Outcome::Text(session.fault_status_text()),
@@ -138,6 +153,51 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         }
     };
     Ok(out)
+}
+
+/// `explain analyze COMMAND`: run the inner command under a forced
+/// trace context (bypassing the sampler) and append the finalized span
+/// tree — per-layer timings, shard/role tags, predicted-vs-observed
+/// cost fields — to its output. The tree is also retained in the trace
+/// store, so `call db.trace(ID)` returns it again after the fact.
+fn explain_analyze(session: &mut Session, inner: &str) -> Result<Outcome, String> {
+    let cmd = crate::command::parse(inner)?
+        .ok_or_else(|| "explain analyze: empty command".to_string())?;
+    match cmd {
+        Command::ExplainAnalyze(_) => {
+            return Err("explain analyze does not nest".to_string());
+        }
+        Command::Quit | Command::Serve { .. } => {
+            return Err(format!("cannot explain analyze {inner:?}"));
+        }
+        _ => {}
+    }
+    let reg = procdb_obs::global();
+    let ctx = reg.force_trace();
+    let trace_id = ctx.trace_id;
+    let result = {
+        // Boost keeps spans recording even with sampling off; the root
+        // span carries the same name as a served request so the tree
+        // shape matches what the slow-query log retains.
+        let _boost = reg.boost_tracing();
+        let _ctx = reg.install_context(ctx);
+        let _root = procdb_obs::span!(reg, "wire.request", analyze = 1);
+        execute(session, cmd)
+    };
+    let inner_text = match result? {
+        Outcome::Text(t) => t,
+        Outcome::Quit => String::new(),
+    };
+    let mut out = String::new();
+    if !inner_text.trim().is_empty() {
+        out.push_str(inner_text.trim_end_matches('\n'));
+        out.push_str("\n\n");
+    }
+    match reg.find_trace(trace_id) {
+        Some(tree) => out.push_str(&tree.render()),
+        None => out.push_str(&format!("trace {trace_id} was not retained")),
+    }
+    Ok(Outcome::Text(out))
 }
 
 #[cfg(test)]
@@ -381,6 +441,64 @@ mod tests {
     fn serve_is_rejected_by_the_executor() {
         let mut s = Session::new();
         assert!(run(&mut s, "serve --port 1").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_renders_the_span_tree() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        for i in 0..6 {
+            run(&mut s, &format!("insert EMP ({i}, 0)")).unwrap();
+        }
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 0 and EMP.eid <= 3",
+        )
+        .unwrap();
+        let Outcome::Text(t) = run(&mut s, "explain analyze access V").unwrap() else {
+            panic!()
+        };
+        // The inner command's own output first, then the tree: a root
+        // wire span over the session span over the engine access span
+        // with its predicted-vs-observed costs.
+        assert!(t.contains("4 rows"), "{t}");
+        assert!(t.contains("trace "), "{t}");
+        assert!(t.contains("wire.request"), "{t}");
+        assert!(t.contains("session.access"), "{t}");
+        assert!(t.contains("observed_ms="), "{t}");
+        assert!(t.contains("predicted_ms="), "{t}");
+        // The header's trace id is queryable after the fact.
+        let tid: u64 = t
+            .lines()
+            .find(|l| l.starts_with("trace "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let Outcome::Text(replay) = run(&mut s, &format!("call db.trace({tid})")).unwrap() else {
+            panic!()
+        };
+        assert!(replay.contains("wire.request"), "{replay}");
+        // Nesting and un-analyzable commands are rejected.
+        assert!(run(&mut s, "explain analyze explain analyze access V").is_err());
+        assert!(run(&mut s, "explain analyze quit").is_err());
+        assert!(run(&mut s, "explain analyze serve").is_err());
+    }
+
+    #[test]
+    fn trace_sample_and_slow_commands_set_the_registry() {
+        let mut s = Session::new();
+        let reg = procdb_obs::global();
+        let before = reg.trace_sample();
+        let Outcome::Text(t) = run(&mut s, "trace sample 128").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("128"), "{t}");
+        assert_eq!(reg.trace_sample(), 128);
+        run(&mut s, "trace slow 2500").unwrap();
+        assert_eq!(reg.slow_threshold_us(), 2500.0);
+        run(&mut s, &format!("trace sample {before}")).unwrap();
+        run(&mut s, "trace slow 1000").unwrap();
     }
 
     #[test]

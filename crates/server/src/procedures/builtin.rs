@@ -38,6 +38,11 @@ const OUT_SCANNED: ParamSpec = ParamSpec {
     ty: ParamType::Int,
     mode: ParamMode::Out,
 };
+const IN_TRACE_ID: ParamSpec = ParamSpec {
+    name: "id",
+    ty: ParamType::Int,
+    mode: ParamMode::In,
+};
 
 /// Every built-in procedure, in registration order.
 pub fn all() -> Vec<Procedure> {
@@ -77,6 +82,18 @@ pub fn all() -> Vec<Procedure> {
             about: "every registered procedure signature",
             params: &[],
             handler: db_procedures,
+        },
+        Procedure {
+            name: "db.slow_queries",
+            about: "retained slow-query traces, newest first",
+            params: &[],
+            handler: db_slow_queries,
+        },
+        Procedure {
+            name: "db.trace",
+            about: "the full span tree of one retained trace, by id",
+            params: &[IN_TRACE_ID],
+            handler: db_trace,
         },
     ]
 }
@@ -205,4 +222,40 @@ fn db_procedures(_session: &Session, _args: &[Value]) -> Result<CallOutcome, Str
         s.push_str(&format!("{} — {}\n", p.signature(), p.about));
     }
     Ok(CallOutcome::text(s.trim_end()))
+}
+
+fn db_slow_queries(_session: &Session, _args: &[Value]) -> Result<CallOutcome, String> {
+    let slow = procdb_obs::global().slow_traces();
+    if slow.is_empty() {
+        return Ok(CallOutcome::text(
+            "no slow queries retained (threshold: see 'trace slow MICROS')",
+        ));
+    }
+    let mut s = String::new();
+    for tree in slow.iter().rev() {
+        s.push_str(&format!(
+            "trace {} {} total {:.0}us spans {} — call db.trace({})\n",
+            tree.trace_id,
+            tree.root().map(|r| r.name.as_str()).unwrap_or("?"),
+            tree.total_us,
+            tree.spans.len(),
+            tree.trace_id,
+        ));
+    }
+    Ok(CallOutcome::text(s.trim_end()))
+}
+
+fn db_trace(_session: &Session, args: &[Value]) -> Result<CallOutcome, String> {
+    let id = int_arg(args, 0);
+    if id <= 0 {
+        return Err(format!(
+            "db.trace: id must be a positive trace id, got {id}"
+        ));
+    }
+    match procdb_obs::global().find_trace(id as u64) {
+        Some(tree) => Ok(CallOutcome::text(tree.render())),
+        None => Err(format!(
+            "db.trace: trace {id} is not retained (finished ring and slow log hold the most recent traces only)"
+        )),
+    }
 }

@@ -440,6 +440,22 @@ pub(crate) fn run_call(
 }
 
 pub(crate) fn run_line(shared: &Arc<Shared>, line: &str) -> Response {
+    // v1 text lines carry no client trace id, so the sampling decision
+    // is made here — unless a context is already installed, which means
+    // the v2 worker (or `explain analyze`) rooted the tree upstream and
+    // this call is the framed-command body of that request.
+    let reg = procdb_obs::global();
+    if reg.trace_sample() != 0 && reg.current_context().is_none() {
+        if let Some(ctx) = reg.sample_request() {
+            let _ctx = reg.install_context(ctx);
+            let _root = procdb_obs::span!(reg, "wire.request", proto = 1);
+            return run_line_inner(shared, line);
+        }
+    }
+    run_line_inner(shared, line)
+}
+
+fn run_line_inner(shared: &Arc<Shared>, line: &str) -> Response {
     let cmd = match parse(line) {
         Ok(None) => return Response::Silent,
         Ok(Some(cmd)) => cmd,

@@ -493,6 +493,7 @@ impl Session {
     /// Read a view's current value; returns the rows and the priced cost.
     pub fn access(&mut self, view: &str) -> Result<(Vec<Tuple>, f64), SessionError> {
         let idx = self.view_index(view)?;
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "session.access", proc = idx);
         let constants = self.constants;
         let (rows, ms) = match self.ensure_backend()? {
             Backend::Single(engine) => {
@@ -506,6 +507,8 @@ impl Session {
             }
         };
         self.observer.lock().record_access(idx);
+        sp.field("rows", rows.len() as f64);
+        sp.field("priced_ms", ms);
         Ok((rows, ms))
     }
 
@@ -517,6 +520,7 @@ impl Session {
     /// per shard, inside its own lock.
     pub fn access_shared(&self, view: &str) -> Result<Option<(Vec<Tuple>, f64)>, SessionError> {
         let idx = self.view_index(view)?;
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "session.access", proc = idx);
         match self.engine.as_ref() {
             None => Ok(None),
             Some(Backend::Single(engine)) => {
@@ -539,6 +543,8 @@ impl Session {
                     .access(idx, &self.constants)
                     .map_err(|e| e.to_string())?;
                 self.observer.lock().record_access(idx);
+                sp.field("rows", rows.len() as f64);
+                sp.field("priced_ms", ms);
                 Ok(Some((rows, ms)))
             }
         }
@@ -571,6 +577,7 @@ impl Session {
     /// Re-key one tuple of the base table; returns the priced maintenance
     /// cost.
     pub fn update(&mut self, victim: i64, new_key: i64) -> Result<(usize, f64), SessionError> {
+        let _sp = procdb_obs::span!(procdb_obs::global(), "session.update", victim = victim);
         let constants = self.constants;
         if self.tables.is_empty() {
             return Err("no tables declared".to_string());
@@ -628,6 +635,7 @@ impl Session {
         let Some(Backend::Sharded(sharded)) = self.engine.as_ref() else {
             return Ok(None);
         };
+        let _sp = procdb_obs::span!(procdb_obs::global(), "session.update", victim = victim);
         let key_field = match self.tables[0].org {
             Organization::BTree { key_field } | Organization::Hash { key_field } => key_field,
             Organization::Heap => 0,

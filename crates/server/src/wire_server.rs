@@ -32,6 +32,11 @@ use std::thread;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use procdb_obs::TraceContext;
+
+/// One demux job: request id, decoded request, and the trace context
+/// the reader attached (client-chosen or sampled).
+type DemuxJob = (u64, Request, Option<TraceContext>);
 use procdb_query::Value;
 use procdb_wire::{errcode, opcode, read_frame, write_response, Request, Response, WireError};
 
@@ -263,7 +268,7 @@ pub(crate) fn serve_v2(mut reader: BufReader<TcpStream>, writer: TcpStream, shar
     // Worker pool: a shared receiver behind a mutex; whichever worker is
     // free picks up the next dispatched request, so slow requests never
     // block fast ones behind them.
-    let (tx, rx) = mpsc::channel::<(u64, Request)>();
+    let (tx, rx) = mpsc::channel::<DemuxJob>();
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<_> = (0..WORKERS)
         .map(|_| {
@@ -291,7 +296,7 @@ fn reader_loop(
     reader: &mut BufReader<TcpStream>,
     shared: &Arc<Shared>,
     state: &Arc<ConnState>,
-    tx: &mpsc::Sender<(u64, Request)>,
+    tx: &mpsc::Sender<DemuxJob>,
 ) {
     loop {
         let frame = {
@@ -320,8 +325,8 @@ fn reader_loop(
             }
         };
         let request_id = frame.request_id;
-        let req = match Request::decode(&frame) {
-            Ok(req) => req,
+        let (req, client_trace) = match Request::decode_traced(&frame) {
+            Ok(pair) => pair,
             Err(e) if e.is_recoverable() => {
                 // The checksummed header kept the stream in sync: answer
                 // a typed error and keep serving this connection.
@@ -348,7 +353,7 @@ fn reader_loop(
                 state.write(
                     request_id,
                     &Response::HelloAck {
-                        banner: "procdb-server wire v2".to_string(),
+                        banner: "procdb-server wire v2+trace".to_string(),
                         max_pipeline: pipeline.clamp(1, MAX_PIPELINE),
                     },
                 );
@@ -380,9 +385,17 @@ fn reader_loop(
             // Engine-touching requests go to the worker pool and may
             // complete out of submission order.
             req @ (Request::Command { .. } | Request::Call { .. } | Request::Execute { .. }) => {
+                // Trace context is decided here, before the request can
+                // overtake its neighbours in the worker pool: a
+                // client-supplied id always traces; otherwise the
+                // deterministic sampler decides.
+                let ctx = match client_trace {
+                    Some(tid) => Some(TraceContext::root(tid)),
+                    None => procdb_obs::global().sample_request(),
+                };
                 let depth = state.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 shared.wire.observe_depth(depth);
-                if tx.send((request_id, req)).is_err() {
+                if tx.send((request_id, req, ctx)).is_err() {
                     // Workers are gone (shutdown); undo and close.
                     state.in_flight.fetch_sub(1, Ordering::SeqCst);
                     return;
@@ -396,19 +409,31 @@ fn reader_loop(
 }
 
 fn worker_loop(
-    rx: &Arc<Mutex<mpsc::Receiver<(u64, Request)>>>,
+    rx: &Arc<Mutex<mpsc::Receiver<DemuxJob>>>,
     shared: &Arc<Shared>,
     state: &Arc<ConnState>,
 ) {
     loop {
         // Hold the receiver lock only to pull one job.
         let job = rx.lock().recv();
-        let Ok((request_id, req)) = job else { return };
-        let resp = catch_unwind(AssertUnwindSafe(|| handle_request(shared, state, req)))
-            .unwrap_or_else(|panic| Response::Error {
-                code: errcode::INTERNAL,
-                message: panic_message(&*panic).replace('\n', "; "),
-            });
+        let Ok((request_id, req, ctx)) = job else {
+            return;
+        };
+        let op = req.opcode();
+        let resp = catch_unwind(AssertUnwindSafe(|| {
+            // Root the request's span tree on this worker thread; every
+            // span opened below (session, shard workers via explicit
+            // capture, storage) links under it.
+            let reg = procdb_obs::global();
+            let _boost = ctx.map(|_| reg.boost_tracing());
+            let _ctx = ctx.map(|c| reg.install_context(c));
+            let _root = procdb_obs::span!(reg, "wire.request", proto = 2, opcode = op);
+            handle_request(shared, state, req)
+        }))
+        .unwrap_or_else(|panic| Response::Error {
+            code: errcode::INTERNAL,
+            message: panic_message(&*panic).replace('\n', "; "),
+        });
         if matches!(resp, Response::Bye) {
             state.closing.store(true, Ordering::SeqCst);
         }

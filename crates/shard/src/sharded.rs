@@ -570,12 +570,21 @@ impl ShardedEngine {
         let schema = self.output_schema(i);
         let c = *c;
         let hedge = self.hedged_reads();
+        // The pool's worker threads are long-lived, so the request's
+        // trace context does not follow implicitly — capture it here
+        // and re-install it inside each job so every shard's span links
+        // under the calling request's tree.
+        let trace_ctx = procdb_obs::global().current_context();
         let jobs: Vec<AccessJob> = self
             .slots
             .iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(shard_id, slot)| {
                 let slot = Arc::clone(slot);
                 let job: AccessJob = Box::new(move || {
+                    let reg = procdb_obs::global();
+                    let _ctx = trace_ctx.map(|ctx| reg.install_context(ctx));
+                    let mut sp = procdb_obs::span!(reg, "shard.worker", shard = shard_id);
                     let start = Instant::now();
                     let mut attempts = 0;
                     loop {
@@ -586,6 +595,8 @@ impl ShardedEngine {
                             if let Some((rows, ms)) = hedged_read(&slot, pidx, i, &c)? {
                                 slot.accesses.inc();
                                 slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                                sp.field("role", pidx as f64);
+                                sp.field("hedged", 1.0);
                                 return Ok((rows, ms));
                             }
                         }
@@ -596,6 +607,13 @@ impl ShardedEngine {
                                 }
                                 slot.accesses.inc();
                                 slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                                sp.field("role", pidx as f64);
+                                if escalated {
+                                    sp.field("escalated", 1.0);
+                                }
+                                if attempts > 1 {
+                                    sp.field("failovers", (attempts - 1) as f64);
+                                }
                                 return Ok((rows, ms));
                             }
                             Err(e) => {
@@ -671,6 +689,7 @@ impl ShardedEngine {
         c: &CostConstants,
     ) -> Result<(usize, f64)> {
         let slot = &self.slots[shard];
+        let _sp = procdb_obs::span!(procdb_obs::global(), "shard.apply", shard = shard);
         let _m = slot.mutation.lock();
         let mut total_ms = 0.0;
         let mut attempts = 0;

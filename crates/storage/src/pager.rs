@@ -324,6 +324,7 @@ impl Pager {
     /// Read page `pid`, passing its bytes to `f`. Charges one page read in
     /// `Logical` mode, or a physical read on buffer miss in `Physical` mode.
     pub fn read<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "pager.read", page = pid.page_no);
         let mut st = self.state.lock();
         let missed = self.fault_in(&mut st, pid)?;
         st.clock += 1;
@@ -337,6 +338,9 @@ impl Pager {
         let out = f(&frame.data);
         let writes = self.evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
         drop(st);
+        if sp.is_recording() && missed {
+            sp.field("fault", 1.0);
+        }
         self.metrics.reads.inc();
         self.note_fault(missed);
         match self.config.mode {
@@ -355,6 +359,7 @@ impl Pager {
     /// `Logical` mode (the paper's `2·C2` per refreshed page); in `Physical`
     /// mode the frame is dirtied and written back on eviction/flush.
     pub fn write<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut sp = procdb_obs::span!(procdb_obs::global(), "pager.write", page = pid.page_no);
         let mut st = self.state.lock();
         let missed = self.fault_in(&mut st, pid)?;
         st.clock += 1;
@@ -369,6 +374,9 @@ impl Pager {
         let out = f(&mut frame.data);
         let writes = self.evict_to_capacity(&mut st, self.config.buffer_capacity, pid)?;
         drop(st);
+        if sp.is_recording() && missed {
+            sp.field("fault", 1.0);
+        }
         self.metrics.writes.inc();
         self.note_fault(missed);
         match self.config.mode {

@@ -16,7 +16,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::codec::{Request, Response};
+use crate::codec::{write_traced_request, Request, Response};
 use crate::frame::{read_frame, write_frame, WireError};
 
 /// A connected protocol-v2 client.
@@ -111,6 +111,16 @@ impl WireClient {
         let id = self.next_id;
         self.next_id += 1;
         write_frame(&mut self.writer, req.opcode(), id, &req.encode_payload())?;
+        Ok(id)
+    }
+
+    /// Queue one request tagged with a client-chosen 64-bit trace id;
+    /// the server links every span recorded while serving it under that
+    /// id (query the tree back with `call db.trace(ID)`).
+    pub fn send_traced(&mut self, req: &Request, trace_id: u64) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_traced_request(&mut self.writer, id, trace_id, req)?;
         Ok(id)
     }
 

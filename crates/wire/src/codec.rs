@@ -20,7 +20,7 @@
 
 use procdb_query::{Tuple, Value};
 
-use crate::frame::{RawFrame, WireError, PROTOCOL_VERSION};
+use crate::frame::{RawFrame, WireError, FLAG_TRACED, KNOWN_FLAGS, PROTOCOL_VERSION};
 
 /// Request and response opcodes. Requests use the low range, responses
 /// set the high bit; [`opcode::ERROR`] answers any request.
@@ -368,10 +368,41 @@ impl Request {
 
     /// Decode a request from a header-validated frame. Version, opcode,
     /// and payload failures are recoverable ([`WireError::is_recoverable`]).
+    ///
+    /// A [`FLAG_TRACED`] trace-id prefix, if present, is stripped and
+    /// discarded — servers that propagate trace contexts use
+    /// [`Request::decode_traced`] instead.
     pub fn decode(frame: &RawFrame) -> Result<Request, WireError> {
+        Request::decode_traced(frame).map(|(req, _)| req)
+    }
+
+    /// Decode a request plus its optional client-supplied trace id.
+    ///
+    /// Frames with flags = 0 (every pre-tracing client) decode exactly
+    /// as before with `None`. A frame with [`FLAG_TRACED`] set carries
+    /// an 8-byte LE trace id before the regular payload. Unknown flag
+    /// bits are recoverable [`WireError::Malformed`] errors: the header
+    /// checksum validated, so the stream stays in sync.
+    pub fn decode_traced(frame: &RawFrame) -> Result<(Request, Option<u64>), WireError> {
         check_version(frame)?;
+        if frame.flags & !KNOWN_FLAGS != 0 {
+            return Err(WireError::Malformed(format!(
+                "unknown flag bits {:#06x}",
+                frame.flags & !KNOWN_FLAGS
+            )));
+        }
         let mut cur = Cur::new(&frame.payload);
-        let req = match frame.opcode {
+        let trace_id = if frame.flags & FLAG_TRACED != 0 {
+            Some(cur.i64()? as u64)
+        } else {
+            None
+        };
+        let req = Request::decode_body(frame.opcode, cur)?;
+        Ok((req, trace_id))
+    }
+
+    fn decode_body(op: u8, mut cur: Cur<'_>) -> Result<Request, WireError> {
+        let req = match op {
             opcode::HELLO => Request::Hello {
                 client: cur.str_()?,
                 pipeline: cur.u32()?,
@@ -500,6 +531,21 @@ pub fn write_request(
     crate::frame::write_frame(w, req.opcode(), request_id, &req.encode_payload())
 }
 
+/// Frame and write one request carrying a client-chosen trace id: the
+/// [`FLAG_TRACED`] bit is set and the payload is prefixed with the id.
+pub fn write_traced_request(
+    w: &mut impl std::io::Write,
+    request_id: u64,
+    trace_id: u64,
+    req: &Request,
+) -> Result<(), WireError> {
+    let body = req.encode_payload();
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&(trace_id as i64).to_le_bytes());
+    payload.extend_from_slice(&body);
+    crate::frame::write_frame_flags(w, req.opcode(), FLAG_TRACED, request_id, &payload)
+}
+
 /// Frame and write one response.
 pub fn write_response(
     w: &mut impl std::io::Write,
@@ -607,11 +653,67 @@ mod tests {
     }
 
     #[test]
+    fn flags_zero_frames_decode_as_before_the_extension() {
+        // Pre-tracing clients always send flags = 0; both decoders must
+        // accept those frames unchanged.
+        let req = Request::Command {
+            line: "access V".into(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, 5, &req).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.flags, 0);
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+        let (got, tid) = Request::decode_traced(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, None);
+    }
+
+    #[test]
+    fn traced_requests_round_trip_with_their_trace_id() {
+        let req = Request::Call {
+            name: "P1".into(),
+            args: vec![Value::Int(7)],
+        };
+        let mut buf = Vec::new();
+        write_traced_request(&mut buf, 12, 0x00AB_CDEF_0123_4567, &req).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.flags, FLAG_TRACED);
+        let (got, tid) = Request::decode_traced(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, Some(0x00AB_CDEF_0123_4567));
+        // The plain decoder strips the prefix rather than choking.
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_recoverable_malformed() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame_flags(&mut buf, opcode::PING, 0x8000, 3, b"").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        let err = Request::decode_traced(&frame).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn traced_frame_too_short_for_its_id_is_malformed() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame_flags(&mut buf, opcode::PING, FLAG_TRACED, 3, b"1234").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(matches!(
+            Request::decode_traced(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn malformed_payloads_are_typed_not_panics() {
         // Truncated string length.
         let frame = RawFrame {
             version: PROTOCOL_VERSION,
             opcode: opcode::COMMAND,
+            flags: 0,
             request_id: 1,
             payload: vec![0xFF, 0xFF, 0xFF],
         };
@@ -623,6 +725,7 @@ mod tests {
         let frame = RawFrame {
             version: PROTOCOL_VERSION,
             opcode: opcode::COMMAND,
+            flags: 0,
             request_id: 1,
             payload: vec![0xFF, 0xFF, 0xFF, 0xFF, b'x'],
         };
@@ -636,6 +739,7 @@ mod tests {
         let frame = RawFrame {
             version: PROTOCOL_VERSION,
             opcode: opcode::PING,
+            flags: 0,
             request_id: 1,
             payload,
         };
@@ -647,6 +751,7 @@ mod tests {
         let frame = RawFrame {
             version: PROTOCOL_VERSION,
             opcode: opcode::COMMAND,
+            flags: 0,
             request_id: 1,
             payload: vec![2, 0, 0, 0, 0xC3, 0x28],
         };

@@ -6,7 +6,7 @@
 //! 0       4     magic  AF 50 44 42  ("\xAF" "PDB")
 //! 4       1     protocol version (2)
 //! 5       1     opcode
-//! 6       2     flags (u16 LE, reserved, must be 0)
+//! 6       2     flags (u16 LE; bit 0 = TRACED, other bits reserved)
 //! 8       8     request id (u64 LE)
 //! 16      4     payload length (u32 LE, <= 16 MiB)
 //! 20      4     FNV-1a-32 checksum of bytes [0, 20) (u32 LE)
@@ -16,6 +16,17 @@
 //! The first magic byte `0xAF` is a UTF-8 continuation byte, so it can
 //! never start a legal v1 text-protocol line — the server's
 //! first-bytes sniff distinguishes the protocols from one byte.
+//!
+//! ## Flags
+//!
+//! The flags field was reserved (always 0) until the tracing extension.
+//! A request frame with [`FLAG_TRACED`] set prefixes its payload with an
+//! 8-byte little-endian trace id; the rest of the payload decodes as
+//! before, and the server links every span recorded while serving the
+//! request under that id. Frames with flags = 0 decode exactly as they
+//! always did, so pre-extension clients interoperate unchanged. Unknown
+//! flag bits are a recoverable [`WireError::Malformed`]: the header
+//! validated, so the stream stays in sync.
 //!
 //! Error taxonomy (see [`WireError::is_recoverable`]): a frame whose
 //! *header* validates (magic, checksum, length cap) keeps the stream in
@@ -37,6 +48,11 @@ pub const HEADER_LEN: usize = 24;
 /// Payload size cap: 16 MiB. Anything larger is a fatal framing error
 /// (a desynced or malicious stream, not a big result).
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Header flag bit 0: the payload starts with an 8-byte LE trace id.
+pub const FLAG_TRACED: u16 = 0x0001;
+/// Every flag bit this implementation understands; the rest are
+/// reserved and rejected as recoverable `Malformed` errors.
+pub const KNOWN_FLAGS: u16 = FLAG_TRACED;
 
 /// FNV-1a 32-bit hash (the header checksum).
 pub fn fnv1a_32(bytes: &[u8]) -> u32 {
@@ -144,7 +160,7 @@ pub struct FrameHeader {
     /// Opcode byte (not validated here; see
     /// [`WireError::UnknownOpcode`]).
     pub opcode: u8,
-    /// Reserved flags (encoded as 0).
+    /// Flag bits (bit 0 = [`FLAG_TRACED`], others reserved).
     pub flags: u16,
     /// Request id the response will be tagged with.
     pub request_id: u64,
@@ -206,6 +222,8 @@ pub struct RawFrame {
     pub version: u8,
     /// Header opcode byte.
     pub opcode: u8,
+    /// Header flag bits (validated by the codec layer).
+    pub flags: u16,
     /// Request id.
     pub request_id: u64,
     /// Raw payload bytes.
@@ -254,6 +272,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<RawFrame, WireError> {
     Ok(RawFrame {
         version: header.version,
         opcode: header.opcode,
+        flags: header.flags,
         request_id: header.request_id,
         payload,
     })
@@ -268,13 +287,25 @@ pub fn write_frame(
     request_id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
+    write_frame_flags(w, opcode, 0, request_id, payload)
+}
+
+/// [`write_frame`] with explicit flag bits (used by traced requests,
+/// whose payload carries the trace-id prefix).
+pub fn write_frame_flags(
+    w: &mut impl Write,
+    opcode: u8,
+    flags: u16,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
     if payload.len() > MAX_PAYLOAD as usize {
         return Err(WireError::Oversized(payload.len() as u32));
     }
     let header = FrameHeader {
         version: PROTOCOL_VERSION,
         opcode,
-        flags: 0,
+        flags,
         request_id,
         payload_len: payload.len() as u32,
     };
@@ -360,6 +391,25 @@ mod tests {
         assert!(matches!(
             read_frame(&mut &head[..]),
             Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn flags_round_trip_and_default_to_zero() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x03, 7, b"plain").unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap().flags, 0);
+        let mut buf = Vec::new();
+        write_frame_flags(&mut buf, 0x03, FLAG_TRACED, 7, b"traced").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.flags, FLAG_TRACED);
+        assert_eq!(frame.payload, b"traced");
+        // Flags are inside the checksummed region: corruption is caught.
+        let mut bad = buf.clone();
+        bad[6] ^= 0x02;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadChecksum { .. })
         ));
     }
 
