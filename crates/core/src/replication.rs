@@ -77,6 +77,47 @@ impl DeltaOp {
     }
 }
 
+/// One delta as shipped to a follower: the op plus the (epoch, LSN)
+/// stamp under which the primary committed it.
+///
+/// The epoch is the replica group's promotion counter. A follower
+/// remembers the highest epoch it has seen and refuses deliveries
+/// stamped with an older one — the ship came from a primary that has
+/// since been fenced, and applying it would let a dual-primary window
+/// commit divergent state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShippedDelta {
+    /// Group epoch the shipping primary held when it committed the op.
+    pub epoch: u64,
+    /// Dense log-sequence number stamped by the shard's delta log.
+    pub lsn: u64,
+    /// The logical mutation itself.
+    pub op: DeltaOp,
+}
+
+impl ShippedDelta {
+    /// Stamp an op for shipping.
+    pub fn new(epoch: u64, lsn: u64, op: DeltaOp) -> ShippedDelta {
+        ShippedDelta { epoch, lsn, op }
+    }
+}
+
+/// A follower's acknowledgement of one applied [`ShippedDelta`].
+///
+/// The ack echoes the epoch the follower applied under; a primary that
+/// collects an ack stamped with a *newer* epoch than its own learns it
+/// has been superseded and must fence itself instead of counting the
+/// write as replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaAck {
+    /// Highest group epoch the acking follower has observed.
+    pub epoch: u64,
+    /// LSN the follower applied through.
+    pub lsn: u64,
+    /// Replica index of the acking follower.
+    pub replica: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,15 +35,27 @@
 //! threshold are retained in full ([`Registry::slow_traces`]); the rest
 //! cycle through a bounded recent ring ([`Registry::find_trace`]).
 //!
+//! ## Deadlines
+//!
+//! [`install_deadline`] propagates a request's absolute deadline down
+//! the stack through a thread-local (captured explicitly across worker
+//! pools, like trace contexts), so the shard layer can turn an
+//! exhausted budget into a typed `DEADLINE` error instead of queueing
+//! behind a slow shard.
+//!
 //! The crate is dependency-free (std only) so every other `procdb` crate
 //! can instrument itself against [`global()`] without dependency cycles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deadline;
 pub mod registry;
 pub mod trace;
 
+pub use deadline::{
+    current_deadline, deadline_expired, deadline_remaining, install_deadline, DeadlineGuard,
+};
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Sample};
 pub use trace::{BoostGuard, ContextGuard, SpanEvent, SpanGuard, TraceContext, TraceTree};
 

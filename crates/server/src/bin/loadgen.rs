@@ -8,11 +8,21 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops 200] [--rows 400]
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
-//!         [--shards S] [--replicas R] [--chaos]
+//!         [--shards S] [--replicas R] [--chaos] [--net-chaos]
 //!         [--strategies ar,ci,avm,rvm] [--proto v1,v2] [--pipeline N]
 //!         [--json PATH] [--metrics-json] [--max-in-flight N]
 //!         [--trace-sample N]
 //! ```
+//!
+//! `--chaos` drives a crash/recover/promote schedule concurrent with
+//! every measured run; `--net-chaos` layers *message* chaos on top: a
+//! seeded `chaos inject` plan delays, drops, duplicates, and reorders
+//! the replica delta ships (plus occasional commit-point fences) while
+//! the same crash/promote schedule runs. Clients treat the resulting
+//! typed `FENCED` errors as retryable — the retry lands on the newly
+//! promoted primary — and the run verifies afterwards that no committed
+//! write was lost or duplicated (the row count is conserved) and every
+//! replica rejoined at lag zero after the closing `resync`.
 //!
 //! `--proto` selects the wire protocol(s) to measure: `v1` is the
 //! classic line protocol (one command per round-trip), `v2` the binary
@@ -41,6 +51,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -71,6 +82,12 @@ struct Config {
     /// ex-primary, then force one extra promotion. Requires
     /// `--replicas >= 2` — failover should be invisible to clients.
     chaos: bool,
+    /// Layer message chaos over the crash/promote schedule: install a
+    /// seeded `chaos inject` plan (delta-ship delays, drops, duplicates,
+    /// reorders, commit-point fences) for the duration of every measured
+    /// run, then `chaos off` + `resync` and verify zero lost/duplicated
+    /// committed writes. Requires `--replicas >= 2`.
+    net_chaos: bool,
     strategies: Vec<(String, String)>, // (label, wire name)
     /// Wire protocols to measure (`v1` line, `v2` framed pipelined).
     protos: Vec<String>,
@@ -104,6 +121,7 @@ impl Default for Config {
             shards: 1,
             replicas: 1,
             chaos: false,
+            net_chaos: false,
             strategies: all_strategies(),
             protos: vec!["v1".to_string()],
             pipeline: 16,
@@ -135,9 +153,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
-         [--replicas R] [--chaos] [--strategies ar,ci,avm,rvm] [--proto v1,v2] \
-         [--pipeline N] [--json PATH] [--metrics-json] [--max-in-flight N] \
-         [--trace-sample N]"
+         [--replicas R] [--chaos] [--net-chaos] [--strategies ar,ci,avm,rvm] \
+         [--proto v1,v2] [--pipeline N] [--json PATH] [--metrics-json] \
+         [--max-in-flight N] [--trace-sample N]"
     );
     std::process::exit(2);
 }
@@ -180,6 +198,7 @@ fn parse_args() -> Config {
                 }
             }
             "--chaos" => cfg.chaos = true,
+            "--net-chaos" => cfg.net_chaos = true,
             "--strategies" => {
                 cfg.strategies = val(&mut args)
                     .split(',')
@@ -223,6 +242,10 @@ fn parse_args() -> Config {
     }
     if cfg.chaos && cfg.replicas < 2 {
         eprintln!("loadgen: --chaos needs --replicas >= 2 (a lone primary cannot fail over)");
+        std::process::exit(2);
+    }
+    if cfg.net_chaos && cfg.replicas < 2 {
+        eprintln!("loadgen: --net-chaos needs --replicas >= 2 (message chaos targets delta ships)");
         std::process::exit(2);
     }
     cfg
@@ -398,6 +421,10 @@ struct ShardSnapshot {
     max_lag: f64,
     /// Primary promotions on this shard (counter).
     failovers: f64,
+    /// Replica-group epoch: bumped once per promotion (level).
+    epoch: f64,
+    /// Stale-primary writes rejected at the commit point (counter).
+    fenced: f64,
 }
 
 impl ShardSnapshot {
@@ -434,6 +461,8 @@ impl ShardSnapshot {
             live: self.live,
             max_lag: self.max_lag,
             failovers: self.failovers - before.failovers,
+            epoch: self.epoch,
+            fenced: self.fenced - before.fenced,
         }
     }
 }
@@ -477,6 +506,8 @@ fn fetch_shards(control: &mut Client) -> Result<Vec<ShardSnapshot>, String> {
                 "live" => snap.live = v,
                 "max_lag" => snap.max_lag = v,
                 "failovers" => snap.failovers = v,
+                "epoch" => snap.epoch = v,
+                "fenced" => snap.fenced = v,
                 _ => {}
             }
         }
@@ -512,11 +543,24 @@ struct RunResult {
     /// from the tracing-off baseline pass (`None` without the knob).
     /// Negative values are run-to-run noise.
     trace_overhead_pct: Option<f64>,
+    /// p99 latency (µs) over the samples completed while the
+    /// `--net-chaos` plan was installed (`None` without the knob or when
+    /// no sample landed in the window).
+    p99_during_chaos_us: Option<f64>,
 }
 
 impl RunResult {
     fn throughput(&self) -> f64 {
         self.commands as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Commands that ultimately failed, as a fraction of all commands.
+    fn error_rate(&self) -> f64 {
+        if self.commands == 0 {
+            0.0
+        } else {
+            self.counters.errors as f64 / self.commands as f64
+        }
     }
 }
 
@@ -532,6 +576,9 @@ struct ClientCounters {
     busy_sheds: usize,
     /// `err DEADLINE` lock-deadline expiries observed.
     deadline_expiries: usize,
+    /// `err FENCED` stale-primary rejections observed (each retry landed
+    /// on the newly promoted primary).
+    fenced_retries: usize,
 }
 
 impl ClientCounters {
@@ -540,21 +587,38 @@ impl ClientCounters {
         self.retries += other.retries;
         self.busy_sheds += other.busy_sheds;
         self.deadline_expiries += other.deadline_expiries;
+        self.fenced_retries += other.fenced_retries;
     }
 }
 
-/// Per-client measurement: latencies (µs), wall-clock elapsed, counters.
-type ClientRun = Result<(Vec<f64>, Duration, ClientCounters), String>;
+/// Per-client measurement: latencies (µs), the subset of those samples
+/// recorded while message chaos was active, wall-clock elapsed,
+/// counters.
+type ClientRun = Result<(Vec<f64>, Vec<f64>, Duration, ClientCounters), String>;
+
+/// Folded result of `drive_clients`: merged latencies (µs), the
+/// during-chaos subset, the slowest client's wall-clock, the total
+/// command count, and the merged shed/retry counters.
+type DriveOutcome = Result<(Vec<f64>, Vec<f64>, Duration, usize, ClientCounters), String>;
 
 /// One client's closed loop: issue every wire line of every op in its
-/// stream, one at a time, timing each round-trip. `BUSY` and `DEADLINE`
-/// sheds are retried with exponential backoff (they are flow control,
-/// not failures); the retry wait is included in the command's latency,
-/// which is what a caller of a shedding server actually experiences.
-fn run_client(addr: &str, lines: &[String], barrier: &Barrier, seed: u64) -> ClientRun {
+/// stream, one at a time, timing each round-trip. `BUSY`, `DEADLINE`,
+/// and `FENCED` sheds are retried with exponential backoff (they are
+/// flow control, not failures — a fenced write was rejected before any
+/// state change and the retry routes to the new primary); the retry
+/// wait is included in the command's latency, which is what a caller of
+/// a shedding server actually experiences.
+fn run_client(
+    addr: &str,
+    lines: &[String],
+    barrier: &Barrier,
+    seed: u64,
+    chaos_active: &AtomicBool,
+) -> ClientRun {
     let mut rng = seed;
     let (mut client, connect_retries) = Client::connect_with_retry(addr, &mut rng)?;
     let mut latencies = Vec::with_capacity(lines.len());
+    let mut chaos_latencies = Vec::new();
     let mut counters = ClientCounters {
         retries: connect_retries,
         ..ClientCounters::default()
@@ -573,6 +637,9 @@ fn run_client(addr: &str, lines: &[String], barrier: &Barrier, seed: u64) -> Cli
             } else if term.starts_with("err DEADLINE") {
                 counters.deadline_expiries += 1;
                 true
+            } else if term.starts_with("err FENCED") {
+                counters.fenced_retries += 1;
+                true
             } else {
                 if term.starts_with("err") {
                     counters.errors += 1;
@@ -590,17 +657,21 @@ fn run_client(addr: &str, lines: &[String], barrier: &Barrier, seed: u64) -> Cli
             counters.retries += 1;
             backoff_step(&mut backoff, &mut rng);
         }
-        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+        let lat = t.elapsed().as_secs_f64() * 1e6;
+        if chaos_active.load(Ordering::Relaxed) {
+            chaos_latencies.push(lat);
+        }
+        latencies.push(lat);
     }
     let elapsed = start.elapsed();
     let _ = client.cmd("quit");
-    Ok((latencies, elapsed, counters))
+    Ok((latencies, chaos_latencies, elapsed, counters))
 }
 
 /// One client's **pipelined** v2 loop: keep up to `window` framed
 /// commands in flight, match responses by request id in completion
-/// order, and re-enqueue `BUSY`/`DEADLINE` sheds. A command's latency
-/// runs from its *first* send to its final response — the same
+/// order, and re-enqueue `BUSY`/`DEADLINE`/`FENCED` sheds. A command's
+/// latency runs from its *first* send to its final response — the same
 /// retry-inclusive semantics as the v1 loop — so v1/v2 latency columns
 /// compare like for like.
 fn run_client_v2(
@@ -609,6 +680,7 @@ fn run_client_v2(
     barrier: &Barrier,
     seed: u64,
     window: usize,
+    chaos_active: &AtomicBool,
 ) -> ClientRun {
     let mut rng = seed;
     let mut client = {
@@ -629,6 +701,7 @@ fn run_client_v2(
     };
     let mut counters = ClientCounters::default();
     let mut latencies = vec![0.0f64; lines.len()];
+    let mut chaos_latencies = Vec::new();
     let mut started: Vec<Option<Instant>> = vec![None; lines.len()];
     let mut attempts = vec![0usize; lines.len()];
     // Work queue of line indices; `pending` maps in-flight request ids
@@ -662,6 +735,10 @@ fn run_client_v2(
                 counters.deadline_expiries += 1;
                 true
             }
+            Response::Error { code, .. } if code == errcode::FENCED => {
+                counters.fenced_retries += 1;
+                true
+            }
             Response::Error { .. } => {
                 counters.errors += 1;
                 false
@@ -690,24 +767,31 @@ fn run_client_v2(
                 continue;
             }
         }
-        latencies[idx] = started[idx]
+        let lat = started[idx]
             .expect("completed command was never started")
             .elapsed()
             .as_secs_f64()
             * 1e6;
+        if chaos_active.load(Ordering::Relaxed) {
+            chaos_latencies.push(lat);
+        }
+        latencies[idx] = lat;
     }
     let elapsed = start.elapsed();
     let _ = client.close();
-    Ok((latencies, elapsed, counters))
+    Ok((latencies, chaos_latencies, elapsed, counters))
 }
 
 /// Run a control-plane command that must eventually succeed, retrying
-/// `BUSY`/`DEADLINE` sheds like a regular client would.
+/// `BUSY`/`DEADLINE`/`FENCED` sheds like a regular client would.
 fn cmd_ok_with_retry(client: &mut Client, line: &str, rng: &mut u64) -> Result<(), String> {
     let mut backoff = BASE_BACKOFF;
     for _ in 0..MAX_RETRIES_PER_CMD {
         let (_, term) = client.cmd(line)?;
-        if term.starts_with("err BUSY") || term.starts_with("err DEADLINE") {
+        if term.starts_with("err BUSY")
+            || term.starts_with("err DEADLINE")
+            || term.starts_with("err FENCED")
+        {
             backoff_step(&mut backoff, rng);
             continue;
         }
@@ -736,6 +820,89 @@ fn chaos_schedule(addr: &str) -> Result<(), String> {
     cmd_ok_with_retry(&mut client, "recover 0", &mut rng)?;
     std::thread::sleep(pause);
     cmd_ok_with_retry(&mut client, "promote 0", &mut rng)?;
+    let _ = client.cmd("quit");
+    Ok(())
+}
+
+/// The `--net-chaos` schedule: install a seeded message-chaos plan on
+/// the delta-shipping path (delays, drops, duplicates, reorders, and
+/// occasional commit-point fences), run the same crash/recover/promote
+/// cycle *under* that plan, then lift it and `resync` so every dropped
+/// follower rejoins by delta-log replay. `chaos_active` brackets the
+/// window for the clients' during-chaos latency bucketing.
+fn net_chaos_schedule(
+    addr: &str,
+    seed: u64,
+    barrier: &Barrier,
+    chaos_active: &AtomicBool,
+) -> Result<(), String> {
+    let mut rng = seed ^ 0xDE1_7A5;
+    let pause = Duration::from_millis(20);
+    // Arm fences on every write *before* the clients start: the first
+    // updates each shard commits are guaranteed to race a real
+    // promotion and surface the typed FENCED retry, so every run
+    // demonstrably exercises the fencing path (the CI gate counts on
+    // it) instead of leaving it to the mixed plan's dice.
+    let armed: Result<Client, String> = (|| {
+        let (mut client, _) = Client::connect_with_retry(addr, &mut rng)?;
+        cmd_ok_with_retry(
+            &mut client,
+            &format!("chaos inject --seed {seed} --fence 1"),
+            &mut rng,
+        )?;
+        Ok(client)
+    })();
+    chaos_active.store(true, Ordering::SeqCst);
+    // Release the measured clients even when arming failed — leaving
+    // them parked on the barrier would wedge the whole run; the error
+    // surfaces right after instead.
+    barrier.wait();
+    let mut client = armed?;
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(
+        &mut client,
+        &format!(
+            "chaos inject --seed {seed} --delay 0.25 --delay-ms 0 2 --drop 0.05 \
+             --dup 0.15 --reorder 0.15 --heartbeat 0.1 --fence 0.05"
+        ),
+        &mut rng,
+    )?;
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(&mut client, "crash 0", &mut rng)?;
+    std::thread::sleep(pause);
+    cmd_ok_with_retry(&mut client, "recover 0", &mut rng)?;
+    std::thread::sleep(pause);
+    // Force one extra promotion. Chaos drops may have marked every
+    // follower of shard 0 down at this instant; `resync` first and
+    // tolerate a few "no live follower" rounds rather than treating the
+    // transient as fatal.
+    let mut backoff = BASE_BACKOFF;
+    let mut promoted = false;
+    for _ in 0..MAX_RETRIES_PER_CMD {
+        cmd_ok_with_retry(&mut client, "resync 0", &mut rng)?;
+        let (_, term) = client.cmd("promote 0")?;
+        if !term.starts_with("err") {
+            promoted = true;
+            break;
+        }
+        if !(term.contains("no live follower")
+            || term.starts_with("err BUSY")
+            || term.starts_with("err DEADLINE")
+            || term.starts_with("err FENCED"))
+        {
+            return Err(format!("\"promote 0\" failed: {term}"));
+        }
+        backoff_step(&mut backoff, &mut rng);
+    }
+    if !promoted {
+        return Err("\"promote 0\" still refused after resync retries".to_string());
+    }
+    std::thread::sleep(pause);
+    chaos_active.store(false, Ordering::SeqCst);
+    cmd_ok_with_retry(&mut client, "chaos off", &mut rng)?;
+    // Heal: every follower the plan marked down rejoins by replay (or
+    // full copy if the bounded delta log wrapped past it).
+    cmd_ok_with_retry(&mut client, "resync", &mut rng)?;
     let _ = client.cmd("quit");
     Ok(())
 }
@@ -791,38 +958,42 @@ fn metric_deltas(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<(Stri
     deltas
 }
 
-/// Drive every client thread (plus the optional chaos schedule) over
+/// Drive every client thread (plus the optional chaos schedules) over
 /// the dealt streams and fold the per-client measurements together.
-/// Returns `(latencies µs, wall-clock of the slowest client, command
-/// count, shed/retry counters)`.
-fn drive_clients(
-    addr: &str,
-    cfg: &Config,
-    proto: &str,
-    streams: &[Vec<String>],
-) -> Result<(Vec<f64>, Duration, usize, ClientCounters), String> {
-    let barrier = Barrier::new(streams.len());
-    let (results, chaos_result): (Vec<ClientRun>, Option<Result<(), String>>) =
+/// Returns `(latencies µs, during-chaos latencies µs, wall-clock of the
+/// slowest client, command count, shed/retry counters)`.
+fn drive_clients(addr: &str, cfg: &Config, proto: &str, streams: &[Vec<String>]) -> DriveOutcome {
+    // The net-chaos schedule takes a barrier slot too: it arms the
+    // opening fence window *before* the clients fire their first op,
+    // so even a run that finishes in milliseconds overlaps the chaos.
+    let barrier = Barrier::new(streams.len() + usize::from(cfg.net_chaos));
+    let chaos_active = AtomicBool::new(false);
+    type ScheduleResult = Option<Result<(), String>>;
+    let (results, chaos_result, net_result): (Vec<ClientRun>, ScheduleResult, ScheduleResult) =
         std::thread::scope(|s| {
             let handles: Vec<_> = streams
                 .iter()
                 .enumerate()
                 .map(|(c, lines)| {
                     let barrier = &barrier;
+                    let chaos_active = &chaos_active;
                     // Distinct per-client seeds decorrelate the backoff
                     // jitter; the workload itself is already dealt.
                     let seed = cfg.seed.wrapping_add(1 + c as u64);
                     let pipeline = cfg.pipeline;
                     s.spawn(move || {
                         if proto == "v2" {
-                            run_client_v2(addr, lines, barrier, seed, pipeline)
+                            run_client_v2(addr, lines, barrier, seed, pipeline, chaos_active)
                         } else {
-                            run_client(addr, lines, barrier, seed)
+                            run_client(addr, lines, barrier, seed, chaos_active)
                         }
                     })
                 })
                 .collect();
             let chaos = cfg.chaos.then(|| s.spawn(|| chaos_schedule(addr)));
+            let net = cfg
+                .net_chaos
+                .then(|| s.spawn(|| net_chaos_schedule(addr, cfg.seed, &barrier, &chaos_active)));
             let results = handles
                 .into_iter()
                 .map(|h| {
@@ -834,23 +1005,38 @@ fn drive_clients(
                 h.join()
                     .unwrap_or_else(|_| Err("chaos thread panicked".to_string()))
             });
-            (results, chaos_result)
+            let net_result = net.map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("net-chaos thread panicked".to_string()))
+            });
+            (results, chaos_result, net_result)
         });
     if let Some(r) = chaos_result {
         r.map_err(|e| format!("chaos schedule: {e}"))?;
     }
+    if let Some(r) = net_result {
+        r.map_err(|e| format!("net-chaos schedule: {e}"))?;
+    }
     let mut all_latencies = Vec::new();
+    let mut chaos_latencies = Vec::new();
     let mut max_elapsed = Duration::ZERO;
     let mut commands = 0usize;
     let mut counters = ClientCounters::default();
     for r in results {
-        let (lat, elapsed, c) = r?;
+        let (lat, chaos_lat, elapsed, c) = r?;
         commands += lat.len();
         counters.absorb(c);
         all_latencies.extend(lat);
+        chaos_latencies.extend(chaos_lat);
         max_elapsed = max_elapsed.max(elapsed);
     }
-    Ok((all_latencies, max_elapsed, commands, counters))
+    Ok((
+        all_latencies,
+        chaos_latencies,
+        max_elapsed,
+        commands,
+        counters,
+    ))
 }
 
 fn run_one(
@@ -889,7 +1075,7 @@ fn run_one(
     // off, so the traced pass right after isolates the tracing cost.
     let baseline_throughput = if cfg.trace_sample > 0 {
         control.expect_ok("trace sample 0")?;
-        let (_, elapsed, commands, _) = drive_clients(addr, cfg, proto, &streams)?;
+        let (_, _, elapsed, commands, _) = drive_clients(addr, cfg, proto, &streams)?;
         control.expect_ok(&format!("trace sample {}", cfg.trace_sample))?;
         // Threshold 0: every traced request's tree is retained in the
         // slow log, so the smoke checks have material to inspect.
@@ -904,10 +1090,11 @@ fn run_one(
         Vec::new()
     };
     let shards_before = fetch_shards(control)?;
-    let (mut all_latencies, max_elapsed, commands, counters) =
+    let (mut all_latencies, mut chaos_latencies, max_elapsed, commands, counters) =
         drive_clients(addr, cfg, proto, &streams)?;
     let latency = LatencySummary::from_samples(&mut all_latencies)
         .ok_or_else(|| "no samples recorded".to_string())?;
+    let p99_during_chaos_us = LatencySummary::from_samples(&mut chaos_latencies).map(|s| s.p99_us);
     let server_metrics = if cfg.metrics_json {
         metric_deltas(&metrics_before, &fetch_metrics(control)?)
     } else {
@@ -920,6 +1107,29 @@ fn run_one(
             shards_before.len(),
             shards_after.len()
         ));
+    }
+    if cfg.net_chaos {
+        // No committed write may be lost or duplicated by message chaos:
+        // the workload only accesses and re-keys, so the total row count
+        // is an exact conservation invariant.
+        let rows_now: f64 = shards_after.iter().map(|s| s.r1_rows).sum();
+        if rows_now as usize != cfg.rows {
+            return Err(format!(
+                "net-chaos: committed writes lost or duplicated — {} rows survive, \
+                 {} were committed",
+                rows_now, cfg.rows
+            ));
+        }
+        // The closing `resync` must have healed every chaos-dropped
+        // follower back to lockstep.
+        for sh in &shards_after {
+            if sh.live < sh.replicas || sh.max_lag > 0.0 {
+                return Err(format!(
+                    "net-chaos: shard {} not healed after resync ({}/{} live, lag {})",
+                    sh.shard, sh.live, sh.replicas, sh.max_lag
+                ));
+            }
+        }
     }
     let shards = shards_after
         .iter()
@@ -942,6 +1152,7 @@ fn run_one(
         server_metrics,
         shards,
         trace_overhead_pct,
+        p99_during_chaos_us,
     })
 }
 
@@ -956,7 +1167,8 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
     out.push_str(&format!(
         "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
          \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}, \
-         \"replicas\": {}, \"chaos\": {}, \"protos\": [{}], \"pipeline\": {}}},\n",
+         \"replicas\": {}, \"chaos\": {}, \"net_chaos\": {}, \"protos\": [{}], \
+         \"pipeline\": {}}},\n",
         cfg.ops,
         cfg.rows,
         cfg.views,
@@ -967,6 +1179,7 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
         cfg.shards,
         cfg.replicas,
         cfg.chaos,
+        cfg.net_chaos,
         cfg.protos
             .iter()
             .map(|p| format!("\"{p}\""))
@@ -985,20 +1198,23 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
         out.push_str(&format!(
             "    {{\"strategy\": \"{}\", \"proto\": \"{}\", \"pipeline\": {}, \
              \"clients\": {}, \"commands\": {}, \
-             \"errors\": {}, \"retries\": {}, \"busy_sheds\": {}, \
-             \"deadline_expiries\": {}, \
+             \"errors\": {}, \"error_rate\": {:.6}, \"retries\": {}, \
+             \"busy_sheds\": {}, \"deadline_expiries\": {}, \"fenced_retries\": {}, \
              \"elapsed_s\": {:.4}, \"throughput_cmds_per_s\": {:.1}, \
              \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \
-             \"p999\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}",
+             \"p999\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}, \
+             \"p99_during_chaos_us\": {}",
             r.strategy,
             r.proto,
             r.pipeline,
             r.clients,
             r.commands,
             r.counters.errors,
+            r.error_rate(),
             r.counters.retries,
             r.counters.busy_sheds,
             r.counters.deadline_expiries,
+            r.counters.fenced_retries,
             r.elapsed.as_secs_f64(),
             r.throughput(),
             r.latency.p50_us,
@@ -1007,6 +1223,9 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
             r.latency.p999_us,
             r.latency.mean_us,
             r.latency.max_us,
+            r.p99_during_chaos_us
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
         ));
         if let Some(pct) = r.trace_overhead_pct {
             out.push_str(&format!(", \"trace_overhead_pct\": {pct:.2}"));
@@ -1039,7 +1258,7 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
                  \"hit_ratio\": {:.4}, \"conflict_rate\": {:.4}, \
                  \"ops_per_s\": {:.1}, \"access_ms\": {:.3}, \"r1_rows\": {}, \
                  \"replicas\": {}, \"live_replicas\": {}, \"max_replica_lag\": {}, \
-                 \"failovers\": {}}}{}",
+                 \"failovers\": {}, \"epoch\": {}, \"fenced\": {}}}{}",
                 sh.shard,
                 sh.accesses,
                 sh.updates,
@@ -1055,6 +1274,8 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
                 sh.live,
                 sh.max_lag,
                 sh.failovers,
+                sh.epoch,
+                sh.fenced,
                 if j + 1 == r.shards.len() { "" } else { ", " }
             ));
         }
@@ -1108,7 +1329,11 @@ fn run(cfg: &Config) -> Result<(Vec<RunResult>, Option<TraceStats>), String> {
         cfg.ops,
         cfg.shards,
         cfg.replicas,
-        if cfg.chaos { " [chaos]" } else { "" },
+        match (cfg.chaos, cfg.net_chaos) {
+            (_, true) => " [net-chaos]",
+            (true, false) => " [chaos]",
+            (false, false) => "",
+        },
         addr
     );
     println!(
@@ -1153,8 +1378,8 @@ fn run(cfg: &Config) -> Result<(Vec<RunResult>, Option<TraceStats>), String> {
                     for sh in &r.shards {
                         let replica_note = if cfg.replicas > 1 {
                             format!(
-                                ", {}/{} live, {} failover(s), lag {}",
-                                sh.live, sh.replicas, sh.failovers, sh.max_lag
+                                ", {}/{} live, {} failover(s), lag {}, epoch {}, {} fenced",
+                                sh.live, sh.replicas, sh.failovers, sh.max_lag, sh.epoch, sh.fenced
                             )
                         } else {
                             String::new()

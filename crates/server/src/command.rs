@@ -24,6 +24,7 @@
 
 use procdb_core::StrategyKind;
 use procdb_query::{FieldType, Organization, Schema, Value};
+use procdb_shard::ChaosPlan;
 use procdb_storage::FaultPlan;
 
 /// A parsed shell command.
@@ -81,6 +82,15 @@ pub enum Command {
     FaultOff,
     /// `fault status` — injector counters and the active plan.
     FaultStatus,
+    /// `chaos inject [--seed S] [--delay P] [--delay-ms MIN MAX]
+    /// [--drop P] [--dup P] [--reorder P] [--heartbeat P] [--fence P]`
+    /// — install a seeded message-chaos plan on the replication layer
+    /// (requires a replicated backend).
+    ChaosInject(ChaosPlan),
+    /// `chaos off` — remove the installed chaos plan.
+    ChaosOff,
+    /// `chaos status` — chaos decision counters and the active plan.
+    ChaosStatus,
     /// `crash [SHARD]` — simulate a crash (volatile state lost). With a
     /// sharded backend, `crash N` kills only shard `N`.
     Crash(Option<usize>),
@@ -151,6 +161,10 @@ commands:
                [--kill-at N] [--window START END] [--include-uncharged]
                                         -- inject seeded storage faults
   fault off | fault status              -- lift the plan / show counters
+  chaos inject [--seed S] [--delay P] [--delay-ms MIN MAX] [--drop P]
+               [--dup P] [--reorder P] [--heartbeat P] [--fence P]
+                                        -- inject seeded replication chaos
+  chaos off | chaos status              -- lift the plan / show counters
   crash [SHARD]                         -- simulate a crash (one shard or all)
   recover [SHARD]                       -- run crash recovery (one shard or all)
   shards N | shards                     -- partition R1 N ways / show shard status
@@ -325,6 +339,61 @@ fn parse_fault(rest: &str) -> Result<Command, String> {
     }
 }
 
+fn parse_chaos(rest: &str) -> Result<Command, String> {
+    let mut toks = rest.split_whitespace();
+    match toks.next() {
+        Some("off") => Ok(Command::ChaosOff),
+        Some("status") => Ok(Command::ChaosStatus),
+        Some("inject") => {
+            let mut plan = ChaosPlan::new(1);
+            fn value<'a>(
+                toks: &mut impl Iterator<Item = &'a str>,
+                flag: &str,
+            ) -> Result<&'a str, String> {
+                toks.next().ok_or_else(|| format!("{flag} needs a value"))
+            }
+            fn prob(v: &str, flag: &str) -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad probability {v:?} for {flag}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{flag} must be in [0, 1], got {v}"));
+                }
+                Ok(p)
+            }
+            while let Some(flag) = toks.next() {
+                match flag {
+                    "--seed" => {
+                        let v = value(&mut toks, flag)?;
+                        plan.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                    }
+                    "--delay" => plan.delay_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--delay-ms" => {
+                        let a = value(&mut toks, flag)?;
+                        let b = value(&mut toks, "--delay-ms MAX")?;
+                        let min: u64 = a.parse().map_err(|_| format!("bad delay min {a:?}"))?;
+                        let max: u64 = b.parse().map_err(|_| format!("bad delay max {b:?}"))?;
+                        if max < min {
+                            return Err("--delay-ms wants MIN MAX with MIN <= MAX".to_string());
+                        }
+                        plan.delay_ms = (min, max);
+                    }
+                    "--drop" => plan.drop_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--dup" => plan.dup_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--reorder" => plan.reorder_prob = prob(value(&mut toks, flag)?, flag)?,
+                    "--heartbeat" => {
+                        plan.heartbeat_delay_prob = prob(value(&mut toks, flag)?, flag)?
+                    }
+                    "--fence" => plan.fence_prob = prob(value(&mut toks, flag)?, flag)?,
+                    other => return Err(format!("unknown chaos flag {other:?}")),
+                }
+            }
+            Ok(Command::ChaosInject(plan))
+        }
+        _ => Err("expected: chaos inject|off|status".to_string()),
+    }
+}
+
 fn parse_call(rest: &str) -> Result<Command, String> {
     let rest = rest.trim();
     // Procedure names may contain dots (`db.procedures`), so the scan is
@@ -448,6 +517,9 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     }
     if lower == "fault" || lower.starts_with("fault ") {
         return parse_fault(&lower["fault".len()..]).map(Some);
+    }
+    if lower == "chaos" || lower.starts_with("chaos ") {
+        return parse_chaos(&lower["chaos".len()..]).map(Some);
     }
     if lower == "call" || lower.starts_with("call ") {
         return parse_call(&line["call".len()..]).map(Some);
@@ -735,6 +807,41 @@ mod tests {
     }
 
     #[test]
+    fn chaos_commands() {
+        assert_eq!(parse("chaos off").unwrap(), Some(Command::ChaosOff));
+        assert_eq!(parse("CHAOS STATUS").unwrap(), Some(Command::ChaosStatus));
+        let c = parse(
+            "chaos inject --seed 42 --delay 0.2 --delay-ms 1 8 --drop 0.1 \
+             --dup 0.15 --reorder 0.25 --heartbeat 0.3 --fence 0.05",
+        )
+        .unwrap()
+        .unwrap();
+        let Command::ChaosInject(plan) = c else {
+            panic!()
+        };
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.delay_prob, 0.2);
+        assert_eq!(plan.delay_ms, (1, 8));
+        assert_eq!(plan.drop_prob, 0.1);
+        assert_eq!(plan.dup_prob, 0.15);
+        assert_eq!(plan.reorder_prob, 0.25);
+        assert_eq!(plan.heartbeat_delay_prob, 0.3);
+        assert_eq!(plan.fence_prob, 0.05);
+        // Bare `chaos inject` is a valid (inert) plan.
+        assert!(matches!(
+            parse("chaos inject").unwrap(),
+            Some(Command::ChaosInject(p)) if p.is_inert()
+        ));
+        assert!(parse("chaos").is_err());
+        assert!(parse("chaos frobnicate").is_err());
+        assert!(parse("chaos inject --drop 1.5").is_err());
+        assert!(parse("chaos inject --drop").is_err());
+        assert!(parse("chaos inject --delay-ms 5 2").is_err());
+        assert!(parse("chaos inject --delay-ms 5").is_err());
+        assert!(parse("chaos inject --frobnicate 1").is_err());
+    }
+
+    #[test]
     fn call_forms() {
         assert_eq!(
             parse("call P1(0, 5000)").unwrap(),
@@ -824,6 +931,11 @@ mod tests {
             "fault inject --window 1",
             "fault inject --io-reads NaN",
             "fault inject --kill-at 99999999999999999999",
+            "chaos",
+            "chaos inject --seed",
+            "chaos inject --delay-ms 1",
+            "chaos inject --drop NaN",
+            "chaos inject --fence -0.5",
             "crash now",
             "call",
             "call (",

@@ -123,6 +123,9 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         Command::FaultInject(plan) => Outcome::Text(session.fault_inject(plan)?),
         Command::FaultOff => Outcome::Text(session.fault_off()?),
         Command::FaultStatus => Outcome::Text(session.fault_status_text()),
+        Command::ChaosInject(plan) => Outcome::Text(session.chaos_inject(plan)?),
+        Command::ChaosOff => Outcome::Text(session.chaos_off()?),
+        Command::ChaosStatus => Outcome::Text(session.chaos_status_text()),
         Command::Crash(shard) => Outcome::Text(session.crash(shard)?),
         Command::Recover(shard) => Outcome::Text(session.recover(shard)?),
         Command::Shards(Some(n)) => {
@@ -435,6 +438,58 @@ mod tests {
         assert!(run(&mut single, "promote 0").is_err());
         assert!(run(&mut single, "resync").is_err());
         assert!(run(&mut single, "replicas 0").is_err());
+    }
+
+    #[test]
+    fn message_chaos_through_executor() {
+        let mut s = Session::new();
+        run(&mut s, "create table EMP (eid int, dept int) btree eid").unwrap();
+        for i in 0..20 {
+            run(&mut s, &format!("insert EMP ({i}, 0)")).unwrap();
+        }
+        run(
+            &mut s,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 9",
+        )
+        .unwrap();
+        // Chaos needs a replicated backend.
+        assert!(run(&mut s, "chaos inject --drop 0.5").is_err());
+        run(&mut s, "shards 2").unwrap();
+        run(&mut s, "replicas 3").unwrap();
+        let Outcome::Text(t) = run(&mut s, "chaos inject --seed 9 --dup 1 --reorder 0.5").unwrap()
+        else {
+            panic!()
+        };
+        assert!(t.contains("seed 9"), "{t}");
+        assert!(t.contains("installed"), "{t}");
+        // Writes flow under chaos; duplicates are suppressed, reorders
+        // re-sequenced, so reads answer exactly.
+        run(&mut s, "update 3 -> 99").unwrap();
+        run(&mut s, "update 5 -> 98").unwrap();
+        let Outcome::Text(t) = run(&mut s, "access V").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("6 rows"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "chaos status").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("duplicated"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "chaos off").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("chaos off"), "{t}");
+        let Outcome::Text(t) = run(&mut s, "chaos status").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("no chaos plan installed"), "{t}");
+        // The machine shard status carries the failure-containment
+        // columns either way.
+        let Outcome::Text(t) = run(&mut s, "shards").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("epoch="), "{t}");
+        assert!(t.contains("fenced="), "{t}");
+        assert!(t.contains("breaker=closed"), "{t}");
     }
 
     #[test]

@@ -426,7 +426,7 @@ pub(crate) fn run_call(
             shared.max_in_flight
         )));
     }
-    let deadline = Instant::now() + shared.deadline;
+    let deadline = lock_deadline(shared);
     let Some(session) = read_by(shared, deadline) else {
         return Err(deadline_expired(shared));
     };
@@ -436,6 +436,36 @@ pub(crate) fn run_call(
             Ok((outcome, text))
         }
         Err(msg) => Err(Response::Error(msg)),
+    }
+}
+
+/// The wall-clock instant by which this command must acquire the
+/// session lock: the server's per-command deadline, tightened by any
+/// request budget already installed on the thread (see
+/// [`run_line_deadline`] — the installed deadline is always the min of
+/// the client budget and the server cap, so it wins outright).
+fn lock_deadline(shared: &Shared) -> Instant {
+    procdb_obs::current_deadline().unwrap_or_else(|| Instant::now() + shared.deadline)
+}
+
+/// Run one line under an explicit time budget (the v2 `FLAG_DEADLINE`
+/// extension). The effective deadline — the client budget capped by the
+/// server's own per-command deadline — is installed on the thread so
+/// every layer below (session lock acquisition, shard scatter-gather,
+/// engine lock escalation) sees the same remaining budget and answers a
+/// typed `DEADLINE` error once it is exhausted.
+pub(crate) fn run_line_deadline(
+    shared: &Arc<Shared>,
+    line: &str,
+    budget: Option<Duration>,
+) -> Response {
+    match budget {
+        None => run_line(shared, line),
+        Some(budget) => {
+            let effective = budget.min(shared.deadline);
+            let _dl = procdb_obs::install_deadline(Instant::now() + effective);
+            run_line(shared, line)
+        }
     }
 }
 
@@ -489,7 +519,7 @@ fn run_line_inner(shared: &Arc<Shared>, line: &str) -> Response {
             shared.max_in_flight
         ));
     }
-    let deadline = Instant::now() + shared.deadline;
+    let deadline = lock_deadline(shared);
     if let Command::Access(view) = &cmd {
         // Fast path: concurrent reads under the shared lock. `None`
         // means the read needs engine mutation (first build, a CI
@@ -813,6 +843,36 @@ mod tests {
         match run_line(&shared, "show") {
             Response::Data(t) => assert!(t.contains("strategy:"), "{t}"),
             _ => panic!("expected success after the writer released"),
+        }
+    }
+
+    #[test]
+    fn client_budget_tightens_the_server_deadline() {
+        // A generous server deadline, but a tiny client budget: the
+        // budget wins, and the command expires behind a stalled writer
+        // well before the server's own cap.
+        let shared = test_shared(8, Duration::from_secs(5));
+        {
+            let _stalled = shared.session.write();
+            let t0 = Instant::now();
+            match run_line_deadline(&shared, "show", Some(Duration::from_millis(10))) {
+                Response::Error(msg) => assert!(msg.starts_with("DEADLINE"), "{msg}"),
+                _ => panic!("expected the client budget to expire the command"),
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "budget must beat the 5s server deadline"
+            );
+        }
+        // Without contention the same budget is plenty.
+        match run_line_deadline(&shared, "show", Some(Duration::from_millis(250))) {
+            Response::Data(t) => assert!(t.contains("strategy:"), "{t}"),
+            _ => panic!("expected success within the budget"),
+        }
+        // No budget at all degrades to the plain path.
+        match run_line_deadline(&shared, "show", None) {
+            Response::Data(_) => {}
+            _ => panic!("expected the no-budget path to behave like run_line"),
         }
     }
 

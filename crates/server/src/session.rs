@@ -759,6 +759,62 @@ impl Session {
         }
     }
 
+    /// Install a message-chaos plan on the replication layer (the
+    /// `chaos inject` command). Chaos only has meaning on a replicated
+    /// backend — there is no delta-shipping path to break otherwise.
+    pub fn chaos_inject(&mut self, plan: procdb_shard::ChaosPlan) -> Result<String, SessionError> {
+        let desc = plan.describe();
+        match self.ensure_backend()? {
+            Backend::Sharded(sharded) if sharded.replicas() > 1 => {
+                sharded.install_chaos(plan);
+                Ok(format!("{desc} (installed)"))
+            }
+            _ => Err("not replicated; use 'replicas R' (R >= 2) first".to_string()),
+        }
+    }
+
+    /// Remove the installed chaos plan, reporting its final counters.
+    pub fn chaos_off(&mut self) -> Result<String, SessionError> {
+        match self.ensure_backend()? {
+            Backend::Sharded(sharded) => match sharded.chaos_off() {
+                Some(st) => Ok(format!(
+                    "chaos off; injected: {} delayed, {} dropped, {} duplicated, \
+                     {} reordered, {} heartbeats delayed, {} fenced",
+                    st.delayed,
+                    st.dropped,
+                    st.duplicated,
+                    st.reordered,
+                    st.heartbeats_delayed,
+                    st.fenced,
+                )),
+                None => Ok("no chaos plan installed".to_string()),
+            },
+            Backend::Single(_) => Ok("no chaos plan installed".to_string()),
+        }
+    }
+
+    /// The active chaos plan and its decision counters (the
+    /// `chaos status` command).
+    pub fn chaos_status_text(&self) -> String {
+        match self.engine.as_ref() {
+            Some(Backend::Sharded(sharded)) => match sharded.chaos_status() {
+                Some((plan, st)) => format!(
+                    "{}\ninjected: {} delayed, {} dropped, {} duplicated, \
+                     {} reordered, {} heartbeats delayed, {} fenced",
+                    plan.describe(),
+                    st.delayed,
+                    st.dropped,
+                    st.duplicated,
+                    st.reordered,
+                    st.heartbeats_delayed,
+                    st.fenced,
+                ),
+                None => "no chaos plan installed".to_string(),
+            },
+            _ => "no chaos plan installed".to_string(),
+        }
+    }
+
     /// Simulate a crash on the live engine. With a sharded backend,
     /// `shard` selects one shard to kill (others keep serving); `None`
     /// crashes everything.
@@ -1040,6 +1096,12 @@ impl Session {
                     if let Some(vf) = st.valid_fraction {
                         out.push_str(&format!(", valid fraction {vf:.2}"));
                     }
+                    if st.replicas > 1 {
+                        out.push_str(&format!(
+                            ", group epoch {}, {} fenced write(s), breaker {}",
+                            st.epoch, st.fenced, st.breaker,
+                        ));
+                    }
                     out.push('\n');
                     if st.replicas > 1 {
                         for rs in &st.replica_status {
@@ -1071,7 +1133,8 @@ impl Session {
                         "shard {}: accesses={} updates={} escalations={} hits={} faults={} \
                          hit_ratio={:.4} conflict_rate={:.4} crash_epoch={} \
                          rebuilds_pending={} r1_rows={} access_ms={:.3} \
-                         replicas={} live={} primary={} last_lsn={} max_lag={} failovers={}\n",
+                         replicas={} live={} primary={} last_lsn={} max_lag={} failovers={} \
+                         epoch={} fenced={} breaker={} breaker_sheds={}\n",
                         st.shard,
                         st.accesses,
                         st.updates,
@@ -1090,6 +1153,10 @@ impl Session {
                         st.last_lsn,
                         st.max_replica_lag,
                         st.failovers,
+                        st.epoch,
+                        st.fenced,
+                        st.breaker,
+                        st.breaker_sheds,
                     ));
                     if st.replicas > 1 {
                         for rs in &st.replica_status {
@@ -1120,7 +1187,8 @@ impl Session {
                      hits={hits} faults={faults} hit_ratio={hit_ratio:.4} \
                      conflict_rate=0.0000 crash_epoch={} rebuilds_pending={} \
                      r1_rows={r1_rows} access_ms=0.000 \
-                     replicas=1 live=1 primary=0 last_lsn=0 max_lag=0 failovers=0",
+                     replicas=1 live=1 primary=0 last_lsn=0 max_lag=0 failovers=0 \
+                     epoch=1 fenced=0 breaker=closed breaker_sheds=0",
                     e.crash_epoch(),
                     e.rebuilds_pending(),
                 )
@@ -1163,6 +1231,8 @@ impl Session {
                         .set(st.primary_replica as f64);
                     reg.gauge("procdb_replica_max_lag", &labels)
                         .set(st.max_replica_lag as f64);
+                    reg.gauge("procdb_replica_epoch", &labels)
+                        .set(st.epoch as f64);
                     if let Some(vf) = st.valid_fraction {
                         reg.gauge("procdb_ci_valid_fraction", &labels).set(vf);
                     }

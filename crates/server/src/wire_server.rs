@@ -29,18 +29,19 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use procdb_obs::TraceContext;
 
-/// One demux job: request id, decoded request, and the trace context
-/// the reader attached (client-chosen or sampled).
-type DemuxJob = (u64, Request, Option<TraceContext>);
+/// One demux job: request id, decoded request, the trace context the
+/// reader attached (client-chosen or sampled), and the client's deadline
+/// budget (from the `FLAG_DEADLINE` frame extension), if any.
+type DemuxJob = (u64, Request, Option<TraceContext>, Option<Duration>);
 use procdb_query::Value;
 use procdb_wire::{errcode, opcode, read_frame, write_response, Request, Response, WireError};
 
-use crate::server::{panic_message, run_call, run_line, Response as LineResponse, Shared};
+use crate::server::{panic_message, run_call, run_line_deadline, Response as LineResponse, Shared};
 
 /// Workers per v2 connection: the in-connection parallelism that lets
 /// pipelined requests complete out of order. Small and fixed — the
@@ -325,7 +326,7 @@ fn reader_loop(
             }
         };
         let request_id = frame.request_id;
-        let (req, client_trace) = match Request::decode_traced(&frame) {
+        let (req, client_trace, budget_ms) = match Request::decode_ext(&frame) {
             Ok(pair) => pair,
             Err(e) if e.is_recoverable() => {
                 // The checksummed header kept the stream in sync: answer
@@ -347,6 +348,9 @@ fn reader_loop(
             Err(_) => return,
         };
         shared.wire.count_request(frame.opcode);
+        // A client budget never extends the server's own patience: the
+        // effective deadline is min(client budget, server deadline).
+        let budget = budget_ms.map(|ms| Duration::from_millis(u64::from(ms)).min(shared.deadline));
         match req {
             // Protocol traffic is answered inline — no engine access.
             Request::Hello { pipeline, .. } => {
@@ -375,12 +379,33 @@ fn reader_loop(
             }
             Request::Goodbye => {
                 // Drain the pipeline so every admitted request answers
-                // before the farewell, then close.
-                while state.in_flight.load(Ordering::SeqCst) > 0 {
+                // before the farewell, then close. The drain barrier is
+                // bounded: the client's budget (if sent) or the server's
+                // own deadline caps the wait, so a wedged request cannot
+                // hold the connection hostage — the farewell degrades to
+                // a typed DEADLINE error and the connection closes.
+                let drain_by = Instant::now() + budget.unwrap_or(shared.deadline);
+                loop {
+                    let left = state.in_flight.load(Ordering::SeqCst);
+                    if left == 0 {
+                        state.write(request_id, &Response::Bye);
+                        return;
+                    }
+                    if Instant::now() >= drain_by {
+                        state.write(
+                            request_id,
+                            &Response::Error {
+                                code: errcode::DEADLINE,
+                                message: format!(
+                                    "DEADLINE (goodbye drain barrier expired with \
+                                     {left} request(s) still in flight)"
+                                ),
+                            },
+                        );
+                        return;
+                    }
                     thread::sleep(Duration::from_millis(1));
                 }
-                state.write(request_id, &Response::Bye);
-                return;
             }
             // Engine-touching requests go to the worker pool and may
             // complete out of submission order.
@@ -395,7 +420,7 @@ fn reader_loop(
                 };
                 let depth = state.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 shared.wire.observe_depth(depth);
-                if tx.send((request_id, req, ctx)).is_err() {
+                if tx.send((request_id, req, ctx, budget)).is_err() {
                     // Workers are gone (shutdown); undo and close.
                     state.in_flight.fetch_sub(1, Ordering::SeqCst);
                     return;
@@ -416,7 +441,7 @@ fn worker_loop(
     loop {
         // Hold the receiver lock only to pull one job.
         let job = rx.lock().recv();
-        let Ok((request_id, req, ctx)) = job else {
+        let Ok((request_id, req, ctx, budget)) = job else {
             return;
         };
         let op = req.opcode();
@@ -428,7 +453,7 @@ fn worker_loop(
             let _boost = ctx.map(|_| reg.boost_tracing());
             let _ctx = ctx.map(|c| reg.install_context(c));
             let _root = procdb_obs::span!(reg, "wire.request", proto = 2, opcode = op);
-            handle_request(shared, state, req)
+            handle_request(shared, state, req, budget)
         }))
         .unwrap_or_else(|panic| Response::Error {
             code: errcode::INTERNAL,
@@ -442,7 +467,12 @@ fn worker_loop(
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, state: &Arc<ConnState>, req: Request) -> Response {
+fn handle_request(
+    shared: &Arc<Shared>,
+    state: &Arc<ConnState>,
+    req: Request,
+    budget: Option<Duration>,
+) -> Response {
     match req {
         Request::Command { line } => {
             // `shutdown` is a server-level verb handled above `run_line`
@@ -454,16 +484,22 @@ fn handle_request(shared: &Arc<Shared>, state: &Arc<ConnState>, req: Request) ->
                     text: "shutting down".to_string(),
                 };
             }
-            line_to_wire(run_line(shared, &line))
+            line_to_wire(run_line_deadline(shared, &line, budget))
         }
-        Request::Call { name, args } => match run_call(shared, &name, &args) {
-            Ok((outcome, _)) => Response::CallOk {
-                text: outcome.text,
-                out: outcome.out,
-                rows: outcome.rows,
-            },
-            Err(resp) => line_to_wire(resp),
-        },
+        Request::Call { name, args } => {
+            // Same budget discipline as the command path: install the
+            // client deadline so lock waits and shard workers inherit
+            // the remaining budget.
+            let _dl = budget.map(|b| procdb_obs::install_deadline(Instant::now() + b));
+            match run_call(shared, &name, &args) {
+                Ok((outcome, _)) => Response::CallOk {
+                    text: outcome.text,
+                    out: outcome.out,
+                    rows: outcome.rows,
+                },
+                Err(resp) => line_to_wire(resp),
+            }
+        }
         Request::Execute { stmt, args } => {
             let template = match state.prepared.lock().get(&stmt) {
                 Some(t) => t.clone(),
@@ -475,7 +511,7 @@ fn handle_request(shared: &Arc<Shared>, state: &Arc<ConnState>, req: Request) ->
                 }
             };
             match substitute(&template, &args) {
-                Ok(line) => line_to_wire(run_line(shared, &line)),
+                Ok(line) => line_to_wire(run_line_deadline(shared, &line, budget)),
                 Err(msg) => Response::Error {
                     code: errcode::PARSE,
                     message: msg,
@@ -492,8 +528,9 @@ fn handle_request(shared: &Arc<Shared>, state: &Arc<ConnState>, req: Request) ->
     }
 }
 
-/// Map a v1 execution result onto the wire. BUSY and DEADLINE sheds get
-/// their own codes so pipelined clients can retry them specifically.
+/// Map a v1 execution result onto the wire. BUSY, DEADLINE, and FENCED
+/// sheds get their own codes so pipelined clients can retry them
+/// specifically (FENCED retries route to the newly promoted primary).
 fn line_to_wire(resp: LineResponse) -> Response {
     match resp {
         LineResponse::Data(text) => Response::OkText { text },
@@ -505,6 +542,8 @@ fn line_to_wire(resp: LineResponse) -> Response {
                 errcode::BUSY
             } else if msg.starts_with("DEADLINE") {
                 errcode::DEADLINE
+            } else if msg.starts_with("FENCED") {
+                errcode::FENCED
             } else {
                 errcode::EXEC
             };

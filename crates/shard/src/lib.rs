@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod pool;
 mod replica;
 mod router;
 mod sharded;
 
+pub use chaos::{ChaosInjector, ChaosPlan, ChaosStatus};
 pub use pool::WorkerPool;
 pub use replica::{ReplicaRole, ReplicaStatus, ResyncReport};
 pub use router::{shard_of, Router};
-pub use sharded::{ShardStats, ShardedEngine};
+pub use sharded::{BreakerState, ShardStats, ShardedEngine};

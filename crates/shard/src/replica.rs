@@ -15,9 +15,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use parking_lot::RwLock;
-use procdb_core::{DeltaOp, Engine};
+use procdb_core::{DeltaOp, Engine, ShippedDelta};
 
 /// One member of a shard's replica group.
 ///
@@ -39,6 +40,15 @@ pub(crate) struct Replica {
     /// mid-apply): log replay could double-apply, so resync must take
     /// the conservative snapshot path.
     pub needs_full_resync: AtomicBool,
+    /// Highest group epoch this replica has seen on a delivery. A ship
+    /// stamped with an older epoch came from a fenced primary and is
+    /// refused at the door.
+    pub last_epoch: AtomicU64,
+    /// Chaos reorder buffer: deliveries held out of order (delayed,
+    /// duplicated, swapped) park here and are drained strictly in LSN
+    /// order, like a TCP reassembly queue. Empty when no chaos plan is
+    /// installed.
+    pub inbox: Mutex<Vec<ShippedDelta>>,
 }
 
 impl Replica {
@@ -49,6 +59,8 @@ impl Replica {
             alive: AtomicBool::new(true),
             applied: AtomicU64::new(0),
             needs_full_resync: AtomicBool::new(false),
+            last_epoch: AtomicU64::new(0),
+            inbox: Mutex::new(Vec::new()),
         }
     }
 
@@ -75,6 +87,21 @@ impl Replica {
         self.alive.store(false, Ordering::Relaxed);
         self.needs_full_resync.store(true, Ordering::Relaxed);
     }
+
+    /// Record a delivery's epoch stamp. Returns `false` when the stamp
+    /// is *older* than an epoch this replica has already seen — the
+    /// ship came from a fenced ex-primary and must be refused.
+    pub fn note_epoch(&self, epoch: u64) -> bool {
+        note_epoch_watermark(&self.last_epoch, epoch)
+    }
+}
+
+/// Advance an epoch watermark; `false` means `epoch` is stale (older
+/// than one already observed) and the delivery carrying it must be
+/// refused.
+pub(crate) fn note_epoch_watermark(last: &AtomicU64, epoch: u64) -> bool {
+    let prev = last.fetch_max(epoch, Ordering::Relaxed);
+    epoch >= prev
 }
 
 /// A bounded in-memory delta log: `(lsn, op)` pairs, LSNs dense from 1.
@@ -85,7 +112,7 @@ impl Replica {
 /// [`DeltaLog::tail_after`] reports the gap and the caller falls back to
 /// a full resync.
 pub(crate) struct DeltaLog {
-    entries: VecDeque<(u64, DeltaOp)>,
+    entries: VecDeque<ShippedDelta>,
     next_lsn: u64,
     cap: usize,
 }
@@ -103,11 +130,12 @@ impl DeltaLog {
         }
     }
 
-    /// Stamp and retain one op; returns its LSN.
-    pub fn append(&mut self, op: DeltaOp) -> u64 {
+    /// Stamp and retain one op under the committing primary's epoch;
+    /// returns its LSN.
+    pub fn append(&mut self, op: DeltaOp, epoch: u64) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        self.entries.push_back((lsn, op));
+        self.entries.push_back(ShippedDelta::new(epoch, lsn, op));
         while self.entries.len() > self.cap {
             self.entries.pop_front();
         }
@@ -130,18 +158,18 @@ impl DeltaLog {
     /// Every retained op with `lsn > after`, oldest first — or `None`
     /// when the log has been truncated past `after` (the gap means
     /// replay cannot reconstruct the stream; full resync required).
-    pub fn tail_after(&self, after: u64) -> Option<Vec<(u64, DeltaOp)>> {
+    pub fn tail_after(&self, after: u64) -> Option<Vec<ShippedDelta>> {
         if after >= self.last_lsn() {
             return Some(Vec::new());
         }
-        let oldest_retained = self.entries.front().map(|(l, _)| *l)?;
+        let oldest_retained = self.entries.front().map(|d| d.lsn)?;
         if after + 1 < oldest_retained {
             return None; // truncated: ops (after, oldest_retained) are gone
         }
         Some(
             self.entries
                 .iter()
-                .filter(|(l, _)| *l > after)
+                .filter(|d| d.lsn > after)
                 .cloned()
                 .collect(),
         )
@@ -205,13 +233,14 @@ mod tests {
         let mut log = DeltaLog::new(8);
         assert_eq!(log.last_lsn(), 0);
         for i in 0..5 {
-            assert_eq!(log.append(DeltaOp::Delete(vec![i])), (i + 1) as u64);
+            assert_eq!(log.append(DeltaOp::Delete(vec![i]), 1), (i + 1) as u64);
         }
         let tail = log.tail_after(2).expect("retained");
         assert_eq!(
-            tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            tail.iter().map(|d| d.lsn).collect::<Vec<_>>(),
             vec![3, 4, 5]
         );
+        assert!(tail.iter().all(|d| d.epoch == 1), "epoch stamps retained");
         assert!(log.tail_after(5).expect("caught up").is_empty());
         assert!(log
             .tail_after(9)
@@ -223,7 +252,7 @@ mod tests {
     fn truncation_surfaces_as_a_gap() {
         let mut log = DeltaLog::new(3);
         for i in 0..10i64 {
-            log.append(DeltaOp::Delete(vec![i]));
+            log.append(DeltaOp::Delete(vec![i]), 1);
         }
         // Retained: LSNs 8..=10. A replica at LSN 7 can still replay...
         assert_eq!(log.tail_after(7).expect("contiguous").len(), 3);
@@ -232,5 +261,18 @@ mod tests {
         log.set_cap(1);
         assert!(log.tail_after(8).is_none(), "cap shrink truncates");
         assert_eq!(log.tail_after(9).expect("head retained").len(), 1);
+    }
+
+    #[test]
+    fn epoch_watermark_refuses_stale_ships() {
+        let last = AtomicU64::new(0);
+        assert!(note_epoch_watermark(&last, 1), "first epoch accepted");
+        assert!(note_epoch_watermark(&last, 1), "same epoch accepted");
+        assert!(note_epoch_watermark(&last, 3), "newer epoch accepted");
+        assert!(
+            !note_epoch_watermark(&last, 2),
+            "older epoch refused: fenced primary"
+        );
+        assert_eq!(last.load(Ordering::Relaxed), 3);
     }
 }

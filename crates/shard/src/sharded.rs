@@ -53,18 +53,42 @@
 //! an access whose primary lock is contended serve from a live follower
 //! instead of waiting — safe because live followers are synchronously
 //! fresh.
+//!
+//! ## Failure containment
+//!
+//! Every replica group carries a monotonically increasing **epoch**,
+//! bumped exactly once per promotion at the single serialization point
+//! (the compare-exchange on the primary pointer). Every shipped delta
+//! is stamped `(epoch, LSN)`; followers keep an epoch watermark and
+//! refuse stale-epoch ships, and a primary that observes the epoch
+//! moving past it mid-commit rejects the write with the typed
+//! [`StorageError::Fenced`] error and demotes itself into resync — so a
+//! dual-primary window can never commit divergent state. An installed
+//! [`ChaosPlan`] perturbs the shipping path (delays, drops, duplicates,
+//! reorders through each follower's in-order inbox) and the supervisor
+//! heartbeat, and can spring the fencing trap on demand.
+//!
+//! The access path is guarded by a per-shard **circuit breaker**
+//! ([`BreakerState`]): consecutive failures trip it open, shedding
+//! requests fast with the typed [`StorageError::Busy`] error until a
+//! cooldown admits a half-open probe. A request deadline installed via
+//! [`procdb_obs::install_deadline`] propagates into every scatter
+//! worker; an exhausted budget surfaces as the typed
+//! [`StorageError::Deadline`] error instead of queueing behind a slow
+//! shard.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use procdb_core::{DeltaOp, Engine, RecoveryOutcome, StrategyKind};
-use procdb_obs::{Counter, Histogram};
+use procdb_core::{DeltaAck, DeltaOp, Engine, RecoveryOutcome, ShippedDelta, StrategyKind};
+use procdb_obs::{Counter, Gauge, Histogram};
 use procdb_query::{Schema, Tuple, Value};
-use procdb_storage::{CostConstants, Result};
+use procdb_storage::{CostConstants, Result, StorageError};
 
+use crate::chaos::{ChaosInjector, ChaosPlan, ChaosStatus, ShipFate};
 use crate::pool::WorkerPool;
 use crate::replica::{
     DeltaLog, Replica, ReplicaRole, ReplicaStatus, ResyncReport, DEFAULT_LOG_CAP,
@@ -79,6 +103,152 @@ type AccessJob = Box<dyn FnOnce() -> Result<(Vec<Tuple>, f64)> + Send>;
 /// failovers before surfacing the error (the bounded failover window).
 const FAILOVER_WINDOW: Duration = Duration::from_secs(2);
 
+/// Consecutive access failures that trip a shard's circuit breaker.
+const BREAKER_TRIP_AFTER: u32 = 5;
+
+/// How long an open breaker sheds before admitting a half-open probe.
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(250);
+
+/// Polling granularity for deadline-budgeted lock acquisition.
+const DEADLINE_POLL: Duration = Duration::from_micros(100);
+
+/// Circuit-breaker state of one shard's access path (exported as the
+/// `procdb_breaker_state{shard=}` gauge: 0 closed, 1 open, 2 half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: accesses flow normally.
+    Closed,
+    /// Tripped: accesses shed fast with the typed `BUSY` error until the
+    /// cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe access is admitted; its
+    /// outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    failures: u32,
+    opened_at: Option<Instant>,
+    probing: bool,
+}
+
+/// Per-shard circuit breaker on the access path: [`BREAKER_TRIP_AFTER`]
+/// consecutive failures open it, shedding further accesses fast (the
+/// shard is degraded; queueing behind it just converts one slow shard
+/// into whole-request latency); after [`BREAKER_COOLDOWN`] a single
+/// probe is admitted, and its outcome closes or re-opens the breaker.
+struct Breaker {
+    inner: Mutex<BreakerInner>,
+    state_gauge: Gauge,
+    trips: Counter,
+    sheds: Counter,
+}
+
+impl Breaker {
+    fn new(labels: &[(&str, &str)]) -> Breaker {
+        let reg = procdb_obs::global();
+        let state_gauge = reg.gauge("procdb_breaker_state", labels);
+        state_gauge.set(0.0);
+        Breaker {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                failures: 0,
+                opened_at: None,
+                probing: false,
+            }),
+            state_gauge,
+            trips: reg.counter("procdb_breaker_trips_total", labels),
+            sheds: reg.counter("procdb_breaker_sheds_total", labels),
+        }
+    }
+
+    fn publish(&self, s: BreakerState) {
+        self.state_gauge.set(match s {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        });
+    }
+
+    /// May this access proceed? `false` = shed fast with `BUSY`.
+    fn admit(&self) -> bool {
+        let mut b = self.inner.lock();
+        let admitted = match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if b.opened_at.is_some_and(|t| t.elapsed() >= BREAKER_COOLDOWN) {
+                    b.state = BreakerState::HalfOpen;
+                    b.probing = true;
+                    self.publish(BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+            // Half-open: one probe in flight at a time.
+            BreakerState::HalfOpen => {
+                if b.probing {
+                    false
+                } else {
+                    b.probing = true;
+                    true
+                }
+            }
+        };
+        if !admitted {
+            self.sheds.inc();
+        }
+        admitted
+    }
+
+    fn on_success(&self) {
+        let mut b = self.inner.lock();
+        b.failures = 0;
+        b.probing = false;
+        if b.state != BreakerState::Closed {
+            b.state = BreakerState::Closed;
+            b.opened_at = None;
+            self.publish(BreakerState::Closed);
+        }
+    }
+
+    fn on_failure(&self) {
+        let mut b = self.inner.lock();
+        b.probing = false;
+        b.failures += 1;
+        let trip = match b.state {
+            BreakerState::HalfOpen => true, // failed probe re-opens
+            BreakerState::Closed => b.failures >= BREAKER_TRIP_AFTER,
+            BreakerState::Open => false,
+        };
+        if trip {
+            b.state = BreakerState::Open;
+            b.opened_at = Some(Instant::now());
+            self.trips.inc();
+            self.publish(BreakerState::Open);
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    fn shed_count(&self) -> u64 {
+        self.sheds.get()
+    }
+}
+
 /// One shard: a replica group behind per-replica readers-writer locks,
 /// a mutation mutex that orders the shard's delta stream, the delta
 /// log, and the shard-labeled service metrics (each engine's own
@@ -89,9 +259,15 @@ struct ShardSlot {
     replicas: Vec<Arc<Replica>>,
     /// Index into `replicas` of the current primary.
     primary: AtomicUsize,
+    /// Replica-group promotion counter, starting at 1. Bumped exactly
+    /// once per promotion by the winner of the compare-exchange on
+    /// `primary`; the committed delta stream is stamped with it so
+    /// fenced ex-primaries are refused everywhere.
+    epoch: AtomicU64,
     /// Orders mutations (and their log appends + fan-out) per shard.
     mutation: Mutex<()>,
     log: Mutex<DeltaLog>,
+    breaker: Breaker,
     accesses: Counter,
     updates: Counter,
     escalations: Counter,
@@ -102,6 +278,7 @@ struct ShardSlot {
     resync_replayed: Counter,
     resync_full: Counter,
     hedged: Counter,
+    fenced: Counter,
 }
 
 impl ShardSlot {
@@ -117,8 +294,10 @@ impl ShardSlot {
                 .map(|(r, e)| Arc::new(Replica::new(r, e)))
                 .collect(),
             primary: AtomicUsize::new(0),
+            epoch: AtomicU64::new(1),
             mutation: Mutex::new(()),
             log: Mutex::new(DeltaLog::new(DEFAULT_LOG_CAP)),
+            breaker: Breaker::new(labels),
             accesses: reg.counter("procdb_shard_accesses_total", labels),
             updates: reg.counter("procdb_shard_updates_total", labels),
             escalations: reg.counter("procdb_shard_escalations_total", labels),
@@ -129,11 +308,16 @@ impl ShardSlot {
             resync_replayed: reg.counter("procdb_replica_resync_replayed_total", labels),
             resync_full: reg.counter("procdb_replica_resync_full_total", labels),
             hedged: reg.counter("procdb_replica_hedged_reads_total", labels),
+            fenced: reg.counter("procdb_fenced_total", labels),
         }
     }
 
     fn primary_idx(&self) -> usize {
         self.primary.load(Ordering::Relaxed)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     fn has_live_follower(&self, of: usize) -> bool {
@@ -159,23 +343,167 @@ fn failover(slot: &ShardSlot, from: usize) -> Option<usize> {
         .iter()
         .filter(|r| r.idx != from && r.is_alive())
         .max_by_key(|r| r.applied_lsn())?;
-    match slot
-        .primary
-        .compare_exchange(from, best.idx, Ordering::Relaxed, Ordering::Relaxed)
-    {
-        Ok(_) => {
-            slot.replicas[from].mark_down();
-            slot.failovers.inc();
-            Some(best.idx)
-        }
-        Err(now) => Some(now),
+    if promote_cas(slot, from, best.idx) {
+        slot.replicas[from].mark_down();
+        Some(best.idx)
+    } else {
+        Some(slot.primary_idx())
     }
+}
+
+/// The single serialization point for promotions: swing the primary
+/// pointer `from -> to` by compare-exchange and, only on the winning
+/// swap, bump the group epoch (fencing `from`) and seed the new
+/// primary's epoch watermark. Concurrent promoters — a supervisor tick,
+/// a failing access path, an operator `promote` — race on the CAS, so
+/// one promotion bumps the epoch exactly once no matter how many
+/// callers observed the same failure.
+fn promote_cas(slot: &ShardSlot, from: usize, to: usize) -> bool {
+    if slot
+        .primary
+        .compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return false;
+    }
+    let epoch = slot.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+    slot.replicas[to].note_epoch(epoch);
+    slot.failovers.inc();
+    true
+}
+
+/// Apply one in-order delta on a follower's engine (the caller has
+/// already established that `delta.lsn` is the follower's next LSN).
+fn apply_one(slot: &ShardSlot, rep: &Replica, delta: &ShippedDelta, c: &CostConstants) -> f64 {
+    let mut eng = rep.engine.write();
+    let before = eng.ledger().snapshot();
+    let res = eng.apply_delta_op(&delta.op);
+    let ms = eng.ledger().snapshot().since(&before).priced(c);
+    match res {
+        Err(_) if eng.is_crashed() => {
+            drop(eng);
+            rep.mark_suspect();
+            slot.replica_drops.inc();
+        }
+        _ => {
+            eng.note_applied_lsn(delta.lsn);
+            rep.applied.store(delta.lsn, Ordering::Relaxed);
+            slot.replica_applied.inc();
+        }
+    }
+    ms
+}
+
+/// Deliver one epoch-stamped delta to a follower, enforcing the two
+/// follower-side guards:
+///
+/// * **epoch watermark** — a ship stamped older than an epoch the
+///   follower has already seen came from a fenced ex-primary and is
+///   refused at the door;
+/// * **LSN order** — a duplicate (`lsn` at or below the applied head)
+///   is suppressed; a ship ahead of the next expected LSN parks in the
+///   inbox until the gap fills (TCP-style reassembly).
+///
+/// With `park` set the ship is only queued (the chaos *reorder* fate):
+/// a later delivery drains it in order. Returns the priced follower
+/// maintenance cost.
+fn deliver(
+    slot: &ShardSlot,
+    rep: &Replica,
+    delta: &ShippedDelta,
+    c: &CostConstants,
+    park: bool,
+) -> f64 {
+    deliver_acked_inner(slot, rep, delta, c, park).0
+}
+
+/// [`deliver`], returning the follower's epoch-stamped [`DeltaAck`]
+/// (`None` when the ship was refused, parked, or the follower died).
+fn deliver_acked(
+    slot: &ShardSlot,
+    rep: &Replica,
+    delta: &ShippedDelta,
+    c: &CostConstants,
+) -> (f64, Option<DeltaAck>) {
+    deliver_acked_inner(slot, rep, delta, c, false)
+}
+
+fn deliver_acked_inner(
+    slot: &ShardSlot,
+    rep: &Replica,
+    delta: &ShippedDelta,
+    c: &CostConstants,
+    park: bool,
+) -> (f64, Option<DeltaAck>) {
+    if !rep.note_epoch(delta.epoch) {
+        return (0.0, None); // stale-epoch ship from a fenced primary
+    }
+    let next = rep.applied_lsn() + 1;
+    if !park
+        && delta.lsn == next
+        && rep
+            .inbox
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    {
+        // Hot path: in order with nothing parked — apply directly,
+        // no clone, no queue.
+        let ms = apply_one(slot, rep, delta, c);
+        return (ms, ack_of(rep));
+    }
+    if delta.lsn < next {
+        return (0.0, ack_of(rep)); // duplicate of an applied op
+    }
+    {
+        let mut inbox = rep.inbox.lock().unwrap_or_else(|e| e.into_inner());
+        if !inbox.iter().any(|d| d.lsn == delta.lsn) {
+            inbox.push(delta.clone());
+        }
+    }
+    if park {
+        return (0.0, None); // held: a later delivery drains it
+    }
+    // Drain the contiguous prefix the inbox can now supply.
+    let mut ms = 0.0;
+    loop {
+        let next = rep.applied_lsn() + 1;
+        let d = {
+            let mut inbox = rep.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            match inbox.iter().position(|d| d.lsn == next) {
+                Some(i) => inbox.remove(i),
+                None => break,
+            }
+        };
+        ms += apply_one(slot, rep, &d, c);
+        if !rep.is_alive() {
+            break; // crashed mid-apply; already marked suspect
+        }
+    }
+    (ms, rep.is_alive().then(|| ack_of(rep)).flatten())
+}
+
+/// A follower's current ack: its epoch watermark and applied LSN.
+fn ack_of(rep: &Replica) -> Option<DeltaAck> {
+    Some(DeltaAck {
+        epoch: rep.last_epoch.load(Ordering::Relaxed),
+        lsn: rep.applied_lsn(),
+        replica: rep.idx,
+    })
 }
 
 /// Serve one access on one replica: shared path first, escalating to
 /// the exclusive lock when the strategy must write. Returns
-/// `(rows, priced_ms, escalated)`.
-fn serve_on(rep: &Replica, i: usize, c: &CostConstants) -> Result<(Vec<Tuple>, f64, bool)> {
+/// `(rows, priced_ms, escalated)`. With a request deadline installed on
+/// the worker thread, the exclusive-lock acquisition is budgeted: a
+/// lock that stays contended past the deadline surfaces the typed
+/// [`StorageError::Deadline`] error instead of queueing indefinitely.
+fn serve_on(
+    rep: &Replica,
+    shard: usize,
+    i: usize,
+    c: &CostConstants,
+) -> Result<(Vec<Tuple>, f64, bool)> {
     {
         let eng = rep.engine.read();
         let before = eng.ledger().snapshot();
@@ -184,7 +512,18 @@ fn serve_on(rep: &Replica, i: usize, c: &CostConstants) -> Result<(Vec<Tuple>, f
             return Ok((rows, ms, false));
         }
     }
-    let mut eng = rep.engine.write();
+    let mut eng = match procdb_obs::current_deadline() {
+        None => rep.engine.write(),
+        Some(deadline) => loop {
+            if let Some(guard) = rep.engine.try_write() {
+                break guard;
+            }
+            if Instant::now() >= deadline {
+                return Err(StorageError::Deadline { shard });
+            }
+            std::thread::sleep(DEADLINE_POLL);
+        },
+    };
     let before = eng.ledger().snapshot();
     let rows = eng.access(i)?;
     let ms = eng.ledger().snapshot().since(&before).priced(c);
@@ -263,6 +602,14 @@ pub struct ShardStats {
     pub max_replica_lag: u64,
     /// Promotions (automatic failovers + operator `promote`) so far.
     pub failovers: u64,
+    /// Replica-group epoch (starts at 1; bumps once per promotion).
+    pub epoch: u64,
+    /// Writes rejected by epoch fencing on this shard.
+    pub fenced: u64,
+    /// Access-path circuit-breaker state right now.
+    pub breaker: BreakerState,
+    /// Accesses shed fast because the breaker was open.
+    pub breaker_sheds: u64,
     /// Per-replica role and lag, for the `stats` columns.
     pub replica_status: Vec<ReplicaStatus>,
 }
@@ -306,6 +653,8 @@ pub struct ShardedEngine {
     cross_moves: Counter,
     hedge: AtomicBool,
     supervisor: Mutex<Option<Supervisor>>,
+    /// Active message-chaos injector, shared with the supervisor thread.
+    chaos: Arc<Mutex<Option<Arc<ChaosInjector>>>>,
 }
 
 impl ShardedEngine {
@@ -390,7 +739,50 @@ impl ShardedEngine {
             cross_moves: procdb_obs::global().counter("procdb_shard_cross_moves_total", &[]),
             hedge: AtomicBool::new(false),
             supervisor: Mutex::new(None),
+            chaos: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// Install (replacing any prior plan) seeded message chaos on the
+    /// delta-shipping and supervisor-heartbeat paths. Returns the live
+    /// injector so callers can render the plan or read its tallies.
+    pub fn install_chaos(&self, plan: ChaosPlan) -> Arc<ChaosInjector> {
+        let inj = ChaosInjector::new(plan);
+        *self.chaos.lock() = Some(Arc::clone(&inj));
+        inj
+    }
+
+    /// Remove the chaos plan; returns the final tallies if one was
+    /// active.
+    pub fn chaos_off(&self) -> Option<ChaosStatus> {
+        self.chaos.lock().take().map(|inj| inj.status())
+    }
+
+    /// The active chaos plan and its running tallies, if any.
+    pub fn chaos_status(&self) -> Option<(ChaosPlan, ChaosStatus)> {
+        self.chaos
+            .lock()
+            .as_ref()
+            .map(|inj| (inj.plan().clone(), inj.status()))
+    }
+
+    fn current_chaos(&self) -> Option<Arc<ChaosInjector>> {
+        self.chaos.lock().clone()
+    }
+
+    /// Current replica-group epoch of one shard.
+    pub fn epoch_of(&self, shard: usize) -> u64 {
+        self.slots[shard].epoch()
+    }
+
+    /// Writes rejected by epoch fencing, summed over shards.
+    pub fn fenced_writes(&self) -> u64 {
+        self.slots.iter().map(|s| s.fenced.get()).sum()
+    }
+
+    /// Circuit-breaker state of one shard's access path.
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.slots[shard].breaker.state()
     }
 
     /// Number of shards.
@@ -470,11 +862,22 @@ impl ShardedEngine {
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let slots = self.slots.clone();
+        let chaos = Arc::clone(&self.chaos);
         let handle = std::thread::Builder::new()
             .name("procdb-replica-supervisor".into())
             .spawn(move || {
                 while !flag.load(Ordering::Relaxed) {
                     for slot in &slots {
+                        // A chaos-delayed heartbeat skips this slot's
+                        // liveness check for the tick, widening the
+                        // failover window the way a slow network would.
+                        let delayed = chaos
+                            .lock()
+                            .as_ref()
+                            .is_some_and(|ch| ch.heartbeat_delayed());
+                        if delayed {
+                            continue;
+                        }
                         let pidx = slot.primary_idx();
                         // try_read: a held write lock means busy, not dead.
                         let crashed = slot.replicas[pidx]
@@ -571,10 +974,12 @@ impl ShardedEngine {
         let c = *c;
         let hedge = self.hedged_reads();
         // The pool's worker threads are long-lived, so the request's
-        // trace context does not follow implicitly — capture it here
-        // and re-install it inside each job so every shard's span links
-        // under the calling request's tree.
+        // trace context and deadline do not follow implicitly — capture
+        // them here and re-install them inside each job so every
+        // shard's span links under the calling request's tree and the
+        // remaining budget keeps counting down.
         let trace_ctx = procdb_obs::global().current_context();
+        let deadline = procdb_obs::current_deadline();
         let jobs: Vec<AccessJob> = self
             .slots
             .iter()
@@ -584,23 +989,35 @@ impl ShardedEngine {
                 let job: AccessJob = Box::new(move || {
                     let reg = procdb_obs::global();
                     let _ctx = trace_ctx.map(|ctx| reg.install_context(ctx));
+                    let _dl = deadline.map(procdb_obs::install_deadline);
                     let mut sp = procdb_obs::span!(reg, "shard.worker", shard = shard_id);
+                    if !slot.breaker.admit() {
+                        sp.field("shed", 1.0);
+                        return Err(StorageError::Busy { shard: shard_id });
+                    }
                     let start = Instant::now();
                     let mut attempts = 0;
-                    loop {
+                    let res = loop {
                         attempts += 1;
+                        if procdb_obs::deadline_expired() {
+                            break Err(StorageError::Deadline { shard: shard_id });
+                        }
                         let pidx = slot.primary_idx();
                         if hedge && attempts == 1 && slot.replicas[pidx].engine.try_read().is_none()
                         {
-                            if let Some((rows, ms)) = hedged_read(&slot, pidx, i, &c)? {
-                                slot.accesses.inc();
-                                slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
-                                sp.field("role", pidx as f64);
-                                sp.field("hedged", 1.0);
-                                return Ok((rows, ms));
+                            match hedged_read(&slot, pidx, i, &c) {
+                                Ok(Some((rows, ms))) => {
+                                    slot.accesses.inc();
+                                    slot.access_ms.observe(start.elapsed().as_secs_f64() * 1e3);
+                                    sp.field("role", pidx as f64);
+                                    sp.field("hedged", 1.0);
+                                    break Ok((rows, ms));
+                                }
+                                Ok(None) => {}
+                                Err(e) => break Err(e),
                             }
                         }
-                        match serve_on(&slot.replicas[pidx], i, &c) {
+                        match serve_on(&slot.replicas[pidx], shard_id, i, &c) {
                             Ok((rows, ms, escalated)) => {
                                 if escalated {
                                     slot.escalations.inc();
@@ -614,7 +1031,7 @@ impl ShardedEngine {
                                 if attempts > 1 {
                                     sp.field("failovers", (attempts - 1) as f64);
                                 }
-                                return Ok((rows, ms));
+                                break Ok((rows, ms));
                             }
                             Err(e) => {
                                 let crashed = slot.replicas[pidx].engine.read().is_crashed();
@@ -625,10 +1042,17 @@ impl ShardedEngine {
                                 {
                                     continue; // retry on the promoted follower
                                 }
-                                return Err(e);
+                                break Err(e);
                             }
                         }
+                    };
+                    // Feed the breaker: a served access closes it, a
+                    // failed one counts toward (or confirms) the trip.
+                    match &res {
+                        Ok(_) => slot.breaker.on_success(),
+                        Err(_) => slot.breaker.on_failure(),
                     }
+                    res
                 });
                 job
             })
@@ -643,34 +1067,61 @@ impl ShardedEngine {
         Ok((self.merge(&schema, partials), total_ms))
     }
 
-    /// Ship `op` (already applied on the primary and stamped `lsn`) to
-    /// every live follower of `slot`. A follower whose apply fails
-    /// *crashed* is dropped from the group and marked suspect; a
-    /// follower whose maintenance merely faulted keeps serving — its
-    /// base effect is durable and its derived state is dirty-marked,
-    /// self-healing on first access exactly like a standalone engine.
-    fn fan_out(&self, slot: &ShardSlot, op: &DeltaOp, lsn: u64, c: &CostConstants) -> f64 {
+    /// Ship `delta` (already applied on the primary and committed to
+    /// the log) to every live follower of `slot`, each ship running the
+    /// installed chaos plan's gauntlet: a *dropped* ship kills the link
+    /// — the follower is marked down at an exact op boundary (its LSN
+    /// stays replayable by resync, so an acked write is never lost to a
+    /// later promotion: down followers are not promotion candidates); a
+    /// *delayed* ship sleeps; a *held* ship parks in the follower's
+    /// inbox and is delivered in LSN order by a later drain; a
+    /// *duplicated* ship is delivered twice and suppressed by the
+    /// follower's LSN guard. A follower whose apply fails *crashed* is
+    /// dropped from the group and marked suspect; a follower whose
+    /// maintenance merely faulted keeps serving — its base effect is
+    /// durable and its derived state is dirty-marked, self-healing on
+    /// first access exactly like a standalone engine.
+    ///
+    /// Acks echo each follower's epoch watermark; one stamped newer
+    /// than the ship means this primary was superseded between its
+    /// commit point and the ship (the op is in the shared log, so the
+    /// promoted follower replays it — but the fencing is counted).
+    fn fan_out(&self, slot: &ShardSlot, delta: &ShippedDelta, c: &CostConstants) -> f64 {
+        let chaos = self.current_chaos();
         let pidx = slot.primary_idx();
         let mut ms = 0.0;
         for rep in &slot.replicas {
             if rep.idx == pidx || !rep.is_alive() {
                 continue;
             }
-            let mut eng = rep.engine.write();
-            let before = eng.ledger().snapshot();
-            let res = eng.apply_delta_op(op);
-            ms += eng.ledger().snapshot().since(&before).priced(c);
-            match res {
-                Err(_) if eng.is_crashed() => {
-                    drop(eng);
-                    rep.mark_suspect();
-                    slot.replica_drops.inc();
+            let fate = chaos
+                .as_deref()
+                .map(|ch| ch.decide_ship())
+                .unwrap_or(ShipFate::CLEAN);
+            if fate.drop {
+                // Dead link at an op boundary: the follower leaves the
+                // group with an exact LSN and rejoins by replay.
+                rep.mark_down();
+                slot.replica_drops.inc();
+                continue;
+            }
+            if let Some(d) = fate.delay {
+                std::thread::sleep(d);
+            }
+            if fate.hold {
+                ms += deliver(slot, rep, delta, c, true);
+                continue;
+            }
+            let (m, ack) = deliver_acked(slot, rep, delta, c);
+            ms += m;
+            if let Some(ack) = ack {
+                if ack.epoch > delta.epoch {
+                    slot.fenced.inc();
                 }
-                _ => {
-                    eng.note_applied_lsn(lsn);
-                    rep.applied.store(lsn, Ordering::Relaxed);
-                    slot.replica_applied.inc();
-                }
+            }
+            if fate.duplicate && rep.is_alive() {
+                // Retransmit: the follower's LSN guard suppresses it.
+                ms += deliver(slot, rep, delta, c, false);
             }
         }
         ms
@@ -691,11 +1142,31 @@ impl ShardedEngine {
         let slot = &self.slots[shard];
         let _sp = procdb_obs::span!(procdb_obs::global(), "shard.apply", shard = shard);
         let _m = slot.mutation.lock();
+        // Chaos fence trap: models a supervisor whose promotion verdict
+        // lands mid-commit — the freshest live follower is promoted for
+        // real (a genuine epoch bump; the now-stale primary is dropped
+        // from the group at an exact op boundary) and this op is
+        // rejected with the typed fence *before* it touches any state,
+        // so the retry lands cleanly on the new primary.
+        if let Some(ch) = self.current_chaos() {
+            if ch.fence_fires() {
+                let pidx = slot.primary_idx();
+                if slot.has_live_follower(pidx) && failover(slot, pidx).is_some() {
+                    ch.note_fenced();
+                    slot.fenced.inc();
+                    return Err(StorageError::Fenced {
+                        shard,
+                        epoch: slot.epoch(),
+                    });
+                }
+            }
+        }
         let mut total_ms = 0.0;
         let mut attempts = 0;
-        let (n, lsn, maint_err) = loop {
+        let (n, lsn, epoch, maint_err) = loop {
             attempts += 1;
             let pidx = slot.primary_idx();
+            let epoch0 = slot.epoch();
             let prim = &slot.replicas[pidx];
             let mut eng = prim.engine.write();
             let before = eng.ledger().snapshot();
@@ -703,10 +1174,26 @@ impl ShardedEngine {
             total_ms += eng.ledger().snapshot().since(&before).priced(c);
             match res {
                 Ok(n) => {
-                    let lsn = slot.log.lock().append(op.clone());
+                    // Commit-point fence: if a concurrent promotion moved
+                    // the epoch (or the primary pointer) while we were
+                    // applying, our apply is an unstamped orphan — the
+                    // group never logged it. Self-demote into the
+                    // conservative resync path (which discards it) and
+                    // surface the typed fence instead of acking a write
+                    // the new primary will never have.
+                    if slot.epoch() != epoch0 || slot.primary_idx() != pidx {
+                        drop(eng);
+                        prim.mark_suspect();
+                        slot.fenced.inc();
+                        return Err(StorageError::Fenced {
+                            shard,
+                            epoch: epoch0,
+                        });
+                    }
+                    let lsn = slot.log.lock().append(op.clone(), epoch0);
                     eng.note_applied_lsn(lsn);
                     prim.applied.store(lsn, Ordering::Relaxed);
-                    break (n, lsn, None);
+                    break (n, lsn, epoch0, None);
                 }
                 Err(e) => {
                     if eng.is_crashed() {
@@ -720,18 +1207,29 @@ impl ShardedEngine {
                         }
                         return Err(e);
                     }
+                    if slot.epoch() != epoch0 || slot.primary_idx() != pidx {
+                        // Superseded mid-fault: do not stamp the log
+                        // under a stale epoch.
+                        drop(eng);
+                        prim.mark_suspect();
+                        slot.fenced.inc();
+                        return Err(StorageError::Fenced {
+                            shard,
+                            epoch: epoch0,
+                        });
+                    }
                     // Maintenance fault on a live primary: the uncharged
                     // base effect is durable and the dirty marks are set,
                     // so the delta still ships before the error surfaces.
-                    let lsn = slot.log.lock().append(op.clone());
+                    let lsn = slot.log.lock().append(op.clone(), epoch0);
                     eng.note_applied_lsn(lsn);
                     prim.applied.store(lsn, Ordering::Relaxed);
-                    break (0, lsn, Some(e));
+                    break (0, lsn, epoch0, Some(e));
                 }
             }
         };
         slot.updates.inc();
-        total_ms += self.fan_out(slot, &op, lsn, c);
+        total_ms += self.fan_out(slot, &ShippedDelta::new(epoch, lsn, op), c);
         match maint_err {
             Some(e) => Err(e),
             None => Ok((n, total_ms)),
@@ -780,12 +1278,20 @@ impl ShardedEngine {
                     return (taken, total_ms, Err(e));
                 }
                 res => {
-                    let lsn = slot.log.lock().append(DeltaOp::Delete(keys.to_vec()));
+                    // No fence trap here: the delete-take is half of a
+                    // cross-shard move, and rejecting it after the take
+                    // (or fencing the other half) could strand the row.
+                    let epoch = slot.epoch();
+                    let lsn = slot
+                        .log
+                        .lock()
+                        .append(DeltaOp::Delete(keys.to_vec()), epoch);
                     eng.note_applied_lsn(lsn);
                     prim.applied.store(lsn, Ordering::Relaxed);
                     drop(eng);
                     slot.updates.inc();
-                    total_ms += self.fan_out(slot, &DeltaOp::Delete(keys.to_vec()), lsn, c);
+                    let delta = ShippedDelta::new(epoch, lsn, DeltaOp::Delete(keys.to_vec()));
+                    total_ms += self.fan_out(slot, &delta, c);
                     return (taken, total_ms, res);
                 }
             }
@@ -822,7 +1328,17 @@ impl ShardedEngine {
                 let mut maint_err = take_res.err();
                 if let Some(mut row) = taken.into_iter().next() {
                     row[self.key_field] = Value::Int(new_key);
-                    match self.replicated_apply(dst, DeltaOp::Insert(vec![row]), c) {
+                    // The source delete is durable, so the destination
+                    // insert must land or the row is lost. A fence
+                    // rejects the insert *before* it touches state, so
+                    // retrying against the freshly promoted primary is
+                    // always safe; each fence drops a replica from the
+                    // destination group, so the retries are bounded.
+                    let mut res = self.replicated_apply(dst, DeltaOp::Insert(vec![row.clone()]), c);
+                    while matches!(res, Err(StorageError::Fenced { .. })) {
+                        res = self.replicated_apply(dst, DeltaOp::Insert(vec![row.clone()]), c);
+                    }
+                    match res {
                         Ok((_, ms)) => total_ms += ms,
                         Err(e) => maint_err = Some(maint_err.unwrap_or(e)),
                     }
@@ -915,6 +1431,10 @@ impl ShardedEngine {
         };
         for s in ids {
             let slot = &self.slots[s];
+            // Serialize with in-flight commits: a promotion between a
+            // commit's log stamp and its fan-out would leave the new
+            // primary refusing (as stale) a ship the log already holds.
+            let _m = slot.mutation.lock();
             let pidx = slot.primary_idx();
             slot.replicas[pidx].engine.write().crash();
             if slot.has_live_follower(pidx) {
@@ -927,6 +1447,12 @@ impl ShardedEngine {
     /// the primary (a forced failover drill). The demoted ex-primary
     /// stays a live follower when healthy; a crashed one is marked
     /// suspect for resync. Errors when no live follower exists.
+    ///
+    /// Serialized with the supervisor and with inline failover on the
+    /// group epoch: all promoters go through the same compare-exchange,
+    /// so a `promote` racing a supervisor tick over the same dead
+    /// primary yields exactly one promotion and one epoch bump — the
+    /// loser observes the winner's result and reports it.
     pub fn promote(&self, shard: usize) -> std::result::Result<usize, String> {
         assert!(shard < self.slots.len(), "shard index out of range");
         let slot = &self.slots[shard];
@@ -941,15 +1467,19 @@ impl ShardedEngine {
             return Err(format!("shard {shard} has no live follower to promote"));
         };
         let old_crashed = slot.replicas[pidx].engine.read().is_crashed();
-        slot.primary.store(best.idx, Ordering::Relaxed);
-        if old_crashed {
-            // An operator crash is an op-boundary crash: position exact,
-            // so the drop stays replayable (a mid-apply death was already
-            // marked suspect by the mutation path that observed it).
-            slot.replicas[pidx].mark_down();
+        if promote_cas(slot, pidx, best.idx) {
+            if old_crashed {
+                // An operator crash is an op-boundary crash: position exact,
+                // so the drop stays replayable (a mid-apply death was already
+                // marked suspect by the mutation path that observed it).
+                slot.replicas[pidx].mark_down();
+            }
+            Ok(best.idx)
+        } else {
+            // A concurrent failover won the swap first — its epoch bump
+            // is the only one; report whoever it promoted.
+            Ok(slot.primary_idx())
         }
-        slot.failovers.inc();
-        Ok(best.idx)
     }
 
     /// Recover one shard's replica group (or every group, with `None`):
@@ -980,6 +1510,7 @@ impl ShardedEngine {
         prim.applied
             .store(prim.engine.read().applied_lsn(), Ordering::Relaxed);
         prim.needs_full_resync.store(false, Ordering::Relaxed);
+        prim.note_epoch(slot.epoch());
         prim.alive.store(true, Ordering::Relaxed);
         for rep in &slot.replicas {
             if rep.idx == pidx {
@@ -1042,6 +1573,10 @@ impl ShardedEngine {
     /// shard's mutation lock and has already recovered the engine.
     fn resync_replica(&self, slot: &ShardSlot, rep: &Arc<Replica>) -> Result<ResyncReport> {
         let target = slot.log.lock().last_lsn();
+        // Parked chaos deliveries are superseded by the log replay below
+        // (everything parked is logged), and a fenced replica rejoining
+        // the group must adopt the current epoch.
+        rep.inbox.lock().unwrap_or_else(|e| e.into_inner()).clear();
         let mut replayed = 0usize;
         let mut full = rep.needs_full_resync.load(Ordering::Relaxed);
         if !full {
@@ -1049,8 +1584,8 @@ impl ShardedEngine {
             match slot.log.lock().tail_after(from) {
                 Some(tail) => {
                     let mut eng = rep.engine.write();
-                    for (lsn, op) in &tail {
-                        let res = eng.apply_delta_op(op);
+                    for d in &tail {
+                        let res = eng.apply_delta_op(&d.op);
                         if res.is_err() && eng.is_crashed() {
                             // Died mid-replay: position ambiguous again.
                             let _ = eng.recover();
@@ -1060,7 +1595,7 @@ impl ShardedEngine {
                         // A plain maintenance fault leaves the base effect
                         // durable and the derived state dirty-marked —
                         // the replay position is still exact.
-                        eng.note_applied_lsn(*lsn);
+                        eng.note_applied_lsn(d.lsn);
                         replayed += 1;
                     }
                 }
@@ -1092,6 +1627,7 @@ impl ShardedEngine {
         rep.applied
             .store(rep.engine.read().applied_lsn(), Ordering::Relaxed);
         rep.needs_full_resync.store(false, Ordering::Relaxed);
+        rep.note_epoch(slot.epoch());
         rep.alive.store(true, Ordering::Relaxed);
         Ok(ResyncReport {
             shard: slot.id,
@@ -1221,6 +1757,10 @@ impl ShardedEngine {
                     last_lsn,
                     max_replica_lag,
                     failovers: slot.failovers.get(),
+                    epoch: slot.epoch(),
+                    fenced: slot.fenced.get(),
+                    breaker: slot.breaker.state(),
+                    breaker_sheds: slot.breaker.shed_count(),
                     replica_status,
                 }
             })

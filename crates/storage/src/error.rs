@@ -33,6 +33,29 @@ pub enum StorageError {
     /// An internal storage invariant was violated (never expected; returned
     /// instead of panicking so a fault can't poison a lock).
     Corrupt(&'static str),
+    /// The replica group's epoch advanced past the acting primary while it
+    /// was committing: the write was rejected before it could be logged, so
+    /// a dual-primary window can never commit divergent state. Retryable —
+    /// the retry lands on the newly promoted primary.
+    Fenced {
+        /// Shard whose group fenced the write.
+        shard: usize,
+        /// Epoch the fenced primary held when it tried to commit.
+        epoch: u64,
+    },
+    /// A shard's access-path circuit breaker is open: the shard has been
+    /// failing and requests are shed fast instead of queueing behind it.
+    /// Retryable after the breaker's cooldown.
+    Busy {
+        /// Shard whose breaker shed the request.
+        shard: usize,
+    },
+    /// The request's propagated deadline expired before the shard finished
+    /// its share of the work.
+    Deadline {
+        /// Shard on which the budget ran out.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -51,6 +74,16 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::Crashed => write!(f, "simulated crash in effect; recover to resume"),
             StorageError::Corrupt(what) => write!(f, "internal storage corruption: {what}"),
+            StorageError::Fenced { shard, epoch } => write!(
+                f,
+                "FENCED (shard {shard} epoch {epoch} superseded by a newer primary; retry)"
+            ),
+            StorageError::Busy { shard } => {
+                write!(f, "BUSY (shard {shard} circuit open; retry)")
+            }
+            StorageError::Deadline { shard } => {
+                write!(f, "DEADLINE (budget exhausted on shard {shard})")
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::codec::{write_traced_request, Request, Response};
+use crate::codec::{write_request_ext, write_traced_request, Request, Response};
 use crate::frame::{read_frame, write_frame, WireError};
 
 /// A connected protocol-v2 client.
@@ -121,6 +121,22 @@ impl WireClient {
         let id = self.next_id;
         self.next_id += 1;
         write_traced_request(&mut self.writer, id, trace_id, req)?;
+        Ok(id)
+    }
+
+    /// Queue one request carrying a time budget in milliseconds (and an
+    /// optional trace id). The server clamps the budget to its own
+    /// per-request deadline and answers a typed `DEADLINE` error once
+    /// the budget is exhausted instead of queueing behind a slow shard.
+    pub fn send_with_deadline(
+        &mut self,
+        req: &Request,
+        budget_ms: u32,
+        trace_id: Option<u64>,
+    ) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request_ext(&mut self.writer, id, trace_id, Some(budget_ms), req)?;
         Ok(id)
     }
 

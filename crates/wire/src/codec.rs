@@ -20,7 +20,9 @@
 
 use procdb_query::{Tuple, Value};
 
-use crate::frame::{RawFrame, WireError, FLAG_TRACED, KNOWN_FLAGS, PROTOCOL_VERSION};
+use crate::frame::{
+    RawFrame, WireError, FLAG_DEADLINE, FLAG_TRACED, KNOWN_FLAGS, PROTOCOL_VERSION,
+};
 
 /// Request and response opcodes. Requests use the low range, responses
 /// set the high bit; [`opcode::ERROR`] answers any request.
@@ -76,6 +78,10 @@ pub mod errcode {
     pub const UNKNOWN_STMT: u16 = 8;
     /// The server is shutting down.
     pub const SHUTDOWN: u16 = 9;
+    /// The write landed on a primary whose epoch has been superseded by
+    /// a newer promotion — nothing was applied; retry (the retry routes
+    /// to the current primary).
+    pub const FENCED: u16 = 10;
 
     /// Human label for an error code.
     pub fn label(code: u16) -> &'static str {
@@ -89,6 +95,7 @@ pub mod errcode {
             UNKNOWN_OPCODE => "unknown-opcode",
             UNKNOWN_STMT => "unknown-stmt",
             SHUTDOWN => "shutdown",
+            FENCED => "fenced",
             _ => "unknown",
         }
     }
@@ -383,7 +390,19 @@ impl Request {
     /// an 8-byte LE trace id before the regular payload. Unknown flag
     /// bits are recoverable [`WireError::Malformed`] errors: the header
     /// checksum validated, so the stream stays in sync.
+    ///
+    /// A [`FLAG_DEADLINE`] budget prefix, if present, is stripped and
+    /// discarded — servers that honor deadlines use
+    /// [`Request::decode_ext`] instead.
     pub fn decode_traced(frame: &RawFrame) -> Result<(Request, Option<u64>), WireError> {
+        Request::decode_ext(frame).map(|(req, trace_id, _)| (req, trace_id))
+    }
+
+    /// Decode a request plus both optional extensions: the
+    /// [`FLAG_TRACED`] trace id and the [`FLAG_DEADLINE`] time budget in
+    /// milliseconds. Flag order in the payload is fixed — trace id
+    /// first, then budget — regardless of which subset is set.
+    pub fn decode_ext(frame: &RawFrame) -> Result<(Request, Option<u64>, Option<u32>), WireError> {
         check_version(frame)?;
         if frame.flags & !KNOWN_FLAGS != 0 {
             return Err(WireError::Malformed(format!(
@@ -397,8 +416,13 @@ impl Request {
         } else {
             None
         };
+        let budget_ms = if frame.flags & FLAG_DEADLINE != 0 {
+            Some(cur.u32()?)
+        } else {
+            None
+        };
         let req = Request::decode_body(frame.opcode, cur)?;
-        Ok((req, trace_id))
+        Ok((req, trace_id, budget_ms))
     }
 
     fn decode_body(op: u8, mut cur: Cur<'_>) -> Result<Request, WireError> {
@@ -546,6 +570,32 @@ pub fn write_traced_request(
     crate::frame::write_frame_flags(w, req.opcode(), FLAG_TRACED, request_id, &payload)
 }
 
+/// Frame and write one request with any combination of extensions: a
+/// trace id ([`FLAG_TRACED`]) and/or a time budget in milliseconds
+/// ([`FLAG_DEADLINE`]). With both `None` this is exactly
+/// [`write_request`] — a flags = 0 frame.
+pub fn write_request_ext(
+    w: &mut impl std::io::Write,
+    request_id: u64,
+    trace_id: Option<u64>,
+    budget_ms: Option<u32>,
+    req: &Request,
+) -> Result<(), WireError> {
+    let body = req.encode_payload();
+    let mut flags = 0u16;
+    let mut payload = Vec::with_capacity(12 + body.len());
+    if let Some(tid) = trace_id {
+        flags |= FLAG_TRACED;
+        payload.extend_from_slice(&(tid as i64).to_le_bytes());
+    }
+    if let Some(ms) = budget_ms {
+        flags |= FLAG_DEADLINE;
+        payload.extend_from_slice(&ms.to_le_bytes());
+    }
+    payload.extend_from_slice(&body);
+    crate::frame::write_frame_flags(w, req.opcode(), flags, request_id, &payload)
+}
+
 /// Frame and write one response.
 pub fn write_response(
     w: &mut impl std::io::Write,
@@ -684,6 +734,77 @@ mod tests {
         assert_eq!(tid, Some(0x00AB_CDEF_0123_4567));
         // The plain decoder strips the prefix rather than choking.
         assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn deadline_requests_round_trip_with_their_budget() {
+        let req = Request::Command {
+            line: "access V".into(),
+        };
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, 31, None, Some(1500), &req).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.flags, FLAG_DEADLINE);
+        let (got, tid, budget) = Request::decode_ext(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, None);
+        assert_eq!(budget, Some(1500));
+        // The older decoders strip the prefix rather than choking.
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+        let (got, tid) = Request::decode_traced(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, None);
+    }
+
+    #[test]
+    fn traced_and_deadline_flags_compose_in_fixed_order() {
+        let req = Request::Call {
+            name: "P2".into(),
+            args: vec![Value::Int(9)],
+        };
+        let mut buf = Vec::new();
+        write_request_ext(&mut buf, 8, Some(0xDEAD_BEEF), Some(250), &req).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.flags, FLAG_TRACED | FLAG_DEADLINE);
+        let (got, tid, budget) = Request::decode_ext(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, Some(0xDEAD_BEEF));
+        assert_eq!(budget, Some(250));
+        // Trace id precedes budget: the traced decoder still reads the
+        // right 8 bytes.
+        let (got, tid) = Request::decode_traced(&frame).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(tid, Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn write_request_ext_without_extensions_is_a_plain_frame() {
+        let req = Request::Ping;
+        let mut plain = Vec::new();
+        write_request(&mut plain, 4, &req).unwrap();
+        let mut ext = Vec::new();
+        write_request_ext(&mut ext, 4, None, None, &req).unwrap();
+        assert_eq!(plain, ext);
+    }
+
+    #[test]
+    fn deadline_frame_too_short_for_its_budget_is_malformed() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame_flags(&mut buf, opcode::PING, FLAG_DEADLINE, 3, b"12").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        let err = Request::decode_ext(&frame).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn fenced_errcode_round_trips_with_its_label() {
+        assert_eq!(errcode::label(errcode::FENCED), "fenced");
+        let resp = Response::Error {
+            code: errcode::FENCED,
+            message: "FENCED (shard 1 epoch 3 superseded by a newer primary; retry)".into(),
+        };
+        assert_eq!(round_trip_response(&resp), resp);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! 0       4     magic  AF 50 44 42  ("\xAF" "PDB")
 //! 4       1     protocol version (2)
 //! 5       1     opcode
-//! 6       2     flags (u16 LE; bit 0 = TRACED, other bits reserved)
+//! 6       2     flags (u16 LE; bit 0 = TRACED, bit 1 = DEADLINE, rest reserved)
 //! 8       8     request id (u64 LE)
 //! 16      4     payload length (u32 LE, <= 16 MiB)
 //! 20      4     FNV-1a-32 checksum of bytes [0, 20) (u32 LE)
@@ -23,10 +23,15 @@
 //! A request frame with [`FLAG_TRACED`] set prefixes its payload with an
 //! 8-byte little-endian trace id; the rest of the payload decodes as
 //! before, and the server links every span recorded while serving the
-//! request under that id. Frames with flags = 0 decode exactly as they
-//! always did, so pre-extension clients interoperate unchanged. Unknown
-//! flag bits are a recoverable [`WireError::Malformed`]: the header
-//! validated, so the stream stays in sync.
+//! request under that id. A request frame with [`FLAG_DEADLINE`] set
+//! additionally carries a 4-byte little-endian budget in milliseconds
+//! (after the trace id, when both flags are set): the client's
+//! remaining deadline, which the server propagates end to end so slow
+//! shards fail fast with a typed `DEADLINE` error. Frames with
+//! flags = 0 decode exactly as they always did, so pre-extension
+//! clients interoperate unchanged. Unknown flag bits are a recoverable
+//! [`WireError::Malformed`]: the header validated, so the stream stays
+//! in sync.
 //!
 //! Error taxonomy (see [`WireError::is_recoverable`]): a frame whose
 //! *header* validates (magic, checksum, length cap) keeps the stream in
@@ -50,9 +55,16 @@ pub const HEADER_LEN: usize = 24;
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 /// Header flag bit 0: the payload starts with an 8-byte LE trace id.
 pub const FLAG_TRACED: u16 = 0x0001;
+/// Header flag bit 1: the payload carries a 4-byte LE deadline budget
+/// in milliseconds (after the trace id when [`FLAG_TRACED`] is also
+/// set). The server clamps its own per-request deadline to the
+/// client's remaining budget and propagates it down to the shard
+/// workers, so a slow shard answers with a typed `DEADLINE` error
+/// instead of stalling the pipeline.
+pub const FLAG_DEADLINE: u16 = 0x0002;
 /// Every flag bit this implementation understands; the rest are
 /// reserved and rejected as recoverable `Malformed` errors.
-pub const KNOWN_FLAGS: u16 = FLAG_TRACED;
+pub const KNOWN_FLAGS: u16 = FLAG_TRACED | FLAG_DEADLINE;
 
 /// FNV-1a 32-bit hash (the header checksum).
 pub fn fnv1a_32(bytes: &[u8]) -> u32 {

@@ -40,8 +40,10 @@ pub mod codec;
 pub mod frame;
 
 pub use client::WireClient;
-pub use codec::{errcode, opcode, write_request, write_response, Request, Response};
+pub use codec::{
+    errcode, opcode, write_request, write_request_ext, write_response, Request, Response,
+};
 pub use frame::{
-    fnv1a_32, read_frame, write_frame, FrameHeader, RawFrame, WireError, HEADER_LEN, MAGIC,
-    MAX_PAYLOAD, PROTOCOL_VERSION,
+    fnv1a_32, read_frame, write_frame, FrameHeader, RawFrame, WireError, FLAG_DEADLINE,
+    FLAG_TRACED, HEADER_LEN, MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION,
 };

@@ -496,6 +496,92 @@ fn v2_pipelined_responses_match_by_id() {
     client.close().unwrap();
 }
 
+// ---- v2 goodbye drain barrier under a deadline ------------------------
+
+/// Satellite: `GOODBYE`'s drain barrier honors a client deadline. With
+/// the worker pool wedged on chaos-delayed writes, a goodbye carrying a
+/// tiny budget must answer the typed `DEADLINE` error (naming the
+/// requests still in flight) instead of blocking until the drain
+/// completes; with nothing in flight the same budgeted goodbye answers
+/// `BYE` as usual.
+#[test]
+fn v2_goodbye_drain_barrier_honors_the_client_deadline() {
+    let server = Server::start(
+        build_session(StrategyKind::CacheInvalidate),
+        ServerConfig {
+            port: 0,
+            max_conns: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Wedge every replicated write: the chaos delay fate sleeps each
+    // delta ship 40-80ms, so in-flight updates cannot drain in 5ms.
+    let mut control = V1Client::connect(addr);
+    let (_, term) = control.cmd("chaos inject --delay 1 --delay-ms 40 80");
+    assert!(term.starts_with("ok"), "chaos inject failed: {term}");
+
+    let mut client = WireClient::connect(addr, 16).unwrap();
+    let mut pending: HashMap<u64, ()> = HashMap::new();
+    for i in 0..8 {
+        let id = client
+            .send(&Request::Command {
+                line: format!("update {i} -> {}", i + 3000),
+            })
+            .unwrap();
+        pending.insert(id, ());
+    }
+    // Goodbye with a 5ms budget: the barrier must expire, typed.
+    let bye_id = client
+        .send_with_deadline(&Request::Goodbye, 5, None)
+        .unwrap();
+    loop {
+        let (id, resp) = client.recv().unwrap();
+        if id != bye_id {
+            // A fast update may still beat the barrier; fine.
+            assert!(pending.remove(&id).is_some(), "unknown id {id}");
+            continue;
+        }
+        match resp {
+            Response::Error { code, message } => {
+                assert_eq!(code, errcode::DEADLINE, "{message}");
+                assert!(
+                    message.contains("drain barrier"),
+                    "the expiry must say what it was waiting on: {message}"
+                );
+                assert!(
+                    message.contains("in flight"),
+                    "the expiry must count the stragglers: {message}"
+                );
+            }
+            other => panic!("goodbye under pressure: unexpected response {other:?}"),
+        }
+        break;
+    }
+    // The server closed the connection after the expired goodbye; the
+    // wedged updates finish server-side into the void.
+    drop(client);
+
+    let (_, term) = control.cmd("chaos off");
+    assert!(term.starts_with("ok"), "chaos off failed: {term}");
+    control.cmd("quit");
+
+    // Same budgeted goodbye with nothing in flight: a clean BYE.
+    let mut client = WireClient::connect(addr, 4).unwrap();
+    let bye_id = client
+        .send_with_deadline(&Request::Goodbye, 50, None)
+        .unwrap();
+    let (id, resp) = client.recv().unwrap();
+    assert_eq!(id, bye_id);
+    assert!(
+        matches!(resp, Response::Bye),
+        "idle goodbye under a budget must still answer BYE: {resp:?}"
+    );
+    server.stop();
+}
+
 // ---- line-protocol EOF regression -------------------------------------
 
 #[test]
