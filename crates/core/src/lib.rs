@@ -39,6 +39,6 @@ pub use ddl::{parse_define_view, DdlError, DefineView};
 pub use engine::{Engine, EngineOptions, RecoveryOutcome, RecoveryReport};
 pub use mixed::MixedEngine;
 pub use procedure::{ProcId, ProcedureDef, StrategyKind};
-pub use replication::{DeltaAck, DeltaOp, ShippedDelta};
+pub use replication::{DeltaAck, DeltaObserver, DeltaOp, ShippedDelta};
 pub use rete_planner::{choose_spec, maintenance_cost, UpdateFrequencies};
 pub use stats::{decide_assignments, decide_one, DecisionInput, WorkloadObserver};

@@ -102,6 +102,27 @@ impl ShippedDelta {
     }
 }
 
+/// A consumer of a replica group's committed delta stream.
+///
+/// The replication layer already ships every committed base mutation as
+/// an `(epoch, LSN)`-stamped [`DeltaOp`]; an observer taps that same
+/// stream *synchronously at the commit point* — after the primary has
+/// applied and log-stamped the op, before the mutation call returns —
+/// so a consumer that invalidates derived state (the front result
+/// cache) is always at least as fresh as any acknowledgement the client
+/// can see. Epoch bumps (promotions) are delivered too, so a consumer
+/// can distrust everything a fenced ex-primary might have told it.
+///
+/// Implementations must be cheap and must never call back into the
+/// engine: they run under the shard's mutation lock.
+pub trait DeltaObserver: Send + Sync {
+    /// One committed delta on `shard`, stamped `(epoch, lsn)`.
+    fn on_delta(&self, shard: usize, epoch: u64, lsn: u64, op: &DeltaOp);
+
+    /// `shard`'s replica group moved to `epoch` (a promotion happened).
+    fn on_epoch_bump(&self, shard: usize, epoch: u64);
+}
+
 /// A follower's acknowledgement of one applied [`ShippedDelta`].
 ///
 /// The ack echoes the epoch the follower applied under; a primary that

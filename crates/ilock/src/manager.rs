@@ -75,10 +75,21 @@ impl ILockManager {
     /// Procedures whose i-locks conflict with a write of `key` into
     /// `table`. Each owner is reported once, in first-lock order.
     pub fn conflicting(&self, table: TableRef, key: i64) -> Vec<ProcId> {
+        self.conflicting_range(table, key, key)
+    }
+
+    /// Procedures whose i-locks overlap the closed interval `[lo, hi]`
+    /// on `table`. Each owner is reported once, in first-lock order.
+    ///
+    /// A single-key write is the degenerate interval `[k, k]`; the
+    /// general form lets the cache tier probe an entire delta batch's
+    /// key span against the registered result intervals, generalizing
+    /// the paper's i-locks from rule indexing to result invalidation.
+    pub fn conflicting_range(&self, table: TableRef, lo: i64, hi: i64) -> Vec<ProcId> {
         let mut out = Vec::new();
         if let Some(locks) = self.by_table.get(&table) {
             for l in locks {
-                if key >= l.lo && key <= l.hi && !out.contains(&l.owner) {
+                if hi >= l.lo && lo <= l.hi && !out.contains(&l.owner) {
                     out.push(l.owner);
                 }
             }
@@ -180,6 +191,27 @@ mod tests {
         assert!(!m.holds_locks(ProcId(1)));
         assert_eq!(m.conflicting(T0, 5), vec![ProcId(2)]);
         assert!(m.conflicting(T1, 3).is_empty());
+    }
+
+    #[test]
+    fn range_probe_overlap_semantics() {
+        let mut m = ILockManager::new();
+        m.set_range_lock(T0, 10, 20, ProcId(1));
+        m.set_range_lock(T0, 40, 50, ProcId(2));
+        // Interval straddling both locks hits both, in first-lock order.
+        assert_eq!(m.conflicting_range(T0, 15, 45), vec![ProcId(1), ProcId(2)]);
+        // Touching only an endpoint still overlaps (closed intervals).
+        assert_eq!(m.conflicting_range(T0, 20, 30), vec![ProcId(1)]);
+        assert_eq!(m.conflicting_range(T0, 30, 40), vec![ProcId(2)]);
+        // Gap between the locks hits neither.
+        assert!(m.conflicting_range(T0, 21, 39).is_empty());
+        // Enclosing interval hits; enclosed interval hits.
+        assert_eq!(m.conflicting_range(T0, 0, 100), vec![ProcId(1), ProcId(2)]);
+        assert_eq!(m.conflicting_range(T0, 12, 13), vec![ProcId(1)]);
+        assert!(
+            m.conflicting_range(T1, 0, 100).is_empty(),
+            "table isolation"
+        );
     }
 
     #[test]

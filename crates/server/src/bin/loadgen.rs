@@ -10,9 +10,24 @@
 //!         [--views 8] [--p-update 0.2] [--l 4] [--z 0.25] [--seed 1]
 //!         [--shards S] [--replicas R] [--chaos] [--net-chaos]
 //!         [--strategies ar,ci,avm,rvm] [--proto v1,v2] [--pipeline N]
+//!         [--sessions M] [--read-heavy] [--cache]
 //!         [--json PATH] [--metrics-json] [--max-in-flight N]
 //!         [--trace-sample N]
 //! ```
+//!
+//! `--sessions M` deals the workload as `M` logical sessions, each
+//! camped on an affinity procedure it re-reads ~80% of the time
+//! (multiplexed round-robin over the client connections); `--read-heavy`
+//! forces an update probability of 0.03 — together they model the
+//! fleet-of-dashboards shape the front result cache is built for.
+//! `--cache` measures each configuration twice with the identical dealt
+//! workload — front cache off, then on, with the relation's key set
+//! walked back to its seeded state in between so both passes do the
+//! same effective re-key work — scrapes `cache stats` deltas (hits,
+//! misses, fills, invalidations, stale reads, invalidation lag), and
+//! reports the on-vs-off throughput ratio as `cache_speedup_vs_off`.
+//! Without `--cache` the front cache is disabled for every run so the
+//! strategy columns keep measuring the view-maintenance engines.
 //!
 //! `--chaos` drives a crash/recover/promote schedule concurrent with
 //! every measured run; `--net-chaos` layers *message* chaos on top: a
@@ -58,7 +73,9 @@ use std::time::{Duration, Instant};
 use procdb_bench::LatencySummary;
 use procdb_server::{Server, ServerConfig, Session};
 use procdb_wire::{errcode, Request, Response, WireClient};
-use procdb_workload::{split_stream, StreamSpec};
+use procdb_workload::{
+    generate_stream, session_stream, split_session_stream, split_stream, Op, StreamSpec,
+};
 
 #[derive(Debug, Clone)]
 struct Config {
@@ -104,6 +121,16 @@ struct Config {
     /// tracing-off pass and the throughput delta is reported as
     /// `trace_overhead_pct`.
     trace_sample: u64,
+    /// Deal the workload as this many logical sessions with per-session
+    /// procedure affinity (0 = classic unskewed dealing). Sessions are
+    /// multiplexed round-robin over the client connections.
+    sessions: usize,
+    /// Force a read-heavy mix (update probability 0.03, overriding
+    /// `--p-update`) — the shape the front cache is measured against.
+    read_heavy: bool,
+    /// Measure every configuration cache-off then cache-on with the
+    /// identical dealt workload and report the throughput ratio.
+    cache: bool,
 }
 
 impl Default for Config {
@@ -129,6 +156,9 @@ impl Default for Config {
             metrics_json: false,
             max_in_flight: None,
             trace_sample: 0,
+            sessions: 0,
+            read_heavy: false,
+            cache: false,
         }
     }
 }
@@ -154,8 +184,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--clients 1,4,8] [--ops N] [--rows N] \
          [--views N] [--p-update P] [--l N] [--z Z] [--seed N] [--shards S] \
          [--replicas R] [--chaos] [--net-chaos] [--strategies ar,ci,avm,rvm] \
-         [--proto v1,v2] [--pipeline N] [--json PATH] [--metrics-json] \
-         [--max-in-flight N] [--trace-sample N]"
+         [--proto v1,v2] [--pipeline N] [--sessions M] [--read-heavy] [--cache] \
+         [--json PATH] [--metrics-json] [--max-in-flight N] [--trace-sample N]"
     );
     std::process::exit(2);
 }
@@ -229,12 +259,23 @@ fn parse_args() -> Config {
             "--trace-sample" => {
                 cfg.trace_sample = val(&mut args).parse().unwrap_or_else(|_| usage());
             }
+            "--sessions" => {
+                cfg.sessions = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if cfg.sessions == 0 {
+                    usage();
+                }
+            }
+            "--read-heavy" => cfg.read_heavy = true,
+            "--cache" => cfg.cache = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     if cfg.rows == 0 || cfg.views == 0 || cfg.views > cfg.rows || cfg.ops == 0 {
         usage();
+    }
+    if cfg.read_heavy {
+        cfg.p_update = 0.03;
     }
     if cfg.metrics_json && cfg.json.is_none() {
         eprintln!("loadgen: --metrics-json requires --json PATH");
@@ -399,6 +440,10 @@ fn setup_schema(control: &mut Client, cfg: &Config) -> Result<(), String> {
     if cfg.replicas > 1 {
         control.expect_ok(&format!("replicas {}", cfg.replicas))?;
     }
+    // Front cache off by default so the strategy columns keep measuring
+    // the maintenance engines; `--cache` turns it on per measured pass.
+    // Best-effort: an older external server has no `cache` command.
+    let _ = control.cmd("cache off")?;
     Ok(())
 }
 
@@ -519,6 +564,97 @@ fn fetch_shards(control: &mut Client) -> Result<Vec<ShardSnapshot>, String> {
     Ok(out)
 }
 
+/// The front result cache's counters from the `cache stats` wire
+/// command (`totals:` line plus per-shard watermark lines).
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheSnapshot {
+    hits: f64,
+    misses: f64,
+    fills: f64,
+    invalidations: f64,
+    stale_served: f64,
+    /// Cached result bodies right now (level).
+    entries: f64,
+    /// Bytes held by cached bodies right now (level).
+    bytes: f64,
+    /// Worst per-shard invalidation lag — engine deltas committed that
+    /// the cache has not seen (level; synchronous taps keep it 0).
+    max_lag: f64,
+}
+
+impl CacheSnapshot {
+    fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hits / total
+        }
+    }
+
+    /// Stale results served as a fraction of all cache-served results.
+    fn stale_rate(&self) -> f64 {
+        if self.hits == 0.0 {
+            0.0
+        } else {
+            self.stale_served / self.hits
+        }
+    }
+
+    /// Per-run counter deltas; occupancy and lag are levels.
+    fn since(&self, before: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            fills: self.fills - before.fills,
+            invalidations: self.invalidations - before.invalidations,
+            stale_served: self.stale_served - before.stale_served,
+            entries: self.entries,
+            bytes: self.bytes,
+            max_lag: self.max_lag,
+        }
+    }
+}
+
+/// Scrape `cache stats`. Returns `None` when the server has no front
+/// cache (an older external server), so `--addr` runs stay usable.
+fn fetch_cache(control: &mut Client) -> Result<Option<CacheSnapshot>, String> {
+    let (data, term) = control.cmd("cache stats")?;
+    if term.starts_with("err") {
+        return Ok(None);
+    }
+    let mut snap = CacheSnapshot::default();
+    for line in data {
+        if let Some(rest) = line.strip_prefix("totals:") {
+            for kv in rest.split_whitespace() {
+                let Some((k, v)) = kv.split_once('=') else {
+                    continue;
+                };
+                let Ok(v) = v.parse::<f64>() else { continue };
+                match k {
+                    "hits" => snap.hits = v,
+                    "misses" => snap.misses = v,
+                    "fills" => snap.fills = v,
+                    "invalidations" => snap.invalidations = v,
+                    "stale_served" => snap.stale_served = v,
+                    "entries" => snap.entries = v,
+                    "bytes" => snap.bytes = v,
+                    _ => {}
+                }
+            }
+        } else if line.starts_with("cache_shard ") {
+            for kv in line.split_whitespace() {
+                if let Some(v) = kv.strip_prefix("lag=") {
+                    if let Ok(v) = v.parse::<f64>() {
+                        snap.max_lag = snap.max_lag.max(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(Some(snap))
+}
+
 #[derive(Debug, Clone)]
 struct RunResult {
     strategy: String,
@@ -547,6 +683,12 @@ struct RunResult {
     /// `--net-chaos` plan was installed (`None` without the knob or when
     /// no sample landed in the window).
     p99_during_chaos_us: Option<f64>,
+    /// Front-cache counter deltas for the measured (cache-on) pass
+    /// (`None` without `--cache`).
+    cache: Option<CacheSnapshot>,
+    /// Cache-on vs cache-off throughput over the identical dealt
+    /// workload (`None` without `--cache`).
+    cache_speedup_vs_off: Option<f64>,
 }
 
 impl RunResult {
@@ -1039,6 +1181,29 @@ fn drive_clients(addr: &str, cfg: &Config, proto: &str, streams: &[Vec<String>])
     ))
 }
 
+/// Walk the relation's key set back to its seeded state by replaying
+/// every re-key's inverse in reverse global order. Re-keys drift the
+/// key set, so a second pass over the same seeded stream would mostly
+/// no-op its updates; restoring between passes keeps back-to-back
+/// passes (cache-off baseline, then measured cache-on) doing the same
+/// effective work. Inverses of re-keys that themselves no-opped (their
+/// victim had already moved) no-op harmlessly here too.
+fn undo_updates(control: &mut Client, cfg: &Config, spec: &StreamSpec) -> Result<(), String> {
+    let ops = if cfg.sessions > 0 {
+        session_stream(spec, cfg.views, cfg.rows as i64, cfg.sessions)
+    } else {
+        generate_stream(spec, cfg.views, cfg.rows as i64)
+    };
+    for op in ops.iter().rev() {
+        if let Op::Update(mods) = op {
+            for (victim, new_key) in mods.iter().rev() {
+                control.expect_ok(&format!("update {new_key} -> {victim}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
 fn run_one(
     addr: &str,
     control: &mut Client,
@@ -1067,10 +1232,22 @@ fn run_one(
         ops: cfg.ops * n_clients,
         seed: cfg.seed,
     };
-    let streams: Vec<Vec<String>> = split_stream(&spec, cfg.views, cfg.rows as i64, n_clients)
-        .iter()
-        .map(|ops| ops.iter().flat_map(|op| op.to_wire_lines(&names)).collect())
-        .collect();
+    let streams: Vec<Vec<String>> = if cfg.sessions > 0 {
+        // M logical sessions, each camped on an affinity procedure,
+        // multiplexed round-robin over the client connections: client
+        // `c` replays sessions `c, c+n, c+2n, …` back to back.
+        let per_session = split_session_stream(&spec, cfg.views, cfg.rows as i64, cfg.sessions);
+        let mut per_client: Vec<Vec<String>> = vec![Vec::new(); n_clients];
+        for (s, ops) in per_session.iter().enumerate() {
+            per_client[s % n_clients].extend(ops.iter().flat_map(|op| op.to_wire_lines(&names)));
+        }
+        per_client
+    } else {
+        split_stream(&spec, cfg.views, cfg.rows as i64, n_clients)
+            .iter()
+            .map(|ops| ops.iter().flat_map(|op| op.to_wire_lines(&names)).collect())
+            .collect()
+    };
     // Tracing-off baseline pass: same dealt workload, sampling forced
     // off, so the traced pass right after isolates the tracing cost.
     let baseline_throughput = if cfg.trace_sample > 0 {
@@ -1084,10 +1261,35 @@ fn run_one(
     } else {
         None
     };
+    // `--cache`: the cache-off baseline runs first over the identical
+    // dealt streams, then the relation is restored by replaying the
+    // update stream's inverse — so the measured cache-on pass sees the
+    // same starting state and its re-keys are just as effective (a
+    // naive replay would mostly no-op on the drifted key set, zeroing
+    // the invalidation counts and flattering the hit ratio).
+    let off_throughput = if cfg.cache {
+        control.expect_ok("cache off")?;
+        let (_, _, elapsed, commands, _) = drive_clients(addr, cfg, proto, &streams)?;
+        undo_updates(control, cfg, &spec)?;
+        control.expect_ok("cache on")?;
+        // Warm under the cache so the measured pass starts from a
+        // filled cache, the steady state a long-lived server is in.
+        for name in &names {
+            control.expect_ok(&format!("access {name}"))?;
+        }
+        Some(commands as f64 / elapsed.as_secs_f64().max(1e-9))
+    } else {
+        None
+    };
     let metrics_before = if cfg.metrics_json {
         fetch_metrics(control)?
     } else {
         Vec::new()
+    };
+    let cache_before = if cfg.cache {
+        fetch_cache(control)?
+    } else {
+        None
     };
     let shards_before = fetch_shards(control)?;
     let (mut all_latencies, mut chaos_latencies, max_elapsed, commands, counters) =
@@ -1099,6 +1301,10 @@ fn run_one(
         metric_deltas(&metrics_before, &fetch_metrics(control)?)
     } else {
         Vec::new()
+    };
+    let cache = match cache_before {
+        Some(before) => fetch_cache(control)?.map(|after| after.since(&before)),
+        None => None,
     };
     let shards_after = fetch_shards(control)?;
     if shards_after.len() != shards_before.len() {
@@ -1136,6 +1342,18 @@ fn run_one(
         .zip(&shards_before)
         .map(|(a, b)| a.since(b))
         .collect();
+    let cache_speedup_vs_off = match off_throughput {
+        Some(off) => {
+            // Walk the relation back and drop to cache-off so the next
+            // strategy's run starts from the same seeded state this one
+            // did.
+            undo_updates(control, cfg, &spec)?;
+            control.expect_ok("cache off")?;
+            let on = commands as f64 / max_elapsed.as_secs_f64().max(1e-9);
+            Some(on / off.max(1e-9))
+        }
+        None => None,
+    };
     let trace_overhead_pct = baseline_throughput.map(|base| {
         let traced = commands as f64 / max_elapsed.as_secs_f64().max(1e-9);
         (base - traced) / base.max(1e-9) * 100.0
@@ -1153,6 +1371,8 @@ fn run_one(
         shards,
         trace_overhead_pct,
         p99_during_chaos_us,
+        cache,
+        cache_speedup_vs_off,
     })
 }
 
@@ -1168,7 +1388,7 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
         "  \"config\": {{\"ops_per_client\": {}, \"rows\": {}, \"views\": {}, \
          \"p_update\": {}, \"l\": {}, \"z\": {}, \"seed\": {}, \"shards\": {}, \
          \"replicas\": {}, \"chaos\": {}, \"net_chaos\": {}, \"protos\": [{}], \
-         \"pipeline\": {}}},\n",
+         \"pipeline\": {}, \"sessions\": {}, \"read_heavy\": {}, \"cache\": {}}},\n",
         cfg.ops,
         cfg.rows,
         cfg.views,
@@ -1185,7 +1405,10 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
             .map(|p| format!("\"{p}\""))
             .collect::<Vec<_>>()
             .join(", "),
-        cfg.pipeline
+        cfg.pipeline,
+        cfg.sessions,
+        cfg.read_heavy,
+        cfg.cache
     ));
     if let Some((retained, depth)) = trace {
         out.push_str(&format!(
@@ -1229,6 +1452,27 @@ fn render_json(cfg: &Config, runs: &[RunResult], trace: Option<TraceStats>) -> S
         ));
         if let Some(pct) = r.trace_overhead_pct {
             out.push_str(&format!(", \"trace_overhead_pct\": {pct:.2}"));
+        }
+        if let Some(c) = &r.cache {
+            out.push_str(&format!(
+                ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_ratio\": {:.4}, \
+                 \"fills\": {}, \"invalidations\": {}, \"stale_served\": {}, \
+                 \"stale_rate\": {:.6}, \"entries\": {}, \"bytes\": {}, \
+                 \"max_invalidation_lag\": {}}}",
+                c.hits,
+                c.misses,
+                c.hit_ratio(),
+                c.fills,
+                c.invalidations,
+                c.stale_served,
+                c.stale_rate(),
+                c.entries,
+                c.bytes,
+                c.max_lag,
+            ));
+        }
+        if let Some(speedup) = r.cache_speedup_vs_off {
+            out.push_str(&format!(", \"cache_speedup_vs_off\": {speedup:.3}"));
         }
         if !r.server_metrics.is_empty() {
             out.push_str(", \"server_metrics\": {");
@@ -1374,6 +1618,21 @@ fn run(cfg: &Config) -> Result<(Vec<RunResult>, Option<TraceStats>), String> {
                     r.latency.p999_us,
                     r.latency.max_us
                 );
+                if let Some(c) = &r.cache {
+                    println!(
+                        "          cache: {} hits / {} misses (hit ratio {:.2}), {} fills, \
+                         {} invalidations, {} stale, speedup {}x vs off",
+                        c.hits,
+                        c.misses,
+                        c.hit_ratio(),
+                        c.fills,
+                        c.invalidations,
+                        c.stale_served,
+                        r.cache_speedup_vs_off
+                            .map(|s| format!("{s:.2}"))
+                            .unwrap_or_else(|| "?".to_string()),
+                    );
+                }
                 if cfg.shards > 1 || cfg.replicas > 1 {
                     for sh in &r.shards {
                         let replica_note = if cfg.replicas > 1 {

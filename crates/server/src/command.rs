@@ -91,6 +91,11 @@ pub enum Command {
     ChaosOff,
     /// `chaos status` — chaos decision counters and the active plan.
     ChaosStatus,
+    /// `cache on|off` — toggle the front result cache (server-attached;
+    /// hits are served before any session or shard lock).
+    Cache(bool),
+    /// `cache stats` — cache counters and per-shard watermarks.
+    CacheStats,
     /// `crash [SHARD]` — simulate a crash (volatile state lost). With a
     /// sharded backend, `crash N` kills only shard `N`.
     Crash(Option<usize>),
@@ -165,6 +170,8 @@ commands:
                [--dup P] [--reorder P] [--heartbeat P] [--fence P]
                                         -- inject seeded replication chaos
   chaos off | chaos status              -- lift the plan / show counters
+  cache on|off                          -- toggle the front result cache
+  cache stats                           -- cache counters and watermarks
   crash [SHARD]                         -- simulate a crash (one shard or all)
   recover [SHARD]                       -- run crash recovery (one shard or all)
   shards N | shards                     -- partition R1 N ways / show shard status
@@ -521,6 +528,14 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
     if lower == "chaos" || lower.starts_with("chaos ") {
         return parse_chaos(&lower["chaos".len()..]).map(Some);
     }
+    if lower == "cache" || lower.starts_with("cache ") {
+        return match lower["cache".len()..].trim() {
+            "on" => Ok(Some(Command::Cache(true))),
+            "off" => Ok(Some(Command::Cache(false))),
+            "stats" => Ok(Some(Command::CacheStats)),
+            _ => Err("expected: cache on|off|stats".to_string()),
+        };
+    }
     if lower == "call" || lower.starts_with("call ") {
         return parse_call(&line["call".len()..]).map(Some);
     }
@@ -839,6 +854,20 @@ mod tests {
         assert!(parse("chaos inject --delay-ms 5 2").is_err());
         assert!(parse("chaos inject --delay-ms 5").is_err());
         assert!(parse("chaos inject --frobnicate 1").is_err());
+    }
+
+    #[test]
+    fn cache_commands() {
+        assert_eq!(parse("cache on").unwrap(), Some(Command::Cache(true)));
+        assert_eq!(parse("CACHE OFF").unwrap(), Some(Command::Cache(false)));
+        assert_eq!(parse("cache stats").unwrap(), Some(Command::CacheStats));
+        assert_eq!(
+            parse("  cache   stats  ").unwrap(),
+            Some(Command::CacheStats)
+        );
+        assert!(parse("cache").is_err());
+        assert!(parse("cache maybe").is_err());
+        assert!(parse("cache on off").is_err());
     }
 
     #[test]

@@ -126,6 +126,9 @@ pub fn execute(session: &mut Session, cmd: Command) -> Result<Outcome, String> {
         Command::ChaosInject(plan) => Outcome::Text(session.chaos_inject(plan)?),
         Command::ChaosOff => Outcome::Text(session.chaos_off()?),
         Command::ChaosStatus => Outcome::Text(session.chaos_status_text()),
+        Command::Cache(true) => Outcome::Text(session.cache_on()?),
+        Command::Cache(false) => Outcome::Text(session.cache_off()?),
+        Command::CacheStats => Outcome::Text(session.cache_stats_text()?),
         Command::Crash(shard) => Outcome::Text(session.crash(shard)?),
         Command::Recover(shard) => Outcome::Text(session.recover(shard)?),
         Command::Shards(Some(n)) => {

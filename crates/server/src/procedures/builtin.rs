@@ -10,8 +10,9 @@
 //! `matched`/`scanned` OUT parameters.
 //!
 //! The `db.*` procedures bypass the planner entirely and answer from
-//! session state: `db.views()`, `db.shards()`, `db.stats()`, and
-//! `db.procedures()` (which lists every registered signature).
+//! session state: `db.views()`, `db.shards()`, `db.cache()`,
+//! `db.stats()`, and `db.procedures()` (which lists every registered
+//! signature).
 
 use procdb_query::{Organization, Value};
 
@@ -70,6 +71,12 @@ pub fn all() -> Vec<Procedure> {
             about: "shard/replica topology and per-shard counters",
             params: &[],
             handler: db_shards,
+        },
+        Procedure {
+            name: "db.cache",
+            about: "front result cache: occupancy, hit ratio, per-shard invalidation lag",
+            params: &[],
+            handler: db_cache,
         },
         Procedure {
             name: "db.stats",
@@ -210,6 +217,16 @@ fn db_views(session: &Session, _args: &[Value]) -> Result<CallOutcome, String> {
 
 fn db_shards(session: &Session, _args: &[Value]) -> Result<CallOutcome, String> {
     Ok(CallOutcome::text(session.shards_text().trim_end()))
+}
+
+fn db_cache(session: &Session, _args: &[Value]) -> Result<CallOutcome, String> {
+    let mut s = session.cache_stats_text()?;
+    if let Some(cache) = session.cache() {
+        for (name, rows, bytes) in cache.entries_overview() {
+            s.push_str(&format!("\nentry {name}: rows={rows} bytes={bytes}"));
+        }
+    }
+    Ok(CallOutcome::text(s.trim_end()))
 }
 
 fn db_stats(session: &Session, _args: &[Value]) -> Result<CallOutcome, String> {

@@ -307,6 +307,9 @@ mod tests {
         assert!(stats.text.contains("operations"), "{}", stats.text);
         let shards = reg.call(&s, "db.shards", &[]).unwrap();
         assert!(shards.text.contains("shards"), "{}", shards.text);
+        // A bare session has no front cache; the server attaches one.
+        let e = reg.call(&s, "db.cache", &[]).unwrap_err();
+        assert!(e.contains("no result cache"), "{e}");
     }
 
     #[test]

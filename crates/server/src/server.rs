@@ -69,9 +69,10 @@ impl Default for ServerConfig {
 /// How often blocked readers/acceptors re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
 
-/// How often a lock-waiter re-tries under a deadline. The vendored lock
-/// has no timed acquire, so the deadline is a try-loop at this cadence.
-const LOCK_RETRY: Duration = Duration::from_millis(1);
+/// Sleep between lock re-tries once the yield phase of [`lock_backoff`]
+/// is exhausted. The vendored lock has no timed acquire, so a deadline
+/// is a try-loop; this bounds how stale a waiter's next attempt can be.
+const LOCK_RETRY: Duration = Duration::from_micros(50);
 
 pub(crate) struct Shared {
     pub(crate) session: RwLock<Session>,
@@ -88,6 +89,11 @@ pub(crate) struct Shared {
     /// requests, pipeline depth) — created eagerly at startup so the
     /// `metrics` exposition always carries them.
     pub(crate) wire: WireMetrics,
+    /// The front result cache, shared with the session (which keeps it
+    /// configured and invalidated). Consulted on the access path
+    /// *before* the admission gate and the session lock, so a hit
+    /// costs no engine locking at all.
+    pub(crate) cache: Arc<procdb_cache::ResultCache>,
 }
 
 /// Releases one admission-gate slot when a command finishes, however it
@@ -110,11 +116,17 @@ pub struct Server {
 
 impl Server {
     /// Bind on localhost and start accepting connections over `session`.
-    pub fn start(session: Session, cfg: ServerConfig) -> io::Result<Server> {
+    pub fn start(mut session: Session, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let reg = procdb_obs::global();
+        // One front cache per server, attached before any connection can
+        // reach the session: the session keeps it configured and feeds
+        // it the write stream; the server serves hits from it with no
+        // session lock. Disabled until a client runs `cache on`.
+        let cache = Arc::new(procdb_cache::ResultCache::new());
+        session.attach_cache(cache.clone());
         let shared = Arc::new(Shared {
             session: RwLock::new(session),
             shutdown: AtomicBool::new(false),
@@ -126,6 +138,7 @@ impl Server {
             m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
             m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
             wire: WireMetrics::new(reg),
+            cache,
         });
         let accept_shared = shared.clone();
         let accept = thread::Builder::new()
@@ -357,6 +370,7 @@ fn respond(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> io::Resu
     }
 }
 
+#[derive(Debug)]
 pub(crate) enum Response {
     /// Data lines to print before the bare `ok` terminator.
     Data(String),
@@ -368,11 +382,26 @@ pub(crate) enum Response {
     Closed,
 }
 
+/// Adaptive wait between lock attempts: yield the first rounds (the
+/// session lock's critical sections are usually tens to hundreds of
+/// microseconds), then back off to short sleeps so a long-held lock
+/// doesn't burn a core. A fixed 1ms sleep here quantized every
+/// contended acquisition to the sleep period — a convoy of writers
+/// capped at ~1k lock handoffs/s no matter how briefly each held it.
+fn lock_backoff(attempt: u32) {
+    if attempt < 64 {
+        thread::yield_now();
+    } else {
+        thread::sleep(LOCK_RETRY);
+    }
+}
+
 /// Acquire the session read lock before `deadline`, or give up.
 pub(crate) fn read_by(
     shared: &Shared,
     deadline: Instant,
 ) -> Option<parking_lot::RwLockReadGuard<'_, Session>> {
+    let mut attempt = 0;
     loop {
         if let Some(g) = shared.session.try_read() {
             return Some(g);
@@ -380,7 +409,8 @@ pub(crate) fn read_by(
         if Instant::now() >= deadline {
             return None;
         }
-        thread::sleep(LOCK_RETRY);
+        lock_backoff(attempt);
+        attempt += 1;
     }
 }
 
@@ -389,6 +419,7 @@ fn write_by(
     shared: &Shared,
     deadline: Instant,
 ) -> Option<parking_lot::RwLockWriteGuard<'_, Session>> {
+    let mut attempt = 0;
     loop {
         if let Some(g) = shared.session.try_write() {
             return Some(g);
@@ -396,7 +427,8 @@ fn write_by(
         if Instant::now() >= deadline {
             return None;
         }
-        thread::sleep(LOCK_RETRY);
+        lock_backoff(attempt);
+        attempt += 1;
     }
 }
 
@@ -498,6 +530,15 @@ fn run_line_inner(shared: &Arc<Shared>, line: &str) -> Response {
         Command::Help => return Response::Data(crate::command::HELP.to_string()),
         _ => {}
     }
+    // Front-cache hit: before the admission gate, before the session
+    // lock, before any shard engine lock. The guard lattice inside the
+    // cache (per-shard epoch + LSN vs the delta stream) is the whole
+    // correctness argument — see `procdb-cache`.
+    if let Command::Access(view) = &cmd {
+        if let Some(body) = shared.cache.lookup(view) {
+            return Response::Data(body);
+        }
+    }
     // Procedure calls gate and lock inside `run_call` (shared with the
     // v2 wire path, which wants the typed outcome, not text).
     if let Command::Call { name, args } = &cmd {
@@ -521,6 +562,10 @@ fn run_line_inner(shared: &Arc<Shared>, line: &str) -> Response {
     }
     let deadline = lock_deadline(shared);
     if let Command::Access(view) = &cmd {
+        // Cache fill ticket: the guard snapshot must predate the engine
+        // read (even the lock acquisition), so a delta racing this
+        // access makes the fill invalid rather than stale.
+        let ticket = shared.cache.begin_fill();
         // Fast path: concurrent reads under the shared lock. `None`
         // means the read needs engine mutation (first build, a CI
         // refill, or a post-crash rebuild) — fall through to the
@@ -533,6 +578,11 @@ fn run_line_inner(shared: &Arc<Shared>, line: &str) -> Response {
             Ok(Some((rows, ms))) => {
                 let mut text = format!("{} rows in {ms:.1} model-ms:\n", rows.len());
                 text.push_str(&session.render_rows(&rows, 20));
+                if let Some(ticket) = ticket {
+                    shared
+                        .cache
+                        .try_fill(view, &ticket, text.clone(), rows.len());
+                }
                 return Response::Data(text);
             }
             Ok(None) => {} // escalate below
@@ -776,8 +826,11 @@ mod tests {
     /// way, where a wire-level race would be flaky.
     fn test_shared(max_in_flight: usize, deadline: Duration) -> Arc<Shared> {
         let reg = procdb_obs::global();
+        let cache = Arc::new(procdb_cache::ResultCache::new());
+        let mut session = Session::new();
+        session.attach_cache(cache.clone());
         Arc::new(Shared {
-            session: RwLock::new(Session::new()),
+            session: RwLock::new(session),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             max_conns: 4,
@@ -787,6 +840,7 @@ mod tests {
             m_busy: reg.counter("procdb_server_busy_sheds_total", &[]),
             m_deadline: reg.counter("procdb_server_deadline_expired_total", &[]),
             wire: WireMetrics::new(reg),
+            cache,
         })
     }
 
@@ -933,6 +987,136 @@ mod tests {
                 _ => panic!("single-engine update must need the write lock"),
             }
         }
+    }
+
+    /// Drive `run_line` and expect Data, panicking with the error text
+    /// otherwise.
+    fn expect_data(shared: &Arc<Shared>, line: &str) -> String {
+        match run_line(shared, line) {
+            Response::Data(t) => t,
+            Response::Silent => String::new(),
+            other => panic!("{line:?} failed: {other:?}"),
+        }
+    }
+
+    fn cache_demo_shared() -> Arc<Shared> {
+        let shared = test_shared(8, Duration::from_millis(50));
+        expect_data(&shared, "create table EMP (eid int, dept int) btree eid");
+        expect_data(
+            &shared,
+            "define view V (EMP.all) where EMP.eid >= 2 and EMP.eid <= 9",
+        );
+        for i in 0..16 {
+            run_line(&shared, &format!("insert EMP ({i}, 0)"));
+        }
+        expect_data(&shared, "cache on");
+        shared
+    }
+
+    #[test]
+    fn cache_hit_serves_without_session_or_engine_locks() {
+        let shared = cache_demo_shared();
+        // First access misses and fills.
+        let first = expect_data(&shared, "access V");
+        assert!(first.contains("8 rows"), "{first}");
+        {
+            // The acceptance proof: the session *write* lock is held —
+            // every locked path (even the read fast path) would expire
+            // with DEADLINE — and the gate is full on top. A cache hit
+            // is served anyway, byte-identical to the filled response.
+            let _writer = shared.session.write();
+            shared.in_flight.fetch_add(100, Ordering::SeqCst);
+            let hit = expect_data(&shared, "access V");
+            assert_eq!(hit, first, "hit must serve the cached bytes");
+            shared.in_flight.fetch_sub(100, Ordering::SeqCst);
+            // A view that is not cached proves the control: it needs the
+            // lock and expires behind the held writer.
+            match run_line(&shared, "access NOPE") {
+                Response::Error(msg) => assert!(msg.starts_with("DEADLINE"), "{msg}"),
+                other => panic!("uncached access should block: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_on_overlapping_update_only() {
+        let shared = cache_demo_shared();
+        let first = expect_data(&shared, "access V");
+        let inv0 = shared.cache.stats().invalidations;
+        // Overlapping re-key: the entry dies, the next access recomputes
+        // and observes the moved tuple.
+        expect_data(&shared, "update 3 -> 99");
+        assert!(
+            shared.cache.stats().invalidations > inv0,
+            "overlapping update must invalidate"
+        );
+        let after = expect_data(&shared, "access V");
+        assert!(after.contains("7 rows"), "{after}");
+        assert_ne!(after, first);
+        // Non-overlapping re-key (outside [2, 9] both sides): the fresh
+        // entry survives and keeps serving.
+        let inv1 = shared.cache.stats().invalidations;
+        expect_data(&shared, "update 99 -> 98");
+        assert_eq!(
+            shared.cache.stats().invalidations,
+            inv1,
+            "non-overlapping update must not invalidate"
+        );
+        let again = expect_data(&shared, "access V");
+        assert_eq!(again, after, "entry survived as a hit");
+    }
+
+    #[test]
+    fn cache_commands_and_stats_render() {
+        let shared = cache_demo_shared();
+        expect_data(&shared, "access V");
+        expect_data(&shared, "access V"); // hit
+        let stats = expect_data(&shared, "cache stats");
+        assert!(stats.starts_with("cache: enabled=true"), "{stats}");
+        assert!(stats.contains("stale_served=0"), "{stats}");
+        assert!(stats.contains("cache_shard 0:"), "{stats}");
+        let full = expect_data(&shared, "stats");
+        assert!(full.contains("cache: on"), "{full}");
+        // The db.cache() builtin reports the same counters plus a
+        // per-entry occupancy breakdown.
+        let intro = expect_data(&shared, "call db.cache()");
+        assert!(intro.contains("totals: hits="), "{intro}");
+        assert!(intro.contains("entry V: rows=8"), "{intro}");
+        // Off: lookups stop serving; the entry count is retained but
+        // no hit is possible.
+        expect_data(&shared, "cache off");
+        assert!(shared.cache.lookup("V").is_none());
+        let stats = expect_data(&shared, "cache stats");
+        assert!(stats.starts_with("cache: enabled=false"), "{stats}");
+        // Bad syntax is a parse error, not a panic.
+        match run_line(&shared, "cache sideways") {
+            Response::Error(msg) => assert!(msg.contains("cache on|off|stats"), "{msg}"),
+            other => panic!("expected parse error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_survives_sharded_rebuild_and_promotion_fences() {
+        let shared = cache_demo_shared();
+        expect_data(&shared, "replicas 2");
+        expect_data(&shared, "shards 2");
+        let first = expect_data(&shared, "access V");
+        assert!(first.contains("8 rows"), "{first}");
+        expect_data(&shared, "access V"); // fill after rebuild
+        {
+            let _writer = shared.session.write();
+            let hit = expect_data(&shared, "access V");
+            assert!(hit.contains("8 rows"), "sharded hit under held write lock");
+        }
+        // A promotion bumps shard 0's epoch: its guard is fenced, so the
+        // next access recomputes (serving identical rows from the new
+        // primary).
+        expect_data(&shared, "promote 0");
+        let refilled = expect_data(&shared, "access V");
+        assert!(refilled.contains("8 rows"), "{refilled}");
+        let s = shared.cache.stats();
+        assert_eq!(s.stale_served, 0);
+        assert!(s.per_shard[0].epoch >= 2, "cache tracked the epoch bump");
     }
 
     #[test]

@@ -19,9 +19,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use procdb_cache::ResultCache;
 use procdb_core::{
-    parse_define_view, Engine, EngineOptions, ProcedureDef, RecoveryOutcome, StrategyKind,
-    WorkloadObserver,
+    parse_define_view, DeltaObserver, DeltaOp, Engine, EngineOptions, ProcedureDef,
+    RecoveryOutcome, StrategyKind, WorkloadObserver,
 };
 use procdb_query::{Catalog, FieldType, Organization, Schema, Table, Tuple, Value};
 use procdb_shard::{Router, ShardedEngine};
@@ -41,6 +42,21 @@ const SUPERVISOR_INTERVAL: Duration = Duration::from_millis(20);
 enum Backend {
     Single(Engine),
     Sharded(ShardedEngine),
+}
+
+/// Read a single engine's base table back out of its storage, with page
+/// charging suspended: mirror upkeep is setup work, not priced query
+/// cost.
+fn scan_engine_base(engine: &Engine, base_name: &str) -> Result<Vec<Tuple>, SessionError> {
+    let pager = engine.pager().clone();
+    pager.set_charging(false);
+    let rows = engine
+        .catalog()
+        .get(base_name)
+        .ok_or_else(|| format!("base table {base_name} missing from catalog"))
+        .and_then(|t| t.scan_all().map_err(|e| e.to_string()));
+    pager.set_charging(true);
+    rows
 }
 
 /// One declared table: schema, organization, and its current rows.
@@ -78,6 +94,11 @@ pub struct Session {
     /// Per-procedure workload counters; a mutex (not `&mut`) so the
     /// shared read path can record accesses too.
     observer: Mutex<WorkloadObserver>,
+    /// The front result cache, when the server attached one. The
+    /// session keeps it configured (procedure intervals, shard layout)
+    /// and feeds it the single-engine write stream; the sharded
+    /// backend feeds it directly as a [`DeltaObserver`].
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl Session {
@@ -94,7 +115,47 @@ impl Session {
             replicas: 1,
             mirror_stale: AtomicBool::new(false),
             observer: Mutex::new(WorkloadObserver::new(0)),
+            cache: None,
         }
+    }
+
+    /// Attach the front result cache. The server does this once at
+    /// startup, before any connection can reach the session.
+    pub fn attach_cache(&mut self, cache: Arc<ResultCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached front result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// (Re)register the engine layout and every procedure's selection
+    /// interval with the cache — its predicate index must be current
+    /// before any fill can run (see `procdb-cache`'s fill protocol).
+    fn configure_cache(&self) {
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let key_field = self.base_key_field().unwrap_or(0);
+        let epochs: Vec<u64> = match self.engine.as_ref() {
+            Some(Backend::Sharded(sharded)) => {
+                (0..sharded.shards()).map(|s| sharded.epoch_of(s)).collect()
+            }
+            _ => vec![1],
+        };
+        let procs: Vec<(String, i64, i64)> = self
+            .views
+            .iter()
+            .map(|(name, def)| {
+                let (lo, hi) = def
+                    .selection
+                    .int_bounds(key_field)
+                    .unwrap_or((i64::MIN, i64::MAX));
+                (name.clone(), lo, hi)
+            })
+            .collect();
+        cache.configure(&epochs, key_field, &procs);
     }
 
     /// The active strategy.
@@ -140,8 +201,12 @@ impl Session {
             .first()
             .ok_or_else(|| "no tables declared".to_string())?;
         if self.mirror_stale.load(Ordering::SeqCst) {
-            if let Some(Backend::Sharded(sharded)) = self.engine.as_ref() {
-                return sharded.scan_r1().map_err(|e| e.to_string());
+            match self.engine.as_ref() {
+                Some(Backend::Sharded(sharded)) => {
+                    return sharded.scan_r1().map_err(|e| e.to_string())
+                }
+                Some(Backend::Single(engine)) => return scan_engine_base(engine, &base.name),
+                None => {}
             }
         }
         Ok(base.rows.clone())
@@ -167,19 +232,32 @@ impl Session {
     fn dirty(&mut self) {
         self.resync_mirror();
         self.engine = None;
+        // Whatever the next engine computes may differ from what the
+        // old one answered — nothing cached survives a rebuild.
+        if let Some(cache) = self.cache.as_ref() {
+            cache.flash_all();
+        }
     }
 
-    /// Pull the base table's rows back out of a live sharded backend if
-    /// updates ran through `&self` since the last sync. (The single
-    /// backend resyncs eagerly inside [`Session::update`].)
+    /// Pull the base table's rows back out of the live backend if
+    /// updates re-keyed tuples since the last sync. Both backends defer
+    /// this O(rows) scan to here so re-keys stay cheap; with duplicate
+    /// keys, guessing which tuple the engine moved can diverge — reading
+    /// the rows back cannot.
     fn resync_mirror(&mut self) {
         if !self.mirror_stale.swap(false, Ordering::SeqCst) {
             return;
         }
-        if let Some(Backend::Sharded(sharded)) = self.engine.as_ref() {
-            if let Ok(rows) = sharded.scan_r1() {
-                self.tables[0].rows = rows;
-            }
+        let rows = match self.engine.as_ref() {
+            Some(Backend::Sharded(sharded)) => sharded.scan_r1().ok(),
+            Some(Backend::Single(engine)) => self
+                .tables
+                .first()
+                .and_then(|base| scan_engine_base(engine, &base.name).ok()),
+            None => None,
+        };
+        if let Some(rows) = rows {
+            self.tables[0].rows = rows;
         }
     }
 
@@ -285,7 +363,11 @@ impl Session {
             let constants = self.constants;
             match self.engine.as_mut() {
                 Some(Backend::Single(e)) => {
-                    e.apply_insert(&[row]).map_err(|e| e.to_string())?;
+                    e.apply_insert(std::slice::from_ref(&row))
+                        .map_err(|e| e.to_string())?;
+                    if let Some(cache) = self.cache.as_ref() {
+                        cache.note_local_write(&DeltaOp::Insert(vec![row]));
+                    }
                     return Ok(());
                 }
                 Some(Backend::Sharded(sharded)) => {
@@ -467,6 +549,13 @@ impl Session {
                 }
                 self.engine = Some(Backend::Sharded(sharded));
             }
+            self.configure_cache();
+            if let (Some(cache), Some(Backend::Sharded(sharded))) =
+                (self.cache.as_ref(), self.engine.as_ref())
+            {
+                let observer: Arc<dyn DeltaObserver> = cache.clone();
+                sharded.set_delta_observer(Some(observer));
+            }
         }
         self.engine
             .as_mut()
@@ -582,7 +671,6 @@ impl Session {
         if self.tables.is_empty() {
             return Err("no tables declared".to_string());
         }
-        let base_name = self.tables[0].name.clone();
         let key_field = match self.tables[0].org {
             Organization::BTree { key_field } | Organization::Hash { key_field } => key_field,
             Organization::Heap => 0,
@@ -604,18 +692,15 @@ impl Session {
             .map_err(|e| e.to_string())?;
         let ms = engine.ledger().snapshot().since(&before).priced(&constants);
         if n > 0 {
-            // Resync the mirror from the engine's base table: with
-            // duplicate keys, guessing which tuple the engine re-keyed can
-            // diverge — reading it back cannot (uncharged setup work).
-            let pager = engine.pager().clone();
-            pager.set_charging(false);
-            let rows = engine
-                .catalog()
-                .get(&base_name)
-                .ok_or_else(|| format!("base table {base_name} missing from catalog"))
-                .and_then(|t| t.scan_all().map_err(|e| e.to_string()));
-            pager.set_charging(true);
-            self.tables[0].rows = rows?;
+            // The mirror is out of date, but re-scanning the base table
+            // here would cost O(rows) under the exclusive lock on every
+            // re-key. Mark it and resync lazily before the mirror's next
+            // use (engine rebuild / DDL / scan_base), exactly like the
+            // sharded path.
+            self.mirror_stale.store(true, Ordering::SeqCst);
+            if let Some(cache) = self.cache.as_ref() {
+                cache.note_local_write(&DeltaOp::Rekey(vec![(victim, new_key)]));
+            }
         }
         self.note_update(n, key_field, victim, new_key);
         Ok((n, ms))
@@ -819,6 +904,14 @@ impl Session {
     /// `shard` selects one shard to kill (others keep serving); `None`
     /// crashes everything.
     pub fn crash(&mut self, shard: Option<usize>) -> Result<String, SessionError> {
+        // A crash distrusts all derived state; the cached results are
+        // derived state held outside the engine, so they go too. (A
+        // replicated crash also promotes — the epoch bump would fence
+        // the crashed shard's entries anyway — but the unreplicated
+        // paths have no bump to lean on.)
+        if let Some(cache) = self.cache.as_ref() {
+            cache.flash_all();
+        }
         match (self.ensure_backend()?, shard) {
             (Backend::Single(engine), None) => {
                 engine.crash();
@@ -980,6 +1073,77 @@ impl Session {
         }
     }
 
+    /// Turn the front result cache on (the `cache on` command). Builds
+    /// the engine first if it is buildable, so the cache's predicate
+    /// index is registered before the first fill.
+    pub fn cache_on(&mut self) -> Result<String, SessionError> {
+        if self.cache.is_none() {
+            return Err("no result cache attached (server-only feature)".to_string());
+        }
+        if self.engine.is_none() && !self.views.is_empty() && !self.tables.is_empty() {
+            self.prepare()?;
+        }
+        let cache = self.cache.as_ref().expect("checked above");
+        cache.set_enabled(true);
+        Ok("result cache on".to_string())
+    }
+
+    /// Turn the front result cache off (the `cache off` command).
+    /// Invalidation tracking stays live, so `cache on` later is safe.
+    pub fn cache_off(&mut self) -> Result<String, SessionError> {
+        match self.cache.as_ref() {
+            Some(cache) => {
+                cache.set_enabled(false);
+                Ok("result cache off".to_string())
+            }
+            None => Err("no result cache attached (server-only feature)".to_string()),
+        }
+    }
+
+    /// Machine-parseable cache counters (the `cache stats` command):
+    /// one `totals:` line plus one watermark line per shard, following
+    /// the `shards` command's `key=value` convention.
+    pub fn cache_stats_text(&self) -> Result<String, SessionError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| "no result cache attached (server-only feature)".to_string())?;
+        let s = cache.stats();
+        let mut out = format!("cache: enabled={}\n", s.enabled);
+        out.push_str(&format!(
+            "totals: hits={} misses={} fills={} invalidations={} stale_served={} \
+             hit_ratio={:.4} entries={} bytes={}\n",
+            s.hits,
+            s.misses,
+            s.fills,
+            s.invalidations,
+            s.stale_served,
+            s.hit_ratio,
+            s.entries,
+            s.bytes,
+        ));
+        let engine_lsns: Vec<u64> = match self.engine.as_ref() {
+            Some(Backend::Sharded(sharded)) => {
+                sharded.shard_stats().iter().map(|st| st.last_lsn).collect()
+            }
+            _ => Vec::new(),
+        };
+        for (i, w) in s.per_shard.iter().enumerate() {
+            // Invalidation lag: deltas the engine has committed that the
+            // cache has not been notified of. Synchronous taps keep it
+            // at zero; nonzero means notifications are being lost.
+            let lag = engine_lsns
+                .get(i)
+                .map(|&l| l.saturating_sub(w.lsn))
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "cache_shard {i}: epoch={} lsn={} lag={}\n",
+                w.epoch, w.lsn, lag
+            ));
+        }
+        Ok(out.trim_end().to_string())
+    }
+
     /// Per-procedure workload counters (the `stats` command): accesses,
     /// conflicting updates, the per-procedure `k/q` conflict rate, and —
     /// once the engine is live and the procedure has been accessed — the
@@ -1114,6 +1278,22 @@ impl Session {
                 }
             }
             None => {}
+        }
+        if let Some(cache) = self.cache.as_ref() {
+            let s = cache.stats();
+            out.push_str(&format!(
+                "cache: {}, {} entries ({} bytes), {} hits / {} misses \
+                 (hit ratio {:.2}), {} fills, {} invalidations, {} stale served\n",
+                if s.enabled { "on" } else { "off" },
+                s.entries,
+                s.bytes,
+                s.hits,
+                s.misses,
+                s.hit_ratio,
+                s.fills,
+                s.invalidations,
+                s.stale_served,
+            ));
         }
         out
     }

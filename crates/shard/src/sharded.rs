@@ -82,8 +82,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use procdb_core::{DeltaAck, DeltaOp, Engine, RecoveryOutcome, ShippedDelta, StrategyKind};
+use parking_lot::{Mutex, RwLock};
+use procdb_core::{
+    DeltaAck, DeltaObserver, DeltaOp, Engine, RecoveryOutcome, ShippedDelta, StrategyKind,
+};
 use procdb_obs::{Counter, Gauge, Histogram};
 use procdb_query::{Schema, Tuple, Value};
 use procdb_storage::{CostConstants, Result, StorageError};
@@ -267,6 +269,10 @@ struct ShardSlot {
     /// Orders mutations (and their log appends + fan-out) per shard.
     mutation: Mutex<()>,
     log: Mutex<DeltaLog>,
+    /// Optional tap on the committed delta stream (the front result
+    /// cache): notified synchronously at the commit point, before the
+    /// mutation returns, and on every epoch bump.
+    observer: RwLock<Option<Arc<dyn DeltaObserver>>>,
     breaker: Breaker,
     accesses: Counter,
     updates: Counter,
@@ -297,6 +303,7 @@ impl ShardSlot {
             epoch: AtomicU64::new(1),
             mutation: Mutex::new(()),
             log: Mutex::new(DeltaLog::new(DEFAULT_LOG_CAP)),
+            observer: RwLock::new(None),
             breaker: Breaker::new(labels),
             accesses: reg.counter("procdb_shard_accesses_total", labels),
             updates: reg.counter("procdb_shard_updates_total", labels),
@@ -322,6 +329,20 @@ impl ShardSlot {
 
     fn has_live_follower(&self, of: usize) -> bool {
         self.replicas.iter().any(|r| r.idx != of && r.is_alive())
+    }
+
+    /// Notify the delta-stream tap (if any) of one committed op.
+    fn notify_delta(&self, epoch: u64, lsn: u64, op: &DeltaOp) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs.on_delta(self.id, epoch, lsn, op);
+        }
+    }
+
+    /// Notify the delta-stream tap (if any) of an epoch bump.
+    fn notify_epoch(&self, epoch: u64) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs.on_epoch_bump(self.id, epoch);
+        }
     }
 }
 
@@ -369,6 +390,7 @@ fn promote_cas(slot: &ShardSlot, from: usize, to: usize) -> bool {
     let epoch = slot.epoch.fetch_add(1, Ordering::AcqRel) + 1;
     slot.replicas[to].note_epoch(epoch);
     slot.failovers.inc();
+    slot.notify_epoch(epoch);
     true
 }
 
@@ -773,6 +795,15 @@ impl ShardedEngine {
     /// Current replica-group epoch of one shard.
     pub fn epoch_of(&self, shard: usize) -> u64 {
         self.slots[shard].epoch()
+    }
+
+    /// Install (or clear) the tap on every shard's committed delta
+    /// stream. The observer is invoked synchronously at each commit
+    /// point and on each epoch bump — see [`DeltaObserver`].
+    pub fn set_delta_observer(&self, observer: Option<Arc<dyn DeltaObserver>>) {
+        for slot in &self.slots {
+            *slot.observer.write() = observer.clone();
+        }
     }
 
     /// Writes rejected by epoch fencing, summed over shards.
@@ -1229,6 +1260,10 @@ impl ShardedEngine {
             }
         };
         slot.updates.inc();
+        // Commit point: the op is applied and log-stamped. Tap the
+        // stream before fan-out so a front cache is invalidated before
+        // any client can observe this write's acknowledgement.
+        slot.notify_delta(epoch, lsn, &op);
         total_ms += self.fan_out(slot, &ShippedDelta::new(epoch, lsn, op), c);
         match maint_err {
             Some(e) => Err(e),
@@ -1291,6 +1326,7 @@ impl ShardedEngine {
                     drop(eng);
                     slot.updates.inc();
                     let delta = ShippedDelta::new(epoch, lsn, DeltaOp::Delete(keys.to_vec()));
+                    slot.notify_delta(epoch, lsn, &delta.op);
                     total_ms += self.fan_out(slot, &delta, c);
                     return (taken, total_ms, res);
                 }
